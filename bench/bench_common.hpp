@@ -1,0 +1,89 @@
+// Shared helpers for the table-regeneration benches.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md's per-experiment index) and prints it with util::Table in the
+// same row layout as the publication. All binaries accept:
+//   --budget=<seconds>        wall clock per engine run (paper: 100)
+//   --depth-budget=<seconds>  wall clock for max-unroll-depth measurements
+//   --risc-trigger=<count>    RISC Trojan trigger count (default 25)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/workloads.hpp"
+#include "core/detector.hpp"
+#include "designs/catalog.hpp"
+#include "util/cli.hpp"
+#include "util/resource.hpp"
+#include "util/table.hpp"
+
+namespace trojanscout::bench {
+
+struct BenchConfig {
+  double budget_seconds = 100.0;
+  double depth_budget_seconds = 10.0;
+  unsigned risc_trigger_count = 25;
+  std::size_t max_frames = 4096;
+  std::size_t stimulus_sequences = 16;
+
+  static BenchConfig from_cli(const util::CliParser& cli) {
+    BenchConfig config;
+    config.budget_seconds = cli.get_double("budget", config.budget_seconds);
+    config.depth_budget_seconds =
+        cli.get_double("depth-budget", config.depth_budget_seconds);
+    config.risc_trigger_count = static_cast<unsigned>(
+        cli.get_int("risc-trigger", config.risc_trigger_count));
+    config.max_frames =
+        static_cast<std::size_t>(cli.get_int("max-frames", config.max_frames));
+    return config;
+  }
+};
+
+/// Engine options for a detection run on `design`, including the ATPG
+/// functional stimulus hints derived from the family workload generator.
+inline core::EngineOptions make_engine(const BenchConfig& config,
+                                       core::EngineKind kind,
+                                       const designs::Design& design,
+                                       const std::string& family,
+                                       double budget_seconds) {
+  core::EngineOptions engine;
+  engine.kind = kind;
+  engine.max_frames = config.max_frames;
+  engine.time_limit_seconds = budget_seconds;
+  if (kind == core::EngineKind::kAtpg) {
+    for (std::uint64_t seed = 0; seed < config.stimulus_sequences; ++seed) {
+      engine.atpg_stimulus.push_back(baselines::generate_workload(
+          design.nl, family, std::min<std::size_t>(config.max_frames, 512),
+          1000 + seed));
+    }
+  }
+  return engine;
+}
+
+/// Engine options for a *depth* measurement (how many frames can be
+/// certified in the budget): the ATPG uses an industrial-style small abort
+/// limit per frame and skips the random phase (there is nothing to find).
+inline core::EngineOptions make_depth_engine(const BenchConfig& config,
+                                             core::EngineKind kind,
+                                             double budget_seconds) {
+  (void)config;
+  core::EngineOptions engine;
+  engine.kind = kind;
+  engine.max_frames = 1u << 20;
+  engine.time_limit_seconds = budget_seconds;
+  engine.atpg_backtrack_limit = 64;
+  engine.atpg_random_sequences = 0;  // nothing to find on a clean variant
+  return engine;
+}
+
+inline std::string mem_cell(std::uint64_t bytes) {
+  return util::format_bytes(bytes);
+}
+
+inline std::string frames_cell(const core::CheckResult& result) {
+  return std::to_string(result.frames_completed);
+}
+
+}  // namespace trojanscout::bench

@@ -1,0 +1,79 @@
+// Extension bench: unbounded proofs by k-induction.
+//
+// The paper's protocol certifies "trustworthy for T clock cycles" and resets
+// the design past the bound (Section 3.2). For contracts that are
+// k-inductive the reset is unnecessary: the table shows which of the
+// benchmark registers can be proven corruption-free for all time, and which
+// (Trojaned or not inductively expressible) cannot.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "designs/aes.hpp"
+#include "designs/mc8051.hpp"
+#include "properties/monitors.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trojanscout;
+  const util::CliParser cli(argc, argv);
+  const double budget = cli.get_double("budget", 30.0);
+
+  std::cout << "=== k-induction: unbounded no-corruption proofs ===\n\n";
+  util::Table table({"Design", "Register", "Result", "k", "Time (s)"});
+
+  struct Case {
+    std::string label;
+    designs::Design design;
+    std::string reg;
+  };
+  std::vector<Case> cases;
+  {
+    designs::Design d = designs::build_clean("mc8051");
+    for (const auto& reg : d.critical_registers) {
+      cases.push_back({"clean mc8051", d, reg});
+    }
+  }
+  {
+    designs::Design d = designs::build_clean("risc");
+    for (const char* reg : {"stack_pointer", "eeprom_data", "eeprom_address",
+                            "interrupt_enable", "sleep_flag"}) {
+      cases.push_back({"clean risc", d, reg});
+    }
+  }
+  {
+    cases.push_back({"clean aes", designs::build_clean("aes"), "key_reg"});
+  }
+  {
+    designs::Mc8051Options o;
+    o.trojan = designs::Mc8051Trojan::kT800;
+    cases.push_back({"mc8051 + T800", designs::build_mc8051(o), "sp"});
+  }
+  {
+    designs::AesOptions o;
+    o.trojan = designs::AesTrojan::kT1200;
+    cases.push_back({"aes + T1200 bomb", designs::build_aes(o), "key_reg"});
+  }
+
+  for (auto& c : cases) {
+    designs::Design scratch = c.design;
+    const auto bad = properties::build_corruption_monitor(
+        scratch.nl, scratch.spec.at(c.reg),
+        properties::CorruptionMonitorKind::kExact);
+    bmc::InductionOptions options;
+    options.time_limit_seconds = budget;
+    const auto result = bmc::prove_by_induction(scratch.nl, bad, options);
+    const char* verdict =
+        result.status == bmc::InductionStatus::kProven
+            ? "PROVEN forever"
+            : result.status == bmc::InductionStatus::kBaseViolated
+                  ? "TROJAN (base cex)"
+                  : "unknown (not inductive)";
+    table.add_row({c.label, c.reg, verdict, std::to_string(result.k_used),
+                   util::cell_double(result.seconds, 2)});
+    std::cerr << "[induction] " << c.label << "/" << c.reg << " done\n";
+  }
+  table.print(std::cout);
+  std::cout << "\n(A 'proven' row removes the paper's reset-every-T-cycles "
+               "caveat for that register; 'unknown' falls back to the "
+               "bounded certificate of bench_table1.)\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: simulator
+// throughput, CNF encoding rate, SAT solving on the standard detection
+// query, SCOAP analysis, and FANCI's sampling kernel.
+#include <benchmark/benchmark.h>
+
+#include "baselines/fanci.hpp"
+#include "bmc/bmc.hpp"
+#include "cnf/unroller.hpp"
+#include "designs/catalog.hpp"
+#include "designs/mc8051.hpp"
+#include "designs/risc.hpp"
+#include "netlist/scoap.hpp"
+#include "properties/monitors.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace trojanscout {
+namespace {
+
+void BM_SimulatorStep_Mc8051(benchmark::State& state) {
+  const designs::Design design = designs::build_clean("mc8051");
+  sim::Simulator simulator(design.nl);
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    simulator.set_input_port("code_op", rng.next_below(256));
+    simulator.set_input_port("code_operand", rng.next_below(256));
+    simulator.step();
+    benchmark::DoNotOptimize(simulator.read_register("acc"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(design.nl.size()));
+}
+BENCHMARK(BM_SimulatorStep_Mc8051);
+
+void BM_SimulatorStep_Aes(benchmark::State& state) {
+  const designs::Design design = designs::build_clean("aes");
+  sim::Simulator simulator(design.nl);
+  for (auto _ : state) {
+    simulator.step();
+    benchmark::DoNotOptimize(simulator.read_register("round"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(design.nl.size()));
+}
+BENCHMARK(BM_SimulatorStep_Aes);
+
+void BM_UnrollerFrame_Risc(benchmark::State& state) {
+  designs::Design design = designs::build_clean("risc");
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("stack_pointer"),
+      properties::CorruptionMonitorKind::kExact);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sat::Solver solver;
+    cnf::Unroller unroller(design.nl, solver, {bad});
+    state.ResumeTiming();
+    for (int t = 0; t < 8; ++t) unroller.add_frame();
+    benchmark::DoNotOptimize(unroller.vars_allocated());
+  }
+}
+BENCHMARK(BM_UnrollerFrame_Risc);
+
+void BM_BmcDetect_Mc8051T800(benchmark::State& state) {
+  designs::Mc8051Options options;
+  options.trojan = designs::Mc8051Trojan::kT800;
+  for (auto _ : state) {
+    state.PauseTiming();
+    designs::Design design = designs::build_mc8051(options);
+    const auto bad = properties::build_corruption_monitor(
+        design.nl, design.spec.at("sp"),
+        properties::CorruptionMonitorKind::kExact);
+    state.ResumeTiming();
+    bmc::BmcOptions bo;
+    bo.max_frames = 8;
+    const auto result = bmc::check_bad_signal(design.nl, bad, bo);
+    benchmark::DoNotOptimize(result.violated());
+  }
+}
+BENCHMARK(BM_BmcDetect_Mc8051T800);
+
+void BM_Scoap_Risc(benchmark::State& state) {
+  const designs::Design design = designs::build_clean("risc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::compute_scoap(design.nl));
+  }
+}
+BENCHMARK(BM_Scoap_Risc);
+
+void BM_Fanci_Mc8051(benchmark::State& state) {
+  const designs::Design design = designs::build_clean("mc8051");
+  baselines::FanciOptions options;
+  options.samples = 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::run_fanci(design.nl, options));
+  }
+}
+BENCHMARK(BM_Fanci_Mc8051);
+
+}  // namespace
+}  // namespace trojanscout
+
+BENCHMARK_MAIN();

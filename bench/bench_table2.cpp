@@ -1,0 +1,40 @@
+// Regenerates Table 2: the valid ways to update the RISC's registers, as
+// registered in the machine-readable spec the monitors are generated from.
+// The rows are printed straight from the DesignSpec — this is the defender's
+// "datasheet contract" the Eq. 2 monitors enforce.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "designs/risc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trojanscout;
+  const util::CliParser cli(argc, argv);
+  (void)cli;
+
+  const designs::Design design = designs::build_risc({});
+  std::cout << "=== Table 2: Valid ways to update registers in RISC ===\n\n";
+
+  util::Table table({"Register", "Cycle", "Valid way", "Value"});
+  for (const auto& spec : design.spec.registers) {
+    bool first = true;
+    for (const auto& way : spec.ways) {
+      table.add_row({first ? spec.reg : "", way.cycle_label, way.description,
+                     way.value_description});
+      first = false;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nObservability obligations (used by the Eq. 4 bypass "
+               "check):\n\n";
+  util::Table obligations({"Register", "Obligation", "Latency"});
+  for (const auto& spec : design.spec.registers) {
+    for (const auto& o : spec.obligations) {
+      obligations.add_row(
+          {spec.reg, o.description, std::to_string(o.latency)});
+    }
+  }
+  obligations.print(std::cout);
+  return 0;
+}

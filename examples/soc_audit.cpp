@@ -1,0 +1,100 @@
+// An SoC integrator's acceptance audit: run the paper's full Algorithm 1 —
+// pseudo-critical scan, Eq. 2 corruption check, Eq. 4 bypass check — on a
+// set of delivered 3PIPs, including one carrying a Section 4 evasion attack.
+//
+// Run: ./soc_audit [--budget=seconds]
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "designs/attacks.hpp"
+#include "designs/catalog.hpp"
+#include "designs/mc8051.hpp"
+#include "designs/router.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace trojanscout;
+
+int main(int argc, char** argv) {
+  const util::CliParser cli(argc, argv);
+  const double budget = cli.get_double("budget", 30.0);
+
+  struct Delivery {
+    std::string vendor_claim;
+    designs::Design design;
+  };
+  std::vector<Delivery> deliveries;
+
+  deliveries.push_back({"clean microcontroller", designs::build_clean("mc8051")});
+
+  {
+    designs::Mc8051Options options;
+    options.trojan = designs::Mc8051Trojan::kT800;
+    deliveries.push_back(
+        {"microcontroller (UART Trojan inside)", designs::build_mc8051(options)});
+  }
+  {
+    // A vendor using the Section 4.1 evasion: the stack pointer is mirrored
+    // into a shadow register that feeds its fanout, and the shadow is what
+    // the (sequence-triggered) Trojan corrupts (Figure 2).
+    designs::Mc8051Options options;
+    options.trojan = designs::Mc8051Trojan::kT400;
+    options.payload_enabled = false;
+    designs::Design design = designs::build_mc8051(options);
+    designs::plant_pseudo_critical(design, "sp");
+    deliveries.push_back({"microcontroller (pseudo-critical attack inside)",
+                          std::move(design)});
+  }
+  {
+    // The sneaky vendor: the stack pointer itself is never corrupted; a
+    // bypass register takes over its fanout when triggered (Figure 3).
+    designs::Mc8051Options options;
+    options.trojan = designs::Mc8051Trojan::kT800;
+    options.payload_enabled = false;
+    designs::Design design = designs::build_mc8051(options);
+    designs::plant_bypass(design, "sp");
+    deliveries.push_back({"microcontroller (bypass attack inside)",
+                          std::move(design)});
+  }
+
+  {
+    // A NoC router whose destination register is misrouted to the
+    // attacker's port after a 3-flit magic sequence (the paper's third
+    // motivating example).
+    designs::RouterOptions options;
+    options.trojan = designs::RouterTrojan::kMisroute;
+    deliveries.push_back(
+        {"packet router (misroute Trojan inside)", designs::build_router(options)});
+  }
+
+  util::Table table({"Delivery", "Verdict", "Findings",
+                     "Trust bound (cycles)"});
+  for (auto& delivery : deliveries) {
+    core::DetectorOptions options;
+    options.engine.kind = core::EngineKind::kBmc;
+    options.engine.max_frames = 24;
+    options.engine.time_limit_seconds = budget;
+    core::TrojanDetector detector(delivery.design, options);
+    const core::DetectionReport report = detector.run();
+
+    std::string findings;
+    for (const auto& finding : report.findings) {
+      findings += std::string(core::finding_kind_name(finding.kind)) + "(" +
+                  finding.register_name + ") ";
+    }
+    table.add_row({delivery.vendor_claim,
+                   report.trojan_found ? "REJECT" : "accept",
+                   findings.empty() ? "-" : findings,
+                   std::to_string(report.trust_bound_frames)});
+    std::cerr << "[audit] " << delivery.vendor_claim << ": "
+              << report.summary() << "\n";
+  }
+
+  std::cout << "\n=== SoC integration audit ===\n\n";
+  table.print(std::cout);
+  std::cout << "\nProperty runs per delivery cover: Eq. 3 pseudo-critical "
+               "scan over same-width register pairs, Eq. 2 corruption per "
+               "critical register, Eq. 4 bypass miter where the spec "
+               "declares observability obligations (Algorithm 1).\n";
+  return 0;
+}

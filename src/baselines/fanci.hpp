@@ -1,0 +1,54 @@
+// FANCI baseline (Waksman, Suozzo, Sethumadhavan, CCS 2013): flags wires
+// with "stealthy" truth tables — inputs whose control values (probability
+// that flipping the input flips the wire) are vanishingly small.
+//
+// Implementation: for every combinational wire, a bounded fan-in cone is
+// carved out (expansion stops once the boundary would exceed
+// max_cone_inputs, exactly the truncation DeTrust exploits: registered
+// state counts as free boundary inputs). Control values are estimated by
+// 64-way bit-parallel sampling of the boundary; the wire is flagged when
+// the mean or median control value falls below the threshold.
+//
+// On the paper's workloads this reproduces Table 1's FANCI column: the
+// DeTrust-hardened Trojans keep every Trojan wire's control values at or
+// above ~2^-11 (no comparison wider than a byte, matches registered per
+// stage), while a naive Trojan with a wide combinational trigger comparator
+// is flagged immediately (see the baseline-validation bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::baselines {
+
+struct FanciOptions {
+  std::size_t max_cone_inputs = 16;
+  std::size_t samples = 8192;           // rounded up to a multiple of 64
+  double threshold = 1.0 / (1 << 14);   // flag below ~6.1e-5
+  std::uint64_t seed = 0x5eed;
+};
+
+struct FanciSuspect {
+  netlist::SignalId signal = netlist::kNullSignal;
+  double mean_cv = 0.0;
+  double median_cv = 0.0;
+};
+
+struct FanciReport {
+  std::vector<FanciSuspect> suspects;
+  std::size_t wires_analyzed = 0;
+
+  [[nodiscard]] bool flags(netlist::SignalId signal) const {
+    for (const auto& s : suspects) {
+      if (s.signal == signal) return true;
+    }
+    return false;
+  }
+};
+
+FanciReport run_fanci(const netlist::Netlist& nl,
+                      const FanciOptions& options = {});
+
+}  // namespace trojanscout::baselines

@@ -1,0 +1,31 @@
+#include "baselines/salmani.hpp"
+
+#include <algorithm>
+
+#include "netlist/scoap.hpp"
+
+namespace trojanscout::baselines {
+
+using netlist::Netlist;
+using netlist::Op;
+using netlist::SignalId;
+
+SalmaniReport run_salmani(const Netlist& nl, const SalmaniOptions& options) {
+  SalmaniReport report;
+  const netlist::Scoap scoap = netlist::compute_scoap(nl);
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const Op op = nl.gate(id).op;
+    if (netlist::op_arity(op) == 0 || op == Op::kDff) continue;
+    report.signals_analyzed++;
+    // A Trojan trigger polarity is the hard-to-reach one: flag when either
+    // polarity needs a long forced chain.
+    const std::uint32_t hardest = std::max(scoap.cc0[id], scoap.cc1[id]);
+    if (hardest > options.threshold) {
+      report.suspects.push_back(SalmaniSuspect{id, scoap.cc0[id],
+                                               scoap.cc1[id]});
+    }
+  }
+  return report;
+}
+
+}  // namespace trojanscout::baselines

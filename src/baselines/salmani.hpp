@@ -1,0 +1,43 @@
+// Salmani/Tehranipoor-style testability analysis (the paper's related work
+// [7]): signals that are extremely hard to control are candidate Trojan
+// trigger nets — dormant logic tends to sit behind rare conditions.
+//
+// Implementation: SCOAP controllability (netlist/scoap.hpp); a signal is
+// flagged when max(CC0, CC1) exceeds a threshold — some polarity is
+// reachable only through a long forced chain (the activation polarity of a
+// stealthy trigger).
+//
+// Like FANCI and VeriTrust, this analysis is blinded by DeTrust hardening:
+// every hardened Trojan wire is controllable through short registered
+// stages, while the naive wide comparators light up immediately. Included
+// for completeness of the paper's related-work comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::baselines {
+
+struct SalmaniOptions {
+  /// Flag signals with max(CC0, CC1) above this (one polarity reachable
+  /// only through a long forced chain).
+  std::uint32_t threshold = 64;
+};
+
+struct SalmaniSuspect {
+  netlist::SignalId signal = netlist::kNullSignal;
+  std::uint32_t cc0 = 0;
+  std::uint32_t cc1 = 0;
+};
+
+struct SalmaniReport {
+  std::vector<SalmaniSuspect> suspects;
+  std::size_t signals_analyzed = 0;
+};
+
+SalmaniReport run_salmani(const netlist::Netlist& nl,
+                          const SalmaniOptions& options = {});
+
+}  // namespace trojanscout::baselines

@@ -1,0 +1,83 @@
+#include "baselines/veritrust.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace trojanscout::baselines {
+
+using netlist::Gate;
+using netlist::Netlist;
+using netlist::Op;
+using netlist::SignalId;
+
+// Criterion (see header): a gate is suspicious when one of its inputs is
+// *dormant* (observationally constant under the functional workload) and
+// that input's driver is itself fed by dormant logic. A single dormant
+// boundary wire is tolerated — rare functional events produce those — but a
+// chain of dormant logic is the signature of gates "not driven by
+// functional inputs" (VeriTrust's discriminator). DeTrust's hardening
+// guarantees every Trojan gate's fanins are functional data that toggles
+// under verification stimuli, which is exactly what defeats this check.
+VeriTrustReport run_veritrust(const Netlist& nl,
+                              const std::vector<util::BitVec>& frames,
+                              const VeriTrustOptions& options) {
+  VeriTrustReport report;
+  sim::Simulator simulator(nl);
+
+  std::vector<std::uint8_t> seen0(nl.size(), 0);
+  std::vector<std::uint8_t> seen1(nl.size(), 0);
+  for (const auto& frame : frames) {
+    simulator.set_inputs(frame);
+    simulator.eval();
+    for (SignalId id = 0; id < nl.size(); ++id) {
+      if (simulator.value(id)) {
+        seen1[id] = 1;
+      } else {
+        seen0[id] = 1;
+      }
+    }
+    simulator.step();
+  }
+  if (frames.size() < options.min_observations) return report;
+
+  auto constant = [&](SignalId id) {
+    return !(seen0[id] != 0 && seen1[id] != 0);
+  };
+  // VeriTrust analyzes combinational functions with flip-flop outputs and
+  // primary inputs as free boundary variables: a quiet register or a quiet
+  // input is functional by definition (mode bits, configuration registers).
+  // Dormancy therefore only "chains" through *internal combinational*
+  // wires.
+  auto is_boundary = [&](SignalId id) {
+    const Op op = nl.gate(id).op;
+    return op == Op::kDff || op == Op::kInput || op == Op::kConst0 ||
+           op == Op::kConst1;
+  };
+  auto has_constant_fanin = [&](SignalId id) {
+    const Gate& g = nl.gate(id);
+    const int arity = netlist::op_arity(g.op);
+    if (arity == 0) return false;
+    for (int k = 0; k < arity; ++k) {
+      if (is_boundary(g.fanin[k])) continue;
+      if (constant(g.fanin[k])) return true;
+    }
+    return false;
+  };
+
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    const int arity = netlist::op_arity(g.op);
+    if (arity < 2 || g.op == Op::kDff) continue;
+    report.gates_analyzed++;
+    for (int k = 0; k < arity; ++k) {
+      const SignalId f = g.fanin[k];
+      if (is_boundary(f)) continue;
+      if (constant(f) && has_constant_fanin(f)) {
+        report.suspects.push_back(VeriTrustSuspect{id, k});
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace trojanscout::baselines

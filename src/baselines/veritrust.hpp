@@ -1,0 +1,59 @@
+// VeriTrust baseline (Zhang, Yuan, Wei, Sun, Xu, DAC 2013): flags gates
+// with inputs that are never *sensitized* under functional verification
+// stimuli — inputs whose observed activity is consistent with the gate
+// ignoring them, the signature of logic "not driven by functional inputs".
+//
+// Implementation: the design is simulated under a family-specific
+// functional workload (workloads.hpp), recording per-wire activity. A gate
+// is reported as suspicious when one of its inputs is *dormant*
+// (observationally constant across the workload) and that input's driver is
+// itself fed by dormant logic — a chain of logic not exercised by any
+// functional input, which is VeriTrust's discriminator. A single dormant
+// boundary wire is tolerated (rare-but-functional events produce those),
+// matching the granularity at which the published analysis operates.
+//
+// DeTrust defeats this analysis by making every Trojan gate's inputs
+// functional data whose near-trigger combinations occur under verification
+// stimuli (sequence prefixes, known-answer vectors); our DeTrust-hardened
+// benchmarks reproduce the published "No" row, while the naive Trojan
+// variants (secret one-shot comparators) are flagged — see the
+// baseline-validation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace trojanscout::baselines {
+
+struct VeriTrustOptions {
+  /// Minimum number of observed evaluation cycles before a verdict.
+  std::size_t min_observations = 64;
+};
+
+struct VeriTrustSuspect {
+  netlist::SignalId signal = netlist::kNullSignal;
+  /// Which fanin index was never sensitized.
+  int dormant_input = 0;
+};
+
+struct VeriTrustReport {
+  std::vector<VeriTrustSuspect> suspects;
+  std::size_t gates_analyzed = 0;
+
+  [[nodiscard]] bool flags(netlist::SignalId signal) const {
+    for (const auto& s : suspects) {
+      if (s.signal == signal) return true;
+    }
+    return false;
+  }
+};
+
+/// Simulates `frames` on the design and reports unsensitized gates.
+VeriTrustReport run_veritrust(const netlist::Netlist& nl,
+                              const std::vector<util::BitVec>& frames,
+                              const VeriTrustOptions& options = {});
+
+}  // namespace trojanscout::baselines

@@ -1,0 +1,206 @@
+#include "baselines/workloads.hpp"
+
+#include <stdexcept>
+
+#include "designs/aes_ref.hpp"
+#include "util/rng.hpp"
+
+namespace trojanscout::baselines {
+
+using netlist::Netlist;
+
+namespace {
+
+/// Helper that fills named ports within a frame.
+class FrameBuilder {
+ public:
+  explicit FrameBuilder(const Netlist& nl)
+      : nl_(nl), frame_(nl.num_inputs()) {}
+
+  void set(const std::string& port, std::uint64_t value) {
+    const auto& p = nl_.input_port(port);
+    for (std::size_t i = 0; i < p.bits.size(); ++i) {
+      frame_.set(nl_.input_index(p.bits[i]), i < 64 && ((value >> i) & 1u));
+    }
+  }
+
+  void set_block(const std::string& port,
+                 const designs::AesBlock& block) {
+    const auto& p = nl_.input_port(port);
+    for (std::size_t b = 0; b < 16; ++b) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        frame_.set(nl_.input_index(p.bits[8 * (15 - b) + i]),
+                   ((block[b] >> i) & 1u) != 0);
+      }
+    }
+  }
+
+  [[nodiscard]] const util::BitVec& frame() const { return frame_; }
+
+ private:
+  const Netlist& nl_;
+  util::BitVec frame_;
+};
+
+std::vector<util::BitVec> mc8051_workload(const Netlist& nl,
+                                          std::size_t cycles,
+                                          util::Xoshiro256& rng) {
+  // Opcode mix: data movement dominates, as in real firmware (and as the
+  // Trust-Hub T400 authors count on: the trigger sequence is made of the
+  // four most common instructions).
+  static const std::uint8_t kMix[] = {0x74, 0x74, 0x74, 0xE3, 0xE3, 0xE0,
+                                      0xE0, 0xF3, 0xF3, 0x24, 0x12, 0x22,
+                                      0x75, 0xA8, 0x79, 0x00};
+  std::vector<util::BitVec> frames;
+  frames.reserve(cycles);
+  std::uint8_t opcode = 0;
+  for (std::size_t t = 0; t < cycles; ++t) {
+    FrameBuilder fb(nl);
+    if (t % 2 == 0) {  // fetch cycle: present a fresh opcode
+      opcode = kMix[rng.next_below(sizeof(kMix))];
+    }
+    fb.set("code_op", opcode);
+    fb.set("code_operand", rng.next_below(256));
+    fb.set("uart_rx", rng.next_below(256));
+    fb.set("xram_in", rng.next_below(256));
+    fb.set("int_req", rng.next_below(16) == 0 ? 1 : 0);
+    fb.set("reset", 0);
+    frames.push_back(fb.frame());
+  }
+  return frames;
+}
+
+std::vector<util::BitVec> risc_workload(const Netlist& nl, std::size_t cycles,
+                                        util::Xoshiro256& rng) {
+  std::vector<util::BitVec> frames;
+  frames.reserve(cycles);
+  std::uint16_t instr = 0;
+  for (std::size_t t = 0; t < cycles; ++t) {
+    if (t % 4 == 0) {
+      // New instruction each machine cycle (4 clocks).
+      switch (rng.next_below(8)) {
+        case 0: instr = static_cast<std::uint16_t>(0x3000 | rng.next_below(0x100)); break;  // MOVLW
+        case 1: instr = static_cast<std::uint16_t>(0x1E00 | rng.next_below(0x100)); break;  // ADDLW
+        case 2: instr = static_cast<std::uint16_t>(0x2000 | rng.next_below(0x800)); break;  // CALL
+        case 3: instr = static_cast<std::uint16_t>(0x2800 | rng.next_below(0x800)); break;  // GOTO
+        case 4: instr = 0x008; break;                                                        // RETURN
+        case 5: instr = static_cast<std::uint16_t>(0x0100 | rng.next_below(0x10)); break;   // MOVWF
+        case 6: instr = static_cast<std::uint16_t>(0x0800 | rng.next_below(0x10)); break;   // MOVF
+        default: instr = rng.next_below(4) == 0 ? 0x040 : 0x000; break;  // EERD / NOP
+      }
+    }
+    FrameBuilder fb(nl);
+    fb.set("prog_data", instr);
+    fb.set("ext_interrupt", rng.next_below(64) == 0 ? 1 : 0);
+    fb.set("eeprom_in", rng.next_below(256));
+    fb.set("write_complete", rng.next_below(32) == 0 ? 1 : 0);
+    fb.set("reset", 0);
+    frames.push_back(fb.frame());
+  }
+  return frames;
+}
+
+std::vector<util::BitVec> aes_workload(const Netlist& nl, std::size_t cycles,
+                                       util::Xoshiro256& rng) {
+  using designs::AesBlock;
+  // A regression-style plaintext schedule: random blocks interleaved with
+  // bursts of standard known-answer vectors played back to back.
+  const AesBlock kStandardVectors[] = {
+      designs::aes_block_from_hex("3243f6a8885a308d313198a2e0370734"),
+      designs::aes_block_from_hex("00112233445566778899aabbccddeeff"),
+      designs::aes_block_from_hex("00000000000000000000000000000001"),
+      designs::aes_block_from_hex("00000000000000000000000000000001"),
+      designs::aes_block_from_hex("6bc1bee22e409f96e93d7e117393172a"),
+  };
+  std::vector<util::BitVec> frames;
+  frames.reserve(cycles);
+
+  std::size_t t = 0;
+  auto push_idle = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n && t < cycles; ++i, ++t) {
+      FrameBuilder fb(nl);
+      fb.set("reset", 0);
+      frames.push_back(fb.frame());
+    }
+  };
+  auto push_encrypt = [&](const AesBlock& pt) {
+    if (t >= cycles) return;
+    FrameBuilder fb(nl);
+    fb.set("reset", 0);
+    fb.set("start", 1);
+    fb.set_block("plaintext", pt);
+    frames.push_back(fb.frame());
+    ++t;
+    push_idle(17);  // busy (10 rounds) + scan headroom
+  };
+
+  auto push_key_load = [&] {
+    if (t >= cycles) return;
+    FrameBuilder fb(nl);
+    fb.set("reset", 0);
+    fb.set("load_key", 1);
+    AesBlock key{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+    fb.set_block("key_in", key);
+    frames.push_back(fb.frame());
+    ++t;
+  };
+
+  push_key_load();
+  while (t < cycles) {
+    if (rng.next_below(8) == 0) push_key_load();  // key rotation
+    if (rng.next_below(4) == 0) {
+      // Known-answer burst, in suite order.
+      for (const auto& v : kStandardVectors) push_encrypt(v);
+    } else {
+      AesBlock pt{};
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_below(256));
+      push_encrypt(pt);
+    }
+  }
+  return frames;
+}
+
+std::vector<util::BitVec> router_workload(const Netlist& nl,
+                                          std::size_t cycles,
+                                          util::Xoshiro256& rng) {
+  // Packet traffic: header flit, then 1-6 body flits, occasional idle gaps.
+  std::vector<util::BitVec> frames;
+  frames.reserve(cycles);
+  std::size_t body_left = 0;
+  for (std::size_t t = 0; t < cycles; ++t) {
+    FrameBuilder fb(nl);
+    fb.set("reset", 0);
+    if (rng.next_below(8) == 0) {
+      frames.push_back(fb.frame());  // idle cycle
+      continue;
+    }
+    fb.set("flit_valid", 1);
+    if (body_left == 0) {
+      const std::uint64_t dest = rng.next_below(4);
+      fb.set("flit_in", (dest << 14) | (1u << 13) | rng.next_below(0x2000));
+      body_left = 1 + rng.next_below(6);
+    } else {
+      fb.set("flit_in", rng.next_below(0x2000));
+      --body_left;
+    }
+    frames.push_back(fb.frame());
+  }
+  return frames;
+}
+
+}  // namespace
+
+std::vector<util::BitVec> generate_workload(const Netlist& nl,
+                                            const std::string& family,
+                                            std::size_t cycles,
+                                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  if (family == "mc8051") return mc8051_workload(nl, cycles, rng);
+  if (family == "risc") return risc_workload(nl, cycles, rng);
+  if (family == "aes") return aes_workload(nl, cycles, rng);
+  if (family == "router") return router_workload(nl, cycles, rng);
+  throw std::invalid_argument("generate_workload: unknown family " + family);
+}
+
+}  // namespace trojanscout::baselines

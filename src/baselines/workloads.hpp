@@ -1,0 +1,32 @@
+// Functional workload generators for the simulation-driven baseline
+// (VeriTrust) and for coverage-style experiments.
+//
+// Each generator produces per-cycle input frames that look like what a
+// verification suite would drive:
+//  * mc8051 — instruction mixes biased toward the common data-movement
+//    opcodes (MOV/MOVX/ADD/CALL/RET), random operands, random UART/XRAM
+//    bytes, occasional interrupts;
+//  * risc — instruction streams over the implemented ISA with realistic
+//    opcode frequencies, occasional interrupts and EEPROM traffic;
+//  * aes — key loads and encryptions of random blocks interleaved with the
+//    standard FIPS-197 test vectors run back-to-back, the way a regression
+//    suite replays known-answer tests. (The Trust-Hub AES triggers are
+//    deliberately chosen to look like such vectors — this is what makes the
+//    DeTrust-hardened Trojans blend into functional stimuli.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace trojanscout::baselines {
+
+/// One input frame per cycle, in Netlist::inputs() order.
+std::vector<util::BitVec> generate_workload(const netlist::Netlist& nl,
+                                            const std::string& family,
+                                            std::size_t cycles,
+                                            std::uint64_t seed);
+
+}  // namespace trojanscout::baselines

@@ -1,0 +1,94 @@
+// Bounded model checking engine (the paper's SMV role, Section 3.1).
+//
+// Given a netlist with a *bad signal* (a monitor output that is 1 exactly
+// when the no-data-corruption property is violated at that cycle), the
+// engine unrolls the design frame by frame, asking the SAT solver at each
+// frame whether the bad signal can be 1. A SAT answer yields the witness
+// (the Trojan trigger sequence); exhausting the bound or the resource budget
+// yields "trustworthy for T clock cycles" semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+#include "sim/witness.hpp"
+
+namespace trojanscout::bmc {
+
+struct BmcOptions {
+  /// Maximum number of frames to unroll (the paper's T bound).
+  std::size_t max_frames = 1024;
+  /// Wall-clock budget in seconds (the paper runs tools for 100 s).
+  double time_limit_seconds = 100.0;
+  /// Clause-database cap: the run stops with kResourceOut before the CNF
+  /// copies exhaust the machine (the paper had 128 GB; containers do not).
+  std::uint64_t memory_limit_bytes = 2ull << 30;
+  /// SAT solver configuration (exposed for the ablation benches).
+  sat::SolverOptions solver;
+};
+
+enum class BmcStatus {
+  /// Property violated: a counterexample (Trojan trigger) was found.
+  kViolated,
+  /// Unrolled max_frames with no violation: trustworthy for that many cycles.
+  kBoundReached,
+  /// Budget exhausted: trustworthy for frames_completed cycles only.
+  kResourceOut,
+};
+
+struct BmcResult {
+  BmcStatus status = BmcStatus::kResourceOut;
+  std::optional<sim::Witness> witness;
+  /// Number of frames fully checked (UNSAT) before stopping / violating.
+  std::size_t frames_completed = 0;
+  double seconds = 0.0;
+  /// RSS growth attributable to this run, in bytes.
+  std::uint64_t memory_bytes = 0;
+  sat::SolverStats sat_stats;
+
+  [[nodiscard]] bool violated() const { return status == BmcStatus::kViolated; }
+  [[nodiscard]] std::string status_name() const;
+};
+
+/// Runs BMC on `nl` for the given bad signal.
+BmcResult check_bad_signal(const netlist::Netlist& nl,
+                           netlist::SignalId bad_signal,
+                           const BmcOptions& options);
+
+// ---- unbounded proofs via k-induction ------------------------------------
+//
+// BMC alone certifies "trustworthy for T clock cycles" and the paper's
+// protocol resets the design past that bound (Section 3.2). When the
+// no-corruption property is *inductive*, the reset is unnecessary: if no
+// state (reachable or not) can violate the property after k clean steps,
+// the property holds forever. Plain k-induction (no uniqueness
+// constraints); fails safe to kUnknown on non-inductive properties.
+
+enum class InductionStatus {
+  kProven,        // property holds for all time
+  kBaseViolated,  // ordinary counterexample found (witness available)
+  kUnknown,       // not k-inductive within max_k / budget
+};
+
+struct InductionResult {
+  InductionStatus status = InductionStatus::kUnknown;
+  /// The k at which the step case closed (kProven only).
+  std::size_t k_used = 0;
+  std::optional<sim::Witness> witness;  // kBaseViolated only
+  double seconds = 0.0;
+};
+
+struct InductionOptions {
+  std::size_t max_k = 8;
+  double time_limit_seconds = 60.0;
+  sat::SolverOptions solver;
+};
+
+InductionResult prove_by_induction(const netlist::Netlist& nl,
+                                   netlist::SignalId bad_signal,
+                                   const InductionOptions& options = {});
+
+}  // namespace trojanscout::bmc

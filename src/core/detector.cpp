@@ -1,0 +1,208 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "properties/miter.hpp"
+#include "sim/simulator.hpp"
+#include "util/bitvec.hpp"
+#include "util/logging.hpp"
+
+namespace trojanscout::core {
+
+using designs::Design;
+using netlist::Netlist;
+using netlist::SignalId;
+
+const char* finding_kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kCorruption:
+      return "data-corruption";
+    case FindingKind::kPseudoCritical:
+      return "pseudo-critical-corruption";
+    case FindingKind::kBypass:
+      return "bypass";
+  }
+  return "?";
+}
+
+std::string DetectionReport::summary() const {
+  std::ostringstream os;
+  if (trojan_found) {
+    os << "TROJAN FOUND: ";
+    for (const auto& f : findings) {
+      os << finding_kind_name(f.kind) << " on " << f.register_name;
+      if (!f.candidate_register.empty()) {
+        os << " (via " << f.candidate_register << ")";
+      }
+      os << " at cycle " << (f.check.witness ? f.check.witness->violation_frame
+                                             : 0)
+         << "; ";
+    }
+  } else {
+    os << "No data-corruption Trojan found for " << trust_bound_frames
+       << " clock cycles";
+  }
+  return os.str();
+}
+
+TrojanDetector::TrojanDetector(const Design& design, DetectorOptions options)
+    : design_(design), options_(std::move(options)) {}
+
+CheckResult TrojanDetector::check_corruption(const std::string& reg) const {
+  Design scratch = design_;  // monitors are appended to a throwaway copy
+  const auto* spec = scratch.spec.find(reg);
+  if (spec == nullptr) {
+    throw std::invalid_argument("check_corruption: no valid-ways spec for " +
+                                reg);
+  }
+  const SignalId bad = properties::build_corruption_monitor(
+      scratch.nl, *spec, options_.monitor_kind);
+  return run_engine(scratch.nl, bad, options_.engine);
+}
+
+CheckResult TrojanDetector::check_pseudo_pair(
+    const std::string& critical_reg, const std::string& candidate_reg,
+    properties::PseudoPolarity polarity, bool candidate_leads) const {
+  Design scratch = design_;
+  const SignalId bad = properties::build_pseudo_critical_monitor(
+      scratch.nl, critical_reg, candidate_reg, polarity, candidate_leads);
+  return run_engine(scratch.nl, bad, options_.engine);
+}
+
+CheckResult TrojanDetector::check_bypass(const std::string& reg) const {
+  const auto* spec = design_.spec.find(reg);
+  if (spec == nullptr || spec->obligations.empty()) {
+    throw std::invalid_argument(
+        "check_bypass: register " + reg +
+        " has no observability obligations in the spec");
+  }
+  properties::BypassMiter miter =
+      properties::build_bypass_miter(design_.nl, *spec);
+  return run_engine(miter.nl, miter.bad, options_.engine);
+}
+
+std::vector<std::string> TrojanDetector::pseudo_candidates(
+    const std::string& reg) const {
+  const auto& critical = design_.nl.find_register(reg);
+  std::vector<std::string> out;
+  for (const auto& r : design_.nl.registers()) {
+    if (r.name == reg) continue;
+    if (r.dffs.size() != critical.dffs.size()) continue;
+    out.push_back(r.name);
+  }
+  return out;
+}
+
+DetectionReport TrojanDetector::run() {
+  DetectionReport report;
+  report.trust_bound_frames = options_.engine.max_frames;
+  std::vector<std::string> critical = design_.critical_registers;
+
+  auto note_bound = [&](const CheckResult& check) {
+    if (!check.violated) {
+      report.trust_bound_frames =
+          std::min(report.trust_bound_frames, check.frames_completed);
+    }
+  };
+
+  // Step 1 (Algorithm 1, inner loop): identify pseudo-critical registers.
+  if (options_.scan_pseudo_critical) {
+    for (const std::string& reg : design_.critical_registers) {
+      for (const std::string& candidate : pseudo_candidates(reg)) {
+        const CheckResult check = check_pseudo_pair(
+            reg, candidate, properties::PseudoPolarity::kIdentity, false);
+        report.runs.push_back({"pseudo(" + reg + "," + candidate + ")", check});
+        if (!check.violated) {
+          // Mirrors within the bound: certified pseudo-critical. Its Eq. (2)
+          // check is exactly the mirror relation just certified.
+          report.certified_pseudo_critical.push_back(candidate);
+          note_bound(check);
+          TS_LOG_INFO("detector: %s certified pseudo-critical for %s",
+                      candidate.c_str(), reg.c_str());
+          continue;
+        }
+        // Deviation found: a Trojan if the candidate mirrored faithfully
+        // before the violation (see header note). The monitor compares
+        // latched values, so the corrupted value is already visible one
+        // frame before the reported violation: the faithful-mirror window
+        // is t in [1, violation_frame - 2].
+        const auto& witness = *check.witness;
+        if (witness.violation_frame < options_.min_pseudo_violation_depth) {
+          continue;  // unrelated register pair (diverges trivially)
+        }
+        const auto cand_trace =
+            sim::replay_register(design_.nl, witness, candidate);
+        const auto crit_trace = sim::replay_register(design_.nl, witness, reg);
+        std::size_t mirrored = 0;
+        std::size_t window = 0;
+        for (std::size_t t = 1; t + 1 < witness.violation_frame; ++t) {
+          ++window;
+          if (cand_trace[t] == crit_trace[t - 1]) ++mirrored;
+        }
+        double fraction = 0.0;
+        if (window > 0) {
+          fraction = static_cast<double>(mirrored) /
+                     static_cast<double>(window);
+        } else {
+          // Empty window (trigger fired immediately): fall back to the
+          // reset-state relation.
+          const auto& crit_dffs = design_.nl.find_register(reg).dffs;
+          util::BitVec crit_init(crit_dffs.size());
+          for (std::size_t i = 0; i < crit_dffs.size(); ++i) {
+            crit_init.set(i, design_.nl.gate(crit_dffs[i]).init);
+          }
+          fraction = cand_trace[0] == crit_init ? 1.0 : 0.0;
+        }
+        if (fraction >= options_.mirror_threshold) {
+          Finding finding;
+          finding.kind = FindingKind::kPseudoCritical;
+          finding.register_name = reg;
+          finding.candidate_register = candidate;
+          finding.check = check;
+          report.findings.push_back(std::move(finding));
+          report.trojan_found = true;
+        }
+      }
+    }
+  }
+
+  // Step 2: no-data-corruption check per critical register.
+  for (const std::string& reg : critical) {
+    if (design_.spec.find(reg) == nullptr) continue;
+    const CheckResult check = check_corruption(reg);
+    report.runs.push_back({"corruption(" + reg + ")", check});
+    note_bound(check);
+    if (check.violated) {
+      Finding finding;
+      finding.kind = FindingKind::kCorruption;
+      finding.register_name = reg;
+      finding.check = check;
+      report.findings.push_back(std::move(finding));
+      report.trojan_found = true;
+    }
+  }
+
+  // Step 3: bypass check where the spec supports it.
+  if (options_.check_bypass) {
+    for (const std::string& reg : critical) {
+      const auto* spec = design_.spec.find(reg);
+      if (spec == nullptr || spec->obligations.empty()) continue;
+      const CheckResult check = check_bypass(reg);
+      report.runs.push_back({"bypass(" + reg + ")", check});
+      note_bound(check);
+      if (check.violated) {
+        Finding finding;
+        finding.kind = FindingKind::kBypass;
+        finding.register_name = reg;
+        finding.check = check;
+        report.findings.push_back(std::move(finding));
+        report.trojan_found = true;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace trojanscout::core

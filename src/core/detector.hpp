@@ -1,0 +1,111 @@
+// TrojanDetector: the paper's Algorithm 1.
+//
+// Given a design, its valid-ways spec, and the list of critical registers,
+// the detector:
+//   1. scans all other registers for pseudo-critical relations to each
+//      critical register (Eq. 3) and widens the critical set;
+//   2. checks each critical register for data corruption (Eq. 2) with the
+//      selected engine, reporting the witness (trigger sequence) on a hit;
+//   3. checks each critical register for bypass behaviour (Eq. 4) when the
+//      spec carries observability obligations.
+//
+// A subtlety the paper glosses over (Section 4.1): on a design carrying the
+// pseudo-critical attack, the Eq. 3 relation itself is violated *by the
+// Trojan trigger* — the shadow register mirrors the critical register in
+// normal operation and deviates exactly when the payload fires. The
+// detector therefore treats an Eq. 3 counterexample on a pair that mirrored
+// faithfully up to the violation as a Trojan finding in its own right (the
+// witness is the trigger), and an unviolated Eq. 3 bound as certification
+// that the candidate is pseudo-critical (it is then checked with Eq. 2 via
+// its mirror relation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "designs/design.hpp"
+#include "properties/monitors.hpp"
+
+namespace trojanscout::core {
+
+enum class FindingKind {
+  kCorruption,       // Eq. 2 violated: register corrupted outside valid ways
+  kPseudoCritical,   // Eq. 3 violated after faithful mirroring: shadow corrupted
+  kBypass,           // Eq. 4 violated: register bypassed
+};
+
+const char* finding_kind_name(FindingKind kind);
+
+struct Finding {
+  FindingKind kind = FindingKind::kCorruption;
+  /// Critical register involved; for kPseudoCritical also the candidate.
+  std::string register_name;
+  std::string candidate_register;
+  CheckResult check;
+};
+
+struct PropertyRun {
+  std::string property;  // "corruption(R)", "pseudo(R,P)", "bypass(R)"
+  CheckResult check;
+};
+
+struct DetectionReport {
+  bool trojan_found = false;
+  std::vector<Finding> findings;
+  /// Every property run executed (for the experiment tables).
+  std::vector<PropertyRun> runs;
+  /// Registers certified pseudo-critical within the bound.
+  std::vector<std::string> certified_pseudo_critical;
+  /// The trustworthiness bound actually achieved (min frames over runs that
+  /// completed without violation).
+  std::size_t trust_bound_frames = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct DetectorOptions {
+  EngineOptions engine;
+  properties::CorruptionMonitorKind monitor_kind =
+      properties::CorruptionMonitorKind::kExact;
+  /// Scan for pseudo-critical registers among same-width registers
+  /// (Algorithm 1 line 1). Disable to check only the given critical set.
+  bool scan_pseudo_critical = true;
+  /// Run the Eq. 4 bypass check for registers with obligations.
+  bool check_bypass = true;
+  /// Fraction of pre-violation cycles in which the candidate must have
+  /// mirrored the critical register for an Eq. 3 counterexample to count as
+  /// a pseudo-critical Trojan finding.
+  double mirror_threshold = 0.8;
+  /// Minimum depth of the earliest Eq. 3 violation for the pair to count as
+  /// a Trojan finding: unrelated register pairs diverge within a cycle or
+  /// two under adversarial inputs, while a corrupted shadow register only
+  /// deviates once its trigger sequence completes.
+  std::size_t min_pseudo_violation_depth = 4;
+};
+
+class TrojanDetector {
+ public:
+  TrojanDetector(const designs::Design& design, DetectorOptions options);
+
+  /// Runs Algorithm 1 end to end.
+  DetectionReport run();
+
+  // Individual steps, usable à la carte (the bench harnesses call these).
+  CheckResult check_corruption(const std::string& reg) const;
+  CheckResult check_pseudo_pair(const std::string& critical_reg,
+                                const std::string& candidate_reg,
+                                properties::PseudoPolarity polarity,
+                                bool candidate_leads) const;
+  CheckResult check_bypass(const std::string& reg) const;
+
+  /// Candidate registers worth scanning for a pseudo-critical relation to
+  /// `reg`: same width, not the register itself, not tiny control state.
+  std::vector<std::string> pseudo_candidates(const std::string& reg) const;
+
+ private:
+  const designs::Design& design_;
+  DetectorOptions options_;
+};
+
+}  // namespace trojanscout::core

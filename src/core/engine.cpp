@@ -1,0 +1,45 @@
+#include "core/engine.hpp"
+
+namespace trojanscout::core {
+
+const char* engine_name(EngineKind kind) {
+  return kind == EngineKind::kBmc ? "BMC" : "ATPG";
+}
+
+CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
+                       const EngineOptions& options) {
+  CheckResult result;
+  if (options.kind == EngineKind::kBmc) {
+    bmc::BmcOptions bo;
+    bo.max_frames = options.max_frames;
+    bo.time_limit_seconds = options.time_limit_seconds;
+    bo.solver = options.solver;
+    bmc::BmcResult r = bmc::check_bad_signal(nl, bad, bo);
+    result.violated = r.violated();
+    result.bound_reached = r.status == bmc::BmcStatus::kBoundReached;
+    result.witness = std::move(r.witness);
+    result.frames_completed = r.frames_completed;
+    result.seconds = r.seconds;
+    result.memory_bytes = r.memory_bytes;
+    result.status = r.status_name();
+  } else {
+    atpg::AtpgOptions ao;
+    ao.max_frames = options.max_frames;
+    ao.time_limit_seconds = options.time_limit_seconds;
+    ao.backtrack_limit_per_frame = options.atpg_backtrack_limit;
+    ao.use_scoap_guidance = options.atpg_use_scoap;
+    ao.stimulus_sequences = options.atpg_stimulus;
+    ao.random_sequences = options.atpg_random_sequences;
+    atpg::AtpgResult r = atpg::check_bad_signal(nl, bad, ao);
+    result.violated = r.violated();
+    result.bound_reached = r.status == atpg::AtpgStatus::kBoundReached;
+    result.witness = std::move(r.witness);
+    result.frames_completed = r.frames_completed;
+    result.seconds = r.seconds;
+    result.memory_bytes = r.memory_bytes;
+    result.status = r.status_name();
+  }
+  return result;
+}
+
+}  // namespace trojanscout::core

@@ -1,0 +1,62 @@
+// Unified front end over the two verification back ends (BMC and ATPG),
+// mirroring the paper's setup where the same property monitor is handed to
+// either Cadence SMV or TetraMAX.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "bmc/bmc.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/witness.hpp"
+
+namespace trojanscout::core {
+
+enum class EngineKind { kBmc, kAtpg };
+
+const char* engine_name(EngineKind kind);
+
+struct EngineOptions {
+  EngineKind kind = EngineKind::kBmc;
+  /// The paper's T bound: number of clock cycles to unroll.
+  std::size_t max_frames = 1024;
+  /// Wall-clock budget (paper: 100 s).
+  double time_limit_seconds = 100.0;
+  /// BMC back-end configuration (ablation hooks).
+  sat::SolverOptions solver;
+  /// ATPG back-end configuration.
+  std::uint64_t atpg_backtrack_limit = 4000;
+  bool atpg_use_scoap = true;
+  std::size_t atpg_random_sequences = 64;
+  /// Functional stimulus hints forwarded to the ATPG simulation phase
+  /// (ignored by BMC). See AtpgOptions::stimulus_sequences.
+  std::vector<std::vector<util::BitVec>> atpg_stimulus;
+};
+
+/// Engine-agnostic outcome of checking one bad signal.
+struct CheckResult {
+  bool violated = false;
+  /// True when every frame up to max_frames was proven clean (BMC UNSAT per
+  /// frame / ATPG search exhausted per frame).
+  bool bound_reached = false;
+  std::optional<sim::Witness> witness;
+  std::size_t frames_completed = 0;
+  double seconds = 0.0;
+  std::uint64_t memory_bytes = 0;
+  std::string status;
+
+  /// Table-1-style verdict text: "Yes" (witness found) or "N/A".
+  [[nodiscard]] const char* detected_cell() const {
+    return violated ? "Yes" : "N/A";
+  }
+};
+
+/// Runs the selected engine on (netlist, bad signal).
+CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
+                       const EngineOptions& options);
+
+}  // namespace trojanscout::core

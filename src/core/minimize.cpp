@@ -1,0 +1,65 @@
+#include "core/minimize.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace trojanscout::core {
+
+namespace {
+
+/// Replays `witness` and reports whether `bad` is 1 at the violation frame.
+bool still_violates(const netlist::Netlist& nl, netlist::SignalId bad,
+                    const sim::Witness& witness) {
+  sim::Simulator simulator(nl);
+  for (std::size_t t = 0; t < witness.frames.size(); ++t) {
+    simulator.set_inputs(witness.frames[t].bits);
+    simulator.eval();
+    if (t == witness.violation_frame) return simulator.value(bad);
+    simulator.step();
+  }
+  return false;
+}
+
+}  // namespace
+
+sim::Witness minimize_witness(const netlist::Netlist& nl,
+                              netlist::SignalId bad,
+                              const sim::Witness& witness,
+                              MinimizeStats* stats) {
+  MinimizeStats local;
+  if (!still_violates(nl, bad, witness)) {
+    throw std::invalid_argument("minimize_witness: witness does not violate");
+  }
+  local.simulations = 1;
+
+  sim::Witness minimized = witness;
+  const std::size_t n_inputs = nl.num_inputs();
+  for (const auto& frame : minimized.frames) {
+    local.bits_before += frame.bits.popcount();
+    (void)frame;
+  }
+
+  // Greedy: clear one set bit at a time, latest frames first (late inputs
+  // are the least likely to be load-bearing, so the violation frame's own
+  // slack disappears quickly).
+  for (std::size_t t = minimized.frames.size(); t-- > 0;) {
+    auto& bits = minimized.frames[t].bits;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      if (!bits.get(i)) continue;
+      bits.set(i, false);
+      local.simulations++;
+      if (!still_violates(nl, bad, minimized)) {
+        bits.set(i, true);  // load-bearing: restore
+      }
+    }
+  }
+
+  for (const auto& frame : minimized.frames) {
+    local.bits_after += frame.bits.popcount();
+  }
+  if (stats != nullptr) *stats = local;
+  return minimized;
+}
+
+}  // namespace trojanscout::core

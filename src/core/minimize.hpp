@@ -1,0 +1,30 @@
+// Counterexample minimization.
+//
+// Raw witnesses from the SAT model or the ATPG search carry arbitrary
+// values on irrelevant inputs. Greedy delta-minimization re-simulates the
+// monitor and clears every input bit that is not needed for the violation,
+// leaving exactly the trigger the integrator must audit (e.g. only the
+// instruction bits that drive the Trojan counter).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "sim/witness.hpp"
+
+namespace trojanscout::core {
+
+struct MinimizeStats {
+  std::size_t bits_before = 0;
+  std::size_t bits_after = 0;
+  std::size_t simulations = 0;
+};
+
+/// Returns a witness that still drives `bad` to 1 at the original violation
+/// frame, with a minimal-ish set of 1-bits (greedy, one pass per frame from
+/// the last frame backwards). The input witness must itself violate.
+/// Throws std::invalid_argument if it does not.
+sim::Witness minimize_witness(const netlist::Netlist& nl,
+                              netlist::SignalId bad,
+                              const sim::Witness& witness,
+                              MinimizeStats* stats = nullptr);
+
+}  // namespace trojanscout::core

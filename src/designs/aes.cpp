@@ -1,0 +1,481 @@
+#include "designs/aes.hpp"
+
+#include <array>
+#include <functional>
+
+#include "designs/aes_ref.hpp"
+#include "designs/regspec_builder.hpp"
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::designs {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+using netlist::w_const;
+using netlist::w_eq;
+using netlist::w_eq_const;
+using netlist::w_inc;
+using netlist::w_make_register;
+using netlist::w_mux;
+using netlist::w_slice;
+using netlist::w_xor;
+
+const char* kAesT700Plaintext = "00112233445566778899aabbccddeeff";
+const char* const kAesT800Sequence[4] = {
+    "3243f6a8885a308d313198a2e0370734",
+    "00112233445566778899aabbccddeeff",
+    "00000000000000000000000000000001",
+    "00000000000000000000000000000001",
+};
+
+const char* aes_trojan_target(AesTrojan trojan) {
+  return trojan == AesTrojan::kNone ? "" : "key_reg";
+}
+
+namespace {
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+/// Bytes of a 128-bit port word: byte 0 is the first (leftmost) input byte,
+/// living in the most significant bit positions.
+Word byte_of(const Word& block, std::size_t b) {
+  return w_slice(block, 8 * (15 - b), 8);
+}
+
+Word block_from_bytes(const std::array<Word, 16>& bytes) {
+  Word out(128);
+  for (std::size_t b = 0; b < 16; ++b) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      out[8 * (15 - b) + i] = bytes[b][i];
+    }
+  }
+  return out;
+}
+
+std::array<Word, 16> bytes_of(const Word& block) {
+  std::array<Word, 16> bytes;
+  for (std::size_t b = 0; b < 16; ++b) bytes[b] = byte_of(block, b);
+  return bytes;
+}
+
+Word block_const(Netlist& nl, const AesBlock& value) {
+  std::array<Word, 16> bytes;
+  for (std::size_t b = 0; b < 16; ++b) {
+    bytes[b] = w_const(nl, value[b], 8);
+  }
+  return block_from_bytes(bytes);
+}
+
+SignalId eq_block_const(Netlist& nl, const Word& block,
+                        const AesBlock& value) {
+  return w_eq(nl, block, block_const(nl, value));
+}
+
+/// S-box as a Shannon-expansion mux tree over the input bits. Structural
+/// hashing collapses shared subtrees, and the constant leaves fold the
+/// bottom mux level into wires, giving a compact LUT network that is
+/// correct by construction against the reference table.
+Word sbox_netlist(Netlist& nl, const Word& in) {
+  const auto& table = aes_sbox();
+  Word out(8);
+  for (int bit = 0; bit < 8; ++bit) {
+    std::function<SignalId(int, unsigned)> expand =
+        [&](int level, unsigned prefix) -> SignalId {
+      if (level == 8) {
+        return nl.b_const(((table[prefix] >> bit) & 1u) != 0);
+      }
+      const int select_bit = 7 - level;
+      const SignalId t =
+          expand(level + 1, prefix | (1u << select_bit));
+      const SignalId f = expand(level + 1, prefix);
+      return nl.b_mux(in[static_cast<std::size_t>(select_bit)], t, f);
+    };
+    out[static_cast<std::size_t>(bit)] = expand(0, 0);
+  }
+  return out;
+}
+
+Word xtime(Netlist& nl, const Word& a) {
+  // a * 2 in GF(2^8): shift left, conditionally XOR 0x1b.
+  const SignalId msb = a[7];
+  Word out(8);
+  out[0] = msb;                 // 0x1b bit 0
+  out[1] = nl.b_xor(a[0], msb); // 0x1b bit 1
+  out[2] = a[1];
+  out[3] = nl.b_xor(a[2], msb); // 0x1b bit 3
+  out[4] = nl.b_xor(a[3], msb); // 0x1b bit 4
+  out[5] = a[4];
+  out[6] = a[5];
+  out[7] = a[6];
+  return out;
+}
+
+Word gf3(Netlist& nl, const Word& a) { return w_xor(nl, xtime(nl, a), a); }
+
+std::array<Word, 16> sub_bytes(Netlist& nl, const std::array<Word, 16>& s) {
+  std::array<Word, 16> out;
+  for (std::size_t b = 0; b < 16; ++b) out[b] = sbox_netlist(nl, s[b]);
+  return out;
+}
+
+std::array<Word, 16> shift_rows(const std::array<Word, 16>& s) {
+  std::array<Word, 16> out = s;
+  for (std::size_t r = 1; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      out[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+    }
+  }
+  return out;
+}
+
+std::array<Word, 16> mix_columns(Netlist& nl, const std::array<Word, 16>& s) {
+  std::array<Word, 16> out;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const Word& a0 = s[4 * c];
+    const Word& a1 = s[4 * c + 1];
+    const Word& a2 = s[4 * c + 2];
+    const Word& a3 = s[4 * c + 3];
+    out[4 * c] = w_xor(nl, w_xor(nl, xtime(nl, a0), gf3(nl, a1)),
+                       w_xor(nl, a2, a3));
+    out[4 * c + 1] = w_xor(nl, w_xor(nl, a0, xtime(nl, a1)),
+                           w_xor(nl, gf3(nl, a2), a3));
+    out[4 * c + 2] = w_xor(nl, w_xor(nl, a0, a1),
+                           w_xor(nl, xtime(nl, a2), gf3(nl, a3)));
+    out[4 * c + 3] = w_xor(nl, w_xor(nl, gf3(nl, a0), a1),
+                           w_xor(nl, a2, xtime(nl, a3)));
+  }
+  return out;
+}
+
+std::array<Word, 16> add_key(Netlist& nl, const std::array<Word, 16>& s,
+                             const std::array<Word, 16>& rk) {
+  std::array<Word, 16> out;
+  for (std::size_t b = 0; b < 16; ++b) out[b] = w_xor(nl, s[b], rk[b]);
+  return out;
+}
+
+/// One on-the-fly key-schedule step (matches aes_next_round_key).
+std::array<Word, 16> next_round_key(Netlist& nl,
+                                    const std::array<Word, 16>& prev,
+                                    const Word& rcon) {
+  std::array<Word, 4> temp = {
+      sbox_netlist(nl, prev[13]), sbox_netlist(nl, prev[14]),
+      sbox_netlist(nl, prev[15]), sbox_netlist(nl, prev[12])};
+  temp[0] = w_xor(nl, temp[0], rcon);
+  std::array<Word, 16> next;
+  for (std::size_t i = 0; i < 4; ++i) next[i] = w_xor(nl, prev[i], temp[i]);
+  for (std::size_t w = 1; w < 4; ++w) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      next[4 * w + i] = w_xor(nl, prev[4 * w + i], next[4 * (w - 1) + i]);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+Design build_aes(const AesOptions& options) {
+  Design design;
+  design.name = "aes";
+  Netlist& nl = design.nl;
+
+  // ---- environment ---------------------------------------------------------
+  const SignalId reset = nl.add_input_port("reset", 1)[0];
+  const SignalId load_key = nl.add_input_port("load_key", 1)[0];
+  const Word key_in = nl.add_input_port("key_in", 128);
+  const SignalId start = nl.add_input_port("start", 1)[0];
+  const Word plaintext = nl.add_input_port("plaintext", 128);
+
+  // ---- control -------------------------------------------------------------
+  const Word busy_reg = w_make_register(nl, "busy", 1, 0);
+  const SignalId busy = busy_reg[0];
+  const SignalId idle = nl.b_not(busy);
+  const SignalId kick = nl.b_and(nl.b_and(start, idle), nl.b_not(reset));
+
+  const Word round = w_make_register(nl, "round", 4, 0);
+  const SignalId last_round = w_eq_const(nl, round, 10);
+
+  // ---- key register (the critical register) ---------------------------------
+  RegSpecBuilder key(nl, "key_reg", 128, 0);
+  const Word& key_reg = key.reg();
+  key.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, 128))
+      .way("Load key=1", "Any", "key input", load_key, key_in);
+  key.obligation("the key is consumed whenever an encryption starts", kick,
+                 key_reg, 4);
+
+  // ---- datapath ----------------------------------------------------------------
+  const Word state_reg = w_make_register(nl, "state", 128, 0);
+  const Word rkey_reg = w_make_register(nl, "rkey", 128, 0);
+
+  const auto state_bytes = bytes_of(state_reg);
+  const auto rkey_bytes = bytes_of(rkey_reg);
+  const auto key_bytes = bytes_of(key_reg);
+
+  // Round transform of the state: Sub, Shift, (Mix unless last), AddKey.
+  const auto subbed = sub_bytes(nl, state_bytes);
+  const auto shifted = shift_rows(subbed);
+  const auto mixed = mix_columns(nl, shifted);
+  std::array<Word, 16> rounded;
+  for (std::size_t b = 0; b < 16; ++b) {
+    rounded[b] = w_mux(nl, last_round, shifted[b], mixed[b]);
+  }
+  const auto after_round = add_key(nl, rounded, rkey_bytes);
+
+  // rcon for the key-schedule step taken *this* cycle.
+  std::vector<netlist::CaseEntry> rcon_entries;
+  for (unsigned r = 1; r <= 9; ++r) {
+    rcon_entries.push_back(netlist::CaseEntry{
+        w_eq_const(nl, round, r), w_const(nl, kRcon[r], 8)});
+  }
+  const Word rcon_busy =
+      netlist::w_case(nl, rcon_entries, w_const(nl, 0, 8));
+  const Word rcon = w_mux(nl, kick, w_const(nl, kRcon[0], 8), rcon_busy);
+
+  const auto sched_src_bytes = bytes_of(w_mux(nl, kick, key_reg, rkey_reg));
+  const Word rkey_next = block_from_bytes(next_round_key(nl, sched_src_bytes, rcon));
+
+  // State register updates.
+  Word state_next = state_reg;
+  state_next = w_mux(nl, busy, block_from_bytes(after_round), state_next);
+  state_next = w_mux(nl, kick, w_xor(nl, plaintext, key_reg), state_next);
+  state_next = w_mux(nl, reset, w_const(nl, 0, 128), state_next);
+  netlist::w_connect(nl, state_reg, state_next);
+
+  Word rkey_upd = rkey_reg;
+  rkey_upd = w_mux(nl, nl.b_or(kick, busy), rkey_next, rkey_upd);
+  rkey_upd = w_mux(nl, reset, w_const(nl, 0, 128), rkey_upd);
+  netlist::w_connect(nl, rkey_reg, rkey_upd);
+
+  // Round counter / busy / done.
+  Word round_next = round;
+  round_next = w_mux(nl, busy, w_inc(nl, round), round_next);
+  round_next = w_mux(nl, kick, w_const(nl, 1, 4), round_next);
+  round_next = w_mux(nl, reset, w_const(nl, 0, 4), round_next);
+  netlist::w_connect(nl, round, round_next);
+
+  const SignalId finishing = nl.b_and(busy, last_round);
+  Word busy_next = busy_reg;
+  busy_next = w_mux(nl, finishing, w_const(nl, 0, 1), busy_next);
+  busy_next = w_mux(nl, kick, w_const(nl, 1, 1), busy_next);
+  busy_next = w_mux(nl, reset, w_const(nl, 0, 1), busy_next);
+  netlist::w_connect(nl, busy_reg, busy_next);
+
+  const Word done_reg = w_make_register(nl, "done", 1, 0);
+  Word done_next = Word{nl.b_and(finishing, nl.b_not(reset))};
+  netlist::w_connect(nl, done_reg, done_next);
+
+  // ---- Trojan triggers -------------------------------------------------------
+  // All three triggers are DeTrust-hardened: no Trojan gate performs a
+  // comparison wider than one byte combinationally; wide matches are
+  // accumulated across clock cycles through registered match bits. This is
+  // what defeats FANCI (every Trojan wire has control values >= ~2^-11) and
+  // VeriTrust (every Trojan gate is driven by functional data).
+  SignalId fire_pulse = nl.const0();
+  SignalId triggered_sticky = nl.const0();
+  const SignalId trojan_begin = static_cast<SignalId>(nl.size());
+  if (options.trojan == AesTrojan::kT700 && !options.detrust_hardened) {
+    // Naive variant: single-cycle 128-bit comparator against a secret
+    // constant (baseline-validation bench).
+    fire_pulse = nl.b_and(
+        kick, eq_block_const(
+                  nl, plaintext,
+                  aes_block_from_hex("deadbeef00c0ffee123456789abcdef0")));
+  } else if (options.trojan == AesTrojan::kT700) {
+    // DeTrust-hardened sequential comparator: capture the plaintext at
+    // start, scan one byte per cycle against the trigger constant.
+    const AesBlock target = aes_block_from_hex(kAesT700Plaintext);
+    const Word tbuf = w_make_register(nl, "trojan_buf", 128, 0);
+    Word tbuf_next = w_mux(nl, kick, plaintext, tbuf);
+    netlist::w_connect(nl, tbuf, tbuf_next);
+
+    const Word phase = w_make_register(nl, "trojan_phase", 5, 16);
+    const SignalId scanning =
+        nl.b_not(w_eq_const(nl, phase, 16));
+    const Word match = w_make_register(nl, "trojan_match", 1, 0);
+
+    // Select the byte under scan and its expected constant via balanced
+    // trees (a priority chain would leave deep nodes with vanishing control
+    // values for FANCI to catch).
+    std::vector<Word> bytes;
+    std::vector<Word> consts;
+    for (unsigned b = 0; b < 16; ++b) {
+      bytes.push_back(byte_of(tbuf, b));
+      consts.push_back(w_const(nl, target[b], 8));
+    }
+    const Word phase_low = w_slice(phase, 0, 4);
+    const Word scanned = netlist::w_select_tree(nl, phase_low, bytes);
+    const Word expected = netlist::w_select_tree(nl, phase_low, consts);
+    const SignalId byte_ok = w_eq(nl, scanned, expected);
+
+    const SignalId match_now = nl.b_and(match[0], byte_ok);
+    const SignalId at_last = w_eq_const(nl, phase, 15);
+    fire_pulse = nl.b_and(nl.b_and(scanning, at_last), match_now);
+
+    Word phase_next = phase;
+    phase_next = w_mux(nl, scanning, w_inc(nl, phase), phase_next);
+    phase_next = w_mux(nl, kick, w_const(nl, 0, 5), phase_next);
+    netlist::w_connect(nl, phase, phase_next);
+
+    Word match_next = match;
+    match_next = w_mux(nl, scanning, Word{match_now}, match_next);
+    match_next = w_mux(nl, kick, w_const(nl, 1, 1), match_next);
+    netlist::w_connect(nl, match, match_next);
+  } else if (options.trojan == AesTrojan::kT800) {
+    // Four-plaintext sequence, each element verified by a 16-cycle byte
+    // scan of the captured plaintext (DeTrust hardening of the Trust-Hub
+    // shift-register comparators). A start arriving mid-scan restarts the
+    // scan and breaks the sequence.
+    const Word tbuf = w_make_register(nl, "trojan_buf", 128, 0);
+    netlist::w_connect(nl, tbuf, w_mux(nl, kick, plaintext, tbuf));
+
+    const Word phase = w_make_register(nl, "trojan_phase", 5, 16);
+    const SignalId scanning = nl.b_not(w_eq_const(nl, phase, 16));
+    const Word match = w_make_register(nl, "trojan_match", 1, 0);
+    const Word seq_state = w_make_register(nl, "trojan_state", 2, 0);
+
+    // Byte under scan (by phase) and its expected constant (by state and
+    // phase), selected with balanced trees (see the T700 note).
+    std::vector<Word> bytes;
+    std::vector<Word> consts;  // index bits = {state (low), phase (high)}
+    AesBlock targets[4];
+    for (unsigned k = 0; k < 4; ++k) {
+      targets[k] = aes_block_from_hex(kAesT800Sequence[k]);
+    }
+    for (unsigned b = 0; b < 16; ++b) {
+      bytes.push_back(byte_of(tbuf, b));
+      for (unsigned k = 0; k < 4; ++k) {
+        consts.push_back(w_const(nl, targets[k][b], 8));
+      }
+    }
+    const Word phase_low = w_slice(phase, 0, 4);
+    const Word scanned = netlist::w_select_tree(nl, phase_low, bytes);
+    Word state_phase = seq_state;  // low bits: state; high bits: phase
+    state_phase.insert(state_phase.end(), phase_low.begin(), phase_low.end());
+    const Word expected = netlist::w_select_tree(nl, state_phase, consts);
+    const SignalId byte_ok = w_eq(nl, scanned, expected);
+    const SignalId match_now = nl.b_and(match[0], byte_ok);
+    const SignalId scan_done =
+        nl.b_and(scanning, w_eq_const(nl, phase, 15));
+    fire_pulse = nl.b_and(scan_done,
+                          nl.b_and(match_now, w_eq_const(nl, seq_state, 3)));
+
+    Word seq_next = seq_state;
+    seq_next = w_mux(nl, nl.b_and(kick, scanning), w_const(nl, 0, 2),
+                     seq_next);  // broken sequence
+    seq_next = w_mux(
+        nl, scan_done,
+        w_mux(nl, match_now, w_inc(nl, seq_state), w_const(nl, 0, 2)),
+        seq_next);
+    seq_next = w_mux(nl, reset, w_const(nl, 0, 2), seq_next);
+    netlist::w_connect(nl, seq_state, seq_next);
+
+    Word phase_next = phase;
+    phase_next = w_mux(nl, scanning, w_inc(nl, phase), phase_next);
+    phase_next = w_mux(nl, kick, w_const(nl, 0, 5), phase_next);
+    phase_next = w_mux(nl, reset, w_const(nl, 16, 5), phase_next);
+    netlist::w_connect(nl, phase, phase_next);
+
+    Word match_next = match;
+    match_next = w_mux(nl, scanning, Word{match_now}, match_next);
+    match_next = w_mux(nl, kick, w_const(nl, 1, 1), match_next);
+    netlist::w_connect(nl, match, match_next);
+  } else if (options.trojan == AesTrojan::kT1200) {
+    // Time bomb (DeTrust-hardened): a 128-bit LFSR that advances once per
+    // 32-cycle scan window; within each window the state is verified nibble
+    // by nibble against a secret target state. The LFSR reaches the target
+    // only after an astronomical number of windows (~2^128 cycles), so no
+    // bounded unrolling can trigger it — the paper's N/A row. Unlike a
+    // binary counter, every LFSR bit toggles constantly under simulation,
+    // which is what keeps VeriTrust-style dormancy analysis blind to it.
+    const Word phase = w_make_register(nl, "trojan_phase", 5, 0);
+    netlist::w_connect(nl, phase, w_inc(nl, phase));  // wraps mod 32
+    const SignalId window_end = w_eq_const(nl, phase, 31);
+
+    // Fibonacci LFSR (taps 128, 126, 101, 99) with a dense seed so every
+    // bit toggles within a few dozen windows under simulation.
+    Word lfsr(128);
+    for (unsigned i = 0; i < 128; ++i) {
+      lfsr[i] = nl.add_dff((i % 3) != 2);  // seed 0b110110110...
+      nl.set_name(lfsr[i], "trojan_lfsr[" + std::to_string(i) + "]");
+    }
+    nl.add_register("trojan_lfsr", lfsr);
+    const SignalId feedback = nl.b_xor(
+        nl.b_xor(lfsr[127], lfsr[125]), nl.b_xor(lfsr[100], lfsr[98]));
+    Word lfsr_next(128);
+    lfsr_next[0] = feedback;
+    for (unsigned i = 1; i < 128; ++i) lfsr_next[i] = lfsr[i - 1];
+    netlist::w_connect(nl, lfsr, w_mux(nl, window_end, lfsr_next, lfsr));
+
+    const AesBlock target =
+        aes_block_from_hex("0123456789abcdef0fedcba987654321");
+    const Word target_word = block_const(nl, target);
+    std::vector<Word> nibbles;
+    std::vector<Word> expects;
+    for (unsigned i = 0; i < 32; ++i) {
+      nibbles.push_back(w_slice(lfsr, 4 * i, 4));
+      expects.push_back(w_slice(target_word, 4 * i, 4));
+    }
+    const Word nibble = netlist::w_select_tree(nl, phase, nibbles);
+    const Word expect = netlist::w_select_tree(nl, phase, expects);
+    const SignalId nibble_ok = w_eq(nl, nibble, expect);
+
+    const Word match = w_make_register(nl, "trojan_match", 1, 0);
+    const SignalId at_first = w_eq_const(nl, phase, 0);
+    const SignalId match_now =
+        nl.b_mux(at_first, nibble_ok, nl.b_and(match[0], nibble_ok));
+    netlist::w_connect(nl, match, Word{match_now});
+    fire_pulse = nl.b_and(window_end, match_now);
+  }
+
+  SignalId fire_registered = nl.const0();
+  if (options.trojan != AesTrojan::kNone) {
+    // The firing pulse crosses into the payload through a register, so the
+    // payload mux's fan-in cone sees a free flip-flop instead of the firing
+    // conjunction (DeTrust rule; keeps FANCI blind).
+    const SignalId fire_dff = nl.add_dff(false);
+    nl.set_name(fire_dff, "trojan_fire");
+    nl.connect_dff_input(fire_dff, fire_pulse);
+    fire_registered = fire_dff;
+    const SignalId sticky = nl.add_dff(false);
+    nl.set_name(sticky, "trojan_triggered");
+    triggered_sticky = nl.b_or(sticky, fire_dff);
+    nl.connect_dff_input(sticky, triggered_sticky);
+    design.trojan_trigger = sticky;
+    design.trojan_gate_ranges.emplace_back(trojan_begin,
+                                           static_cast<SignalId>(nl.size()));
+  }
+
+  // ---- key register update (+ payload) ------------------------------------------
+  {
+    Word next = key.golden_next();
+    const SignalId payload_begin = static_cast<SignalId>(nl.size());
+    if (options.trojan != AesTrojan::kNone && options.payload_enabled) {
+      // Payload: corrupt the key register. T700 flips the LSB byte; T800 and
+      // T1200 additionally flip the MSB ("modifies key register").
+      AesBlock mask{};
+      mask[15] = 0xFF;
+      if (options.trojan != AesTrojan::kT700) mask[0] = 0x80;
+      const Word corrupted = w_xor(nl, key_reg, block_const(nl, mask));
+      next = w_mux(nl, fire_registered, corrupted, next);
+      design.trojan_gate_ranges.emplace_back(
+          payload_begin, static_cast<SignalId>(nl.size()));
+    }
+    key.finish_with(design.spec, next);
+  }
+
+  // Silence unused warnings for documentation-only views.
+  (void)key_bytes;
+
+  // ---- outputs --------------------------------------------------------------------
+  nl.add_output_port("ciphertext", state_reg);
+  nl.add_output_port("done", done_reg);
+  nl.add_output_port("busy", busy_reg);
+
+  design.critical_registers = {"key_reg"};
+  nl.validate();
+  return design;
+}
+
+}  // namespace trojanscout::designs

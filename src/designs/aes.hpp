@@ -1,0 +1,60 @@
+// AES-128 benchmark: a round-per-cycle encryption core with an on-the-fly
+// key schedule, the design class behind the Trust-Hub AES Trojans the paper
+// evaluates (AES-T700 / T800 / T1200, payloads modified per the paper's
+// footnote 2 to corrupt — rather than leak — the key).
+//
+// Interface:
+//   inputs : reset, load_key, key_in[128], start, plaintext[128]
+//   outputs: ciphertext[128] (the state register), done, busy
+//
+// Operation: load_key latches key_in into the key register. start (when
+// idle) kicks off an encryption: state := plaintext ^ key, then one AES
+// round per cycle for 10 cycles (the last round skips MixColumns), after
+// which done pulses and the state register holds the ciphertext. Round keys
+// are computed on the fly in a separate rkey register, so the key register
+// itself is quiescent during encryption — exactly the invariant the
+// no-data-corruption property checks.
+//
+// 128-bit ports use big-endian bit order: port bit (127 - 8b - i) is bit i
+// (LSB) of byte b, so a witness hex dump reads like a FIPS-197 vector.
+//
+// Trojans (triggers per Table 1; all corrupt the key register):
+//   kT700  — trigger: plaintext == 00112233445566778899aabbccddeeff.
+//            DeTrust-hardened: the comparison is *sequential*, scanning the
+//            captured plaintext one byte per cycle over 16 cycles, so every
+//            trigger gate has activation probability >= 2^-8 (defeats
+//            FANCI) and is driven by functional data (defeats VeriTrust).
+//            Payload: XORs 0xFF into the least-significant key byte.
+//   kT800  — trigger: the 4-plaintext sequence of Table 1 presented on
+//            consecutive encryptions. Payload: corrupts the key register.
+//   kT1200 — trigger: a 128-bit free-running cycle counter reaching all
+//            ones (2^128 - 1 cycles). Undetectable within any feasible
+//            unrolling bound — the paper's N/A row.
+#pragma once
+
+#include "designs/design.hpp"
+
+namespace trojanscout::designs {
+
+enum class AesTrojan { kNone, kT700, kT800, kT1200 };
+
+struct AesOptions {
+  AesTrojan trojan = AesTrojan::kNone;
+  /// See RiscOptions::payload_enabled.
+  bool payload_enabled = true;
+  /// When false, kT700 uses a naive single-cycle 128-bit combinational
+  /// comparator against a secret plaintext (not a known-answer vector), the
+  /// structure FANCI/VeriTrust were designed to catch.
+  bool detrust_hardened = true;
+};
+
+Design build_aes(const AesOptions& options = {});
+
+const char* aes_trojan_target(AesTrojan trojan);
+
+/// The four T800 trigger plaintexts (Table 1), as hex strings.
+extern const char* const kAesT800Sequence[4];
+/// The T700 trigger plaintext (Table 1).
+extern const char* kAesT700Plaintext;
+
+}  // namespace trojanscout::designs

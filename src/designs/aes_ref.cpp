@@ -1,0 +1,163 @@
+#include "designs/aes_ref.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace trojanscout::designs {
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  std::uint16_t aa = a;
+  while (b != 0) {
+    if (b & 1u) result ^= static_cast<std::uint8_t>(aa);
+    aa <<= 1;
+    if (aa & 0x100u) aa ^= 0x11b;
+    b >>= 1;
+  }
+  return result;
+}
+
+const std::array<std::uint8_t, 256>& aes_sbox() {
+  static const std::array<std::uint8_t, 256> table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int x = 0; x < 256; ++x) {
+      // Multiplicative inverse in GF(2^8); 0 maps to 0.
+      std::uint8_t inv = 0;
+      if (x != 0) {
+        for (int y = 1; y < 256; ++y) {
+          if (gf_mul(static_cast<std::uint8_t>(x),
+                     static_cast<std::uint8_t>(y)) == 1) {
+            inv = static_cast<std::uint8_t>(y);
+            break;
+          }
+        }
+      }
+      // Affine transform: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7}
+      // ^ c_i with c = 0x63 (indices mod 8).
+      std::uint8_t out = 0;
+      for (int i = 0; i < 8; ++i) {
+        const int bit = ((inv >> i) & 1) ^ ((inv >> ((i + 4) % 8)) & 1) ^
+                        ((inv >> ((i + 5) % 8)) & 1) ^
+                        ((inv >> ((i + 6) % 8)) & 1) ^
+                        ((inv >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1);
+        out |= static_cast<std::uint8_t>(bit << i);
+      }
+      t[static_cast<std::size_t>(x)] = out;
+    }
+    return t;
+  }();
+  return table;
+}
+
+namespace {
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+void sub_bytes(AesBlock& s) {
+  for (auto& b : s) b = aes_sbox()[b];
+}
+
+// State layout: state[r][c] = block[r + 4c] (FIPS-197 column-major).
+void shift_rows(AesBlock& s) {
+  AesBlock t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * c)] =
+          t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+    }
+  }
+}
+
+void mix_columns(AesBlock& s) {
+  for (int c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = s[static_cast<std::size_t>(4 * c)];
+    const std::uint8_t a1 = s[static_cast<std::size_t>(4 * c + 1)];
+    const std::uint8_t a2 = s[static_cast<std::size_t>(4 * c + 2)];
+    const std::uint8_t a3 = s[static_cast<std::size_t>(4 * c + 3)];
+    s[static_cast<std::size_t>(4 * c)] = static_cast<std::uint8_t>(
+        gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+    s[static_cast<std::size_t>(4 * c + 1)] = static_cast<std::uint8_t>(
+        a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+    s[static_cast<std::size_t>(4 * c + 2)] = static_cast<std::uint8_t>(
+        a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+    s[static_cast<std::size_t>(4 * c + 3)] = static_cast<std::uint8_t>(
+        gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+  }
+}
+
+void add_round_key(AesBlock& s, const AesBlock& rk) {
+  for (int i = 0; i < 16; ++i) {
+    s[static_cast<std::size_t>(i)] ^= rk[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+AesBlock aes_next_round_key(const AesBlock& prev, std::uint8_t rcon) {
+  AesBlock next{};
+  // Words are 4 consecutive bytes; w3 = bytes 12..15.
+  std::uint8_t temp[4] = {
+      aes_sbox()[prev[13]], aes_sbox()[prev[14]], aes_sbox()[prev[15]],
+      aes_sbox()[prev[12]]};  // RotWord then SubWord
+  temp[0] ^= rcon;
+  for (int i = 0; i < 4; ++i) {
+    next[static_cast<std::size_t>(i)] =
+        prev[static_cast<std::size_t>(i)] ^ temp[i];
+  }
+  for (int w = 1; w < 4; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      next[static_cast<std::size_t>(4 * w + i)] =
+          prev[static_cast<std::size_t>(4 * w + i)] ^
+          next[static_cast<std::size_t>(4 * (w - 1) + i)];
+    }
+  }
+  return next;
+}
+
+std::array<AesBlock, 11> aes_expand_key(const AesBlock& key) {
+  std::array<AesBlock, 11> round_keys{};
+  round_keys[0] = key;
+  for (int r = 1; r <= 10; ++r) {
+    round_keys[static_cast<std::size_t>(r)] = aes_next_round_key(
+        round_keys[static_cast<std::size_t>(r - 1)],
+        kRcon[static_cast<std::size_t>(r - 1)]);
+  }
+  return round_keys;
+}
+
+AesBlock aes_encrypt(const AesBlock& plaintext, const AesBlock& key) {
+  const auto round_keys = aes_expand_key(key);
+  AesBlock state = plaintext;
+  add_round_key(state, round_keys[0]);
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes(state);
+    shift_rows(state);
+    mix_columns(state);
+    add_round_key(state, round_keys[static_cast<std::size_t>(round)]);
+  }
+  sub_bytes(state);
+  shift_rows(state);
+  add_round_key(state, round_keys[10]);
+  return state;
+}
+
+AesBlock aes_block_from_hex(const char* hex) {
+  if (std::strlen(hex) != 32) {
+    throw std::invalid_argument("aes_block_from_hex: need 32 hex digits");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("aes_block_from_hex: bad hex digit");
+  };
+  AesBlock block{};
+  for (int i = 0; i < 16; ++i) {
+    block[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        (nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+  }
+  return block;
+}
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,36 @@
+// Software reference model of AES-128 (FIPS-197), used to verify the
+// gate-level AES core bit-for-bit and by the AES workload generators.
+//
+// The S-box is derived at first use from GF(2^8) inversion plus the affine
+// transform rather than a transcribed table, so it is correct by
+// construction; unit tests pin known entries and the FIPS-197 example
+// vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace trojanscout::designs {
+
+using AesBlock = std::array<std::uint8_t, 16>;  // byte 0 = first input byte
+
+/// The AES S-box (computed once, cached).
+const std::array<std::uint8_t, 256>& aes_sbox();
+
+/// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1.
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+
+/// Expands a 128-bit key into 11 round keys.
+std::array<AesBlock, 11> aes_expand_key(const AesBlock& key);
+
+/// Encrypts one block with AES-128.
+AesBlock aes_encrypt(const AesBlock& plaintext, const AesBlock& key);
+
+/// One round key step: next = f(prev, rcon) as used by the on-the-fly
+/// hardware key schedule (exposed for unit tests of the netlist schedule).
+AesBlock aes_next_round_key(const AesBlock& prev, std::uint8_t rcon);
+
+/// Parses a 32-hex-digit string ("00112233...") into a block.
+AesBlock aes_block_from_hex(const char* hex);
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,120 @@
+#include "designs/attacks.hpp"
+
+#include <stdexcept>
+
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::designs {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+std::string pseudo_register_name(const std::string& reg) {
+  return "pseudo_" + reg;
+}
+
+std::string bypass_register_name(const std::string& reg) {
+  return "bypass_" + reg;
+}
+
+namespace {
+
+/// Marks R's next-state cone (the gates computing R's DFF data inputs, up
+/// to state/input boundaries) plus R's DFFs themselves: those must keep
+/// reading the real register so its own update dynamics stay intact.
+std::vector<bool> update_cone_mask(const Netlist& nl,
+                                   const netlist::Register& reg) {
+  Word roots;
+  for (const SignalId dff : reg.dffs) {
+    const SignalId d = nl.gate(dff).fanin[0];
+    if (d == netlist::kNullSignal) {
+      throw std::runtime_error("attack transformer: register " + reg.name +
+                               " has unconnected DFF input");
+    }
+    roots.push_back(d);
+  }
+  std::vector<bool> mask(nl.size(), false);
+  for (const SignalId id : nl.fanin_cone(roots)) mask[id] = true;
+  for (const SignalId dff : reg.dffs) mask[dff] = true;
+  return mask;
+}
+
+void require_trigger(const Design& design, const char* what) {
+  if (design.trojan_trigger == netlist::kNullSignal) {
+    throw std::invalid_argument(
+        std::string(what) +
+        ": design has no exposed trigger (build with payload_enabled=false "
+        "and a Trojan variant)");
+  }
+}
+
+}  // namespace
+
+void plant_pseudo_critical(Design& design, const std::string& reg_name,
+                           bool corrupt) {
+  require_trigger(design, "plant_pseudo_critical");
+  Netlist& nl = design.nl;
+  const netlist::Register reg = nl.find_register(reg_name);  // copy: surgery below
+  const SignalId trigger = design.trojan_trigger;
+
+  // Snapshot: only pre-existing gates are rerouted.
+  const SignalId limit = static_cast<SignalId>(nl.size());
+  std::vector<bool> keep = update_cone_mask(nl, reg);
+
+  // The pseudo-critical register: P := R each cycle — except when the
+  // Trojan fires, when it takes the complement of R (corrupted data).
+  Word pseudo(reg.dffs.size());
+  for (std::size_t i = 0; i < reg.dffs.size(); ++i) {
+    pseudo[i] = nl.add_dff(nl.gate(reg.dffs[i]).init);
+    nl.set_name(pseudo[i], pseudo_register_name(reg_name) + "[" +
+                               std::to_string(i) + "]");
+  }
+  nl.add_register(pseudo_register_name(reg_name), pseudo);
+  for (std::size_t i = 0; i < reg.dffs.size(); ++i) {
+    const SignalId corrupted = nl.b_not(reg.dffs[i]);
+    nl.connect_dff_input(
+        pseudo[i], corrupt ? nl.b_mux(trigger, corrupted, reg.dffs[i])
+                           : reg.dffs[i]);
+  }
+
+  // Reroute R's fanout (outputs and consuming logic, not R's own update
+  // cone and not the just-built P input muxes) to read P.
+  for (std::size_t i = 0; i < reg.dffs.size(); ++i) {
+    nl.redirect_readers(reg.dffs[i], pseudo[i], limit, keep);
+  }
+  design.name += "+pseudo(" + reg_name + ")";
+}
+
+void plant_bypass(Design& design, const std::string& reg_name) {
+  require_trigger(design, "plant_bypass");
+  Netlist& nl = design.nl;
+  const netlist::Register reg = nl.find_register(reg_name);  // copy
+  const SignalId trigger = design.trojan_trigger;
+
+  const SignalId limit = static_cast<SignalId>(nl.size());
+  std::vector<bool> keep = update_cone_mask(nl, reg);
+
+  // The bypass register shadows ~R until the trigger fires, then freezes:
+  // from that point its value is independent of R.
+  Word bypass(reg.dffs.size());
+  for (std::size_t i = 0; i < reg.dffs.size(); ++i) {
+    bypass[i] = nl.add_dff(!nl.gate(reg.dffs[i]).init);
+    nl.set_name(bypass[i], bypass_register_name(reg_name) + "[" +
+                               std::to_string(i) + "]");
+  }
+  nl.add_register(bypass_register_name(reg_name), bypass);
+  for (std::size_t i = 0; i < reg.dffs.size(); ++i) {
+    nl.connect_dff_input(
+        bypass[i], nl.b_mux(trigger, bypass[i], nl.b_not(reg.dffs[i])));
+  }
+
+  // Fanout mux: triggered -> bypass value, else the real register.
+  for (std::size_t i = 0; i < reg.dffs.size(); ++i) {
+    const SignalId muxed = nl.b_mux(trigger, bypass[i], reg.dffs[i]);
+    nl.redirect_readers(reg.dffs[i], muxed, limit, keep);
+  }
+  design.name += "+bypass(" + reg_name + ")";
+}
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,47 @@
+// Section 4 attack-injection transformers.
+//
+// These implement the two evasion attacks of the paper on top of any
+// benchmark design, reusing the design's own Trojan trigger machinery
+// (build the design with payload_enabled = false so Design::trojan_trigger
+// is exposed but unarmed):
+//
+//  * plant_pseudo_critical (Figure 2): inserts register "pseudo_<R>" whose
+//    input is R's output, reroutes R's fanout logic to read the
+//    pseudo-critical register, and corrupts *it* (bitwise complement) when
+//    the trigger fires. R itself is never corrupted, so the Eq. (2) check
+//    on R stays silent; the Eq. (3) pseudo-critical property is what
+//    exposes the attack.
+//
+//  * plant_bypass (Figure 3): inserts register "bypass_<R>" that shadows
+//    ~R until the trigger fires and then freezes; a mux at R's fanout
+//    selects the bypass register once triggered. R is never corrupted and
+//    still updates validly; the Eq. (4) bypass property (fork miter)
+//    exposes the attack.
+//
+// Both transformers leave R's own next-state cone reading the real R
+// (Figure 2 keeps the increment/decrement feedback on the critical
+// register) and leave the design's valid-ways spec untouched.
+#pragma once
+
+#include <string>
+
+#include "designs/design.hpp"
+
+namespace trojanscout::designs {
+
+/// Name of the planted register for register `reg`.
+std::string pseudo_register_name(const std::string& reg);
+std::string bypass_register_name(const std::string& reg);
+
+/// Plants a pseudo-critical register on `reg`. The design must expose
+/// trojan_trigger (build with payload_enabled = false). Throws
+/// std::invalid_argument otherwise. With corrupt=false the shadow register
+/// faithfully mirrors `reg` forever (benign variant, used to measure how
+/// deep the Eq. 3 property can be certified within a budget).
+void plant_pseudo_critical(Design& design, const std::string& reg,
+                           bool corrupt = true);
+
+/// Plants a bypass register + fanout mux on `reg`. Same preconditions.
+void plant_bypass(Design& design, const std::string& reg);
+
+}  // namespace trojanscout::designs

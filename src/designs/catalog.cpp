@@ -1,0 +1,88 @@
+#include "designs/catalog.hpp"
+
+#include <stdexcept>
+
+#include "designs/aes.hpp"
+#include "designs/mc8051.hpp"
+#include "designs/risc.hpp"
+#include "designs/router.hpp"
+
+namespace trojanscout::designs {
+
+std::vector<BenchmarkInfo> trojan_benchmarks(const CatalogOptions& options) {
+  std::vector<BenchmarkInfo> list;
+  const unsigned n = options.risc_trigger_count;
+
+  auto mc = [](Mc8051Trojan trojan) {
+    return [trojan](bool payload) {
+      Mc8051Options o;
+      o.trojan = trojan;
+      o.payload_enabled = payload;
+      return build_mc8051(o);
+    };
+  };
+  auto risc = [n](RiscTrojan trojan) {
+    return [trojan, n](bool payload) {
+      RiscOptions o;
+      o.trojan = trojan;
+      o.trigger_count = n;
+      o.payload_enabled = payload;
+      return build_risc(o);
+    };
+  };
+  auto aes = [](AesTrojan trojan) {
+    return [trojan](bool payload) {
+      AesOptions o;
+      o.trojan = trojan;
+      o.payload_enabled = payload;
+      return build_aes(o);
+    };
+  };
+
+  list.push_back({"MC8051-T400", "mc8051",
+                  "Instruction sequence MOV A,#d; MOVX A,@R1; MOVX A,@DPTR; "
+                  "MOVX @R1,A",
+                  "Prevents interrupt", "ie", true, mc(Mc8051Trojan::kT400)});
+  list.push_back({"MC8051-T700", "mc8051", "MOV A,#data (data = 0xCA)",
+                  "Modifies the data to 0x00", "acc", true,
+                  mc(Mc8051Trojan::kT700)});
+  list.push_back({"MC8051-T800", "mc8051", "Input data of UART = 0xFF",
+                  "Decrements stack pointer by two", "sp", true,
+                  mc(Mc8051Trojan::kT800)});
+  list.push_back({"RISC-T100", "risc",
+                  "After " + std::to_string(n) +
+                      " instructions whose 4 MSBs are in 0x4-0xB",
+                  "Increments program counter by two", "program_counter",
+                  true, risc(RiscTrojan::kT100)});
+  list.push_back({"RISC-T300", "risc",
+                  "After " + std::to_string(n) +
+                      " instructions whose 4 MSBs are in 0x4-0xB",
+                  "Modifies the data written to memory", "eeprom_data", true,
+                  risc(RiscTrojan::kT300)});
+  list.push_back({"RISC-T400", "risc",
+                  "After " + std::to_string(n) +
+                      " instructions whose 4 MSBs are in 0x4-0xB",
+                  "Modifies the data address to 0x00", "eeprom_address", true,
+                  risc(RiscTrojan::kT400)});
+  list.push_back({"AES-T700", "aes",
+                  std::string("Plaintext = 128'h") + kAesT700Plaintext,
+                  "Modifies LSB 8-bits of key register", "key_reg", true,
+                  aes(AesTrojan::kT700)});
+  list.push_back({"AES-T800", "aes", "Sequence of 4 plaintexts (Table 1)",
+                  "Modifies key register", "key_reg", true,
+                  aes(AesTrojan::kT800)});
+  list.push_back({"AES-T1200", "aes", "After 2^128 clock cycles",
+                  "Modifies key register", "key_reg", false,
+                  aes(AesTrojan::kT1200)});
+  return list;
+}
+
+Design build_clean(const std::string& family) {
+  if (family == "mc8051") return build_mc8051({});
+  if (family == "risc") return build_risc({});
+  if (family == "aes") return build_aes({});
+  if (family == "router") return build_router({});
+  throw std::invalid_argument("build_clean: unknown family " + family);
+}
+
+}  // namespace trojanscout::designs

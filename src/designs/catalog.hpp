@@ -1,0 +1,41 @@
+// Catalog of the paper's nine Trust-Hub benchmark rows (Table 1) plus the
+// clean designs used for the false-positive experiment, with the metadata
+// the table-printing benches need.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "designs/design.hpp"
+
+namespace trojanscout::designs {
+
+struct BenchmarkInfo {
+  std::string name;               // e.g. "MC8051-T400"
+  std::string family;             // "mc8051" | "risc" | "aes"
+  std::string trigger_condition;  // Table 1 column 2 text
+  std::string payload;            // Table 1 column 3 text
+  std::string critical_register;  // register the Trojan corrupts
+  /// Whether the paper expects the formal checks to find it (false only for
+  /// AES-T1200, whose 2^128-cycle trigger is out of reach).
+  bool detectable = true;
+  /// Builds the Trojan-infected design. payload_enabled=false exposes the
+  /// trigger for the Section 4 attack transformers instead.
+  std::function<Design(bool payload_enabled)> build;
+};
+
+struct CatalogOptions {
+  /// RISC trigger count (paper: 100 matching instructions = 400 clock
+  /// cycles; Table 1's unroll depths imply a smaller count was used there —
+  /// see EXPERIMENTS.md). Default 25 instructions = 100 cycles.
+  unsigned risc_trigger_count = 25;
+};
+
+/// The nine Table 1 rows, in table order.
+std::vector<BenchmarkInfo> trojan_benchmarks(const CatalogOptions& options = {});
+
+/// Clean (Trojan-free) design per family, for the false-positive checks.
+Design build_clean(const std::string& family);
+
+}  // namespace trojanscout::designs

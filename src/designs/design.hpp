@@ -1,0 +1,40 @@
+// A benchmark design bundles the netlist, the defender-side valid-ways
+// specification (paper Table 2 style), and metadata used by the experiment
+// harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "properties/spec.hpp"
+
+namespace trojanscout::designs {
+
+struct Design {
+  std::string name;
+  netlist::Netlist nl;
+  properties::DesignSpec spec;
+  /// Registers the SoC integrator deems critical (Algorithm 1 input).
+  std::vector<std::string> critical_registers;
+  /// When a Trojan (or externally payloaded trigger) is present: the sticky
+  /// trigger signal. Used by the Section 4 attack transformers, which attach
+  /// their own payloads (pseudo-critical / bypass corruption) to the same
+  /// trigger machinery the direct Trojans use. kNullSignal when clean.
+  netlist::SignalId trojan_trigger = netlist::kNullSignal;
+  /// Half-open [first, last) ranges of gate ids that belong to the Trojan
+  /// (trigger machinery and payload muxes). Used by the FANCI / VeriTrust
+  /// benches to decide whether a flagged suspect is actually Trojan logic.
+  std::vector<std::pair<netlist::SignalId, netlist::SignalId>>
+      trojan_gate_ranges;
+
+  [[nodiscard]] bool is_trojan_gate(netlist::SignalId id) const {
+    for (const auto& [lo, hi] : trojan_gate_ranges) {
+      if (id >= lo && id < hi) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace trojanscout::designs

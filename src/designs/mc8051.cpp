@@ -1,0 +1,258 @@
+#include "designs/mc8051.hpp"
+
+#include "designs/regspec_builder.hpp"
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::designs {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+using netlist::w_const;
+using netlist::w_dec;
+using netlist::w_eq_const;
+using netlist::w_inc;
+using netlist::w_make_register;
+using netlist::w_mux;
+using netlist::w_resize;
+using netlist::w_slice;
+
+const char* mc8051_trojan_target(Mc8051Trojan trojan) {
+  switch (trojan) {
+    case Mc8051Trojan::kNone:
+      return "";
+    case Mc8051Trojan::kT400:
+      return "ie";
+    case Mc8051Trojan::kT700:
+      return "acc";
+    case Mc8051Trojan::kT800:
+      return "sp";
+  }
+  return "";
+}
+
+// The core uses the 8051's two-cycle instruction timing: a fetch cycle
+// latches the opcode byte; the following execute cycle consumes the operand
+// byte. Besides realism, this is what lets the DeTrust-hardened Trojans
+// register each 8-bit match separately — no Trojan gate ever sees a
+// combinational comparison wider than one byte, which is exactly how
+// DeTrust defeats FANCI's control-value analysis.
+Design build_mc8051(const Mc8051Options& options) {
+  Design design;
+  design.name = "mc8051";
+  Netlist& nl = design.nl;
+
+  // ---- environment ---------------------------------------------------------
+  const SignalId reset = nl.add_input_port("reset", 1)[0];
+  const Word code_op = nl.add_input_port("code_op", 8);
+  const Word code_operand = nl.add_input_port("code_operand", 8);
+  const Word uart_rx = nl.add_input_port("uart_rx", 8);
+  const Word xram_in = nl.add_input_port("xram_in", 8);
+  const SignalId int_req = nl.add_input_port("int_req", 1)[0];
+
+  // ---- fetch / execute phases -----------------------------------------------
+  const Word phase = w_make_register(nl, "phase", 1, 0);
+  const SignalId fetch = nl.b_and(nl.b_not(phase[0]), nl.b_not(reset));
+  const SignalId exec = nl.b_and(phase[0], nl.b_not(reset));
+  netlist::w_connect(
+      nl, phase, w_mux(nl, reset, w_const(nl, 0, 1), netlist::w_not(nl, phase)));
+
+  const Word opcode = w_make_register(nl, "opcode", 8, 0);
+  netlist::w_connect(nl, opcode, w_mux(nl, fetch, code_op, opcode));
+
+  // ---- decode (of the latched opcode, during execute) ------------------------
+  const SignalId is_mov_a = w_eq_const(nl, opcode, 0x74);
+  const SignalId is_movx_r1 = w_eq_const(nl, opcode, 0xE3);
+  const SignalId is_movx_dptr = w_eq_const(nl, opcode, 0xE0);
+  const SignalId is_movx_wr = w_eq_const(nl, opcode, 0xF3);
+  const SignalId is_add = w_eq_const(nl, opcode, 0x24);
+  const SignalId is_lcall = w_eq_const(nl, opcode, 0x12);
+  const SignalId is_ret = w_eq_const(nl, opcode, 0x22);
+  const SignalId is_mov_sp = w_eq_const(nl, opcode, 0x75);
+  const SignalId is_mov_ie = w_eq_const(nl, opcode, 0xA8);
+  const SignalId is_mov_r1 = w_eq_const(nl, opcode, 0x79);
+  const SignalId is_movx_rd = nl.b_or(is_movx_r1, is_movx_dptr);
+
+  // ---- UART receive buffer ------------------------------------------------------
+  const Word uart_buf = w_make_register(nl, "uart_buf", 8, 0);
+  netlist::w_connect(nl, uart_buf,
+                     w_mux(nl, reset, w_const(nl, 0, 8), uart_rx));
+
+  // ---- Trojan trigger machinery ----------------------------------------------
+  SignalId triggered = nl.const0();
+  const SignalId trojan_begin = static_cast<SignalId>(nl.size());
+  if (options.trojan == Mc8051Trojan::kT400) {
+    // DeTrust multi-cycle trigger: MOV A,#d; MOVX A,@R1; MOVX A,@DPTR;
+    // MOVX @R1,A on four consecutive instructions. The FSM advances one
+    // stage per *executed* instruction; every gate sees at most one byte-
+    // wide comparison plus registered state.
+    const Word state = w_make_register(nl, "trojan_state", 2, 0);
+    const SignalId at0 = w_eq_const(nl, state, 0);
+    const SignalId at1 = w_eq_const(nl, state, 1);
+    const SignalId at2 = w_eq_const(nl, state, 2);
+    const SignalId at3 = w_eq_const(nl, state, 3);
+    const SignalId fire = nl.b_and(exec, nl.b_and(at3, is_movx_wr));
+    const SignalId trig_dff = nl.add_dff(false);
+    nl.set_name(trig_dff, "trojan_triggered");
+    triggered = trig_dff;  // registered trigger (see RISC note)
+    nl.connect_dff_input(trig_dff, nl.b_or(trig_dff, fire));
+
+    Word advanced = w_const(nl, 0, 2);
+    advanced = w_mux(nl, nl.b_and(at0, is_mov_a), w_const(nl, 1, 2), advanced);
+    advanced =
+        w_mux(nl, nl.b_and(at1, is_movx_r1), w_const(nl, 2, 2), advanced);
+    advanced =
+        w_mux(nl, nl.b_and(at2, is_movx_dptr), w_const(nl, 3, 2), advanced);
+    advanced =
+        w_mux(nl, nl.b_and(at3, is_movx_wr), w_const(nl, 3, 2), advanced);
+    Word next = w_mux(nl, exec, advanced, state);
+    next = w_mux(nl, reset, w_const(nl, 0, 2), next);
+    netlist::w_connect(nl, state, next);
+  } else if (options.trojan == Mc8051Trojan::kT700) {
+    if (options.detrust_hardened) {
+      // Two-stage trigger: the opcode match is *registered* during fetch,
+      // the operand match happens during execute — no gate combines both
+      // bytes combinationally (DeTrust hardening).
+      const SignalId op_match = nl.add_dff(false);
+      nl.set_name(op_match, "trojan_op_match");
+      nl.connect_dff_input(
+          op_match, nl.b_and(fetch, w_eq_const(nl, code_op, 0x74)));
+      triggered = nl.b_and(nl.b_and(op_match, exec),
+                           w_eq_const(nl, code_operand, 0xCA));
+    } else {
+      // Naive variant: one wide combinational comparator against a secret
+      // 24-bit pattern that functional stimuli essentially never produce.
+      // FANCI flags the comparator (vanishing control values) and VeriTrust
+      // flags its readers (a chain of dormant logic).
+      netlist::Word pattern = opcode;
+      pattern.insert(pattern.end(), code_operand.begin(), code_operand.end());
+      pattern.insert(pattern.end(), uart_buf.begin(), uart_buf.end());
+      triggered =
+          nl.b_and(exec, w_eq_const(nl, pattern, 0x5ACA74));
+    }
+    nl.set_name(triggered, "trojan_triggered");
+  } else if (options.trojan == Mc8051Trojan::kT800) {
+    // Combinational trigger on the latched UART byte.
+    triggered = w_eq_const(nl, uart_buf, 0xFF);
+    nl.set_name(triggered, "trojan_triggered");
+  }
+  if (options.trojan != Mc8051Trojan::kNone) {
+    design.trojan_trigger = triggered;
+    design.trojan_gate_ranges.emplace_back(trojan_begin,
+                                           static_cast<SignalId>(nl.size()));
+  }
+  const SignalId payload_hit =
+      options.payload_enabled ? triggered : nl.const0();
+
+  auto mark_trojan_gates = [&](auto&& build) {
+    const SignalId begin = static_cast<SignalId>(nl.size());
+    build();
+    if (options.trojan != Mc8051Trojan::kNone) {
+      design.trojan_gate_ranges.emplace_back(begin,
+                                             static_cast<SignalId>(nl.size()));
+    }
+  };
+
+  // ---- accumulator ---------------------------------------------------------------
+  RegSpecBuilder acc(nl, "acc", 8, 0);
+  const Word& acc_reg = acc.reg();
+  const Word add_sum = netlist::w_add(nl, w_resize(nl, acc_reg, 9),
+                                      w_resize(nl, code_operand, 9));
+  acc.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, 8))
+      .way("MOV A,#data", "exec", "operand", nl.b_and(exec, is_mov_a),
+           code_operand)
+      .way("MOVX A,@R1 / @DPTR", "exec", "XRAM input",
+           nl.b_and(exec, is_movx_rd), xram_in)
+      .way("ADD A,#data", "exec", "A + operand", nl.b_and(exec, is_add),
+           w_slice(add_sum, 0, 8));
+  acc.obligation("acc drives port0_out continuously", nl.const1(), acc_reg, 2);
+  {
+    Word next = acc.golden_next();
+    if (options.trojan == Mc8051Trojan::kT700) {
+      mark_trojan_gates([&] {
+        next = w_mux(nl, payload_hit, w_const(nl, 0, 8), next);
+      });
+    }
+    acc.finish_with(design.spec, next);
+  }
+
+  // ---- carry flag ------------------------------------------------------------------
+  const Word psw_c = w_make_register(nl, "psw_c", 1, 0);
+  Word carry_next = psw_c;
+  carry_next = w_mux(nl, nl.b_and(exec, is_add), Word{add_sum[8]}, carry_next);
+  carry_next = w_mux(nl, reset, w_const(nl, 0, 1), carry_next);
+  netlist::w_connect(nl, psw_c, carry_next);
+
+  // ---- stack pointer --------------------------------------------------------------
+  RegSpecBuilder sp(nl, "sp", 8, 0x07);
+  const Word& sp_reg = sp.reg();
+  sp.way("Reset=1", "Any", "0x07", reset, w_const(nl, 0x07, 8))
+      .way("LCALL", "exec", "Increment by 1", nl.b_and(exec, is_lcall),
+           w_inc(nl, sp_reg))
+      .way("RET", "exec", "Decrement by 1", nl.b_and(exec, is_ret),
+           w_dec(nl, sp_reg))
+      .way("MOV SP,#data", "exec", "operand", nl.b_and(exec, is_mov_sp),
+           code_operand);
+  sp.obligation("sp drives sp_out continuously", nl.const1(), sp_reg, 2);
+  {
+    Word next = sp.golden_next();
+    if (options.trojan == Mc8051Trojan::kT800) {
+      mark_trojan_gates([&] {
+        next = w_mux(nl, payload_hit, w_dec(nl, w_dec(nl, sp_reg)), next);
+      });
+    }
+    sp.finish_with(design.spec, next);
+  }
+
+  // ---- interrupt enable --------------------------------------------------------------
+  RegSpecBuilder ie(nl, "ie", 8, 0);
+  const Word& ie_reg = ie.reg();
+  ie.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, 8))
+      .way("MOV IE,#data", "exec", "operand", nl.b_and(exec, is_mov_ie),
+           code_operand);
+  // The ack collapses ie to one bit (ie.7 & ie.0); complementing ie flips
+  // the ack only when ie.7 == ie.0, so the obligation condition carries
+  // that discriminator (see DESIGN.md on Eq. 4 obligations).
+  ie.obligation("ie gates the interrupt acknowledge",
+                nl.b_and(int_req, nl.b_xnor(ie_reg[7], ie_reg[0])),
+                netlist::Word{}, 2);
+  {
+    Word next = ie.golden_next();
+    if (options.trojan == Mc8051Trojan::kT400) {
+      mark_trojan_gates([&] {
+        next = w_mux(nl, payload_hit, w_const(nl, 0, 8), next);
+      });
+    }
+    ie.finish_with(design.spec, next);
+  }
+  const SignalId int_ack =
+      nl.b_and(int_req, nl.b_and(ie_reg[7], ie_reg[0]));
+
+  // ---- pointer register & program counter -------------------------------------------
+  const Word r1 = w_make_register(nl, "r1", 8, 0);
+  Word r1_next = w_mux(nl, nl.b_and(exec, is_mov_r1), code_operand, r1);
+  r1_next = w_mux(nl, reset, w_const(nl, 0, 8), r1_next);
+  netlist::w_connect(nl, r1, r1_next);
+
+  const Word pc = w_make_register(nl, "pc", 12, 0);
+  Word pc_next = w_mux(nl, exec, w_inc(nl, pc), pc);
+  pc_next = w_mux(nl, nl.b_and(exec, is_lcall),
+                  w_resize(nl, code_operand, 12), pc_next);
+  pc_next = w_mux(nl, reset, w_const(nl, 0, 12), pc_next);
+  netlist::w_connect(nl, pc, pc_next);
+
+  // ---- outputs -----------------------------------------------------------------------
+  nl.add_output_port("port0_out", acc_reg);
+  nl.add_output_port("sp_out", sp_reg);
+  nl.add_output_port("int_ack", Word{int_ack});
+  nl.add_output_port("xram_addr", r1);
+  nl.add_output_port("xram_wdata", acc_reg);
+  nl.add_output_port("xram_we", Word{nl.b_and(exec, is_movx_wr)});
+  nl.add_output_port("pc_out", pc);
+
+  design.critical_registers = {"acc", "sp", "ie"};
+  nl.validate();
+  return design;
+}
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,60 @@
+// MC8051 benchmark: a compact 8051-class microcontroller core covering the
+// architectural state and instructions the Trust-Hub MC8051 Trojans
+// (T400/T700/T800, DeTrust-hardened) interact with.
+//
+// One instruction executes per clock cycle. The code memory is external:
+// each cycle the environment supplies an opcode byte and an operand byte
+// (`code_op`, `code_operand`), which is what lets the model checker choose
+// the instruction stream. The UART receive buffer latches `uart_rx` every
+// cycle; external RAM reads arrive on `xram_in`.
+//
+// Architectural registers: acc (8b, the accumulator), sp (8b, reset 0x07),
+// ie (8b, interrupt enable), r1 (8b, pointer for MOVX @R1), pc (12b),
+// uart_buf (8b), psw_c (1b carry).
+//
+// Instruction subset (opcode byte):
+//   0x74  MOV  A,#data      acc := operand
+//   0xE3  MOVX A,@R1        acc := xram_in
+//   0xE0  MOVX A,@DPTR      acc := xram_in
+//   0xF3  MOVX @R1,A        external write strobe (xram_we output)
+//   0x24  ADD  A,#data      acc := acc + operand, carry to psw_c
+//   0x12  LCALL addr        sp := sp + 1
+//   0x22  RET               sp := sp - 1
+//   0x75  MOV  SP,#data     sp := operand
+//   0xA8  MOV  IE,#data     ie := operand
+//   0x79  MOV  R1,#data     r1 := operand
+//   else  NOP
+//
+// Trojans (trigger/payload per Table 1, structures per DeTrust):
+//   kT400 — trigger: the 4-instruction sequence MOV A,#d; MOVX A,@R1;
+//           MOVX A,@DPTR; MOVX @R1,A arriving over 4 consecutive cycles
+//           (multi-cycle DeTrust trigger); payload clears the interrupt
+//           enable register ("prevents interrupt").
+//   kT700 — trigger: MOV A,#data with data == 0xCA (single-cycle trigger);
+//           payload forces the value written to the accumulator to 0x00.
+//   kT800 — trigger: UART receive buffer == 0xFF; payload decrements the
+//           stack pointer by two.
+#pragma once
+
+#include "designs/design.hpp"
+
+namespace trojanscout::designs {
+
+enum class Mc8051Trojan { kNone, kT400, kT700, kT800 };
+
+struct Mc8051Options {
+  Mc8051Trojan trojan = Mc8051Trojan::kNone;
+  /// See RiscOptions::payload_enabled.
+  bool payload_enabled = true;
+  /// When false, kT700 is built the *naive* way (a single-cycle, wide
+  /// combinational comparator against a secret pattern) instead of the
+  /// DeTrust-hardened way. Used by the baseline-validation bench to show
+  /// FANCI and VeriTrust do catch naive Trojans.
+  bool detrust_hardened = true;
+};
+
+Design build_mc8051(const Mc8051Options& options = {});
+
+const char* mc8051_trojan_target(Mc8051Trojan trojan);
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,89 @@
+// Helper that builds an architected register's next-state logic and its
+// valid-ways specification from one priority-ordered list, guaranteeing the
+// clean design satisfies its own spec by construction (the vendor implements
+// the datasheet; the defender transcribes the same datasheet).
+//
+// A Trojan payload is applied *after* the golden case resolution and is, of
+// course, never part of the spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/wordops.hpp"
+#include "properties/spec.hpp"
+
+namespace trojanscout::designs {
+
+class RegSpecBuilder {
+ public:
+  RegSpecBuilder(netlist::Netlist& nl, std::string name, std::size_t width,
+                 std::uint64_t reset_value = 0)
+      : nl_(nl), width_(width) {
+    spec_.reg = name;
+    reg_ = netlist::w_make_register(nl, name, width, reset_value);
+  }
+
+  [[nodiscard]] const netlist::Word& reg() const { return reg_; }
+  [[nodiscard]] netlist::SignalId bit(std::size_t i) const { return reg_[i]; }
+
+  /// Appends a valid way (priority = insertion order).
+  RegSpecBuilder& way(const std::string& description,
+                      const std::string& cycle_label,
+                      const std::string& value_description,
+                      netlist::SignalId condition, netlist::Word value) {
+    properties::ValidWay w;
+    w.description = description;
+    w.cycle_label = cycle_label;
+    w.value_description = value_description;
+    w.condition = condition;
+    w.next_value = std::move(value);
+    spec_.ways.push_back(std::move(w));
+    return *this;
+  }
+
+  RegSpecBuilder& obligation(const std::string& description,
+                             netlist::SignalId condition,
+                             netlist::Word observed_value,
+                             std::size_t latency) {
+    properties::Obligation o;
+    o.description = description;
+    o.condition = condition;
+    o.observed_value = std::move(observed_value);
+    o.latency = latency;
+    spec_.obligations.push_back(std::move(o));
+    return *this;
+  }
+
+  /// Resolves the priority case into the golden next value (hold if no way
+  /// fires). Does not connect the register yet.
+  [[nodiscard]] netlist::Word golden_next() const {
+    std::vector<netlist::CaseEntry> entries;
+    entries.reserve(spec_.ways.size());
+    for (const auto& w : spec_.ways) {
+      entries.push_back(netlist::CaseEntry{w.condition, w.next_value});
+    }
+    return netlist::w_case(nl_, entries, reg_);
+  }
+
+  /// Connects the register to the golden next value and registers the spec.
+  void finish(properties::DesignSpec& spec) {
+    finish_with(spec, golden_next());
+  }
+
+  /// Connects the register to `next` (typically the golden value wrapped in
+  /// a Trojan payload mux) and registers the spec.
+  void finish_with(properties::DesignSpec& spec, const netlist::Word& next) {
+    netlist::w_connect(nl_, reg_, next);
+    spec.registers.push_back(spec_);
+  }
+
+ private:
+  netlist::Netlist& nl_;
+  std::size_t width_;
+  netlist::Word reg_;
+  properties::RegisterSpec spec_;
+};
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,359 @@
+#include "designs/risc.hpp"
+
+#include <stdexcept>
+
+#include "designs/regspec_builder.hpp"
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::designs {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+using netlist::w_add_const;
+using netlist::w_concat;
+using netlist::w_const;
+using netlist::w_dec;
+using netlist::w_eq_const;
+using netlist::w_in_range;
+using netlist::w_inc;
+using netlist::w_make_register;
+using netlist::w_mux;
+using netlist::w_resize;
+using netlist::w_slice;
+
+namespace {
+constexpr std::size_t kPcBits = 13;
+constexpr std::size_t kSpBits = 3;
+constexpr std::size_t kStackDepth = 8;
+constexpr std::size_t kRamDepth = 16;
+}  // namespace
+
+const char* risc_trojan_target(RiscTrojan trojan) {
+  switch (trojan) {
+    case RiscTrojan::kNone:
+      return "";
+    case RiscTrojan::kT100:
+      return "program_counter";
+    case RiscTrojan::kT300:
+      return "eeprom_data";
+    case RiscTrojan::kT400:
+      return "eeprom_address";
+    case RiscTrojan::kFig1StackPointer:
+      return "stack_pointer";
+  }
+  return "";
+}
+
+Design build_risc(const RiscOptions& options) {
+  Design design;
+  design.name = "risc";
+  Netlist& nl = design.nl;
+
+  // ---- environment --------------------------------------------------------
+  const SignalId reset = nl.add_input_port("reset", 1)[0];
+  const Word prog_data = nl.add_input_port("prog_data", 14);
+  const SignalId ext_interrupt = nl.add_input_port("ext_interrupt", 1)[0];
+  const Word eeprom_in = nl.add_input_port("eeprom_in", 8);
+  const SignalId write_complete = nl.add_input_port("write_complete", 1)[0];
+
+  // ---- machine cycle (Q1..Q4 as 0..3) -------------------------------------
+  const Word cycle = w_make_register(nl, "cycle", 2, 0);
+  netlist::w_connect(nl, cycle,
+                     w_mux(nl, reset, w_const(nl, 0, 2), w_inc(nl, cycle)));
+  const SignalId cycle2 = w_eq_const(nl, cycle, 1);
+  const SignalId cycle4 = w_eq_const(nl, cycle, 3);
+
+  // ---- instruction register & decode --------------------------------------
+  RegSpecBuilder ir(nl, "instruction_register", 14, 0);
+  const Word& instr = ir.reg();
+
+  const Word op_top3 = w_slice(instr, 11, 3);
+  const Word op_top6 = w_slice(instr, 8, 6);
+  const SignalId is_call = w_eq_const(nl, op_top3, 0b100);
+  const SignalId is_goto = w_eq_const(nl, op_top3, 0b101);
+  const SignalId is_movlw = w_eq_const(nl, op_top6, 0b110000);
+  const SignalId is_addlw = w_eq_const(nl, op_top6, 0b011110);
+  const SignalId is_movwf = w_eq_const(nl, op_top6, 0b000001);
+  const SignalId is_movf = w_eq_const(nl, op_top6, 0b001000);
+  const SignalId is_return = w_eq_const(nl, instr, 0x008);
+  const SignalId is_sleep = w_eq_const(nl, instr, 0x063);
+  const SignalId is_eerd = w_eq_const(nl, instr, 0x040);
+  const Word literal8 = w_slice(instr, 0, 8);
+  const Word file4 = w_slice(instr, 0, 4);
+  const SignalId dest_is_pcl = nl.b_and(is_movwf, w_eq_const(nl, file4, 0x2));
+
+  // ---- stall / sleep gating ------------------------------------------------
+  const Word stall_reg = w_make_register(nl, "stall", 1, 1);  // flush at boot
+  const SignalId stall_bit = stall_reg[0];
+  RegSpecBuilder sleepf(nl, "sleep_flag", 1, 0);
+  const SignalId sleeping = sleepf.bit(0);
+  // "Stall=0" in Table 2 terms: the instruction executes this machine cycle.
+  const SignalId stall = nl.b_or(stall_bit, sleeping);
+  const SignalId run = nl.b_not(stall);
+  nl.set_name(stall, "stall_effective");
+
+  // ---- interrupt flag (Table 2 "Interrupt enable") -------------------------
+  RegSpecBuilder inte(nl, "interrupt_enable", 1, 0);
+  const SignalId int_flag = inte.bit(0);
+  const SignalId int_taken = nl.b_and(nl.b_and(int_flag, cycle4), run);
+  nl.set_name(int_taken, "interrupt_taken");
+
+  // ---- stack pointer (Table 2) ---------------------------------------------
+  RegSpecBuilder sp(nl, "stack_pointer", kSpBits, 0);
+  const Word& sp_reg = sp.reg();
+
+  // ---- W register and RAM ---------------------------------------------------
+  const Word w_register = w_make_register(nl, "w_register", 8, 0);
+  const SignalId ram_write =
+      nl.b_and(nl.b_and(is_movwf, nl.b_not(dest_is_pcl)),
+               nl.b_and(cycle4, run));
+  const netlist::RamPorts ram = netlist::w_ram(
+      nl, "ram", kRamDepth, 8, /*read_addr=*/file4, /*write_addr=*/file4,
+      /*write_data=*/w_register, /*write_en=*/ram_write);
+  // RAM[0x09] is the EEPROM address special-purpose register source.
+  const Word ram9 = nl.find_register("ram[9]").dffs;
+
+  Word w_next = w_register;
+  w_next = w_mux(nl, is_movf, ram.read_data, w_next);
+  const Word addlw_sum = netlist::w_add(nl, w_resize(nl, w_register, 9),
+                                        w_resize(nl, literal8, 9));
+  const SignalId overflow =
+      nl.b_and(nl.b_and(is_addlw, addlw_sum[8]), nl.b_and(cycle4, run));
+  w_next = w_mux(nl, is_addlw, w_slice(addlw_sum, 0, 8), w_next);
+  w_next = w_mux(nl, is_movlw, literal8, w_next);
+  const SignalId w_update = nl.b_and(nl.b_and(cycle4, run),
+                                     nl.b_or(nl.b_or(is_movlw, is_addlw), is_movf));
+  netlist::w_connect(nl, w_register,
+                     w_mux(nl, w_update, w_next, w_register));
+
+  // ---- PC latch (PCLATH) -----------------------------------------------------
+  const Word pc_latch = w_make_register(nl, "pc_latch", 5, 0);
+  const SignalId pclath_write =
+      nl.b_and(nl.b_and(is_movwf, w_eq_const(nl, file4, 0xA)),
+               nl.b_and(cycle4, run));
+  netlist::w_connect(
+      nl, pc_latch,
+      w_mux(nl, pclath_write, w_slice(w_register, 0, 5), pc_latch));
+
+  // ---- program counter & stack ----------------------------------------------
+  RegSpecBuilder pc(nl, "program_counter", kPcBits, 0);
+  const Word& pc_reg = pc.reg();
+
+  const SignalId sp_dec_now = nl.b_and(nl.b_and(is_return, cycle2), run);
+  const SignalId sp_inc_now = nl.b_and(nl.b_and(is_call, cycle4), run);
+  sp.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, kSpBits))
+      .way("Return=1", "2", "Decrement by 1", sp_dec_now, w_dec(nl, sp_reg))
+      .way("Call=1", "4", "Increment by 1", sp_inc_now, w_inc(nl, sp_reg));
+
+  // Stack array: push PC+1 on CALL at cycle 4 (SP increments the same edge).
+  const SignalId stack_push = sp_inc_now;
+  const netlist::RamPorts stack = netlist::w_ram(
+      nl, "stack", kStackDepth, kPcBits, /*read_addr=*/sp_reg,
+      /*write_addr=*/sp_reg, /*write_data=*/w_inc(nl, pc_reg),
+      /*write_en=*/stack_push);
+  const Word return_target = stack.read_data;  // stack[SP], SP already -1'd
+
+  const SignalId pc_return = nl.b_and(nl.b_and(is_return, cycle4), run);
+  const SignalId pc_jump =
+      nl.b_and(nl.b_and(nl.b_or(is_goto, is_call), cycle4), run);
+  const Word jump_target =
+      w_concat(w_slice(instr, 0, 11), w_slice(pc_latch, 0, 2));
+  const Word pcl_target =
+      w_concat(w_resize(nl, w_register, 8), w_slice(pc_latch, 0, 5));
+  const SignalId pc_write_pcl = nl.b_and(nl.b_and(dest_is_pcl, cycle4), run);
+  const SignalId pc_step = nl.b_and(cycle4, run);
+
+  pc.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, kPcBits))
+      .way("Interrupt=1 & Stall=0", "4", "0x04", int_taken,
+           w_const(nl, 0x04, kPcBits))
+      .way("Return=1 & Stall=0", "4", "Stack array[Stack pointer]", pc_return,
+           return_target)
+      .way("Goto=1 & Stall=0", "4", "{PC latch, Instr. register}", pc_jump,
+           jump_target)
+      .way("Destination=PCL", "4", "{PC latch, Output of ALU}", pc_write_pcl,
+           pcl_target)
+      .way("Stall=0", "4", "Increment by 1", pc_step, w_inc(nl, pc_reg));
+
+  // ---- interrupt-flag valid ways ---------------------------------------------
+  const SignalId int_set =
+      nl.b_or(nl.b_or(ext_interrupt, overflow), write_complete);
+  inte.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, 1))
+      .way("Interrupt taken", "4", "0x00", int_taken, w_const(nl, 0, 1))
+      .way("Extl. interrupt | Overflow | Write complete", "Any", "0x01",
+           int_set, w_const(nl, 1, 1));
+  // Taking vs not taking the interrupt only diverges the PC when the
+  // sequential fetch would not have landed on the vector anyway.
+  // (The discriminating condition is completed below, once the PC exists.)
+
+  // ---- EEPROM registers --------------------------------------------------------
+  RegSpecBuilder eedata(nl, "eeprom_data", 8, 0);
+  const SignalId ee_read = nl.b_and(nl.b_and(is_eerd, cycle4), run);
+  eedata.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, 8))
+      .way("Stall=0 & EEPROM read=1", "4", "EEPROM input", ee_read, eeprom_in);
+  eedata.obligation("eeprom_data drives eeprom_data_out continuously",
+                    nl.const1(), eedata.reg(), 2);
+
+  RegSpecBuilder eeaddr(nl, "eeprom_address", 8, 0);
+  const SignalId ee_addr_load = nl.b_and(cycle4, run);
+  eeaddr.way("Reset=1", "Any", "0x00", reset, w_const(nl, 0, 8))
+      .way("Stall=0", "4", "RAM[0x09]", ee_addr_load, ram9);
+  eeaddr.obligation("eeprom_address drives eeprom_addr_out continuously",
+                    nl.const1(), eeaddr.reg(), 2);
+
+  // ---- IR / sleep / stall updates ------------------------------------------------
+  ir.way("Reset=1", "Any", "0x00 (NOP)", reset, w_const(nl, 0, 14))
+      .way("-", "4", "RAM[Program counter]", cycle4, prog_data);
+  ir.finish(design.spec);
+
+  const SignalId sleep_now = nl.b_and(nl.b_and(is_sleep, cycle4), run);
+  sleepf.way("Reset=1", "Any", "0", reset, w_const(nl, 0, 1))
+      .way("Sleep inst.", "4", "1", sleep_now, w_const(nl, 1, 1));
+  sleepf.obligation("sleep flag drives sleep_out continuously", nl.const1(),
+                    sleepf.reg(), 2);
+  sleepf.finish(design.spec);
+
+  const SignalId flush =
+      nl.b_or(nl.b_or(pc_return, pc_jump), nl.b_or(pc_write_pcl, int_taken));
+  Word stall_next = stall_reg;
+  stall_next = w_mux(nl, cycle4, Word{flush}, stall_next);
+  stall_next = w_mux(nl, reset, w_const(nl, 1, 1), stall_next);
+  netlist::w_connect(nl, stall_reg, stall_next);
+
+  // ---- Trojan trigger: Figure 1 / Table 1 RISC trigger -------------------------
+  // Counts instructions whose bits [13:10] are in 0x4..0xB; fires at
+  // options.trigger_count and stays triggered (sticky).
+  SignalId triggered = nl.const0();
+  const SignalId trojan_begin = static_cast<SignalId>(nl.size());
+  if (options.trojan != RiscTrojan::kNone) {
+    const Word msb4 = w_slice(instr, 10, 4);
+    const SignalId in_range = w_in_range(nl, msb4, 0x4, 0xB);
+    const SignalId count_now = nl.b_and(cycle4, in_range);
+
+    // Counter sized to the trigger count, as the Trust-Hub Trojans do: no
+    // permanently dead upper bits for a dormancy analysis to latch onto.
+    std::size_t count_bits = 1;
+    while ((1ull << count_bits) < options.trigger_count) ++count_bits;
+    const Word count = w_make_register(nl, "trojan_count", count_bits, 0);
+    const SignalId trig_dff = nl.add_dff(false);
+    nl.set_name(trig_dff, "trojan_triggered");
+    const SignalId will_fire = nl.b_and(
+        count_now,
+        w_eq_const(nl, count, options.trigger_count >= 1
+                                  ? options.trigger_count - 1
+                                  : 0));
+    triggered = trig_dff;  // payloads key on the *registered* trigger:
+    // no payload-side gate ever sees the combinational firing conjunction,
+    // which is what keeps its control values healthy (DeTrust rule).
+    nl.connect_dff_input(trig_dff, nl.b_or(trig_dff, will_fire));
+    netlist::w_connect(
+        nl, count,
+        w_mux(nl, nl.b_and(count_now, nl.b_not(trig_dff)),
+              w_inc(nl, count), count));
+    design.trojan_trigger = triggered;
+    design.trojan_gate_ranges.emplace_back(trojan_begin,
+                                           static_cast<SignalId>(nl.size()));
+  }
+
+  // ---- apply payloads and close the registers -----------------------------------
+  // Program counter (RISC-T100: +2 instead of +1 when triggered).
+  {
+    Word next = pc.golden_next();
+    if (options.trojan == RiscTrojan::kT100 && options.payload_enabled) {
+      const SignalId begin = static_cast<SignalId>(nl.size());
+      const SignalId hit = nl.b_and(triggered, pc_step);
+      next = w_mux(nl, hit, w_add_const(nl, pc_reg, 2), next);
+      design.trojan_gate_ranges.emplace_back(begin,
+                                             static_cast<SignalId>(nl.size()));
+    }
+    pc.obligation("PC is the program-memory fetch address", nl.const1(),
+                  pc_reg, 2);
+    pc.finish_with(design.spec, next);
+  }
+
+  // Observation functions for the Eq. 4 obligations (elaborated alongside
+  // the design like assertions; see DESIGN.md): a second stack read port at
+  // the complemented stack pointer lets the bypass miter require that the
+  // two return targets genuinely differ before demanding PC divergence.
+  const Word alt_sp = netlist::w_not(nl, sp_reg);
+  Word alt_return_target = w_const(nl, 0, kPcBits);
+  {
+    const Word alt_sel = netlist::w_decode(nl, alt_sp, kStackDepth);
+    for (std::size_t entry = 0; entry < kStackDepth; ++entry) {
+      alt_return_target = w_mux(
+          nl, alt_sel[entry],
+          nl.find_register("stack[" + std::to_string(entry) + "]").dffs,
+          alt_return_target);
+    }
+  }
+  const SignalId targets_differ =
+      nl.b_not(netlist::w_eq(nl, return_target, alt_return_target));
+  const SignalId inte_discriminator = nl.b_and(
+      nl.b_and(cycle4, run),
+      nl.b_not(netlist::w_eq(nl, w_inc(nl, pc_reg), w_const(nl, 4, kPcBits))));
+  inte.obligation("interrupt flag steers the PC at cycle 4 (vector != PC+1)",
+                  inte_discriminator, Word{}, 4);
+
+  // Stack pointer (Figure 1 Trojan: SP -= 2 when triggered).
+  {
+    Word next = sp.golden_next();
+    if (options.trojan == RiscTrojan::kFig1StackPointer &&
+        options.payload_enabled) {
+      const SignalId begin = static_cast<SignalId>(nl.size());
+      const SignalId hit = nl.b_and(triggered, cycle4);
+      next = w_mux(nl, hit, w_dec(nl, w_dec(nl, sp_reg)), next);
+      design.trojan_gate_ranges.emplace_back(begin,
+                                             static_cast<SignalId>(nl.size()));
+    }
+    sp.obligation(
+        "Return=1 & Stall=0 observes stack[SP] on the PC (targets differ)",
+        nl.b_and(pc_return, targets_differ), Word{}, 3);
+    sp.finish_with(design.spec, next);
+  }
+
+  // Interrupt flag.
+  inte.finish(design.spec);
+
+  // EEPROM data (RISC-T300: corrupted while the read strobe is disabled).
+  {
+    Word next = eedata.golden_next();
+    if (options.trojan == RiscTrojan::kT300 && options.payload_enabled) {
+      const SignalId begin = static_cast<SignalId>(nl.size());
+      const SignalId hit = nl.b_and(
+          triggered, nl.b_and(cycle4, nl.b_not(ee_read)));
+      next = w_mux(nl, hit, netlist::w_not(nl, eeprom_in), next);
+      design.trojan_gate_ranges.emplace_back(begin,
+                                             static_cast<SignalId>(nl.size()));
+    }
+    eedata.finish_with(design.spec, next);
+  }
+
+  // EEPROM address (RISC-T400: forced to 0x00 during a stall).
+  {
+    Word next = eeaddr.golden_next();
+    if (options.trojan == RiscTrojan::kT400 && options.payload_enabled) {
+      const SignalId begin = static_cast<SignalId>(nl.size());
+      const SignalId hit =
+          nl.b_and(triggered, nl.b_and(cycle4, stall));
+      next = w_mux(nl, hit, w_const(nl, 0, 8), next);
+      design.trojan_gate_ranges.emplace_back(begin,
+                                             static_cast<SignalId>(nl.size()));
+    }
+    eeaddr.finish_with(design.spec, next);
+  }
+
+  // ---- outputs ----------------------------------------------------------------
+  nl.add_output_port("pc_out", pc_reg);
+  nl.add_output_port("w_out", w_register);
+  nl.add_output_port("eeprom_addr_out", eeaddr.reg());
+  nl.add_output_port("eeprom_data_out", eedata.reg());
+  nl.add_output_port("sleep_out", sleepf.reg());
+
+  design.critical_registers = {"program_counter", "stack_pointer",
+                               "interrupt_enable", "eeprom_data",
+                               "eeprom_address"};
+  nl.validate();
+  return design;
+}
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,68 @@
+// RISC processor benchmark: a 4-cycle non-pipelined core modeled on the
+// PIC16F84A, the processor behind the Trust-Hub "RISC" benchmarks the paper
+// evaluates (Section 3.4, Table 2, Figure 1).
+//
+// Architectural state (all registers the paper's Table 2 lists):
+//   program_counter (13b), stack_pointer (3b), stack[0..7] (8 x 13b),
+//   interrupt_enable (1b), eeprom_data (8b), eeprom_address (8b),
+//   instruction_register (14b), sleep_flag (1b), pc_latch (2b),
+//   w_register (8b), ram[0..15] (16 x 8b), cycle (2b), stall (1b).
+//
+// The instruction stream arrives on the `prog_data` input port (external
+// program memory, addressed by the program counter — the PC is visible on
+// the `pc_out` output as the fetch address). This models the memory as an
+// unconstrained environment, standard practice when model-checking a CPU
+// core and exactly what lets BMC choose the instruction sequence that
+// triggers a Trojan.
+//
+// Instruction set (14-bit, PIC-flavored encodings):
+//   opcode[13:11] = 100          CALL  addr11
+//   opcode[13:11] = 101          GOTO  addr11
+//   opcode[13:8]  = 110000       MOVLW k8      (W := k)
+//   opcode[13:8]  = 111110       ADDLW k8      (W := W + k, sets overflow)
+//   opcode        = 0x008        RETURN
+//   opcode        = 0x009        RETFIE        (clears interrupt flag)
+//   opcode        = 0x063        SLEEP
+//   opcode[13:8]  = 000001, f4   MOVWF f       (ram[f] := W)
+//   opcode[13:8]  = 001000, f4   MOVF  f       (W := ram[f])
+//   opcode        = 0x040        EERD          (EEPROM read strobe)
+//   anything else                NOP
+//
+// Trojans (trigger per Figure 1 / Table 1: a 7-bit counter of instructions
+// whose bits [13:10] lie in 0x4..0xB; fires at 100):
+//   kT100 — increments the program counter by 2 when triggered.
+//   kT300 — corrupts eeprom_data while the EEPROM read strobe is disabled.
+//   kT400 — forces eeprom_address to 0x00 during a stall.
+//   kFig1StackPointer — decrements the stack pointer by 2 (Figure 1).
+#pragma once
+
+#include "designs/design.hpp"
+
+namespace trojanscout::designs {
+
+enum class RiscTrojan {
+  kNone,
+  kT100,
+  kT300,
+  kT400,
+  kFig1StackPointer,
+};
+
+struct RiscOptions {
+  RiscTrojan trojan = RiscTrojan::kNone;
+  /// Number of matching instructions required to trigger (paper: 100).
+  /// Exposed so tests and the trigger-length ablation can use smaller counts.
+  unsigned trigger_count = 100;
+  /// When false, the trigger FSM is built and exposed via
+  /// Design::trojan_trigger but no payload is attached — the Section 4
+  /// attack transformers (pseudo-critical / bypass) supply their own.
+  bool payload_enabled = true;
+};
+
+/// Builds the RISC core, its Table 2 valid-ways spec, and obligations.
+Design build_risc(const RiscOptions& options = {});
+
+/// Name of the critical register attacked by each Trojan variant.
+const char* risc_trojan_target(RiscTrojan trojan);
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,119 @@
+#include "designs/router.hpp"
+
+#include "designs/regspec_builder.hpp"
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::designs {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+using netlist::w_const;
+using netlist::w_decode;
+using netlist::w_eq_const;
+using netlist::w_make_register;
+using netlist::w_mux;
+using netlist::w_slice;
+
+Design build_router(const RouterOptions& options) {
+  Design design;
+  design.name = "router";
+  Netlist& nl = design.nl;
+
+  // ---- environment ---------------------------------------------------------
+  const SignalId reset = nl.add_input_port("reset", 1)[0];
+  const SignalId flit_valid = nl.add_input_port("flit_valid", 1)[0];
+  const Word flit_in = nl.add_input_port("flit_in", 16);
+
+  const SignalId is_header =
+      nl.b_and(flit_valid, flit_in[13]);
+  const Word header_dest = w_slice(flit_in, 14, 2);
+  const SignalId is_body =
+      nl.b_and(flit_valid, nl.b_not(flit_in[13]));
+  const Word body_payload = w_slice(flit_in, 0, 13);
+
+  // ---- Trojan trigger -------------------------------------------------------
+  SignalId fire_registered = nl.const0();
+  const SignalId trojan_begin = static_cast<SignalId>(nl.size());
+  if (options.trojan == RouterTrojan::kMisroute) {
+    // DeTrust-hardened trigger: three consecutive body flits whose *low
+    // payload bytes* are 0x3A, 0x5B, 0x7C. Each stage performs only one
+    // byte-wide comparison (control values >= 2^-9) and crosses into the
+    // next through a register — no wire anywhere sees the full 24-bit
+    // secret at once.
+    auto byte_match = [&](std::uint64_t value) {
+      return nl.b_and(is_body,
+                      w_eq_const(nl, w_slice(body_payload, 0, 8), value));
+    };
+    const SignalId stage1 = nl.add_dff(false);
+    nl.set_name(stage1, "trojan_stage1");
+    nl.connect_dff_input(stage1, byte_match(0x3A));
+    const SignalId stage2 = nl.add_dff(false);
+    nl.set_name(stage2, "trojan_stage2");
+    nl.connect_dff_input(stage2, nl.b_and(stage1, byte_match(0x5B)));
+    const SignalId fire = nl.b_and(stage2, byte_match(0x7C));
+    const SignalId fire_dff = nl.add_dff(false);
+    nl.set_name(fire_dff, "trojan_fire");
+    nl.connect_dff_input(fire_dff, fire);
+    fire_registered = fire_dff;
+
+    const SignalId sticky = nl.add_dff(false);
+    nl.set_name(sticky, "trojan_triggered");
+    nl.connect_dff_input(sticky, nl.b_or(sticky, fire_dff));
+    design.trojan_trigger = sticky;
+    design.trojan_gate_ranges.emplace_back(trojan_begin,
+                                           static_cast<SignalId>(nl.size()));
+  }
+
+  // ---- destination register (the critical register) --------------------------
+  RegSpecBuilder dest(nl, "dest_reg", 2, 0);
+  dest.way("Reset=1", "Any", "0x0", reset, w_const(nl, 0, 2))
+      .way("Header flit", "Any", "flit[15:14]", is_header, header_dest);
+  dest.obligation("the destination steers the one-hot valid lines",
+                  nl.const1(), dest.reg(), 2);
+  {
+    Word next = dest.golden_next();
+    if (options.trojan == RouterTrojan::kMisroute &&
+        options.payload_enabled) {
+      const SignalId begin = static_cast<SignalId>(nl.size());
+      // Divert to the attacker's port. The sticky trigger keeps forcing it,
+      // so every later packet leaks to port 3.
+      const SignalId hit =
+          options.trojan == RouterTrojan::kMisroute
+              ? nl.b_or(fire_registered, design.trojan_trigger)
+              : nl.const0();
+      next = w_mux(nl, hit, w_const(nl, 3, 2), next);
+      design.trojan_gate_ranges.emplace_back(begin,
+                                             static_cast<SignalId>(nl.size()));
+    }
+    dest.finish_with(design.spec, next);
+  }
+
+  // ---- datapath ----------------------------------------------------------------
+  const Word buffer = w_make_register(nl, "buffer", 13, 0);
+  Word buffer_next = w_mux(nl, is_body, body_payload, buffer);
+  buffer_next = w_mux(nl, reset, w_const(nl, 0, 13), buffer_next);
+  netlist::w_connect(nl, buffer, buffer_next);
+
+  // The valid line pulses for one cycle per body flit.
+  const Word buf_valid = w_make_register(nl, "buffer_valid", 1, 0);
+  Word bv_next = Word{nl.b_and(is_body, nl.b_not(reset))};
+  netlist::w_connect(nl, buf_valid, bv_next);
+
+  const Word one_hot = w_decode(nl, dest.reg(), 4);
+  Word out_valid(4);
+  for (int p = 0; p < 4; ++p) {
+    out_valid[static_cast<std::size_t>(p)] =
+        nl.b_and(one_hot[static_cast<std::size_t>(p)], buf_valid[0]);
+  }
+
+  nl.add_output_port("out_data", buffer);
+  nl.add_output_port("out_valid", out_valid);
+  nl.add_output_port("dest_out", dest.reg());
+
+  design.critical_registers = {"dest_reg"};
+  nl.validate();
+  return design;
+}
+
+}  // namespace trojanscout::designs

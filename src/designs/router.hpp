@@ -1,0 +1,37 @@
+// Router benchmark (extension): the paper's third motivating target — "a
+// register that holds [the] destination address in a router" (Sections 1.3
+// and 1.4) — as a concrete 4-port packet-router IP.
+//
+// Protocol: one 16-bit flit per cycle when `flit_valid` is high. A flit
+// with bit 13 set is a *header*: bits [15:14] select the destination port
+// and are latched into the destination register; bits [12:0] are control
+// payload. Non-header flits are body data for the current destination. The
+// router presents the data on `out_data` and raises the one-hot
+// `out_valid[4]` line of the latched destination.
+//
+// Critical register: `dest_reg` (the destination address). Valid ways:
+// Reset=1 -> 0; header flit -> flit[15:14].
+//
+// Trojan (kMisroute): after two *consecutive* body flits carrying the magic
+// payloads 0x1F3A then 0x0C5B, every subsequent packet is silently diverted
+// to port 3 (the attacker's tap) — corruption of the destination register
+// without any header. DeTrust-hardened: the two 13/14-bit payload matches
+// are accumulated through registered stages and the firing pulse crosses
+// into the payload mux through a register.
+#pragma once
+
+#include "designs/design.hpp"
+
+namespace trojanscout::designs {
+
+enum class RouterTrojan { kNone, kMisroute };
+
+struct RouterOptions {
+  RouterTrojan trojan = RouterTrojan::kNone;
+  /// See RiscOptions::payload_enabled.
+  bool payload_enabled = true;
+};
+
+Design build_router(const RouterOptions& options = {});
+
+}  // namespace trojanscout::designs

@@ -1,0 +1,131 @@
+#include "netlist/clone.hpp"
+
+#include <stdexcept>
+
+namespace trojanscout::netlist {
+
+SignalMap clone_netlist(const Netlist& src, Netlist& dst,
+                        const CloneOptions& options) {
+  SignalMap map(src.size(), kNullSignal);
+  map[src.const0()] = dst.const0();
+  map[src.const1()] = dst.const1();
+
+  // Pass 1a: inputs (shared or fresh).
+  if (options.shared_inputs != nullptr) {
+    for (const SignalId in : src.inputs()) {
+      map[in] = (*options.shared_inputs)[in];
+    }
+  } else {
+    // Recreate ports so names survive; raw inputs outside any port too.
+    std::vector<bool> in_port(src.size(), false);
+    for (const auto& port : src.input_ports()) {
+      const Word bits = dst.add_input_port(port.name, port.bits.size());
+      for (std::size_t i = 0; i < port.bits.size(); ++i) {
+        map[port.bits[i]] = bits[i];
+        in_port[port.bits[i]] = true;
+      }
+    }
+    for (const SignalId in : src.inputs()) {
+      if (!in_port[in]) map[in] = dst.add_input();
+    }
+  }
+
+  // Pass 1b: DFF shells (so sequential feedback can resolve in pass 2).
+  for (const SignalId dff : src.dffs()) {
+    map[dff] = dst.add_dff(src.gate(dff).init);
+    dst.set_name(map[dff], options.prefix + src.name_of(dff));
+  }
+
+  // Reads go through the override table.
+  auto read = [&](SignalId s) -> SignalId {
+    const auto it = options.read_overrides.find(s);
+    const SignalId mapped = it != options.read_overrides.end() ? it->second
+                                                               : map[s];
+    if (mapped == kNullSignal) {
+      throw std::runtime_error("clone_netlist: fanin not yet cloned: " +
+                               src.name_of(s));
+    }
+    return mapped;
+  };
+
+  // Pass 2a: combinational gates in topological order (creation order is
+  // not sufficient after structural surgery such as the attack
+  // transformers' fanout redirection).
+  for (const SignalId id : src.topo_order()) {
+    if (map[id] != kNullSignal) continue;
+    const Gate& g = src.gate(id);
+    switch (g.op) {
+      case Op::kConst0:
+      case Op::kConst1:
+      case Op::kInput:
+      case Op::kDff:
+        break;  // already mapped
+      case Op::kBuf:
+        map[id] = dst.b_buf(read(g.fanin[0]));
+        break;
+      case Op::kNot:
+        map[id] = dst.b_not(read(g.fanin[0]));
+        break;
+      case Op::kAnd:
+        map[id] = dst.b_and(read(g.fanin[0]), read(g.fanin[1]));
+        break;
+      case Op::kOr:
+        map[id] = dst.b_or(read(g.fanin[0]), read(g.fanin[1]));
+        break;
+      case Op::kXor:
+        map[id] = dst.b_xor(read(g.fanin[0]), read(g.fanin[1]));
+        break;
+      case Op::kXnor:
+        map[id] = dst.b_xnor(read(g.fanin[0]), read(g.fanin[1]));
+        break;
+      case Op::kNand:
+        map[id] = dst.b_nand(read(g.fanin[0]), read(g.fanin[1]));
+        break;
+      case Op::kNor:
+        map[id] = dst.b_nor(read(g.fanin[0]), read(g.fanin[1]));
+        break;
+      case Op::kMux:
+        map[id] = dst.b_mux(read(g.fanin[0]), read(g.fanin[1]),
+                            read(g.fanin[2]));
+        break;
+    }
+  }
+
+  // Pass 2b: connect DFF data inputs.
+  for (const SignalId dff : src.dffs()) {
+    const SignalId d = src.gate(dff).fanin[0];
+    if (d == kNullSignal) {
+      throw std::runtime_error("clone_netlist: DFF with unconnected input");
+    }
+    dst.connect_dff_input(map[dff], read(d));
+  }
+
+  if (options.register_ports) {
+    for (const auto& reg : src.registers()) {
+      dst.add_register(options.prefix + reg.name, map_word(map, reg.dffs));
+    }
+    for (const auto& port : src.output_ports()) {
+      // Output pads are consumers: they see the read overrides too (the
+      // bypass miter forces copy B's entire view of the critical register).
+      Word bits(port.bits.size());
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = read(port.bits[i]);
+      }
+      dst.add_output_port(options.prefix + port.name, std::move(bits));
+    }
+  }
+  return map;
+}
+
+Word map_word(const SignalMap& map, const Word& word) {
+  Word out(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    out[i] = map[word[i]];
+    if (out[i] == kNullSignal) {
+      throw std::runtime_error("map_word: signal not cloned");
+    }
+  }
+  return out;
+}
+
+}  // namespace trojanscout::netlist

@@ -1,0 +1,40 @@
+// Netlist cloning with read-substitution — the mechanism behind the bypass
+// miter (Eq. 4) and the attack-injection transformers (Section 4 attacks).
+//
+// clone_netlist copies every gate of `src` into `dst` and returns the
+// src-id -> dst-id map. Options:
+//  * shared_inputs: reuse an existing clone's primary-input mapping so two
+//    copies of a design are driven by the same inputs (miter construction);
+//    when null, fresh inputs (and src's input ports) are created in dst.
+//  * read_overrides: whenever a cloned gate *reads* src signal s, it reads
+//    read_overrides[s] (a dst-domain signal) instead. This is how the miter
+//    substitutes the critical register's value in one copy.
+//  * prefix: prepended to register and output-port names to keep them
+//    unique across copies.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::netlist {
+
+using SignalMap = std::vector<SignalId>;
+
+struct CloneOptions {
+  std::string prefix;
+  const SignalMap* shared_inputs = nullptr;
+  std::unordered_map<SignalId, SignalId> read_overrides;
+  /// Register output ports / registers in dst (disable for throwaway copies).
+  bool register_ports = true;
+};
+
+SignalMap clone_netlist(const Netlist& src, Netlist& dst,
+                        const CloneOptions& options);
+
+/// Maps a src-domain word through a clone map.
+Word map_word(const SignalMap& map, const Word& word);
+
+}  // namespace trojanscout::netlist

@@ -1,0 +1,26 @@
+#include "netlist/coi.hpp"
+
+namespace trojanscout::netlist {
+
+std::vector<bool> sequential_coi(const Netlist& nl,
+                                 const std::vector<SignalId>& roots) {
+  std::vector<bool> in_cone(nl.size(), false);
+  std::vector<SignalId> stack = roots;
+  for (const SignalId root : roots) in_cone[root] = true;
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    const Gate& g = nl.gate(id);
+    const int arity = op_arity(g.op);
+    for (int k = 0; k < arity; ++k) {
+      const SignalId f = g.fanin[k];
+      if (f != kNullSignal && !in_cone[f]) {
+        in_cone[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return in_cone;
+}
+
+}  // namespace trojanscout::netlist

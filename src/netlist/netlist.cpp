@@ -1,0 +1,336 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trojanscout::netlist {
+
+int op_arity(Op op) {
+  switch (op) {
+    case Op::kConst0:
+    case Op::kConst1:
+    case Op::kInput:
+      return 0;
+    case Op::kBuf:
+    case Op::kNot:
+    case Op::kDff:
+      return 1;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kXnor:
+    case Op::kNand:
+    case Op::kNor:
+      return 2;
+    case Op::kMux:
+      return 3;
+  }
+  return 0;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst0: return "CONST0";
+    case Op::kConst1: return "CONST1";
+    case Op::kInput: return "INPUT";
+    case Op::kBuf: return "BUF";
+    case Op::kNot: return "NOT";
+    case Op::kAnd: return "AND";
+    case Op::kOr: return "OR";
+    case Op::kXor: return "XOR";
+    case Op::kXnor: return "XNOR";
+    case Op::kNand: return "NAND";
+    case Op::kNor: return "NOR";
+    case Op::kMux: return "MUX";
+    case Op::kDff: return "DFF";
+  }
+  return "?";
+}
+
+Netlist::Netlist() {
+  // Signal 0 is constant-0, signal 1 is constant-1, by construction.
+  gates_.push_back(Gate{Op::kConst0, {}, false});
+  gates_.push_back(Gate{Op::kConst1, {}, false});
+}
+
+SignalId Netlist::add_input() {
+  const SignalId id = push_gate(Op::kInput, kNullSignal);
+  input_index_[id] = inputs_.size();
+  inputs_.push_back(id);
+  return id;
+}
+
+Word Netlist::add_input_port(const std::string& name, std::size_t width) {
+  Word bits(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bits[i] = add_input();
+    set_name(bits[i], name + "[" + std::to_string(i) + "]");
+  }
+  input_ports_.push_back(Port{name, bits});
+  return bits;
+}
+
+void Netlist::add_output_port(const std::string& name, Word bits) {
+  output_ports_.push_back(Port{name, std::move(bits)});
+}
+
+SignalId Netlist::add_dff(bool init_value) {
+  const SignalId id = push_gate(Op::kDff, kNullSignal);
+  gates_[id].init = init_value;
+  dffs_.push_back(id);
+  fanouts_valid_ = false;
+  return id;
+}
+
+void Netlist::connect_dff_input(SignalId dff, SignalId d) {
+  if (dff >= gates_.size() || gates_[dff].op != Op::kDff) {
+    throw std::runtime_error("connect_dff_input: signal is not a DFF");
+  }
+  if (gates_[dff].fanin[0] != kNullSignal) {
+    throw std::runtime_error("connect_dff_input: DFF already connected");
+  }
+  gates_[dff].fanin[0] = d;
+  fanouts_valid_ = false;
+}
+
+void Netlist::add_register(const std::string& name, Word dffs) {
+  for (const SignalId s : dffs) {
+    if (s >= gates_.size() || gates_[s].op != Op::kDff) {
+      throw std::runtime_error("add_register: signal is not a DFF in " + name);
+    }
+  }
+  registers_.push_back(Register{name, std::move(dffs)});
+}
+
+SignalId Netlist::b_buf(SignalId a) { return a; }
+
+SignalId Netlist::b_not(SignalId a) {
+  if (a == const0()) return const1();
+  if (a == const1()) return const0();
+  if (gates_[a].op == Op::kNot) return gates_[a].fanin[0];
+  return push_gate(Op::kNot, a);
+}
+
+SignalId Netlist::b_and(SignalId a, SignalId b) {
+  if (a > b) std::swap(a, b);
+  if (a == const0()) return const0();
+  if (a == const1()) return b;
+  if (a == b) return a;
+  if (gates_[b].op == Op::kNot && gates_[b].fanin[0] == a) return const0();
+  if (gates_[a].op == Op::kNot && gates_[a].fanin[0] == b) return const0();
+  return push_gate(Op::kAnd, a, b);
+}
+
+SignalId Netlist::b_or(SignalId a, SignalId b) {
+  if (a > b) std::swap(a, b);
+  if (a == const1()) return const1();
+  if (a == const0()) return b;
+  if (a == b) return a;
+  if (gates_[b].op == Op::kNot && gates_[b].fanin[0] == a) return const1();
+  if (gates_[a].op == Op::kNot && gates_[a].fanin[0] == b) return const1();
+  return push_gate(Op::kOr, a, b);
+}
+
+SignalId Netlist::b_xor(SignalId a, SignalId b) {
+  if (a > b) std::swap(a, b);
+  if (a == b) return const0();
+  if (a == const0()) return b;
+  if (a == const1()) return b_not(b);
+  if (gates_[b].op == Op::kNot && gates_[b].fanin[0] == a) return const1();
+  return push_gate(Op::kXor, a, b);
+}
+
+SignalId Netlist::b_xnor(SignalId a, SignalId b) { return b_not(b_xor(a, b)); }
+
+SignalId Netlist::b_nand(SignalId a, SignalId b) { return b_not(b_and(a, b)); }
+
+SignalId Netlist::b_nor(SignalId a, SignalId b) { return b_not(b_or(a, b)); }
+
+SignalId Netlist::b_mux(SignalId sel, SignalId t, SignalId f) {
+  if (sel == const0()) return f;
+  if (sel == const1()) return t;
+  if (t == f) return t;
+  if (t == const1() && f == const0()) return sel;
+  if (t == const0() && f == const1()) return b_not(sel);
+  return push_gate(Op::kMux, sel, t, f);
+}
+
+const Port& Netlist::input_port(const std::string& name) const {
+  for (const auto& p : input_ports_) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("no input port named " + name);
+}
+
+const Port& Netlist::output_port(const std::string& name) const {
+  for (const auto& p : output_ports_) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("no output port named " + name);
+}
+
+const Register& Netlist::find_register(const std::string& name) const {
+  for (const auto& r : registers_) {
+    if (r.name == name) return r;
+  }
+  throw std::out_of_range("no register named " + name);
+}
+
+bool Netlist::has_register(const std::string& name) const {
+  return std::any_of(registers_.begin(), registers_.end(),
+                     [&](const Register& r) { return r.name == name; });
+}
+
+void Netlist::set_name(SignalId id, const std::string& name) {
+  names_[id] = name;
+}
+
+std::string Netlist::name_of(SignalId id) const {
+  const auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  return std::string(op_name(gates_[id].op)) + "#" + std::to_string(id);
+}
+
+std::size_t Netlist::input_index(SignalId id) const {
+  const auto it = input_index_.find(id);
+  return it == input_index_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
+std::vector<SignalId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational edges only (DFF data inputs are
+  // sequential edges and excluded).
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<SignalId> order;
+  order.reserve(gates_.size());
+
+  const auto& fo = fanouts();
+  std::vector<SignalId> ready;
+  for (SignalId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.op == Op::kDff || op_arity(g.op) == 0) {
+      pending[id] = 0;
+      ready.push_back(id);
+    } else {
+      pending[id] = op_arity(g.op);
+    }
+  }
+
+  while (!ready.empty()) {
+    const SignalId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (const SignalId user : fo[id]) {
+      if (gates_[user].op == Op::kDff) continue;  // sequential edge
+      if (--pending[user] == 0) ready.push_back(user);
+    }
+  }
+
+  if (order.size() != gates_.size()) {
+    throw std::runtime_error(
+        "topo_order: combinational cycle or dangling fanin (" +
+        std::to_string(order.size()) + "/" + std::to_string(gates_.size()) +
+        " ordered)");
+  }
+  return order;
+}
+
+void Netlist::validate() const {
+  for (SignalId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    const int arity = op_arity(g.op);
+    for (int k = 0; k < arity; ++k) {
+      if (g.fanin[k] == kNullSignal) {
+        throw std::runtime_error("validate: unconnected fanin on gate " +
+                                 name_of(id));
+      }
+      if (g.fanin[k] >= gates_.size()) {
+        throw std::runtime_error("validate: out-of-range fanin on gate " +
+                                 name_of(id));
+      }
+    }
+  }
+  (void)topo_order();  // throws on combinational cycles
+}
+
+std::unordered_map<Op, std::size_t> Netlist::op_histogram() const {
+  std::unordered_map<Op, std::size_t> hist;
+  for (const auto& g : gates_) ++hist[g.op];
+  return hist;
+}
+
+std::vector<SignalId> Netlist::fanin_cone(
+    const std::vector<SignalId>& roots) const {
+  std::vector<bool> seen(gates_.size(), false);
+  std::vector<SignalId> stack = roots;
+  std::vector<SignalId> cone;
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    cone.push_back(id);
+    const Gate& g = gates_[id];
+    if (g.op == Op::kDff) continue;  // stop at state boundary
+    const int arity = op_arity(g.op);
+    for (int k = 0; k < arity; ++k) {
+      if (!seen[g.fanin[k]]) stack.push_back(g.fanin[k]);
+    }
+  }
+  return cone;
+}
+
+const std::vector<std::vector<SignalId>>& Netlist::fanouts() const {
+  if (!fanouts_valid_) {
+    fanouts_.assign(gates_.size(), {});
+    for (SignalId id = 0; id < gates_.size(); ++id) {
+      const Gate& g = gates_[id];
+      const int arity = op_arity(g.op);
+      for (int k = 0; k < arity; ++k) {
+        if (g.fanin[k] != kNullSignal) fanouts_[g.fanin[k]].push_back(id);
+      }
+    }
+    fanouts_valid_ = true;
+  }
+  return fanouts_;
+}
+
+void Netlist::redirect_readers(SignalId from, SignalId to,
+                               SignalId reader_limit,
+                               const std::vector<bool>& except) {
+  for (SignalId id = 0; id < reader_limit && id < gates_.size(); ++id) {
+    if (id < except.size() && except[id]) continue;
+    Gate& g = gates_[id];
+    const int arity = op_arity(g.op);
+    for (int k = 0; k < arity; ++k) {
+      if (g.fanin[k] == from) g.fanin[k] = to;
+    }
+  }
+  for (auto& port : output_ports_) {
+    for (auto& bit : port.bits) {
+      if (bit == from) bit = to;
+    }
+  }
+  // Rewritten gates no longer match their hash keys; disable folding into
+  // any pre-existing gate from here on.
+  strash_.clear();
+  fanouts_valid_ = false;
+}
+
+SignalId Netlist::push_gate(Op op, SignalId a, SignalId b, SignalId c) {
+  if (op != Op::kInput && op != Op::kDff && strash_enabled_) {
+    const GateKey key{op, a, b, c};
+    const auto it = strash_.find(key);
+    if (it != strash_.end()) return it->second;
+    const SignalId id = static_cast<SignalId>(gates_.size());
+    gates_.push_back(Gate{op, {a, b, c}, false});
+    strash_.emplace(key, id);
+    fanouts_valid_ = false;
+    return id;
+  }
+  const SignalId id = static_cast<SignalId>(gates_.size());
+  gates_.push_back(Gate{op, {a, b, c}, false});
+  fanouts_valid_ = false;
+  return id;
+}
+
+}  // namespace trojanscout::netlist

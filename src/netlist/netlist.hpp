@@ -1,0 +1,237 @@
+// Gate-level netlist intermediate representation.
+//
+// This is the substrate every engine in trojanscout operates on: the design
+// cores (MC8051 / RISC / AES), the property monitor circuits, the BMC
+// unroller, the sequential ATPG engine, the simulators, and the FANCI /
+// VeriTrust baselines all consume this IR.
+//
+// Model:
+//  * A netlist is an array of gates addressed by SignalId. A gate's output
+//    *is* the signal; there are no separate nets.
+//  * Combinational ops: CONST0, CONST1, NOT, AND, OR, XOR, XNOR, NAND, NOR,
+//    MUX(sel, t, f) = sel ? t : f, BUF.
+//  * Sequential state: DFF with a reset/initial value. DFFs are created
+//    before their data input is known (to allow feedback) and connected with
+//    connect_dff_input(). All DFFs share one implicit clock, matching the
+//    single-clock Trust-Hub cores the paper evaluates.
+//  * Named multi-bit input ports, output ports, and registers (groups of
+//    DFFs, LSB first) carry the architectural view the security properties
+//    reference ("stack pointer", "key register", ...).
+//
+// Construction performs constant folding and structural hashing so that the
+// word-level builder (wordops.hpp) can be used freely without blowing up the
+// gate count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace trojanscout::netlist {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNullSignal = 0xFFFFFFFFu;
+
+/// A multi-bit value path, LSB first.
+using Word = std::vector<SignalId>;
+
+enum class Op : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kXnor,
+  kNand,
+  kNor,
+  kMux,  // fanin: {sel, t, f}
+  kDff,  // fanin: {d}; init value in Gate::init
+};
+
+/// Number of fanin slots an op uses.
+int op_arity(Op op);
+
+/// Human-readable op mnemonic ("AND", "DFF", ...).
+const char* op_name(Op op);
+
+struct Gate {
+  Op op = Op::kConst0;
+  std::array<SignalId, 3> fanin = {kNullSignal, kNullSignal, kNullSignal};
+  bool init = false;  // DFF only: value after reset
+};
+
+struct Port {
+  std::string name;
+  Word bits;  // LSB first
+};
+
+/// A named architectural register: a group of DFF signals, LSB first.
+struct Register {
+  std::string name;
+  Word dffs;
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  // ---- construction ------------------------------------------------------
+
+  SignalId const0() const { return 0; }
+  SignalId const1() const { return 1; }
+
+  /// Adds a raw (unnamed) primary input bit.
+  SignalId add_input();
+
+  /// Adds a named multi-bit input port; returns its bits, LSB first.
+  Word add_input_port(const std::string& name, std::size_t width);
+
+  /// Registers a named output port over existing signals (LSB first).
+  void add_output_port(const std::string& name, Word bits);
+
+  /// Creates a DFF with the given reset value; its data input is connected
+  /// later with connect_dff_input (supports feedback paths).
+  SignalId add_dff(bool init_value);
+
+  /// Connects the data input of a DFF created with add_dff.
+  void connect_dff_input(SignalId dff, SignalId d);
+
+  /// Declares a named register over existing DFF signals (LSB first).
+  void add_register(const std::string& name, Word dffs);
+
+  // Combinational builders. All perform constant folding and structural
+  // hashing; `b_not(b_not(x))` returns x, `b_and(x, const1())` returns x, etc.
+  SignalId b_buf(SignalId a);
+  SignalId b_not(SignalId a);
+  SignalId b_and(SignalId a, SignalId b);
+  SignalId b_or(SignalId a, SignalId b);
+  SignalId b_xor(SignalId a, SignalId b);
+  SignalId b_xnor(SignalId a, SignalId b);
+  SignalId b_nand(SignalId a, SignalId b);
+  SignalId b_nor(SignalId a, SignalId b);
+  SignalId b_mux(SignalId sel, SignalId t, SignalId f);
+
+  /// Constant signal for a boolean value.
+  SignalId b_const(bool value) { return value ? const1() : const0(); }
+
+  /// Enables/disables structural hashing for subsequently built gates.
+  /// Monitor circuits are built with hashing disabled so they elaborate as
+  /// their own logic (the way an SVA assertion does) instead of folding
+  /// into the design under verification.
+  void set_strash_enabled(bool enabled) { strash_enabled_ = enabled; }
+  [[nodiscard]] bool strash_enabled() const { return strash_enabled_; }
+
+  // ---- inspection --------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(SignalId id) const { return gates_[id]; }
+
+  [[nodiscard]] const std::vector<Port>& input_ports() const {
+    return input_ports_;
+  }
+  [[nodiscard]] const std::vector<Port>& output_ports() const {
+    return output_ports_;
+  }
+  [[nodiscard]] const std::vector<Register>& registers() const {
+    return registers_;
+  }
+
+  /// Looks up a named input port, output port, or register. Throws
+  /// std::out_of_range if absent.
+  [[nodiscard]] const Port& input_port(const std::string& name) const;
+  [[nodiscard]] const Port& output_port(const std::string& name) const;
+  [[nodiscard]] const Register& find_register(const std::string& name) const;
+  [[nodiscard]] bool has_register(const std::string& name) const;
+
+  /// All DFF signal ids, in creation order.
+  [[nodiscard]] const std::vector<SignalId>& dffs() const { return dffs_; }
+
+  /// All primary input bit ids, in creation order (port bits included).
+  [[nodiscard]] const std::vector<SignalId>& inputs() const { return inputs_; }
+
+  /// Total primary input bit count.
+  [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+
+  /// Optional per-signal debug names.
+  void set_name(SignalId id, const std::string& name);
+  [[nodiscard]] std::string name_of(SignalId id) const;
+
+  /// Index of an input bit within inputs() order; kNullSignal-like sentinel
+  /// (SIZE_MAX) if the signal is not a primary input.
+  [[nodiscard]] std::size_t input_index(SignalId id) const;
+
+  // ---- analysis ----------------------------------------------------------
+
+  /// Combinational topological order: every gate appears after its fanins,
+  /// where DFF outputs, inputs, and constants count as sources. DFF *data*
+  /// inputs are not followed (they close the sequential loop).
+  /// Throws std::runtime_error on a combinational cycle or dangling fanin.
+  [[nodiscard]] std::vector<SignalId> topo_order() const;
+
+  /// Validates structural invariants (all fanins connected, no combinational
+  /// cycles, registers reference DFFs). Throws std::runtime_error on failure.
+  void validate() const;
+
+  /// Gate count by op.
+  [[nodiscard]] std::unordered_map<Op, std::size_t> op_histogram() const;
+
+  /// Number of gates in the combinational transitive fanin cone of `roots`,
+  /// stopping at DFF outputs / inputs / constants.
+  [[nodiscard]] std::vector<SignalId> fanin_cone(
+      const std::vector<SignalId>& roots) const;
+
+  /// Builds the reverse (fanout) adjacency once; subsequent structural edits
+  /// invalidate it and it is rebuilt on demand.
+  [[nodiscard]] const std::vector<std::vector<SignalId>>& fanouts() const;
+
+  // ---- structural surgery (attack-injection transformers) -----------------
+
+  /// Rewrites every fanin reference to `from` into `to`, for gates with id
+  /// < `reader_limit` that are not flagged in `except` (indexed by gate id;
+  /// may be shorter than size()). Output-port bit references are rewritten
+  /// as well. Invalidates the structural-hash table (later builder calls
+  /// will not fold into rewritten gates) and the fanout cache.
+  void redirect_readers(SignalId from, SignalId to, SignalId reader_limit,
+                        const std::vector<bool>& except);
+
+ private:
+  SignalId push_gate(Op op, SignalId a, SignalId b = kNullSignal,
+                     SignalId c = kNullSignal);
+  std::optional<SignalId> fold(Op op, SignalId a, SignalId b, SignalId c);
+
+  struct GateKey {
+    Op op;
+    SignalId a, b, c;
+    bool operator==(const GateKey&) const = default;
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.op);
+      h = h * 0x9e3779b97f4a7c15ull + k.a;
+      h = h * 0x9e3779b97f4a7c15ull + k.b;
+      h = h * 0x9e3779b97f4a7c15ull + k.c;
+      return h;
+    }
+  };
+
+  std::vector<Gate> gates_;
+  std::vector<SignalId> inputs_;
+  std::vector<SignalId> dffs_;
+  std::vector<Port> input_ports_;
+  std::vector<Port> output_ports_;
+  std::vector<Register> registers_;
+  std::unordered_map<GateKey, SignalId, GateKeyHash> strash_;
+  bool strash_enabled_ = true;
+  std::unordered_map<SignalId, std::string> names_;
+  std::unordered_map<SignalId, std::size_t> input_index_;
+  mutable std::vector<std::vector<SignalId>> fanouts_;
+  mutable bool fanouts_valid_ = false;
+};
+
+}  // namespace trojanscout::netlist

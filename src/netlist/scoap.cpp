@@ -1,0 +1,120 @@
+#include "netlist/scoap.hpp"
+
+#include <algorithm>
+
+namespace trojanscout::netlist {
+
+namespace {
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t sum = static_cast<std::uint64_t>(a) + b;
+  return sum > Scoap::kInfinity ? Scoap::kInfinity
+                                : static_cast<std::uint32_t>(sum);
+}
+
+}  // namespace
+
+Scoap compute_scoap(const Netlist& nl, int iterations) {
+  Scoap scoap;
+  scoap.cc0.assign(nl.size(), Scoap::kInfinity);
+  scoap.cc1.assign(nl.size(), Scoap::kInfinity);
+
+  const auto topo = nl.topo_order();
+
+  for (int round = 0; round < iterations; ++round) {
+    bool changed = false;
+    auto update = [&](SignalId id, std::uint32_t v0, std::uint32_t v1) {
+      if (v0 < scoap.cc0[id]) {
+        scoap.cc0[id] = v0;
+        changed = true;
+      }
+      if (v1 < scoap.cc1[id]) {
+        scoap.cc1[id] = v1;
+        changed = true;
+      }
+    };
+
+    for (const SignalId id : topo) {
+      const Gate& g = nl.gate(id);
+      auto c0 = [&](int k) { return scoap.cc0[g.fanin[k]]; };
+      auto c1 = [&](int k) { return scoap.cc1[g.fanin[k]]; };
+      switch (g.op) {
+        case Op::kConst0:
+          update(id, 0, Scoap::kInfinity);
+          break;
+        case Op::kConst1:
+          update(id, Scoap::kInfinity, 0);
+          break;
+        case Op::kInput:
+          update(id, 1, 1);
+          break;
+        case Op::kBuf:
+          update(id, c0(0), c1(0));
+          break;
+        case Op::kNot:
+          update(id, c1(0), c0(0));
+          break;
+        case Op::kAnd:
+          update(id, sat_add(std::min(c0(0), c0(1)), 1),
+                 sat_add(sat_add(c1(0), c1(1)), 1));
+          break;
+        case Op::kNand:
+          update(id, sat_add(sat_add(c1(0), c1(1)), 1),
+                 sat_add(std::min(c0(0), c0(1)), 1));
+          break;
+        case Op::kOr:
+          update(id, sat_add(sat_add(c0(0), c0(1)), 1),
+                 sat_add(std::min(c1(0), c1(1)), 1));
+          break;
+        case Op::kNor:
+          update(id, sat_add(std::min(c1(0), c1(1)), 1),
+                 sat_add(sat_add(c0(0), c0(1)), 1));
+          break;
+        case Op::kXor: {
+          const std::uint32_t to0 =
+              std::min(sat_add(c0(0), c0(1)), sat_add(c1(0), c1(1)));
+          const std::uint32_t to1 =
+              std::min(sat_add(c0(0), c1(1)), sat_add(c1(0), c0(1)));
+          update(id, sat_add(to0, 1), sat_add(to1, 1));
+          break;
+        }
+        case Op::kXnor: {
+          const std::uint32_t to1 =
+              std::min(sat_add(c0(0), c0(1)), sat_add(c1(0), c1(1)));
+          const std::uint32_t to0 =
+              std::min(sat_add(c0(0), c1(1)), sat_add(c1(0), c0(1)));
+          update(id, sat_add(to0, 1), sat_add(to1, 1));
+          break;
+        }
+        case Op::kMux: {
+          // sel ? t : f. Output 0 via (sel=1, t=0) or (sel=0, f=0).
+          const std::uint32_t sel0 = scoap.cc0[g.fanin[0]];
+          const std::uint32_t sel1 = scoap.cc1[g.fanin[0]];
+          const std::uint32_t to0 = std::min(sat_add(sel1, scoap.cc0[g.fanin[1]]),
+                                             sat_add(sel0, scoap.cc0[g.fanin[2]]));
+          const std::uint32_t to1 = std::min(sat_add(sel1, scoap.cc1[g.fanin[1]]),
+                                             sat_add(sel0, scoap.cc1[g.fanin[2]]));
+          update(id, sat_add(to0, 1), sat_add(to1, 1));
+          break;
+        }
+        case Op::kDff: {
+          // Sequential: controllable via the data input one cycle earlier,
+          // or for the reset value, for free at power-up.
+          const SignalId d = g.fanin[0];
+          std::uint32_t to0 = g.init ? Scoap::kInfinity : 0;
+          std::uint32_t to1 = g.init ? 0 : Scoap::kInfinity;
+          if (d != kNullSignal) {
+            to0 = std::min(to0, sat_add(scoap.cc0[d], 1));
+            to1 = std::min(to1, sat_add(scoap.cc1[d], 1));
+          }
+          update(id, to0, to1);
+          break;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return scoap;
+}
+
+}  // namespace trojanscout::netlist

@@ -1,0 +1,33 @@
+// SCOAP-style testability analysis (Goldstein's controllability measures).
+//
+// CC0/CC1 approximate the effort to set a signal to 0/1. Two consumers:
+//  * the sequential ATPG engine's backtrace, which prefers cheap inputs when
+//    several fanins could satisfy an objective (this is the structural
+//    guidance that makes ATPG fast, per the paper's footnote 3 / [28]);
+//  * the Salmani-style suspicious-signal analysis referenced in the paper's
+//    related work (signals that are very hard to control are Trojan-trigger
+//    candidates).
+//
+// Sequential loops are handled by bounded fixpoint iteration with saturation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::netlist {
+
+struct Scoap {
+  /// cc0[s] / cc1[s]: combinational-style controllability-to-0/1 of signal s.
+  std::vector<std::uint32_t> cc0;
+  std::vector<std::uint32_t> cc1;
+
+  static constexpr std::uint32_t kInfinity = 1u << 24;
+};
+
+/// Computes controllability for every signal. `iterations` bounds the
+/// sequential fixpoint rounds (DFFs propagate their data input's cost + 1).
+Scoap compute_scoap(const Netlist& nl, int iterations = 8);
+
+}  // namespace trojanscout::netlist

@@ -1,0 +1,249 @@
+#include "netlist/wordops.hpp"
+
+#include <stdexcept>
+
+namespace trojanscout::netlist {
+
+namespace {
+void require_same_width(const Word& a, const Word& b, const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": width mismatch (" +
+                                std::to_string(a.size()) + " vs " +
+                                std::to_string(b.size()) + ")");
+  }
+}
+}  // namespace
+
+Word w_const(Netlist& nl, std::uint64_t value, std::size_t width) {
+  Word out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out[i] = nl.b_const(i < 64 && ((value >> i) & 1u));
+  }
+  return out;
+}
+
+Word w_resize(Netlist& nl, const Word& a, std::size_t width) {
+  Word out(width, nl.const0());
+  for (std::size_t i = 0; i < width && i < a.size(); ++i) out[i] = a[i];
+  return out;
+}
+
+Word w_slice(const Word& a, std::size_t lo, std::size_t width) {
+  if (lo + width > a.size()) {
+    throw std::out_of_range("w_slice: slice out of range");
+  }
+  return Word(a.begin() + static_cast<std::ptrdiff_t>(lo),
+              a.begin() + static_cast<std::ptrdiff_t>(lo + width));
+}
+
+Word w_concat(const Word& lo, const Word& hi) {
+  Word out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Word w_splat(SignalId bit, std::size_t width) { return Word(width, bit); }
+
+Word w_not(Netlist& nl, const Word& a) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl.b_not(a[i]);
+  return out;
+}
+
+Word w_and(Netlist& nl, const Word& a, const Word& b) {
+  require_same_width(a, b, "w_and");
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl.b_and(a[i], b[i]);
+  return out;
+}
+
+Word w_or(Netlist& nl, const Word& a, const Word& b) {
+  require_same_width(a, b, "w_or");
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl.b_or(a[i], b[i]);
+  return out;
+}
+
+Word w_xor(Netlist& nl, const Word& a, const Word& b) {
+  require_same_width(a, b, "w_xor");
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl.b_xor(a[i], b[i]);
+  return out;
+}
+
+Word w_mux(Netlist& nl, SignalId sel, const Word& t, const Word& f) {
+  require_same_width(t, f, "w_mux");
+  Word out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = nl.b_mux(sel, t[i], f[i]);
+  }
+  return out;
+}
+
+SignalId w_reduce_or(Netlist& nl, const Word& a) {
+  SignalId acc = nl.const0();
+  for (const SignalId s : a) acc = nl.b_or(acc, s);
+  return acc;
+}
+
+SignalId w_reduce_and(Netlist& nl, const Word& a) {
+  SignalId acc = nl.const1();
+  for (const SignalId s : a) acc = nl.b_and(acc, s);
+  return acc;
+}
+
+SignalId w_eq(Netlist& nl, const Word& a, const Word& b) {
+  require_same_width(a, b, "w_eq");
+  SignalId acc = nl.const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = nl.b_and(acc, nl.b_xnor(a[i], b[i]));
+  }
+  return acc;
+}
+
+SignalId w_eq_const(Netlist& nl, const Word& a, std::uint64_t value) {
+  return w_eq(nl, a, w_const(nl, value, a.size()));
+}
+
+SignalId w_ult(Netlist& nl, const Word& a, const Word& b) {
+  require_same_width(a, b, "w_ult");
+  // lt_i = (~a_i & b_i) | (a_i==b_i) & lt_{i-1}, scanning from LSB; the MSB
+  // result dominates.
+  SignalId lt = nl.const0();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SignalId bit_lt = nl.b_and(nl.b_not(a[i]), b[i]);
+    const SignalId bit_eq = nl.b_xnor(a[i], b[i]);
+    lt = nl.b_or(bit_lt, nl.b_and(bit_eq, lt));
+  }
+  return lt;
+}
+
+SignalId w_in_range(Netlist& nl, const Word& a, std::uint64_t lo,
+                    std::uint64_t hi) {
+  const SignalId below_lo =
+      lo == 0 ? nl.const0() : w_ult(nl, a, w_const(nl, lo, a.size()));
+  const SignalId above_hi = w_ult(nl, w_const(nl, hi, a.size()), a);
+  return nl.b_and(nl.b_not(below_lo), nl.b_not(above_hi));
+}
+
+Word w_add(Netlist& nl, const Word& a_in, const Word& b_in,
+           SignalId carry_in) {
+  const std::size_t width = std::max(a_in.size(), b_in.size());
+  const Word a = w_resize(nl, a_in, width);
+  const Word b = w_resize(nl, b_in, width);
+  SignalId carry = carry_in == kNullSignal ? nl.const0() : carry_in;
+  Word out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const SignalId axb = nl.b_xor(a[i], b[i]);
+    out[i] = nl.b_xor(axb, carry);
+    carry = nl.b_or(nl.b_and(a[i], b[i]), nl.b_and(axb, carry));
+  }
+  return out;
+}
+
+Word w_sub(Netlist& nl, const Word& a, const Word& b) {
+  return w_add(nl, a, w_not(nl, w_resize(nl, b, a.size())), nl.const1());
+}
+
+Word w_add_const(Netlist& nl, const Word& a, std::uint64_t value) {
+  return w_add(nl, a, w_const(nl, value, a.size()));
+}
+
+Word w_inc(Netlist& nl, const Word& a) { return w_add_const(nl, a, 1); }
+
+Word w_dec(Netlist& nl, const Word& a) {
+  return w_sub(nl, a, w_const(nl, 1, a.size()));
+}
+
+Word w_case(Netlist& nl, const std::vector<CaseEntry>& entries,
+            const Word& fallback) {
+  Word out = fallback;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    out = w_mux(nl, it->cond, it->value, out);
+  }
+  return out;
+}
+
+Word w_decode(Netlist& nl, const Word& a, std::size_t outputs) {
+  Word out(outputs);
+  for (std::size_t i = 0; i < outputs; ++i) {
+    out[i] = w_eq_const(nl, a, i);
+  }
+  return out;
+}
+
+Word w_select_tree(Netlist& nl, const Word& index,
+                   const std::vector<Word>& options) {
+  if (options.empty()) {
+    throw std::invalid_argument("w_select_tree: no options");
+  }
+  const std::size_t width = options.front().size();
+  for (const auto& option : options) {
+    if (option.size() != width) {
+      throw std::invalid_argument("w_select_tree: option width mismatch");
+    }
+  }
+  std::vector<Word> level = options;
+  level.resize(std::size_t{1} << index.size(), w_const(nl, 0, width));
+  for (std::size_t bit = 0; bit < index.size(); ++bit) {
+    std::vector<Word> next(level.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = w_mux(nl, index[bit], level[2 * i + 1], level[2 * i]);
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+Word w_make_register(Netlist& nl, const std::string& name, std::size_t width,
+                     std::uint64_t reset_value) {
+  Word dffs(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    dffs[i] = nl.add_dff(i < 64 && ((reset_value >> i) & 1u));
+    nl.set_name(dffs[i], name + "[" + std::to_string(i) + "]");
+  }
+  nl.add_register(name, dffs);
+  return dffs;
+}
+
+void w_connect(Netlist& nl, const Word& dffs, const Word& next) {
+  require_same_width(dffs, next, "w_connect");
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    nl.connect_dff_input(dffs[i], next[i]);
+  }
+}
+
+RamPorts w_ram(Netlist& nl, const std::string& name, std::size_t depth,
+               std::size_t width, const Word& read_addr,
+               const Word& write_addr, const Word& write_data,
+               SignalId write_en) {
+  if (write_data.size() != width) {
+    throw std::invalid_argument("w_ram: write_data width mismatch");
+  }
+  const Word write_sel = w_decode(nl, write_addr, depth);
+  const Word read_sel = w_decode(nl, read_addr, depth);
+
+  Word read_data = w_const(nl, 0, width);
+  for (std::size_t entry = 0; entry < depth; ++entry) {
+    Word cell(width);
+    for (std::size_t b = 0; b < width; ++b) {
+      cell[b] = nl.add_dff(false);
+      nl.set_name(cell[b], name + "[" + std::to_string(entry) + "][" +
+                               std::to_string(b) + "]");
+    }
+    nl.add_register(name + "[" + std::to_string(entry) + "]", cell);
+    const SignalId we = nl.b_and(write_en, write_sel[entry]);
+    w_connect(nl, cell, w_mux(nl, we, write_data, cell));
+    read_data = w_mux(nl, read_sel[entry], cell, read_data);
+  }
+  return RamPorts{read_data};
+}
+
+Word w_counter(Netlist& nl, const std::string& name, std::size_t width,
+               SignalId enable) {
+  const Word count = w_make_register(nl, name, width, 0);
+  w_connect(nl, count, w_mux(nl, enable, w_inc(nl, count), count));
+  return count;
+}
+
+}  // namespace trojanscout::netlist

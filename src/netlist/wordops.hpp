@@ -1,0 +1,126 @@
+// Word-level construction helpers over the gate-level Netlist IR.
+//
+// All Words are LSB first. These helpers are how the design cores (MC8051,
+// RISC, AES) and the property monitor circuits are written: datapath-style
+// C++ that elaborates into gates, in the spirit of an RTL elaborator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::netlist {
+
+// ---- constants & shaping ---------------------------------------------------
+
+/// Constant word from the low `width` bits of `value`.
+Word w_const(Netlist& nl, std::uint64_t value, std::size_t width);
+
+/// Zero-extends or truncates to `width`.
+Word w_resize(Netlist& nl, const Word& a, std::size_t width);
+
+/// Slice bits [lo, lo+width) of a word.
+Word w_slice(const Word& a, std::size_t lo, std::size_t width);
+
+/// Concatenation {hi, lo}: result = lo bits then hi bits (LSB first).
+Word w_concat(const Word& lo, const Word& hi);
+
+/// Replicates a single bit into a word.
+Word w_splat(SignalId bit, std::size_t width);
+
+// ---- bitwise ---------------------------------------------------------------
+
+Word w_not(Netlist& nl, const Word& a);
+Word w_and(Netlist& nl, const Word& a, const Word& b);
+Word w_or(Netlist& nl, const Word& a, const Word& b);
+Word w_xor(Netlist& nl, const Word& a, const Word& b);
+
+/// Bitwise 2:1 mux with a shared select: sel ? t : f.
+Word w_mux(Netlist& nl, SignalId sel, const Word& t, const Word& f);
+
+// ---- reductions & comparisons -----------------------------------------------
+
+SignalId w_reduce_or(Netlist& nl, const Word& a);
+SignalId w_reduce_and(Netlist& nl, const Word& a);
+
+/// a == b (widths must match).
+SignalId w_eq(Netlist& nl, const Word& a, const Word& b);
+
+/// a == constant.
+SignalId w_eq_const(Netlist& nl, const Word& a, std::uint64_t value);
+
+/// Unsigned a < b (widths must match).
+SignalId w_ult(Netlist& nl, const Word& a, const Word& b);
+
+/// Unsigned lo <= a <= hi for constant bounds.
+SignalId w_in_range(Netlist& nl, const Word& a, std::uint64_t lo,
+                    std::uint64_t hi);
+
+// ---- arithmetic --------------------------------------------------------------
+
+/// Ripple-carry a + b + carry_in, truncated to max(width(a), width(b)).
+Word w_add(Netlist& nl, const Word& a, const Word& b,
+           SignalId carry_in = kNullSignal);
+
+/// a - b (two's complement, truncated).
+Word w_sub(Netlist& nl, const Word& a, const Word& b);
+
+/// a + constant.
+Word w_add_const(Netlist& nl, const Word& a, std::uint64_t value);
+
+/// a + 1 / a - 1.
+Word w_inc(Netlist& nl, const Word& a);
+Word w_dec(Netlist& nl, const Word& a);
+
+// ---- structured selection -----------------------------------------------------
+
+/// One entry of a priority case: when `cond` is the first true condition,
+/// the result is `value`.
+struct CaseEntry {
+  SignalId cond;
+  Word value;
+};
+
+/// Priority case: first matching entry wins; `fallback` if none match.
+Word w_case(Netlist& nl, const std::vector<CaseEntry>& entries,
+            const Word& fallback);
+
+/// One-hot decoder: out[i] = (a == i) for i in [0, 1<<width(a)), truncated to
+/// `outputs` lines.
+Word w_decode(Netlist& nl, const Word& a, std::size_t outputs);
+
+/// Balanced (Shannon) selection tree: returns options[index], extending the
+/// options list with zeros up to 2^width(index). Unlike the priority chain
+/// of w_case, every internal mux has healthy switching activity, which
+/// matters when the selection is part of stealth-hardened logic.
+Word w_select_tree(Netlist& nl, const Word& index,
+                   const std::vector<Word>& options);
+
+// ---- state -------------------------------------------------------------------
+
+/// Creates `width` DFFs with the given per-register reset value and declares
+/// them as a named register. Data inputs are connected later via w_connect.
+Word w_make_register(Netlist& nl, const std::string& name, std::size_t width,
+                     std::uint64_t reset_value = 0);
+
+/// Connects each DFF in `dffs` to the corresponding bit of `next`.
+void w_connect(Netlist& nl, const Word& dffs, const Word& next);
+
+/// Synchronous RAM of `depth` words x `width` bits built from DFFs:
+/// combinational read (read_data = ram[read_addr]), write on write_en.
+/// Returns the read data word. `name` prefixes the per-word register names.
+struct RamPorts {
+  Word read_data;
+};
+RamPorts w_ram(Netlist& nl, const std::string& name, std::size_t depth,
+               std::size_t width, const Word& read_addr, const Word& write_addr,
+               const Word& write_data, SignalId write_en);
+
+/// Free-running `width`-bit counter with synchronous enable; wraps around.
+/// Returns the counter register word.
+Word w_counter(Netlist& nl, const std::string& name, std::size_t width,
+               SignalId enable);
+
+}  // namespace trojanscout::netlist

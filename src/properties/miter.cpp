@@ -1,0 +1,129 @@
+#include "properties/miter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/clone.hpp"
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::properties {
+
+using netlist::CloneOptions;
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::SignalMap;
+using netlist::Word;
+
+BypassMiter build_bypass_miter(const Netlist& design,
+                               const RegisterSpec& spec) {
+  if (spec.obligations.empty()) {
+    throw std::invalid_argument("build_bypass_miter: register " + spec.reg +
+                                " has no observability obligations");
+  }
+
+  BypassMiter miter;
+  Netlist& nl = miter.nl;
+
+  // Copy A: the reference run, fresh (shared) inputs.
+  CloneOptions opt_a;
+  opt_a.prefix = "a_";
+  const SignalMap map_a = clone_netlist(design, nl, opt_a);
+
+  // Fork control: `active` covers the fork cycle itself and everything after.
+  const SignalId fork_now = nl.add_input_port(BypassMiter::kForkPort, 1)[0];
+  const SignalId forked = nl.add_dff(false);
+  const SignalId active = nl.b_or(fork_now, forked);
+  nl.connect_dff_input(forked, active);
+  nl.set_name(forked, "miter_forked");
+
+  // Copy B reads ~R (from copy A) instead of R once the fork is active.
+  const auto& reg_src = design.find_register(spec.reg);
+  CloneOptions opt_b;
+  opt_b.prefix = "b_";
+  opt_b.shared_inputs = &map_a;
+  for (const SignalId dff : reg_src.dffs) {
+    opt_b.read_overrides[dff] =
+        nl.b_mux(active, nl.b_not(map_a[dff]), map_a[dff]);
+  }
+  const SignalMap map_b = clone_netlist(design, nl, opt_b);
+
+  // Age counter since the fork (saturating).
+  const std::size_t max_latency =
+      std::max_element(spec.obligations.begin(), spec.obligations.end(),
+                       [](const Obligation& x, const Obligation& y) {
+                         return x.latency < y.latency;
+                       })
+          ->latency;
+  const std::size_t window_end = kObligationWindow + max_latency + 2;
+  std::size_t age_bits = 1;
+  while ((1ull << age_bits) <= window_end) ++age_bits;
+  const Word age = netlist::w_make_register(nl, "miter_age", age_bits, 0);
+  const SignalId age_max = netlist::w_eq_const(nl, age, (1ull << age_bits) - 1);
+  const Word age_next = netlist::w_mux(
+      nl, nl.b_and(active, nl.b_not(age_max)), netlist::w_inc(nl, age), age);
+  netlist::w_connect(nl, age, age_next);
+  // Note: age counts cycles *after* the fork cycle (DFF updates lag by one),
+  // so "age <= kObligationWindow" spans the fork cycle plus the window.
+
+  // Copy-B view of a src-domain word: reads go through the overrides, so a
+  // word that *is* the critical register sees the forced complement.
+  auto map_b_view = [&](const Word& word) {
+    Word out(word.size());
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      const auto it = opt_b.read_overrides.find(word[i]);
+      out[i] = it != opt_b.read_overrides.end() ? it->second : map_b[word[i]];
+    }
+    return out;
+  };
+
+  // Obligation fired near the fork with a genuinely differing golden value.
+  SignalId obligation_now = nl.const0();
+  for (const auto& obligation : spec.obligations) {
+    if (obligation.condition == netlist::kNullSignal) {
+      throw std::invalid_argument("bypass obligation without condition: " +
+                                  obligation.description);
+    }
+    const SignalId cond_a = map_a[obligation.condition];
+    SignalId observed_differs = nl.const1();
+    if (!obligation.observed_value.empty()) {
+      const Word obs_a = netlist::map_word(map_a, obligation.observed_value);
+      const Word obs_b = map_b_view(obligation.observed_value);
+      observed_differs = nl.b_not(netlist::w_eq(nl, obs_a, obs_b));
+    }
+    obligation_now = nl.b_or(obligation_now, nl.b_and(cond_a, observed_differs));
+  }
+  const SignalId in_window =
+      netlist::w_ult(nl, age, netlist::w_const(nl, kObligationWindow + 1,
+                                               age.size()));
+  const SignalId obligation_early =
+      nl.b_and(nl.b_and(active, obligation_now), in_window);
+  const SignalId obligation_seen = nl.add_dff(false);
+  const SignalId obligation_seen_now =
+      nl.b_or(obligation_seen, obligation_early);
+  nl.connect_dff_input(obligation_seen, obligation_seen_now);
+  nl.set_name(obligation_seen, "miter_obligation_seen");
+
+  // Sticky "outputs differed at some active cycle".
+  SignalId outputs_equal = nl.const1();
+  for (const auto& port : design.output_ports()) {
+    const Word out_a = netlist::map_word(map_a, port.bits);
+    const Word out_b = map_b_view(port.bits);
+    outputs_equal = nl.b_and(outputs_equal, netlist::w_eq(nl, out_a, out_b));
+  }
+  const SignalId differed = nl.add_dff(false);
+  const SignalId differed_now =
+      nl.b_or(differed, nl.b_and(active, nl.b_not(outputs_equal)));
+  nl.connect_dff_input(differed, differed_now);
+  nl.set_name(differed, "miter_differed");
+
+  // bad: window elapsed, obligation was seen, outputs never diverged.
+  const SignalId window_elapsed = netlist::w_eq_const(nl, age, window_end);
+  miter.bad = nl.b_and(
+      nl.b_and(window_elapsed, obligation_seen_now),
+      nl.b_not(differed_now));
+  nl.set_name(miter.bad, "monitor_bypass_" + spec.reg);
+  nl.add_output_port("miter_bad", Word{miter.bad});
+  return miter;
+}
+
+}  // namespace trojanscout::properties

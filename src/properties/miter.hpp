@@ -1,0 +1,50 @@
+// Eq. (4) bypass-register detection via a fork miter (Section 4.2).
+//
+// The paper's property: a Trojan has bypassed critical register R if there
+// is a reachable state (after input sequence S) in which R's value no longer
+// influences any output — the fanout mux selects the bypass register instead.
+//
+// Eq. (4) quantifies ∃S ∀p≠q, which is not directly SAT-encodable; we encode
+// the strongest single difference (all bits complemented) and let the
+// defender-supplied *obligations* make the check sound in both directions:
+//
+//   * Two copies of the design share all primary inputs plus one extra
+//     input, fork_now. Until the fork both copies evolve identically
+//     (structural hashing collapses the shared logic). From the fork cycle
+//     onward, copy B reads ~R wherever it would read R (p = R, q = ~R,
+//     all bits differing).
+//   * An obligation (condition, observed_value, latency) states: when
+//     `condition` holds and the golden `observed_value` differs between the
+//     copies, R's value must reach an output within `latency` cycles.
+//   * bad fires when: the fork happened, an obligation fired right at the
+//     fork (within kObligationWindow cycles) with differing observed
+//     values, and the outputs of the two copies remained equal throughout
+//     the latency window. That is exactly the bypass behaviour: the design
+//     consumed a corrupted surrogate and ignored R.
+//
+// On a clean design the obligation forces the forced difference through to
+// an output inside the window, so no counterexample exists.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "properties/spec.hpp"
+
+namespace trojanscout::properties {
+
+struct BypassMiter {
+  netlist::Netlist nl;
+  /// 1 in a cycle where bypass behaviour is witnessed.
+  netlist::SignalId bad = netlist::kNullSignal;
+  /// Name of the fork input port inside the miter ("fork_now").
+  static constexpr const char* kForkPort = "fork_now";
+};
+
+/// Cycles after the fork within which the obligation must fire.
+inline constexpr std::size_t kObligationWindow = 2;
+
+/// Builds the bypass miter for `spec.reg` of `design`. The spec must carry
+/// at least one obligation. Throws std::invalid_argument otherwise.
+BypassMiter build_bypass_miter(const netlist::Netlist& design,
+                               const RegisterSpec& spec);
+
+}  // namespace trojanscout::properties

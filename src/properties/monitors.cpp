@@ -1,0 +1,164 @@
+#include "properties/monitors.hpp"
+
+#include <stdexcept>
+
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::properties {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+const RegisterSpec& DesignSpec::at(const std::string& reg) const {
+  const RegisterSpec* spec = find(reg);
+  if (spec == nullptr) {
+    throw std::out_of_range("no RegisterSpec for register " + reg);
+  }
+  return *spec;
+}
+
+namespace {
+
+/// Current value (DFF outputs) and next value (DFF data inputs) of a
+/// register. The data inputs are the combinational view of "R at t+1", so
+/// the monitor stays purely combinational over cycle t.
+struct RegisterView {
+  Word current;
+  Word next;
+};
+
+RegisterView view_of(const Netlist& nl, const std::string& reg) {
+  const auto& r = nl.find_register(reg);
+  RegisterView view;
+  view.current = r.dffs;
+  view.next.reserve(r.dffs.size());
+  for (const SignalId dff : r.dffs) {
+    const SignalId d = nl.gate(dff).fanin[0];
+    if (d == netlist::kNullSignal) {
+      throw std::runtime_error("monitor: register " + reg +
+                               " has unconnected DFF input");
+    }
+    view.next.push_back(d);
+  }
+  return view;
+}
+
+/// A register's previous-cycle value, provided by shadow DFFs initialized to
+/// the register's reset value (so the relation also holds at cycle 0).
+Word previous_of(Netlist& nl, const std::string& reg) {
+  const auto& r = nl.find_register(reg);
+  Word shadow(r.dffs.size());
+  for (std::size_t i = 0; i < r.dffs.size(); ++i) {
+    shadow[i] = nl.add_dff(nl.gate(r.dffs[i]).init);
+    nl.connect_dff_input(shadow[i], r.dffs[i]);
+    nl.set_name(shadow[i], "monitor_prev_" + reg + "[" + std::to_string(i) + "]");
+  }
+  return shadow;
+}
+
+}  // namespace
+
+namespace {
+/// RAII: the monitor elaborates as its own gates (like an SVA assertion)
+/// rather than folding into the design's logic via structural hashing.
+class StrashOff {
+ public:
+  explicit StrashOff(Netlist& nl) : nl_(nl), saved_(nl.strash_enabled()) {
+    nl_.set_strash_enabled(false);
+  }
+  ~StrashOff() { nl_.set_strash_enabled(saved_); }
+
+ private:
+  Netlist& nl_;
+  bool saved_;
+};
+}  // namespace
+
+SignalId build_corruption_monitor(Netlist& nl, const RegisterSpec& spec,
+                                  CorruptionMonitorKind kind) {
+  const RegisterView view = view_of(nl, spec.reg);
+  const StrashOff strash_guard(nl);
+
+  if (kind == CorruptionMonitorKind::kHoldOnly) {
+    // Eq. (2): AND_x ( S not in V  =>  R_{x,t-1} = R_{x,t} ).
+    // bad = no-valid-way-fired AND some bit changes.
+    SignalId any_way = nl.const0();
+    for (const auto& way : spec.ways) {
+      any_way = nl.b_or(any_way, way.condition);
+    }
+    const SignalId changed =
+        nl.b_not(netlist::w_eq(nl, view.next, view.current));
+    const SignalId bad = nl.b_and(nl.b_not(any_way), changed);
+    nl.set_name(bad, "monitor_corruption_hold_" + spec.reg);
+    return bad;
+  }
+
+  // kExact: golden next-state from the priority-resolved valid ways.
+  std::vector<netlist::CaseEntry> entries;
+  entries.reserve(spec.ways.size());
+  for (const auto& way : spec.ways) {
+    if (way.next_value.size() != view.current.size()) {
+      throw std::invalid_argument("monitor: valid-way width mismatch on " +
+                                  spec.reg + " (" + way.description + ")");
+    }
+    entries.push_back(netlist::CaseEntry{way.condition, way.next_value});
+  }
+  const Word expected = netlist::w_case(nl, entries, view.current);
+  const SignalId bad = nl.b_not(netlist::w_eq(nl, view.next, expected));
+  nl.set_name(bad, "monitor_corruption_exact_" + spec.reg);
+  return bad;
+}
+
+SignalId build_pseudo_critical_monitor(Netlist& nl,
+                                       const std::string& critical_reg,
+                                       const std::string& candidate_reg,
+                                       PseudoPolarity polarity,
+                                       bool candidate_leads) {
+  const auto& critical = nl.find_register(critical_reg).dffs;
+  const auto& candidate = nl.find_register(candidate_reg).dffs;
+  if (critical.size() != candidate.size()) {
+    throw std::invalid_argument(
+        "pseudo-critical monitor: width mismatch between " + critical_reg +
+        " and " + candidate_reg);
+  }
+  // Aligned comparison: P_t vs R_{t-1}  (or P_{t-1} vs R_t if P leads).
+  const Word lagged =
+      candidate_leads ? previous_of(nl, candidate_reg) : previous_of(nl, critical_reg);
+  const Word current = candidate_leads ? critical : candidate;
+
+  Word expected = lagged;
+  if (polarity == PseudoPolarity::kComplement) {
+    expected = netlist::w_not(nl, expected);
+  }
+  const SignalId bad = nl.b_not(netlist::w_eq(nl, current, expected));
+  nl.set_name(bad, "monitor_pseudo_" + critical_reg + "_" + candidate_reg);
+  return bad;
+}
+
+SignalId build_pseudo_critical_bit_monitor(Netlist& nl,
+                                           const std::string& critical_reg,
+                                           const std::string& candidate_reg,
+                                           std::size_t bit,
+                                           PseudoPolarity polarity,
+                                           bool candidate_leads) {
+  const auto& critical = nl.find_register(critical_reg).dffs;
+  const auto& candidate = nl.find_register(candidate_reg).dffs;
+  if (bit >= critical.size() || bit >= candidate.size()) {
+    throw std::out_of_range("pseudo-critical bit monitor: bit out of range");
+  }
+  const std::string lag_reg = candidate_leads ? candidate_reg : critical_reg;
+  const SignalId lag_src = candidate_leads ? candidate[bit] : critical[bit];
+  const SignalId lagged = nl.add_dff(nl.gate(lag_src).init);
+  nl.connect_dff_input(lagged, lag_src);
+  nl.set_name(lagged, "monitor_prevbit_" + lag_reg);
+
+  const SignalId current = candidate_leads ? critical[bit] : candidate[bit];
+  const SignalId expected =
+      polarity == PseudoPolarity::kComplement ? nl.b_not(lagged) : lagged;
+  const SignalId bad = nl.b_xor(current, expected);
+  nl.set_name(bad, "monitor_pseudo_bit_" + std::to_string(bit));
+  return bad;
+}
+
+}  // namespace trojanscout::properties

@@ -1,0 +1,62 @@
+// Monitor-circuit builders for the paper's three properties.
+//
+// Each builder appends combinational/sequential logic to the design netlist
+// and returns a single *bad signal* that is 1 exactly in a cycle where the
+// property is violated. Both back ends (BMC and ATPG) consume bad signals;
+// this mirrors the paper's Section 3.2 ("the property is modeled as a
+// monitor circuit, which is appended with the target circuit" [26]) — the
+// monitor is for validation only and is never part of the shipped silicon.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "properties/spec.hpp"
+
+namespace trojanscout::properties {
+
+/// Flavor of the Eq. (2) no-data-corruption monitor.
+enum class CorruptionMonitorKind {
+  /// Literal Eq. (2): if no valid way fires, every bit of R must hold.
+  /// Detects out-of-spec updates but not value corruption during a valid
+  /// update (e.g. MC8051-T700's "modifies the data to 0x00").
+  kHoldOnly,
+  /// Golden-update check: R's next value must equal the value dictated by
+  /// the priority-resolved valid ways (or hold if none fires). This is the
+  /// reading under which all of Table 1's Trojans are detectable and is the
+  /// default used by the detector.
+  kExact,
+};
+
+/// Builds the Eq. (2) monitor for `spec.reg`; returns the bad signal.
+/// bad_t = 1 iff the register's *next* value (its DFF data inputs at cycle
+/// t) deviates from the specification at cycle t.
+netlist::SignalId build_corruption_monitor(netlist::Netlist& nl,
+                                           const RegisterSpec& spec,
+                                           CorruptionMonitorKind kind);
+
+/// Polarity hypothesis for the Eq. (3) pseudo-critical relation.
+enum class PseudoPolarity { kIdentity, kComplement };
+
+/// Builds the Eq. (3) monitor checking candidate register P against critical
+/// register R: bad_t = 1 iff some bit x violates P_{x,t} == R_{x,t-1} (or the
+/// complement polarity). If `candidate_leads` is true the time-shifted form
+/// P_{x,t-1} vs R_{x,t} is checked instead (pseudo-critical register placed
+/// *before* the critical register, Section 4.1).
+///
+/// Absence of a counterexample within the bound certifies P as
+/// pseudo-critical for that bound; P is then itself checked with Eq. (2).
+netlist::SignalId build_pseudo_critical_monitor(netlist::Netlist& nl,
+                                                const std::string& critical_reg,
+                                                const std::string& candidate_reg,
+                                                PseudoPolarity polarity,
+                                                bool candidate_leads);
+
+/// Per-bit variant of the Eq. (3) monitor (used when a vendor mixes
+/// polarities across bits): checks a single bit index.
+netlist::SignalId build_pseudo_critical_bit_monitor(
+    netlist::Netlist& nl, const std::string& critical_reg,
+    const std::string& candidate_reg, std::size_t bit,
+    PseudoPolarity polarity, bool candidate_leads);
+
+}  // namespace trojanscout::properties

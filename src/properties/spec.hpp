@@ -1,0 +1,72 @@
+// "Valid ways" specification: the defender-side contract for each critical
+// register (paper Section 2.1 / Table 2).
+//
+// A ValidWay is a (condition -> next value) pair: when `condition` holds in
+// a cycle, the register is expected to take `next_value` at the next clock
+// edge. Entries are priority-ordered (earlier entries win), mirroring how
+// datasheets describe update rules ("Reset=1 -> 0x00" dominates everything).
+// If no entry fires, the register must hold its value.
+//
+// Obligations extend the spec for the bypass check (Eq. 4): each names a
+// condition under which the register's value must influence the design's
+// outputs within `latency` cycles (e.g. "Return=1" forces the stack pointer
+// to be observed on the program counter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::properties {
+
+struct ValidWay {
+  /// Human-readable condition, e.g. "Call=1 & Stall=0" (Table 2 column 3).
+  std::string description;
+  /// Pipeline cycle in which the way applies, e.g. "Any", "4" (column 2).
+  std::string cycle_label;
+  /// Human-readable value, e.g. "Increment by 1" (column 4).
+  std::string value_description;
+  /// Condition signal in the design netlist (already includes any
+  /// cycle-phase gating).
+  netlist::SignalId condition = netlist::kNullSignal;
+  /// Expected next value of the register when the condition holds.
+  netlist::Word next_value;
+};
+
+struct Obligation {
+  std::string description;
+  /// Condition under which the register must be observable.
+  netlist::SignalId condition = netlist::kNullSignal;
+  /// The golden value the design consumes from the register under this
+  /// condition (e.g. stack_array[stack pointer] for a Return). The bypass
+  /// miter requires this value to *differ* between the two copies for the
+  /// obligation to count, which is what rules out vacuous observations
+  /// (identical stack contents) and hence false positives on clean designs.
+  netlist::Word observed_value;
+  /// Cycles until the register's value must have reached an output.
+  std::size_t latency = 1;
+};
+
+struct RegisterSpec {
+  /// Name of a register declared in the netlist.
+  std::string reg;
+  std::vector<ValidWay> ways;
+  std::vector<Obligation> obligations;
+};
+
+struct DesignSpec {
+  std::vector<RegisterSpec> registers;
+
+  [[nodiscard]] const RegisterSpec* find(const std::string& reg) const {
+    for (const auto& spec : registers) {
+      if (spec.reg == reg) return &spec;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const RegisterSpec& at(const std::string& reg) const;
+};
+
+}  // namespace trojanscout::properties

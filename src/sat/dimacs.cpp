@@ -1,0 +1,72 @@
+#include "sat/dimacs.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace trojanscout::sat {
+
+CnfFormula parse_dimacs(std::istream& in) {
+  CnfFormula formula;
+  std::string token;
+  bool header_seen = false;
+  Clause current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      long long nv = 0;
+      long long nc = 0;
+      if (!(in >> fmt >> nv >> nc) || fmt != "cnf") {
+        throw std::runtime_error("parse_dimacs: malformed problem line");
+      }
+      formula.num_vars = static_cast<int>(nv);
+      header_seen = true;
+      continue;
+    }
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      throw std::runtime_error("parse_dimacs: unexpected token '" + token +
+                               "'");
+    }
+    if (value == 0) {
+      formula.clauses.push_back(current);
+      current.clear();
+    } else {
+      const Var v = static_cast<Var>(std::llabs(value) - 1);
+      if (v + 1 > formula.num_vars) formula.num_vars = v + 1;
+      current.emplace_back(v, value < 0);
+    }
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("parse_dimacs: clause missing terminating 0");
+  }
+  if (!header_seen && formula.clauses.empty()) {
+    throw std::runtime_error("parse_dimacs: empty input");
+  }
+  return formula;
+}
+
+CnfFormula parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(std::ostream& os, const CnfFormula& formula) {
+  os << "p cnf " << formula.num_vars << ' ' << formula.clauses.size() << '\n';
+  for (const auto& clause : formula.clauses) {
+    for (const Lit lit : clause) {
+      os << lit.to_dimacs() << ' ';
+    }
+    os << "0\n";
+  }
+}
+
+}  // namespace trojanscout::sat

@@ -1,0 +1,26 @@
+// DIMACS CNF reader/writer, used by the test suite (cross-checking the CDCL
+// solver against brute force on random instances) and handy for exporting
+// BMC queries to external solvers for debugging.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace trojanscout::sat {
+
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS text. Throws std::runtime_error on malformed input.
+CnfFormula parse_dimacs(std::istream& in);
+CnfFormula parse_dimacs_string(const std::string& text);
+
+/// Writes DIMACS text.
+void write_dimacs(std::ostream& os, const CnfFormula& formula);
+
+}  // namespace trojanscout::sat

@@ -1,0 +1,61 @@
+// Basic SAT types: variables, literals, and three-valued assignment values.
+// Encoding follows the MiniSat convention: literal = 2*var + sign.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trojanscout::sat {
+
+using Var = std::int32_t;
+inline constexpr Var kUndefVar = -1;
+
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var v, bool negated) : x_(v + v + static_cast<int>(negated)) {}
+
+  [[nodiscard]] Var var() const { return x_ >> 1; }
+  [[nodiscard]] bool sign() const { return (x_ & 1) != 0; }  // true = negated
+  [[nodiscard]] int index() const { return x_; }
+
+  Lit operator~() const {
+    Lit p;
+    p.x_ = x_ ^ 1;
+    return p;
+  }
+
+  bool operator==(const Lit&) const = default;
+  bool operator<(const Lit& other) const { return x_ < other.x_; }
+
+  static Lit from_index(int index) {
+    Lit p;
+    p.x_ = index;
+    return p;
+  }
+
+  /// DIMACS-style integer: +v for positive, -v for negated, 1-based.
+  [[nodiscard]] int to_dimacs() const {
+    return sign() ? -(var() + 1) : (var() + 1);
+  }
+
+ private:
+  std::int32_t x_ = -2;
+};
+
+inline constexpr int kUndefLitIndex = -2;
+inline Lit undef_lit() { return Lit::from_index(kUndefLitIndex); }
+
+/// Three-valued assignment.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+
+inline LBool operator^(LBool v, bool flip) {
+  if (v == LBool::kUndef) return v;
+  return lbool_from((v == LBool::kTrue) != flip);
+}
+
+using Clause = std::vector<Lit>;
+
+}  // namespace trojanscout::sat

@@ -1,0 +1,72 @@
+// Two-valued cycle-accurate netlist simulator.
+//
+// Used for: validating witnesses produced by BMC/ATPG (replaying the trigger
+// sequence and observing the corrupted register), driving the VeriTrust
+// functional-stimulus analysis, and unit-testing the design cores against
+// software reference models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/witness.hpp"
+#include "util/bitvec.hpp"
+
+namespace trojanscout::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl);
+
+  /// Returns all DFFs to their reset values and clears inputs to 0.
+  void reset();
+
+  /// Drives one primary-input bit (by signal id).
+  void set_input(netlist::SignalId input, bool value);
+
+  /// Drives a named input port with the low bits of `value`.
+  void set_input_port(const std::string& name, std::uint64_t value);
+
+  /// Drives a named input port from a BitVec.
+  void set_input_port(const std::string& name, const util::BitVec& value);
+
+  /// Drives all inputs at once from a frame (Netlist::inputs() order).
+  void set_inputs(const util::BitVec& frame);
+
+  /// Re-evaluates combinational logic with current inputs/state.
+  void eval();
+
+  /// eval() then advance all DFFs one clock edge.
+  void step();
+
+  /// Current value of any signal (valid after eval()/step()).
+  [[nodiscard]] bool value(netlist::SignalId id) const {
+    return values_[id] != 0;
+  }
+
+  /// Reads a word (e.g. an output port's bits or a register's DFFs).
+  [[nodiscard]] std::uint64_t read_word(const netlist::Word& word) const;
+  [[nodiscard]] util::BitVec read_bits(const netlist::Word& word) const;
+
+  /// Reads a named register / output port.
+  [[nodiscard]] std::uint64_t read_register(const std::string& name) const;
+  [[nodiscard]] util::BitVec read_register_bits(const std::string& name) const;
+  [[nodiscard]] std::uint64_t read_output(const std::string& name) const;
+
+  [[nodiscard]] const netlist::Netlist& netlist() const { return nl_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::SignalId> topo_;
+  std::vector<std::uint8_t> values_;
+};
+
+/// Replays a witness from reset and returns the value of `reg` *after* each
+/// cycle (result[t] = register value after applying witness frame t).
+std::vector<util::BitVec> replay_register(const netlist::Netlist& nl,
+                                          const Witness& witness,
+                                          const std::string& reg);
+
+}  // namespace trojanscout::sim

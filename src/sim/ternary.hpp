@@ -1,0 +1,58 @@
+// Three-valued logic (0 / 1 / X) shared by the ternary simulator and the
+// sequential ATPG engine. X models unknown values: unassigned primary inputs
+// during PODEM search and uninitialized state.
+#pragma once
+
+#include <cstdint>
+
+namespace trojanscout::sim {
+
+enum class Ternary : std::uint8_t {
+  kZero = 0,
+  kOne = 1,
+  kX = 2,
+};
+
+inline Ternary t_from_bool(bool b) { return b ? Ternary::kOne : Ternary::kZero; }
+
+inline bool t_is_known(Ternary t) { return t != Ternary::kX; }
+
+inline Ternary t_not(Ternary a) {
+  if (a == Ternary::kX) return Ternary::kX;
+  return a == Ternary::kZero ? Ternary::kOne : Ternary::kZero;
+}
+
+inline Ternary t_and(Ternary a, Ternary b) {
+  if (a == Ternary::kZero || b == Ternary::kZero) return Ternary::kZero;
+  if (a == Ternary::kOne && b == Ternary::kOne) return Ternary::kOne;
+  return Ternary::kX;
+}
+
+inline Ternary t_or(Ternary a, Ternary b) {
+  if (a == Ternary::kOne || b == Ternary::kOne) return Ternary::kOne;
+  if (a == Ternary::kZero && b == Ternary::kZero) return Ternary::kZero;
+  return Ternary::kX;
+}
+
+inline Ternary t_xor(Ternary a, Ternary b) {
+  if (a == Ternary::kX || b == Ternary::kX) return Ternary::kX;
+  return a == b ? Ternary::kZero : Ternary::kOne;
+}
+
+inline Ternary t_mux(Ternary sel, Ternary t, Ternary f) {
+  if (sel == Ternary::kOne) return t;
+  if (sel == Ternary::kZero) return f;
+  // Unknown select: known only if both branches agree.
+  return t == f ? t : Ternary::kX;
+}
+
+inline char t_char(Ternary t) {
+  switch (t) {
+    case Ternary::kZero: return '0';
+    case Ternary::kOne: return '1';
+    case Ternary::kX: return 'x';
+  }
+  return '?';
+}
+
+}  // namespace trojanscout::sim

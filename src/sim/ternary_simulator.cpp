@@ -1,0 +1,121 @@
+#include "sim/ternary_simulator.hpp"
+
+#include <stdexcept>
+
+namespace trojanscout::sim {
+
+using netlist::Gate;
+using netlist::kNullSignal;
+using netlist::Netlist;
+using netlist::Op;
+using netlist::SignalId;
+using netlist::Word;
+
+TernarySimulator::TernarySimulator(const Netlist& nl)
+    : nl_(nl), topo_(nl.topo_order()), values_(nl.size(), Ternary::kX) {
+  reset();
+}
+
+void TernarySimulator::reset() {
+  for (auto& v : values_) v = Ternary::kX;
+  for (const SignalId dff : nl_.dffs()) {
+    values_[dff] = t_from_bool(nl_.gate(dff).init);
+  }
+  eval();
+}
+
+void TernarySimulator::reset_to_x() {
+  for (auto& v : values_) v = Ternary::kX;
+  eval();
+}
+
+void TernarySimulator::set_input(SignalId input, Ternary value) {
+  if (nl_.gate(input).op != Op::kInput) {
+    throw std::invalid_argument("set_input: signal is not a primary input");
+  }
+  values_[input] = value;
+}
+
+void TernarySimulator::set_input_port(const std::string& name,
+                                      std::uint64_t value) {
+  const auto& port = nl_.input_port(name);
+  for (std::size_t i = 0; i < port.bits.size(); ++i) {
+    values_[port.bits[i]] = t_from_bool(i < 64 && ((value >> i) & 1u));
+  }
+}
+
+void TernarySimulator::set_input_port_x(const std::string& name) {
+  const auto& port = nl_.input_port(name);
+  for (const SignalId bit : port.bits) values_[bit] = Ternary::kX;
+}
+
+void TernarySimulator::eval() {
+  for (const SignalId id : topo_) {
+    const Gate& g = nl_.gate(id);
+    switch (g.op) {
+      case Op::kConst0:
+        values_[id] = Ternary::kZero;
+        break;
+      case Op::kConst1:
+        values_[id] = Ternary::kOne;
+        break;
+      case Op::kInput:
+      case Op::kDff:
+        break;
+      case Op::kBuf:
+        values_[id] = values_[g.fanin[0]];
+        break;
+      case Op::kNot:
+        values_[id] = t_not(values_[g.fanin[0]]);
+        break;
+      case Op::kAnd:
+        values_[id] = t_and(values_[g.fanin[0]], values_[g.fanin[1]]);
+        break;
+      case Op::kOr:
+        values_[id] = t_or(values_[g.fanin[0]], values_[g.fanin[1]]);
+        break;
+      case Op::kXor:
+        values_[id] = t_xor(values_[g.fanin[0]], values_[g.fanin[1]]);
+        break;
+      case Op::kXnor:
+        values_[id] = t_not(t_xor(values_[g.fanin[0]], values_[g.fanin[1]]));
+        break;
+      case Op::kNand:
+        values_[id] = t_not(t_and(values_[g.fanin[0]], values_[g.fanin[1]]));
+        break;
+      case Op::kNor:
+        values_[id] = t_not(t_or(values_[g.fanin[0]], values_[g.fanin[1]]));
+        break;
+      case Op::kMux:
+        values_[id] = t_mux(values_[g.fanin[0]], values_[g.fanin[1]],
+                            values_[g.fanin[2]]);
+        break;
+    }
+  }
+}
+
+void TernarySimulator::step() {
+  eval();
+  std::vector<Ternary> next(nl_.dffs().size());
+  for (std::size_t i = 0; i < nl_.dffs().size(); ++i) {
+    const Gate& g = nl_.gate(nl_.dffs()[i]);
+    if (g.fanin[0] == kNullSignal) {
+      throw std::runtime_error("step: DFF with unconnected input");
+    }
+    next[i] = values_[g.fanin[0]];
+  }
+  for (std::size_t i = 0; i < nl_.dffs().size(); ++i) {
+    values_[nl_.dffs()[i]] = next[i];
+  }
+  eval();
+}
+
+std::string TernarySimulator::read_word_string(const Word& word) const {
+  std::string out(word.size(), 'x');
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    out[word.size() - 1 - i] = t_char(values_[word[i]]);
+  }
+  return out;
+}
+
+}  // namespace trojanscout::sim

@@ -1,0 +1,46 @@
+// Three-valued (0/1/X) cycle simulator.
+//
+// Models unknown inputs and uninitialized state; used to unit-test the
+// ternary evaluation shared with the ATPG engine and to sanity-check
+// X-propagation through the design cores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/ternary.hpp"
+
+namespace trojanscout::sim {
+
+class TernarySimulator {
+ public:
+  explicit TernarySimulator(const netlist::Netlist& nl);
+
+  /// All DFFs to reset values, inputs to X.
+  void reset();
+
+  /// All DFFs to X (power-up without reset), inputs to X.
+  void reset_to_x();
+
+  void set_input(netlist::SignalId input, Ternary value);
+  void set_input_port(const std::string& name, std::uint64_t value);
+  void set_input_port_x(const std::string& name);
+
+  void eval();
+  void step();
+
+  [[nodiscard]] Ternary value(netlist::SignalId id) const {
+    return values_[id];
+  }
+
+  /// Reads a word as a string of '0'/'1'/'x', MSB first.
+  [[nodiscard]] std::string read_word_string(const netlist::Word& word) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::SignalId> topo_;
+  std::vector<Ternary> values_;
+};
+
+}  // namespace trojanscout::sim

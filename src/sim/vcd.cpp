@@ -1,0 +1,83 @@
+#include "sim/vcd.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace trojanscout::sim {
+
+namespace {
+
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+struct TracedWord {
+  std::string name;
+  netlist::Word bits;
+  std::string id;
+};
+
+}  // namespace
+
+bool write_witness_vcd(const netlist::Netlist& nl, const Witness& witness,
+                       const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!f) return false;
+
+  std::vector<TracedWord> traced;
+  for (const auto& p : nl.input_ports()) {
+    traced.push_back({"in_" + p.name, p.bits, vcd_id(traced.size())});
+  }
+  for (const auto& p : nl.output_ports()) {
+    traced.push_back({"out_" + p.name, p.bits, vcd_id(traced.size())});
+  }
+  for (const auto& r : nl.registers()) {
+    std::string safe = r.name;
+    for (auto& c : safe) {
+      if (c == '[' || c == ']' || c == ' ') c = '_';
+    }
+    traced.push_back({"reg_" + safe, r.dffs, vcd_id(traced.size())});
+  }
+
+  std::fprintf(f.get(), "$date trojanscout witness $end\n");
+  std::fprintf(f.get(), "$timescale 1ns $end\n");
+  std::fprintf(f.get(), "$scope module dut $end\n");
+  for (const auto& t : traced) {
+    std::fprintf(f.get(), "$var wire %zu %s %s $end\n", t.bits.size(),
+                 t.id.c_str(), t.name.c_str());
+  }
+  std::fprintf(f.get(), "$upscope $end\n$enddefinitions $end\n");
+
+  Simulator simulator(nl);
+  std::vector<std::string> last(traced.size());
+  for (std::size_t t = 0; t < witness.frames.size(); ++t) {
+    simulator.set_inputs(witness.frames[t].bits);
+    simulator.eval();
+    std::fprintf(f.get(), "#%zu\n", t * 10);
+    for (std::size_t w = 0; w < traced.size(); ++w) {
+      std::string value = "b";
+      for (std::size_t i = traced[w].bits.size(); i-- > 0;) {
+        value.push_back(simulator.value(traced[w].bits[i]) ? '1' : '0');
+      }
+      if (value != last[w]) {
+        std::fprintf(f.get(), "%s %s\n", value.c_str(), traced[w].id.c_str());
+        last[w] = value;
+      }
+    }
+    simulator.step();
+  }
+  std::fprintf(f.get(), "#%zu\n", witness.frames.size() * 10);
+  return true;
+}
+
+}  // namespace trojanscout::sim

@@ -1,0 +1,18 @@
+// VCD (Value Change Dump) writer for witness replays, so counterexamples
+// produced by the detector can be inspected in any waveform viewer.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/witness.hpp"
+
+namespace trojanscout::sim {
+
+/// Replays `witness` on `nl` and writes a VCD trace of all input ports,
+/// output ports, and named registers to `path`.
+/// Returns false if the file could not be opened.
+bool write_witness_vcd(const netlist::Netlist& nl, const Witness& witness,
+                       const std::string& path);
+
+}  // namespace trojanscout::sim

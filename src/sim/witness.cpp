@@ -1,0 +1,46 @@
+#include "sim/witness.hpp"
+
+#include <sstream>
+
+namespace trojanscout::sim {
+
+std::uint64_t Witness::port_value(const netlist::Netlist& nl,
+                                  const std::string& port,
+                                  std::size_t t) const {
+  return port_bits(nl, port, t).to_uint();
+}
+
+util::BitVec Witness::port_bits(const netlist::Netlist& nl,
+                                const std::string& port,
+                                std::size_t t) const {
+  const auto& p = nl.input_port(port);
+  util::BitVec out(p.bits.size());
+  for (std::size_t i = 0; i < p.bits.size(); ++i) {
+    const std::size_t idx = nl.input_index(p.bits[i]);
+    if (idx < frames[t].bits.size()) {
+      out.set(i, frames[t].bits.get(idx));
+    }
+  }
+  return out;
+}
+
+std::string Witness::to_string(const netlist::Netlist& nl,
+                               std::size_t max_frames) const {
+  std::ostringstream os;
+  os << "witness of length " << frames.size() << ", violation at cycle "
+     << violation_frame << "\n";
+  const std::size_t shown = std::min(max_frames, frames.size());
+  for (std::size_t t = 0; t < shown; ++t) {
+    os << "  cycle " << t << ":";
+    for (const auto& port : nl.input_ports()) {
+      os << " " << port.name << "=0x" << port_bits(nl, port.name, t).to_hex_string();
+    }
+    os << "\n";
+  }
+  if (shown < frames.size()) {
+    os << "  ... (" << frames.size() - shown << " more cycles)\n";
+  }
+  return os.str();
+}
+
+}  // namespace trojanscout::sim

@@ -1,0 +1,43 @@
+// Counterexample (witness) representation shared by the BMC and ATPG back
+// ends, matching the paper's notion of a Trojan trigger: "a sequence of
+// inputs which violates the property" (Section 1.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace trojanscout::sim {
+
+/// One frame of primary-input values, indexed by Netlist::inputs() order.
+struct InputFrame {
+  util::BitVec bits;
+};
+
+/// A witness is an input sequence i_1 ... i_T; the property is violated at
+/// clock cycle `violation_frame` (0-based).
+struct Witness {
+  std::vector<InputFrame> frames;
+  std::size_t violation_frame = 0;
+
+  [[nodiscard]] std::size_t length() const { return frames.size(); }
+
+  /// Reads the value assigned to a named input port at frame t.
+  [[nodiscard]] std::uint64_t port_value(const netlist::Netlist& nl,
+                                         const std::string& port,
+                                         std::size_t t) const;
+
+  /// Reads the value assigned to a named input port as a BitVec (any width).
+  [[nodiscard]] util::BitVec port_bits(const netlist::Netlist& nl,
+                                       const std::string& port,
+                                       std::size_t t) const;
+
+  /// Human-readable multi-line dump of the input ports per frame.
+  [[nodiscard]] std::string to_string(const netlist::Netlist& nl,
+                                      std::size_t max_frames = 16) const;
+};
+
+}  // namespace trojanscout::sim

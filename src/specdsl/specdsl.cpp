@@ -1,0 +1,343 @@
+#include "specdsl/specdsl.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/wordops.hpp"
+
+namespace trojanscout::specdsl {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+namespace {
+
+struct SpecError : std::runtime_error {
+  SpecError(int line, const std::string& message)
+      : std::runtime_error("spec: line " + std::to_string(line) + ": " +
+                           message) {}
+};
+
+/// Tokenizer over one condition/value tail.
+class Tokens {
+ public:
+  Tokens(int line, const std::string& text) : line_(line) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                text[j] == '_')) {
+          ++j;
+        }
+        tokens_.push_back(text.substr(i, j - i));
+        i = j;
+        continue;
+      }
+      // Two-char operators.
+      if (i + 1 < text.size()) {
+        const std::string two = text.substr(i, 2);
+        if (two == "&&" || two == "||" || two == "==" || two == "!=" ||
+            two == "->") {
+          tokens_.push_back(two);
+          i += 2;
+          continue;
+        }
+      }
+      if (c == '(' || c == ')' || c == '!' || c == '[' || c == ']') {
+        tokens_.push_back(std::string(1, c));
+        ++i;
+        continue;
+      }
+      throw SpecError(line_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] const std::string& peek() const {
+    static const std::string kEnd = "<end>";
+    return done() ? kEnd : tokens_[pos_];
+  }
+  std::string next() {
+    if (done()) throw SpecError(line_, "unexpected end of line");
+    return tokens_[pos_++];
+  }
+  void expect(const std::string& token) {
+    const std::string got = next();
+    if (got != token) {
+      throw SpecError(line_, "expected '" + token + "', got '" + got + "'");
+    }
+  }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t parse_integer(Tokens& t) {
+  const std::string token = t.next();
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(token.c_str(), &end, 0);
+  if (end == token.c_str() || *end != '\0') {
+    throw SpecError(t.line(), "expected integer, got '" + token + "'");
+  }
+  return value;
+}
+
+/// Resolves an identifier to a Word: input port first, then register.
+Word resolve_word(Netlist& nl, Tokens& t, const std::string& name) {
+  for (const auto& port : nl.input_ports()) {
+    if (port.name == name) return port.bits;
+  }
+  if (nl.has_register(name)) return nl.find_register(name).dffs;
+  throw SpecError(t.line(), "unknown port or register '" + name + "'");
+}
+
+/// operand := identifier [ '[' bit ']' ]
+Word parse_operand(Netlist& nl, Tokens& t) {
+  const std::string name = t.next();
+  Word word = resolve_word(nl, t, name);
+  if (t.peek() == "[") {
+    t.expect("[");
+    const std::uint64_t bit = parse_integer(t);
+    t.expect("]");
+    if (bit >= word.size()) {
+      throw SpecError(t.line(), "bit index out of range for '" + name + "'");
+    }
+    return Word{word[bit]};
+  }
+  return word;
+}
+
+SignalId parse_or(Netlist& nl, Tokens& t);
+
+SignalId parse_unary(Netlist& nl, Tokens& t) {
+  if (t.peek() == "!") {
+    t.expect("!");
+    return nl.b_not(parse_unary(nl, t));
+  }
+  if (t.peek() == "(") {
+    t.expect("(");
+    const SignalId inner = parse_or(nl, t);
+    t.expect(")");
+    return inner;
+  }
+  const Word lhs = parse_operand(nl, t);
+  const std::string op = t.next();
+  if (op != "==" && op != "!=") {
+    throw SpecError(t.line(), "expected == or != after operand");
+  }
+  const std::uint64_t value = parse_integer(t);
+  const SignalId eq = netlist::w_eq_const(nl, lhs, value);
+  return op == "==" ? eq : nl.b_not(eq);
+}
+
+SignalId parse_and(Netlist& nl, Tokens& t) {
+  SignalId acc = parse_unary(nl, t);
+  while (t.peek() == "&&") {
+    t.expect("&&");
+    acc = nl.b_and(acc, parse_unary(nl, t));
+  }
+  return acc;
+}
+
+SignalId parse_or(Netlist& nl, Tokens& t) {
+  SignalId acc = parse_and(nl, t);
+  while (t.peek() == "||") {
+    t.expect("||");
+    acc = nl.b_or(acc, parse_and(nl, t));
+  }
+  return acc;
+}
+
+/// value := const N | hold | add N | sub N | operand
+Word parse_value(Netlist& nl, Tokens& t, const Word& reg) {
+  const std::string& head = t.peek();
+  if (head == "const") {
+    t.expect("const");
+    return netlist::w_const(nl, parse_integer(t), reg.size());
+  }
+  if (head == "hold") {
+    t.expect("hold");
+    return reg;
+  }
+  if (head == "add") {
+    t.expect("add");
+    return netlist::w_add_const(nl, reg, parse_integer(t));
+  }
+  if (head == "sub") {
+    t.expect("sub");
+    return netlist::w_sub(nl, reg,
+                          netlist::w_const(nl, parse_integer(t), reg.size()));
+  }
+  Word word = parse_operand(nl, t);
+  if (word.size() < reg.size()) {
+    word = netlist::w_resize(nl, word, reg.size());
+  }
+  if (word.size() != reg.size()) {
+    throw SpecError(t.line(), "value width does not match the register");
+  }
+  return word;
+}
+
+/// Extracts the "quoted description" from a raw line; returns the remainder.
+std::string take_quoted(int line, std::string& rest) {
+  const auto open = rest.find('"');
+  if (open == std::string::npos) throw SpecError(line, "expected '\"'");
+  const auto close = rest.find('"', open + 1);
+  if (close == std::string::npos) {
+    throw SpecError(line, "unterminated description string");
+  }
+  const std::string description = rest.substr(open + 1, close - open - 1);
+  rest = rest.substr(close + 1);
+  return description;
+}
+
+std::string strip(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+properties::DesignSpec parse_spec(Netlist& nl, const std::string& text) {
+  properties::DesignSpec spec;
+  properties::RegisterSpec* current = nullptr;
+  Word current_reg;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    // Strip comments, but only a '#' outside of a quoted description.
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '"') in_quotes = !in_quotes;
+      if (raw[i] == '#' && !in_quotes) {
+        raw = raw.substr(0, i);
+        break;
+      }
+    }
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    if (line.rfind("register ", 0) == 0) {
+      const std::string name = strip(line.substr(9));
+      if (!nl.has_register(name)) {
+        throw SpecError(line_number, "design has no register '" + name + "'");
+      }
+      spec.registers.emplace_back();
+      current = &spec.registers.back();
+      current->reg = name;
+      current_reg = nl.find_register(name).dffs;
+      continue;
+    }
+    if (current == nullptr) {
+      throw SpecError(line_number, "statement outside a register block");
+    }
+
+    if (line.rfind("way ", 0) == 0) {
+      std::string rest = line.substr(4);
+      properties::ValidWay way;
+      way.description = take_quoted(line_number, rest);
+      rest = strip(rest);
+      way.cycle_label = "Any";
+      if (rest.rfind("cycle ", 0) == 0) {
+        rest = strip(rest.substr(6));
+        const auto colon = rest.find(':');
+        if (colon == std::string::npos) {
+          throw SpecError(line_number, "expected ':' after cycle label");
+        }
+        way.cycle_label = strip(rest.substr(0, colon));
+        rest = rest.substr(colon + 1);
+      } else {
+        if (rest.empty() || rest[0] != ':') {
+          throw SpecError(line_number, "expected ':' before the condition");
+        }
+        rest = rest.substr(1);
+      }
+      const auto arrow = rest.find("->");
+      if (arrow == std::string::npos) {
+        throw SpecError(line_number, "expected '->' in way");
+      }
+      Tokens cond_tokens(line_number, rest.substr(0, arrow));
+      way.condition = parse_or(nl, cond_tokens);
+      if (!cond_tokens.done()) {
+        throw SpecError(line_number, "trailing tokens after condition");
+      }
+      Tokens value_tokens(line_number, rest.substr(arrow + 2));
+      way.value_description = strip(rest.substr(arrow + 2));
+      way.next_value = parse_value(nl, value_tokens, current_reg);
+      if (!value_tokens.done()) {
+        throw SpecError(line_number, "trailing tokens after value");
+      }
+      current->ways.push_back(std::move(way));
+      continue;
+    }
+
+    if (line.rfind("obligation ", 0) == 0) {
+      std::string rest = line.substr(11);
+      properties::Obligation obligation;
+      obligation.description = take_quoted(line_number, rest);
+      rest = strip(rest);
+      if (rest.empty() || rest[0] != ':') {
+        throw SpecError(line_number, "expected ':' before the condition");
+      }
+      rest = rest.substr(1);
+      // Optional "observe <operand>" and required "latency <N>" tails.
+      std::size_t latency_pos = rest.rfind("latency");
+      if (latency_pos == std::string::npos) {
+        throw SpecError(line_number, "obligation needs 'latency <N>'");
+      }
+      std::string head = rest.substr(0, latency_pos);
+      Tokens latency_tokens(line_number, rest.substr(latency_pos + 7));
+      obligation.latency =
+          static_cast<std::size_t>(parse_integer(latency_tokens));
+
+      const auto observe_pos = head.find("observe");
+      if (observe_pos != std::string::npos) {
+        Tokens observe_tokens(line_number, head.substr(observe_pos + 7));
+        obligation.observed_value = parse_operand(nl, observe_tokens);
+        head = head.substr(0, observe_pos);
+      }
+      Tokens cond_tokens(line_number, head);
+      obligation.condition = parse_or(nl, cond_tokens);
+      current->obligations.push_back(std::move(obligation));
+      continue;
+    }
+
+    throw SpecError(line_number, "unrecognized statement: " + line);
+  }
+  if (spec.registers.empty()) {
+    throw std::runtime_error("spec: no register blocks found");
+  }
+  return spec;
+}
+
+properties::DesignSpec load_spec_file(Netlist& nl, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("spec: cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(nl, buffer.str());
+}
+
+}  // namespace trojanscout::specdsl

@@ -1,0 +1,45 @@
+// Text format for valid-ways specifications — the defender-side contract as
+// a reviewable file, so a design delivered as (structural) Verilog can be
+// audited without writing C++.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   register <name>
+//     way "<description>" [cycle <label>] : <condition> -> <value>
+//     obligation "<description>" : <condition> [observe <operand>] latency <N>
+//
+//   condition := or_expr
+//   or_expr   := and_expr { '||' and_expr }
+//   and_expr  := unary { '&&' unary }
+//   unary     := '!' unary | '(' or_expr ')' | comparison
+//   comparison:= operand ('==' | '!=') integer
+//   operand   := identifier                 (input port or register name)
+//              | identifier '[' bit ']'     (single bit of it)
+//
+//   value     := 'const' integer            (register takes the constant)
+//              | 'hold'                     (explicitly keep the value)
+//              | 'add' integer | 'sub' integer
+//              | operand                    (copied from a port/register)
+//
+// Identifiers resolve to input ports first, then to registers. Integers
+// accept 0x prefixes. Conditions and values elaborate into netlist gates
+// against the supplied design.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "properties/spec.hpp"
+
+namespace trojanscout::specdsl {
+
+/// Parses and elaborates a spec file against `nl`. Throws
+/// std::runtime_error with a line number on syntax errors or unknown names.
+properties::DesignSpec parse_spec(netlist::Netlist& nl,
+                                  const std::string& text);
+
+/// Convenience: reads the file at `path` and parses it.
+properties::DesignSpec load_spec_file(netlist::Netlist& nl,
+                                      const std::string& path);
+
+}  // namespace trojanscout::specdsl

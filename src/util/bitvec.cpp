@@ -1,0 +1,140 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace trojanscout::util {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t nbits) {
+  return (nbits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVec::BitVec(std::size_t nbits, bool fill)
+    : nbits_(nbits), words_(word_count(nbits), fill ? ~0ull : 0ull) {
+  mask_top();
+}
+
+BitVec BitVec::from_uint(std::uint64_t value, std::size_t nbits) {
+  BitVec v(nbits);
+  if (!v.words_.empty()) {
+    v.words_[0] = value;
+    v.mask_top();
+  }
+  return v;
+}
+
+BitVec BitVec::from_binary_string(const std::string& text) {
+  BitVec v(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[text.size() - 1 - i];
+    if (c == '1') {
+      v.set(i, true);
+    } else if (c != '0') {
+      throw std::invalid_argument("BitVec: invalid binary character");
+    }
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  const std::uint64_t mask = 1ull << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) { words_[i / kWordBits] ^= 1ull << (i % kWordBits); }
+
+void BitVec::resize(std::size_t nbits) {
+  nbits_ = nbits;
+  words_.resize(word_count(nbits), 0);
+  mask_top();
+}
+
+void BitVec::clear_all() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::set_all() {
+  for (auto& w : words_) w = ~0ull;
+  mask_top();
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t count = 0;
+  for (const auto w : words_) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+std::uint64_t BitVec::to_uint() const {
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string BitVec::to_binary_string() const {
+  std::string out(nbits_, '0');
+  for (std::size_t i = 0; i < nbits_; ++i) {
+    if (get(i)) out[nbits_ - 1 - i] = '1';
+  }
+  return out;
+}
+
+std::string BitVec::to_hex_string() const {
+  const std::size_t digits = (nbits_ + 3) / 4;
+  std::string out(digits, '0');
+  static const char* kHex = "0123456789abcdef";
+  for (std::size_t d = 0; d < digits; ++d) {
+    unsigned nibble = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::size_t bit = d * 4 + b;
+      if (bit < nbits_ && get(bit)) nibble |= 1u << b;
+    }
+    out[digits - 1 - d] = kHex[nibble];
+  }
+  return out;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  for (std::size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  mask_top();
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= i < other.words_.size() ? other.words_[i] : 0ull;
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  for (std::size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  mask_top();
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+void BitVec::mask_top() {
+  const std::size_t rem = nbits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ull << rem) - 1;
+  }
+}
+
+}  // namespace trojanscout::util

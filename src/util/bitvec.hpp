@@ -1,0 +1,68 @@
+// Dense dynamically sized bit vector.
+//
+// Used for register values in witnesses, simulator state snapshots, and the
+// FANCI truth-table sampler. Unlike std::vector<bool> it exposes word-level
+// access and cheap population count / comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trojanscout::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool fill = false);
+
+  /// Builds a BitVec from the low `nbits` bits of `value` (bit 0 = LSB).
+  static BitVec from_uint(std::uint64_t value, std::size_t nbits);
+
+  /// Parses a binary string, MSB first (e.g. "1010" -> bit3=1 ... bit0=0).
+  /// Characters other than '0'/'1' throw std::invalid_argument.
+  static BitVec from_binary_string(const std::string& text);
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+  [[nodiscard]] bool empty() const { return nbits_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+
+  /// Resizes, zero-filling any new bits.
+  void resize(std::size_t nbits);
+
+  void clear_all();
+  void set_all();
+
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Value of the low 64 bits (or all bits if size() <= 64), bit 0 = LSB.
+  [[nodiscard]] std::uint64_t to_uint() const;
+
+  /// Binary string, MSB first.
+  [[nodiscard]] std::string to_binary_string() const;
+
+  /// Hex string, MSB first, zero-padded to ceil(size/4) digits.
+  [[nodiscard]] std::string to_hex_string() const;
+
+  BitVec& operator^=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+ private:
+  void mask_top();
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace trojanscout::util

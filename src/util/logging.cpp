@@ -1,0 +1,73 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace trojanscout::util {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("TROJANSCOUT_LOG")) {
+      return static_cast<int>(parse_log_level(env));
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      level_storage().load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  return LogLevel::kInfo;
+}
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) {
+  // Strip the directory part so log lines stay short.
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+
+  char buffer[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line,
+               buffer);
+}
+
+}  // namespace trojanscout::util

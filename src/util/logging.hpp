@@ -1,0 +1,57 @@
+// Lightweight leveled logging for trojanscout.
+//
+// Usage:
+//   TS_LOG_INFO("unrolled frame %d (%zu clauses)", frame, n);
+//
+// The log level is a process-global, settable via set_log_level() or the
+// TROJANSCOUT_LOG environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace trojanscout::util {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Sets the global log level. Thread-safe (relaxed atomic).
+void set_log_level(LogLevel level);
+
+/// Returns the current global log level.
+LogLevel log_level();
+
+/// Parses a level name ("error", "warn", "info", "debug", "trace").
+/// Returns kInfo for unrecognized names.
+LogLevel parse_log_level(const std::string& name);
+
+/// Core printf-style log sink. Prefer the TS_LOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace trojanscout::util
+
+#define TS_LOG_AT(level, ...)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) <=                                  \
+        static_cast<int>(::trojanscout::util::log_level())) {       \
+      ::trojanscout::util::log_message(level, __FILE__, __LINE__,   \
+                                       __VA_ARGS__);                \
+    }                                                               \
+  } while (0)
+
+#define TS_LOG_ERROR(...) \
+  TS_LOG_AT(::trojanscout::util::LogLevel::kError, __VA_ARGS__)
+#define TS_LOG_WARN(...) \
+  TS_LOG_AT(::trojanscout::util::LogLevel::kWarn, __VA_ARGS__)
+#define TS_LOG_INFO(...) \
+  TS_LOG_AT(::trojanscout::util::LogLevel::kInfo, __VA_ARGS__)
+#define TS_LOG_DEBUG(...) \
+  TS_LOG_AT(::trojanscout::util::LogLevel::kDebug, __VA_ARGS__)
+#define TS_LOG_TRACE(...) \
+  TS_LOG_AT(::trojanscout::util::LogLevel::kTrace, __VA_ARGS__)

@@ -1,0 +1,51 @@
+#include "util/resource.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace trojanscout::util {
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
+std::uint64_t current_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long long total_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int n = std::fscanf(f, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (n != 2) {
+    return 0;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+const char* format_bytes(std::uint64_t bytes) {
+  thread_local char buffer[32];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1ull << 30) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GB", b / (1ull << 30));
+  } else if (b >= 1ull << 20) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MB", b / (1ull << 20));
+  } else if (b >= 1ull << 10) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KB", b / (1ull << 10));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+}  // namespace trojanscout::util

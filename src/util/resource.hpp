@@ -1,0 +1,23 @@
+// Process resource measurement (peak and current RSS).
+//
+// The paper reports memory in GB for both the BMC and ATPG back ends
+// (Table 1, columns 7 and 11); we reproduce those columns with RSS deltas
+// sampled around each engine run.
+#pragma once
+
+#include <cstdint>
+
+namespace trojanscout::util {
+
+/// Peak resident set size of this process in bytes (ru_maxrss).
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes, read from /proc/self/statm.
+/// Returns 0 if the proc file is unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Formats a byte count as a short human-readable string ("1.25 GB").
+/// The buffer is static thread_local; copy the result if you keep it.
+const char* format_bytes(std::uint64_t bytes);
+
+}  // namespace trojanscout::util

@@ -1,0 +1,33 @@
+// ASCII table printer used by the benchmark binaries to print rows in the
+// same layout as the paper's Tables 1-3.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace trojanscout::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience numeric cell formatters.
+std::string cell_double(double value, int precision = 2);
+std::string cell_bool_yesno(bool value);
+
+}  // namespace trojanscout::util

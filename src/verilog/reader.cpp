@@ -1,0 +1,243 @@
+#include "verilog/reader.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace trojanscout::verilog {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+namespace {
+
+struct ParseError : std::runtime_error {
+  explicit ParseError(int line, const std::string& message)
+      : std::runtime_error("verilog reader: line " + std::to_string(line) +
+                           ": " + message) {}
+};
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream in(s);
+  while (std::getline(in, token, sep)) out.push_back(trim(token));
+  return out;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+Netlist read_verilog(std::istream& in) {
+  std::vector<std::pair<int, std::string>> lines;
+  {
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      const std::string line = trim(raw);
+      if (!line.empty()) lines.emplace_back(number, line);
+    }
+  }
+
+  Netlist nl;
+  std::unordered_map<std::string, SignalId> nets;
+  std::unordered_map<std::string, bool> reg_init;
+  std::vector<std::string> reg_names;        // declaration order
+  std::vector<std::string> input_port_names;  // declaration order
+
+  struct PortDecl {
+    std::string name;
+    std::size_t width;
+    bool is_input;
+  };
+  std::unordered_map<std::string, PortDecl> ports;
+
+  // ---- pass 1: declarations and initial values -----------------------------
+  for (const auto& [number, line] : lines) {
+    if (starts_with(line, "input ") || starts_with(line, "output ")) {
+      const bool is_input = starts_with(line, "input ");
+      std::string rest = trim(line.substr(is_input ? 6 : 7));
+      if (rest == "clk;") continue;
+      std::size_t width = 1;
+      if (starts_with(rest, "[")) {
+        const auto close = rest.find(']');
+        if (close == std::string::npos) throw ParseError(number, "bad range");
+        const std::string range = rest.substr(1, close - 1);
+        const auto colon = range.find(':');
+        try {
+          width =
+              static_cast<std::size_t>(std::stoul(range.substr(0, colon))) + 1;
+        } catch (const std::exception&) {
+          throw ParseError(number, "bad range bound '" + range + "'");
+        }
+        rest = trim(rest.substr(close + 1));
+      }
+      if (rest.empty() || rest.back() != ';') {
+        throw ParseError(number, "missing ';' in port declaration");
+      }
+      const std::string name = trim(rest.substr(0, rest.size() - 1));
+      ports[name] = PortDecl{name, width, is_input};
+      if (is_input) input_port_names.push_back(name);
+    } else if (starts_with(line, "reg ")) {
+      std::string name = trim(line.substr(4));
+      if (name.empty() || name.back() != ';') {
+        throw ParseError(number, "missing ';' in reg declaration");
+      }
+      name = trim(name.substr(0, name.size() - 1));
+      reg_names.push_back(name);
+    } else if (line.find("= 1'b") != std::string::npos &&
+               line.find("assign") == std::string::npos &&
+               line.find("<=") == std::string::npos) {
+      // initial-block entry: "qN = 1'b0;"
+      const auto eq = line.find('=');
+      const std::string name = trim(line.substr(0, eq));
+      const char v = line[line.find("1'b") + 3];
+      reg_init[name] = v == '1';
+    }
+  }
+
+  // Inputs first (ports define the PI order), then DFF shells.
+  for (const auto& name : input_port_names) {
+    const Word bits = nl.add_input_port(name, ports.at(name).width);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      // Port bit extraction assigns ("assign nX = name[i];") alias these.
+      nets[name + "[" + std::to_string(i) + "]"] = bits[i];
+    }
+  }
+  for (const auto& name : reg_names) {
+    const auto it = reg_init.find(name);
+    nets[name] = nl.add_dff(it != reg_init.end() && it->second);
+    nl.set_name(nets[name], name);
+  }
+
+  // ---- pass 2: structure -----------------------------------------------------
+  auto resolve = [&](int number, const std::string& token) -> SignalId {
+    const std::string t = trim(token);
+    if (t == "1'b0") return nl.const0();
+    if (t == "1'b1") return nl.const1();
+    const auto it = nets.find(t);
+    if (it == nets.end()) throw ParseError(number, "unknown net '" + t + "'");
+    return it->second;
+  };
+
+  for (const auto& [number, line] : lines) {
+    if (starts_with(line, "// @register ")) {
+      const auto tokens = split(line.substr(13), ' ');
+      // tokens separated by spaces: first is the name, rest are DFD nets;
+      // split(' ') may produce empties, filter them.
+      std::vector<std::string> parts;
+      std::istringstream ts(line.substr(13));
+      std::string tk;
+      while (ts >> tk) parts.push_back(tk);
+      if (parts.empty()) throw ParseError(number, "empty @register");
+      Word dffs;
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        dffs.push_back(resolve(number, parts[i]));
+      }
+      nl.add_register(parts[0], dffs);
+      (void)tokens;
+      continue;
+    }
+    if (starts_with(line, "assign ")) {
+      const auto eq = line.find('=');
+      if (eq == std::string::npos || line.back() != ';') {
+        throw ParseError(number, "malformed assign");
+      }
+      const std::string lhs = trim(line.substr(7, eq - 7));
+      std::string rhs = trim(line.substr(eq + 1));
+      rhs = trim(rhs.substr(0, rhs.size() - 1));  // strip ';'
+
+      // Output port concatenation: assign port = {a, b, ...};
+      if (!rhs.empty() && rhs.front() == '{') {
+        if (rhs.back() != '}') throw ParseError(number, "malformed concat");
+        const auto items = split(rhs.substr(1, rhs.size() - 2), ',');
+        Word bits;
+        for (auto it = items.rbegin(); it != items.rend(); ++it) {
+          bits.push_back(resolve(number, *it));  // MSB first in text
+        }
+        nl.add_output_port(lhs, bits);
+        continue;
+      }
+
+      SignalId value = netlist::kNullSignal;
+      // Mux: s ? t : f
+      const auto qm = rhs.find('?');
+      if (qm != std::string::npos) {
+        const auto colon = rhs.find(':', qm);
+        if (colon == std::string::npos) throw ParseError(number, "bad mux");
+        value = nl.b_mux(resolve(number, rhs.substr(0, qm)),
+                         resolve(number, rhs.substr(qm + 1, colon - qm - 1)),
+                         resolve(number, rhs.substr(colon + 1)));
+      } else if (starts_with(rhs, "~(")) {
+        if (rhs.back() != ')') throw ParseError(number, "bad negated group");
+        const std::string inner = rhs.substr(2, rhs.size() - 3);
+        for (const char op : {'&', '|', '^'}) {
+          const auto pos = inner.find(op);
+          if (pos == std::string::npos) continue;
+          const SignalId a = resolve(number, inner.substr(0, pos));
+          const SignalId b = resolve(number, inner.substr(pos + 1));
+          value = op == '&' ? nl.b_nand(a, b)
+                            : op == '|' ? nl.b_nor(a, b) : nl.b_xnor(a, b);
+          break;
+        }
+        if (value == netlist::kNullSignal) {
+          throw ParseError(number, "bad negated expression");
+        }
+      } else if (starts_with(rhs, "~")) {
+        value = nl.b_not(resolve(number, rhs.substr(1)));
+      } else {
+        bool matched = false;
+        for (const char op : {'&', '|', '^'}) {
+          const auto pos = rhs.find(op);
+          if (pos == std::string::npos) continue;
+          const SignalId a = resolve(number, rhs.substr(0, pos));
+          const SignalId b = resolve(number, rhs.substr(pos + 1));
+          value = op == '&' ? nl.b_and(a, b)
+                            : op == '|' ? nl.b_or(a, b) : nl.b_xor(a, b);
+          matched = true;
+          break;
+        }
+        if (!matched) {
+          // Plain alias: assign nX = name[i]; / assign nX = nY;
+          value = resolve(number, rhs);
+        }
+      }
+      nets[lhs] = value;
+      continue;
+    }
+    // DFF update: "qN <= net;"
+    const auto arrow = line.find("<=");
+    if (arrow != std::string::npos && line.back() == ';') {
+      const std::string lhs = trim(line.substr(0, arrow));
+      const std::string rhs =
+          trim(line.substr(arrow + 2, line.size() - arrow - 3));
+      const auto it = nets.find(lhs);
+      if (it == nets.end()) throw ParseError(number, "unknown reg " + lhs);
+      nl.connect_dff_input(it->second, resolve(number, rhs));
+      continue;
+    }
+    // Everything else (module header, begin/end, comments) is ignored.
+  }
+  return nl;
+}
+
+Netlist read_verilog_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_verilog(in);
+}
+
+}  // namespace trojanscout::verilog

@@ -1,0 +1,21 @@
+// Reader for the structural Verilog subset emitted by writer.hpp.
+//
+// Supports exactly the constructs the writer produces (3PIP gate-level
+// deliveries in this style are common): multi-bit input/output ports,
+// wire/reg declarations, two-operand continuous assigns with optional
+// negation, mux assigns, non-blocking DFF updates in one always block,
+// initial-block reset values, and `// @register` metadata comments.
+// Throws std::runtime_error with a line number on anything else.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::verilog {
+
+netlist::Netlist read_verilog(std::istream& in);
+netlist::Netlist read_verilog_string(const std::string& text);
+
+}  // namespace trojanscout::verilog

@@ -1,0 +1,24 @@
+// Structural Verilog writer for the netlist IR.
+//
+// Emits a synthesizable single-clock structural subset: continuous assigns
+// for combinational gates, one always-block per DFF, an initial block for
+// reset values, and `// @register` metadata comments so named registers
+// survive a round trip through the reader. The paper's flow embeds property
+// monitors into the Verilog handed to SMV/TetraMAX; this writer is how a
+// trojanscout netlist (design + monitor) would be exported to such tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::verilog {
+
+void write_verilog(std::ostream& os, const netlist::Netlist& nl,
+                   const std::string& module_name);
+
+std::string to_verilog_string(const netlist::Netlist& nl,
+                              const std::string& module_name);
+
+}  // namespace trojanscout::verilog

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Integration test for trojanscout_cli: generate a Trojaned core as Verilog,
+# audit it against the shipped spec, and require the Trojan verdict (exit 2).
+set -e
+CLI="$1"
+SPEC_DIR="$2"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen --family=mc8051 --trojan=MC8051-T800 --out="$WORK/ip.v"
+"$CLI" info --design="$WORK/ip.v" | grep -q "registers:.*sp"
+
+set +e
+"$CLI" check --design="$WORK/ip.v" --spec="$SPEC_DIR/mc8051_sp.spec" \
+  --register=sp --frames=16 --minimize --vcd="$WORK/w.vcd"
+CODE=$?
+set -e
+[ "$CODE" -eq 2 ] || { echo "expected Trojan verdict (2), got $CODE"; exit 1; }
+[ -s "$WORK/w.vcd" ] || { echo "missing VCD"; exit 1; }
+
+# Clean design must pass and be provable forever.
+"$CLI" gen --family=mc8051 --out="$WORK/clean.v"
+"$CLI" check --design="$WORK/clean.v" --spec="$SPEC_DIR/mc8051_sp.spec" \
+  --register=sp --frames=12
+"$CLI" prove --design="$WORK/clean.v" --spec="$SPEC_DIR/mc8051_sp.spec" \
+  --register=sp | grep -q PROVEN
+echo "cli demo OK"

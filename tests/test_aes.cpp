@@ -1,0 +1,201 @@
+// AES tests: the software reference against FIPS-197, and the gate-level
+// core bit-for-bit against the reference.
+#include <gtest/gtest.h>
+
+#include "designs/aes.hpp"
+#include "designs/aes_ref.hpp"
+#include "sim/simulator.hpp"
+#include "util/bitvec.hpp"
+
+namespace trojanscout::designs {
+namespace {
+
+TEST(AesRef, SboxKnownEntries) {
+  const auto& sbox = aes_sbox();
+  EXPECT_EQ(sbox[0x00], 0x63);
+  EXPECT_EQ(sbox[0x01], 0x7c);
+  EXPECT_EQ(sbox[0x53], 0xed);
+  EXPECT_EQ(sbox[0xff], 0x16);
+  EXPECT_EQ(sbox[0x10], 0xca);
+}
+
+TEST(AesRef, SboxIsABijection) {
+  const auto& sbox = aes_sbox();
+  std::array<int, 256> seen{};
+  for (int x = 0; x < 256; ++x) seen[sbox[static_cast<std::size_t>(x)]]++;
+  for (int y = 0; y < 256; ++y) EXPECT_EQ(seen[static_cast<std::size_t>(y)], 1);
+}
+
+TEST(AesRef, GfMulBasics) {
+  EXPECT_EQ(gf_mul(0x57, 0x83), 0xc1);  // FIPS-197 example
+  EXPECT_EQ(gf_mul(0x57, 0x13), 0xfe);
+  EXPECT_EQ(gf_mul(0x00, 0x12), 0x00);
+  EXPECT_EQ(gf_mul(0x01, 0xab), 0xab);
+}
+
+TEST(AesRef, Fips197Vector) {
+  const AesBlock key = aes_block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const AesBlock pt = aes_block_from_hex("00112233445566778899aabbccddeeff");
+  const AesBlock expected =
+      aes_block_from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes_encrypt(pt, key), expected);
+}
+
+TEST(AesRef, Fips197AppendixBVector) {
+  const AesBlock key = aes_block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const AesBlock pt = aes_block_from_hex("3243f6a8885a308d313198a2e0370734");
+  const AesBlock expected =
+      aes_block_from_hex("3925841d02dc09fbdc118597196a0b32");
+  EXPECT_EQ(aes_encrypt(pt, key), expected);
+}
+
+TEST(AesRef, KeyExpansionFirstStep) {
+  const AesBlock key = aes_block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto rk = aes_expand_key(key);
+  // FIPS-197 Appendix A: w[4..7] = a0fafe17 88542cb1 23a33939 2a6c7605.
+  const AesBlock expected =
+      aes_block_from_hex("a0fafe1788542cb123a339392a6c7605");
+  EXPECT_EQ(rk[1], expected);
+}
+
+// ---- gate-level core ---------------------------------------------------------
+
+/// Drives one block through the netlist core; writes the ciphertext to *out
+/// (out-parameter so gtest ASSERTs can be used inside).
+void encrypt_on_core(const Design& design, const AesBlock& pt,
+                     const AesBlock& key, AesBlock* out_block) {
+  sim::Simulator simulator(design.nl);
+  auto block_bits = [](const AesBlock& block) {
+    util::BitVec bits(128);
+    for (std::size_t b = 0; b < 16; ++b) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        bits.set(8 * (15 - b) + i, ((block[b] >> i) & 1u) != 0);
+      }
+    }
+    return bits;
+  };
+
+  simulator.set_input_port("reset", 1);
+  simulator.step();
+  simulator.set_input_port("reset", 0);
+  simulator.set_input_port("load_key", 1);
+  simulator.set_input_port("key_in", block_bits(key));
+  simulator.step();
+  simulator.set_input_port("load_key", 0);
+  simulator.set_input_port("start", 1);
+  simulator.set_input_port("plaintext", block_bits(pt));
+  simulator.step();
+  simulator.set_input_port("start", 0);
+  int guard = 0;
+  while (simulator.read_output("done") == 0) {
+    simulator.step();
+    ASSERT_LE(++guard, 20) << "core did not finish";
+  }
+  const util::BitVec ct = simulator.read_bits(
+      design.nl.output_port("ciphertext").bits);
+  AesBlock out{};
+  for (std::size_t b = 0; b < 16; ++b) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (ct.get(8 * (15 - b) + i)) {
+        out[b] |= static_cast<std::uint8_t>(1u << i);
+      }
+    }
+  }
+  *out_block = out;
+}
+
+AesBlock encrypt_on_core_checked(const Design& design, const AesBlock& pt,
+                                 const AesBlock& key) {
+  AesBlock out{};
+  encrypt_on_core(design, pt, key, &out);
+  return out;
+}
+
+TEST(AesCore, MatchesReferenceOnFipsVector) {
+  const Design design = build_aes({});
+  const AesBlock key = aes_block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const AesBlock pt = aes_block_from_hex("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(encrypt_on_core_checked(design, pt, key), aes_encrypt(pt, key));
+}
+
+TEST(AesCore, MatchesReferenceOnRandomBlocks) {
+  const Design design = build_aes({});
+  std::uint64_t seed = 0x1234;
+  for (int round = 0; round < 4; ++round) {
+    AesBlock key{};
+    AesBlock pt{};
+    for (auto& b : key) {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      b = static_cast<std::uint8_t>(seed >> 33);
+    }
+    for (auto& b : pt) {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      b = static_cast<std::uint8_t>(seed >> 33);
+    }
+    EXPECT_EQ(encrypt_on_core_checked(design, pt, key), aes_encrypt(pt, key));
+  }
+}
+
+TEST(AesCore, TrojanT700CorruptsKeyOnTriggerPlaintext) {
+  AesOptions options;
+  options.trojan = AesTrojan::kT700;
+  const Design design = build_aes(options);
+  const AesBlock key = aes_block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const AesBlock trigger_pt = aes_block_from_hex(kAesT700Plaintext);
+
+  sim::Simulator simulator(design.nl);
+  auto set_block = [&](const char* port, const AesBlock& block) {
+    util::BitVec bits(128);
+    for (std::size_t b = 0; b < 16; ++b) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        bits.set(8 * (15 - b) + i, ((block[b] >> i) & 1u) != 0);
+      }
+    }
+    simulator.set_input_port(port, bits);
+  };
+  simulator.set_input_port("reset", 1);
+  simulator.step();
+  simulator.set_input_port("reset", 0);
+  simulator.set_input_port("load_key", 1);
+  set_block("key_in", key);
+  simulator.step();
+  simulator.set_input_port("load_key", 0);
+
+  const util::BitVec key_before = simulator.read_register_bits("key_reg");
+  set_block("plaintext", trigger_pt);
+  simulator.set_input_port("start", 1);
+  simulator.step();
+  simulator.set_input_port("start", 0);
+  // The DeTrust scan takes 16 cycles after the start.
+  for (int i = 0; i < 20; ++i) simulator.step();
+  const util::BitVec key_after = simulator.read_register_bits("key_reg");
+  EXPECT_NE(key_before, key_after) << "trigger plaintext must corrupt the key";
+
+  // A non-trigger plaintext must leave the key alone.
+  const Design clean_run = build_aes(options);
+  sim::Simulator sim2(clean_run.nl);
+  sim2.set_input_port("reset", 1);
+  sim2.step();
+  sim2.set_input_port("reset", 0);
+  sim2.set_input_port("load_key", 1);
+  {
+    util::BitVec bits(128);
+    for (std::size_t b = 0; b < 16; ++b) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        bits.set(8 * (15 - b) + i, ((key[b] >> i) & 1u) != 0);
+      }
+    }
+    sim2.set_input_port("key_in", bits);
+  }
+  sim2.step();
+  sim2.set_input_port("load_key", 0);
+  const util::BitVec kb = sim2.read_register_bits("key_reg");
+  sim2.set_input_port("start", 1);
+  sim2.step();
+  sim2.set_input_port("start", 0);
+  for (int i = 0; i < 20; ++i) sim2.step();
+  EXPECT_EQ(kb, sim2.read_register_bits("key_reg"));
+}
+
+}  // namespace
+}  // namespace trojanscout::designs

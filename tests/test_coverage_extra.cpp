@@ -1,0 +1,209 @@
+// Supplementary coverage: solver budgets and minimization stats, remaining
+// word ops, the reversed (candidate-leads) Eq. 3 direction, DSL-driven
+// bypass checks, and back-to-back AES encryption.
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hpp"
+#include "core/detector.hpp"
+#include "designs/aes.hpp"
+#include "designs/aes_ref.hpp"
+#include "designs/mc8051.hpp"
+#include "netlist/wordops.hpp"
+#include "properties/miter.hpp"
+#include "properties/monitors.hpp"
+#include "sat/solver.hpp"
+#include "sim/simulator.hpp"
+#include "specdsl/specdsl.hpp"
+
+namespace trojanscout {
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+// ---- SAT details ------------------------------------------------------------
+
+TEST(SatDetails, PropagationBudgetYieldsUnknown) {
+  sat::Solver solver;
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < 20; ++i) vars.push_back(solver.new_var());
+  // A chain a0 -> a1 -> ... forces many propagations once a0 decided.
+  for (int i = 0; i + 1 < 20; ++i) {
+    solver.add_clause(sat::Lit(vars[i], true), sat::Lit(vars[i + 1], false));
+  }
+  sat::Budget budget;
+  budget.propagation_limit = 1;
+  // Propagation-limited solves must terminate (kUnknown or a fast answer).
+  const auto result = solver.solve({}, budget);
+  EXPECT_TRUE(result == sat::SolveResult::kUnknown ||
+              result == sat::SolveResult::kSat);
+}
+
+TEST(SatDetails, ClauseMinimizationActuallyDropsLiterals) {
+  // Minimization changes the search trajectory, so total learned-literal
+  // counts are not comparable across runs; assert the mechanism fires and
+  // the answer is unchanged.
+  designs::Mc8051Options options;
+  options.trojan = designs::Mc8051Trojan::kT400;
+  designs::Design design = designs::build_mc8051(options);
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("ie"),
+      properties::CorruptionMonitorKind::kExact);
+  bmc::BmcOptions bmc_options;
+  bmc_options.max_frames = 12;
+  const auto result = bmc::check_bad_signal(design.nl, bad, bmc_options);
+  EXPECT_TRUE(result.violated());
+  EXPECT_GT(result.sat_stats.minimized_literals, 0u);
+
+  bmc_options.solver.enable_clause_minimization = false;
+  designs::Design design2 = designs::build_mc8051(options);
+  const auto bad2 = properties::build_corruption_monitor(
+      design2.nl, design2.spec.at("ie"),
+      properties::CorruptionMonitorKind::kExact);
+  const auto result2 = bmc::check_bad_signal(design2.nl, bad2, bmc_options);
+  EXPECT_TRUE(result2.violated());
+  EXPECT_EQ(result2.sat_stats.minimized_literals, 0u);
+}
+
+TEST(SatDetails, AddClauseAfterSolveKeepsIncrementality) {
+  sat::Solver solver;
+  const sat::Var a = solver.new_var();
+  const sat::Var b = solver.new_var();
+  solver.add_clause(sat::Lit(a, false), sat::Lit(b, false));
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  solver.add_clause(sat::Lit(a, true));
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  EXPECT_TRUE(solver.model_value(b));
+  solver.add_clause(sat::Lit(b, true));
+  EXPECT_EQ(solver.solve(), sat::SolveResult::kUnsat);
+}
+
+// ---- word ops leftovers --------------------------------------------------------
+
+TEST(WordOpsLeftovers, DecodeSplatConcat) {
+  Netlist nl;
+  const Word a = nl.add_input_port("a", 2);
+  const SignalId bit = nl.add_input_port("b", 1)[0];
+  nl.add_output_port("dec", netlist::w_decode(nl, a, 4));
+  nl.add_output_port("spl", netlist::w_splat(bit, 3));
+  nl.add_output_port("cat",
+                     netlist::w_concat(a, netlist::w_splat(bit, 1)));
+  sim::Simulator s(nl);
+  for (unsigned v = 0; v < 4; ++v) {
+    s.set_input_port("a", v);
+    s.set_input_port("b", 1);
+    s.eval();
+    EXPECT_EQ(s.read_output("dec"), 1u << v);
+    EXPECT_EQ(s.read_output("spl"), 0x7u);
+    EXPECT_EQ(s.read_output("cat"), (1u << 2) | v);
+  }
+}
+
+// ---- Eq. 3 reversed direction ----------------------------------------------------
+
+TEST(PseudoReversed, CandidateBeforeCriticalIsCertified) {
+  // P feeds R (pseudo-critical register placed *before* the critical one,
+  // Section 4.1's final remark): R_t == P_{t-1}.
+  Netlist nl;
+  const Word in = nl.add_input_port("in", 4);
+  const Word p = netlist::w_make_register(nl, "p", 4, 0);
+  netlist::w_connect(nl, p, in);
+  const Word r = netlist::w_make_register(nl, "r", 4, 0);
+  netlist::w_connect(nl, r, p);
+  nl.add_output_port("out", r);
+
+  const auto bad = properties::build_pseudo_critical_monitor(
+      nl, "r", "p", properties::PseudoPolarity::kIdentity,
+      /*candidate_leads=*/true);
+  bmc::BmcOptions options;
+  options.max_frames = 10;
+  EXPECT_EQ(bmc::check_bad_signal(nl, bad, options).status,
+            bmc::BmcStatus::kBoundReached);
+
+  // And the unshifted direction must be refutable (P does not lag R).
+  Netlist copy = nl;
+  const auto bad2 = properties::build_pseudo_critical_monitor(
+      copy, "r", "p", properties::PseudoPolarity::kIdentity,
+      /*candidate_leads=*/false);
+  EXPECT_EQ(bmc::check_bad_signal(copy, bad2, options).status,
+            bmc::BmcStatus::kViolated);
+}
+
+// ---- DSL-driven bypass check -----------------------------------------------------
+
+TEST(SpecDslBypass, ObligationFromTheDslDrivesTheMiter) {
+  designs::Design design = designs::build_mc8051({});
+  const char* text = R"(
+register sp
+  way "Reset"      : reset == 1 -> const 0x07
+  way "LCALL"      : phase == 1 && opcode == 0x12 -> add 1
+  way "RET"        : phase == 1 && opcode == 0x22 -> sub 1
+  way "MOV SP,#d"  : phase == 1 && opcode == 0x75 -> code_operand
+  obligation "sp visible on sp_out" : reset == 0 observe sp latency 2
+)";
+  const auto spec = specdsl::parse_spec(design.nl, text);
+  const auto miter =
+      properties::build_bypass_miter(design.nl, spec.registers[0]);
+  bmc::BmcOptions options;
+  options.max_frames = 12;
+  EXPECT_EQ(bmc::check_bad_signal(miter.nl, miter.bad, options).status,
+            bmc::BmcStatus::kBoundReached)
+      << "clean design must pass the DSL-declared obligation";
+}
+
+// ---- AES back-to-back ------------------------------------------------------------
+
+TEST(AesBackToBack, TwoEncryptionsWithoutReloadMatchTheReference) {
+  const designs::Design design = designs::build_aes({});
+  sim::Simulator s(design.nl);
+  const designs::AesBlock key =
+      designs::aes_block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const designs::AesBlock pts[2] = {
+      designs::aes_block_from_hex("6bc1bee22e409f96e93d7e117393172a"),
+      designs::aes_block_from_hex("ae2d8a571e03ac9c9eb76fac45af8e51")};
+
+  auto set_block = [&](const char* port, const designs::AesBlock& b) {
+    util::BitVec bits(128);
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        bits.set(8 * (15 - byte) + i, ((b[byte] >> i) & 1u) != 0);
+      }
+    }
+    s.set_input_port(port, bits);
+  };
+  auto read_ct = [&] {
+    const util::BitVec ct =
+        s.read_bits(design.nl.output_port("ciphertext").bits);
+    designs::AesBlock out{};
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        if (ct.get(8 * (15 - byte) + i)) {
+          out[byte] |= static_cast<std::uint8_t>(1u << i);
+        }
+      }
+    }
+    return out;
+  };
+
+  s.set_input_port("reset", 1);
+  s.step();
+  s.set_input_port("reset", 0);
+  s.set_input_port("load_key", 1);
+  set_block("key_in", key);
+  s.step();
+  s.set_input_port("load_key", 0);
+  for (const auto& pt : pts) {
+    s.set_input_port("start", 1);
+    set_block("plaintext", pt);
+    s.step();
+    s.set_input_port("start", 0);
+    int guard = 0;
+    while (s.read_output("done") == 0 && guard++ < 20) s.step();
+    ASSERT_LT(guard, 20);
+    EXPECT_EQ(read_ct(), designs::aes_encrypt(pt, key));
+  }
+}
+
+}  // namespace
+}  // namespace trojanscout

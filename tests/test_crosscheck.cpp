@@ -1,0 +1,211 @@
+// Whole-stack cross-check: on random small sequential circuits, the BMC and
+// ATPG engines must agree exactly with explicit-state reachability analysis
+// (BFS over the full state space) about the first cycle at which the bad
+// signal can be driven to 1.
+//
+// This exercises the netlist builders, the topological evaluator, the
+// Tseitin unroller, the CDCL solver, witness extraction, and the ATPG
+// search against ground truth computed by brute force.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "atpg/atpg.hpp"
+#include "bmc/bmc.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace trojanscout {
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+struct RandomCircuit {
+  Netlist nl;
+  SignalId bad = netlist::kNullSignal;
+  std::vector<SignalId> inputs;
+  std::vector<SignalId> dffs;
+};
+
+/// Builds a random sequential circuit with `n_inputs` PIs, `n_dffs` DFFs and
+/// `n_gates` random gates; `bad` is a random AND of late signals (so it is
+/// reachable sometimes, unreachable sometimes).
+RandomCircuit make_random_circuit(util::Xoshiro256& rng, int n_inputs,
+                                  int n_dffs, int n_gates) {
+  RandomCircuit c;
+  std::vector<SignalId> pool;
+  for (int i = 0; i < n_inputs; ++i) {
+    c.inputs.push_back(c.nl.add_input());
+    pool.push_back(c.inputs.back());
+  }
+  for (int i = 0; i < n_dffs; ++i) {
+    c.dffs.push_back(c.nl.add_dff(rng.next_bool()));
+    pool.push_back(c.dffs.back());
+  }
+  auto pick = [&] { return pool[rng.next_below(pool.size())]; };
+  for (int i = 0; i < n_gates; ++i) {
+    SignalId g = netlist::kNullSignal;
+    switch (rng.next_below(5)) {
+      case 0: g = c.nl.b_and(pick(), pick()); break;
+      case 1: g = c.nl.b_or(pick(), pick()); break;
+      case 2: g = c.nl.b_xor(pick(), pick()); break;
+      case 3: g = c.nl.b_not(pick()); break;
+      default: g = c.nl.b_mux(pick(), pick(), pick()); break;
+    }
+    pool.push_back(g);
+  }
+  for (const SignalId dff : c.dffs) {
+    c.nl.connect_dff_input(dff, pick());
+  }
+  // A conjunction of a few random signals: sometimes reachable, sometimes
+  // not, rarely constant.
+  c.bad = c.nl.b_and(pick(), c.nl.b_and(pick(), pick()));
+  c.nl.add_output_port("bad", netlist::Word{c.bad});
+  return c;
+}
+
+/// Ground truth: earliest frame (< max_frames) at which bad can be 1,
+/// by BFS over (state, frame) with exhaustive input enumeration.
+/// Returns -1 if unreachable within the bound.
+int brute_force_first_violation(const RandomCircuit& c,
+                                std::size_t max_frames) {
+  const std::size_t n_inputs = c.inputs.size();
+  const std::size_t n_dffs = c.dffs.size();
+
+  // Direct state control: clone the circuit combinationally with the DFF
+  // outputs replaced by fresh inputs, exposing (bad, next_state) as a pure
+  // function of (state, input).
+  Netlist comb;
+  std::vector<SignalId> state_inputs;
+  std::vector<SignalId> free_inputs;
+  {
+    // Clone combinationally: DFFs become inputs.
+    std::vector<SignalId> map(c.nl.size(), netlist::kNullSignal);
+    map[c.nl.const0()] = comb.const0();
+    map[c.nl.const1()] = comb.const1();
+    for (const SignalId in : c.nl.inputs()) {
+      map[in] = comb.add_input();
+      free_inputs.push_back(map[in]);
+    }
+    for (const SignalId dff : c.nl.dffs()) {
+      map[dff] = comb.add_input();
+      state_inputs.push_back(map[dff]);
+    }
+    for (const SignalId id : c.nl.topo_order()) {
+      if (map[id] != netlist::kNullSignal) continue;
+      const auto& g = c.nl.gate(id);
+      switch (g.op) {
+        case netlist::Op::kNot: map[id] = comb.b_not(map[g.fanin[0]]); break;
+        case netlist::Op::kAnd:
+          map[id] = comb.b_and(map[g.fanin[0]], map[g.fanin[1]]);
+          break;
+        case netlist::Op::kOr:
+          map[id] = comb.b_or(map[g.fanin[0]], map[g.fanin[1]]);
+          break;
+        case netlist::Op::kXor:
+          map[id] = comb.b_xor(map[g.fanin[0]], map[g.fanin[1]]);
+          break;
+        case netlist::Op::kMux:
+          map[id] = comb.b_mux(map[g.fanin[0]], map[g.fanin[1]],
+                               map[g.fanin[2]]);
+          break;
+        default:
+          break;
+      }
+    }
+    netlist::Word next_bits;
+    for (const SignalId dff : c.nl.dffs()) {
+      next_bits.push_back(map[c.nl.gate(dff).fanin[0]]);
+    }
+    comb.add_output_port("next", next_bits);
+    comb.add_output_port("bad", netlist::Word{map[c.bad]});
+  }
+
+  sim::Simulator eval(comb);
+  unsigned init_state = 0;
+  for (std::size_t i = 0; i < n_dffs; ++i) {
+    if (c.nl.gate(c.dffs[i]).init) init_state |= 1u << i;
+  }
+
+  std::vector<unsigned> frontier = {init_state};
+  for (std::size_t frame = 0; frame < max_frames; ++frame) {
+    std::vector<unsigned> next_frontier;
+    std::vector<bool> next_seen(1u << n_dffs, false);
+    bool bad_now = false;
+    for (const unsigned state : frontier) {
+      for (unsigned input = 0; input < (1u << n_inputs); ++input) {
+        for (std::size_t i = 0; i < n_dffs; ++i) {
+          eval.set_input(state_inputs[i], (state >> i) & 1u);
+        }
+        for (std::size_t i = 0; i < n_inputs; ++i) {
+          eval.set_input(free_inputs[i], (input >> i) & 1u);
+        }
+        eval.eval();
+        if (eval.read_output("bad") != 0) bad_now = true;
+        const unsigned next_state =
+            static_cast<unsigned>(eval.read_output("next"));
+        if (!next_seen[next_state]) {
+          next_seen[next_state] = true;
+          next_frontier.push_back(next_state);
+        }
+      }
+    }
+    if (bad_now) return static_cast<int>(frame);
+    frontier = std::move(next_frontier);
+  }
+  return -1;
+}
+
+class EngineCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineCrossCheck, BmcAndAtpgMatchExplicitStateReachability) {
+  util::Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const RandomCircuit c =
+        make_random_circuit(rng, 3, 5, 18 + static_cast<int>(rng.next_below(10)));
+    constexpr std::size_t kFrames = 6;
+    const int expected = brute_force_first_violation(c, kFrames);
+
+    bmc::BmcOptions bmc_options;
+    bmc_options.max_frames = kFrames;
+    const auto bmc_result = bmc::check_bad_signal(c.nl, c.bad, bmc_options);
+    if (expected < 0) {
+      EXPECT_EQ(bmc_result.status, bmc::BmcStatus::kBoundReached)
+          << "seed " << GetParam() << " round " << round;
+    } else {
+      ASSERT_EQ(bmc_result.status, bmc::BmcStatus::kViolated)
+          << "seed " << GetParam() << " round " << round;
+      EXPECT_EQ(bmc_result.witness->violation_frame,
+                static_cast<std::size_t>(expected));
+    }
+
+    atpg::AtpgOptions atpg_options;
+    atpg_options.max_frames = kFrames;
+    atpg_options.backtrack_limit_per_frame = 100000;
+    atpg_options.random_sequences = 4;
+    const auto atpg_result = atpg::check_bad_signal(c.nl, c.bad, atpg_options);
+    if (expected < 0) {
+      EXPECT_EQ(atpg_result.status, atpg::AtpgStatus::kBoundReached)
+          << "seed " << GetParam() << " round " << round;
+      EXPECT_EQ(atpg_result.frames_aborted, 0u)
+          << "small circuits must be fully exhausted";
+    } else {
+      ASSERT_EQ(atpg_result.status, atpg::AtpgStatus::kViolated)
+          << "seed " << GetParam() << " round " << round;
+      // The random phase may find a later frame than the earliest; the
+      // deterministic per-frame sweep may not run if random finds first, so
+      // only bound it.
+      EXPECT_GE(atpg_result.witness->violation_frame,
+                static_cast<std::size_t>(expected));
+      EXPECT_LT(atpg_result.witness->violation_frame, kFrames);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineCrossCheck,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace trojanscout

@@ -1,0 +1,274 @@
+// ISA-level behavioural tests of the MC8051 and RISC cores, driven through
+// the 2-valued simulator, including Trojan trigger/payload semantics.
+#include <gtest/gtest.h>
+
+#include "designs/mc8051.hpp"
+#include "designs/risc.hpp"
+#include "sim/simulator.hpp"
+
+namespace trojanscout::designs {
+namespace {
+
+// ---- MC8051 -----------------------------------------------------------------
+
+class Mc8051Driver {
+ public:
+  explicit Mc8051Driver(const Design& design) : simulator_(design.nl) {
+    simulator_.set_input_port("reset", 1);
+    simulator_.step();
+    simulator_.set_input_port("reset", 0);
+  }
+
+  /// Executes one instruction (fetch cycle + execute cycle).
+  void run(std::uint8_t opcode, std::uint8_t operand = 0,
+           std::uint8_t uart = 0, std::uint8_t xram = 0, bool irq = false) {
+    simulator_.set_input_port("code_op", opcode);
+    simulator_.set_input_port("code_operand", operand);
+    simulator_.set_input_port("uart_rx", uart);
+    simulator_.set_input_port("xram_in", xram);
+    simulator_.set_input_port("int_req", irq ? 1 : 0);
+    simulator_.step();  // fetch
+    simulator_.step();  // execute
+  }
+
+  std::uint64_t reg(const std::string& name) {
+    return simulator_.read_register(name);
+  }
+  std::uint64_t out(const std::string& name) {
+    return simulator_.read_output(name);
+  }
+
+ private:
+  sim::Simulator simulator_;
+};
+
+TEST(Mc8051, ResetState) {
+  const Design d = build_mc8051({});
+  Mc8051Driver cpu(d);
+  EXPECT_EQ(cpu.reg("acc"), 0u);
+  EXPECT_EQ(cpu.reg("sp"), 0x07u);
+  EXPECT_EQ(cpu.reg("ie"), 0u);
+}
+
+TEST(Mc8051, MovAndAddSetAccAndCarry) {
+  const Design d = build_mc8051({});
+  Mc8051Driver cpu(d);
+  cpu.run(0x74, 0x21);  // MOV A,#0x21
+  EXPECT_EQ(cpu.reg("acc"), 0x21u);
+  cpu.run(0x24, 0x05);  // ADD A,#5
+  EXPECT_EQ(cpu.reg("acc"), 0x26u);
+  cpu.run(0x24, 0xF0);  // ADD A,#0xF0 -> wraps, carry set
+  EXPECT_EQ(cpu.reg("acc"), 0x16u);
+  EXPECT_EQ(cpu.reg("psw_c"), 1u);
+}
+
+TEST(Mc8051, StackPointerWays) {
+  const Design d = build_mc8051({});
+  Mc8051Driver cpu(d);
+  cpu.run(0x12, 0x34);  // LCALL
+  EXPECT_EQ(cpu.reg("sp"), 0x08u);
+  cpu.run(0x22);  // RET
+  EXPECT_EQ(cpu.reg("sp"), 0x07u);
+  cpu.run(0x75, 0x40);  // MOV SP,#0x40
+  EXPECT_EQ(cpu.reg("sp"), 0x40u);
+}
+
+TEST(Mc8051, InterruptAckRequiresEnable) {
+  const Design d = build_mc8051({});
+  Mc8051Driver cpu(d);
+  cpu.run(0x00, 0, 0, 0, /*irq=*/true);
+  EXPECT_EQ(cpu.out("int_ack"), 0u);
+  cpu.run(0xA8, 0x81);  // MOV IE,#0x81 (global + source enable)
+  cpu.run(0x00, 0, 0, 0, /*irq=*/true);
+  EXPECT_EQ(cpu.out("int_ack"), 1u);
+}
+
+TEST(Mc8051, T700PayloadZeroesMovOnMagicOperand) {
+  Mc8051Options options;
+  options.trojan = Mc8051Trojan::kT700;
+  const Design d = build_mc8051(options);
+  Mc8051Driver cpu(d);
+  cpu.run(0x74, 0xCB);  // near-miss operand: normal behaviour
+  EXPECT_EQ(cpu.reg("acc"), 0xCBu);
+  cpu.run(0x74, 0xCA);  // trigger: data forced to 0x00
+  EXPECT_EQ(cpu.reg("acc"), 0x00u);
+  cpu.run(0x74, 0x55);  // trigger is per-instruction, not sticky
+  EXPECT_EQ(cpu.reg("acc"), 0x55u);
+}
+
+TEST(Mc8051, T400SequenceClearsInterruptEnable) {
+  Mc8051Options options;
+  options.trojan = Mc8051Trojan::kT400;
+  const Design d = build_mc8051(options);
+  Mc8051Driver cpu(d);
+  cpu.run(0xA8, 0xFF);  // MOV IE,#0xFF
+  EXPECT_EQ(cpu.reg("ie"), 0xFFu);
+  // Broken sequence: no effect.
+  cpu.run(0x74, 0x00);
+  cpu.run(0xE3);
+  cpu.run(0x00);
+  cpu.run(0xF3);
+  EXPECT_EQ(cpu.reg("ie"), 0xFFu);
+  // Exact sequence: IE cleared one instruction later (the trigger crosses
+  // into the payload through a register, per the DeTrust structure).
+  cpu.run(0x74, 0x00);
+  cpu.run(0xE3);
+  cpu.run(0xE0);
+  cpu.run(0xF3);
+  cpu.run(0x00);
+  EXPECT_EQ(cpu.reg("ie"), 0x00u);
+}
+
+TEST(Mc8051, T800UartTriggerDropsStackPointerByTwo) {
+  Mc8051Options options;
+  options.trojan = Mc8051Trojan::kT800;
+  const Design d = build_mc8051(options);
+  Mc8051Driver cpu(d);
+  EXPECT_EQ(cpu.reg("sp"), 0x07u);
+  cpu.run(0x00, 0, /*uart=*/0xFF);  // 0xFF latched during fetch ...
+  // ... so the payload hits while it sits in the buffer.
+  EXPECT_LT(cpu.reg("sp"), 0x07u);
+}
+
+// ---- RISC ---------------------------------------------------------------------
+
+class RiscDriver {
+ public:
+  explicit RiscDriver(const Design& design) : simulator_(design.nl) {
+    simulator_.set_input_port("reset", 1);
+    simulator_.step();
+    simulator_.set_input_port("reset", 0);
+    // Drain the bootstrap stall with two NOP machine cycles.
+    feed(0x0000);
+    feed(0x0000);
+  }
+
+  /// Presents `instruction` on the program bus for one 4-cycle machine
+  /// cycle. The instruction is *fetched* during this window and *executes*
+  /// during the next one (the core's fetch/execute overlap), so call
+  /// sync() before inspecting its effects.
+  void feed(std::uint16_t instruction) {
+    simulator_.set_input_port("prog_data", instruction);
+    for (int i = 0; i < 4; ++i) simulator_.step();
+  }
+
+  /// Lets the previously fed instruction complete (fetches a NOP).
+  void sync() { feed(0x0000); }
+
+  std::uint64_t reg(const std::string& name) {
+    return simulator_.read_register(name);
+  }
+
+ private:
+  sim::Simulator simulator_;
+};
+
+TEST(Risc, PcIncrementsOncePerInstruction) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.sync();
+  const std::uint64_t pc0 = cpu.reg("program_counter");
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter"), pc0 + 1);
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter"), pc0 + 2);
+}
+
+TEST(Risc, MovlwAndAddlw) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.feed(0x3000 | 0x12);  // MOVLW 0x12
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("w_register"), 0x12u);
+  cpu.feed(0x1E00 | 0x03);  // ADDLW 3
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("w_register"), 0x15u);
+}
+
+TEST(Risc, CallAndReturnRoundTripThroughStack) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.sync();
+  const std::uint64_t pc_before = cpu.reg("program_counter");
+  cpu.feed(0x2000 | 0x123);  // CALL 0x123
+  cpu.sync();                 // CALL executes here (pushes pc_before + 1)
+  EXPECT_EQ(cpu.reg("stack_pointer"), 1u);
+  EXPECT_EQ(cpu.reg("program_counter"), 0x123u);
+  cpu.sync();       // stalled slot after the jump
+  cpu.feed(0x008);  // RETURN
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("stack_pointer"), 0u);
+  // The pushed return address is PC+1 at the cycle CALL executes; the slot
+  // in which CALL was fetched already ran one more instruction, so the
+  // round trip lands two past the pre-CALL PC.
+  EXPECT_EQ(cpu.reg("program_counter"), pc_before + 2);
+}
+
+TEST(Risc, SleepInstructionSetsFlagAndHalts) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.feed(0x063);  // SLEEP
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("sleep_flag"), 1u);
+  const std::uint64_t pc = cpu.reg("program_counter");
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter"), pc) << "PC must hold while sleeping";
+}
+
+TEST(Risc, EepromRegistersFollowSpec) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  // MOVLW 0x5A; MOVWF 9 -> ram[9] = 0x5A -> eeprom_address follows.
+  cpu.feed(0x3000 | 0x5A);
+  cpu.feed(0x0100 | 0x9);
+  cpu.sync();
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("eeprom_address"), 0x5Au);
+}
+
+TEST(Risc, EepromDataLoadsOnlyOnReadStrobe) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("eeprom_data"), 0u);
+  // Without EERD the data register ignores the EEPROM input bus entirely.
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("eeprom_data"), 0u);
+}
+
+TEST(Risc, Fig1TrojanDropsStackPointerAfterNMatchingInstructions) {
+  RiscOptions options;
+  options.trojan = RiscTrojan::kFig1StackPointer;
+  options.trigger_count = 3;
+  const Design d = build_risc(options);
+  RiscDriver cpu(d);
+  EXPECT_EQ(cpu.reg("stack_pointer"), 0u);
+  // ADDLW has instruction bits [13:10] = 0x7, inside the 0x4-0xB range.
+  cpu.feed(0x1E00);
+  cpu.feed(0x1E00);
+  EXPECT_EQ(cpu.reg("stack_pointer"), 0u) << "not yet triggered";
+  cpu.feed(0x1E00);  // third matching instruction: trigger fires
+  cpu.sync();        // firing window (trigger is registered)
+  cpu.sync();        // payload applies from the following window
+  EXPECT_EQ(cpu.reg("stack_pointer"), (0ull - 2) & 0x7) << "SP -= 2 payload";
+  cpu.sync();        // the sticky trigger keeps corrupting every window
+  EXPECT_EQ(cpu.reg("stack_pointer"), (0ull - 4) & 0x7);
+}
+
+TEST(Risc, T100TrojanSkipsProgramCounter) {
+  RiscOptions options;
+  options.trojan = RiscTrojan::kT100;
+  options.trigger_count = 2;
+  const Design d = build_risc(options);
+  RiscDriver cpu(d);
+  cpu.feed(0x1E00);
+  cpu.feed(0x1E00);
+  cpu.sync();
+  cpu.sync();  // triggered from here on
+  const std::uint64_t pc = cpu.reg("program_counter");
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter"), pc + 2) << "PC += 2 payload";
+}
+
+}  // namespace
+}  // namespace trojanscout::designs

@@ -1,0 +1,237 @@
+// Further behavioural coverage of the benchmark cores: AES control FSM,
+// RISC interrupt/goto/PCL semantics, MC8051 external-bus protocol, and the
+// Verilog export of every catalog entry.
+#include <gtest/gtest.h>
+
+#include "designs/aes.hpp"
+#include "designs/aes_ref.hpp"
+#include "designs/catalog.hpp"
+#include "designs/mc8051.hpp"
+#include "designs/risc.hpp"
+#include "sim/simulator.hpp"
+#include "verilog/writer.hpp"
+
+namespace trojanscout::designs {
+namespace {
+
+// ---- AES control ---------------------------------------------------------------
+
+TEST(AesControl, BusyForTenRoundsThenDonePulse) {
+  const Design d = build_aes({});
+  sim::Simulator s(d.nl);
+  s.set_input_port("reset", 1);
+  s.step();
+  s.set_input_port("reset", 0);
+  EXPECT_EQ(s.read_output("busy"), 0u);
+  s.set_input_port("start", 1);
+  s.step();
+  s.set_input_port("start", 0);
+  int busy_cycles = 0;
+  int done_pulses = 0;
+  for (int t = 0; t < 16; ++t) {
+    if (s.read_output("busy") != 0) ++busy_cycles;
+    if (s.read_output("done") != 0) ++done_pulses;
+    s.step();
+  }
+  EXPECT_EQ(busy_cycles, 10);
+  EXPECT_EQ(done_pulses, 1);
+}
+
+TEST(AesControl, StartIsIgnoredWhileBusy) {
+  const Design d = build_aes({});
+  sim::Simulator s(d.nl);
+  s.set_input_port("reset", 1);
+  s.step();
+  s.set_input_port("reset", 0);
+  s.set_input_port("start", 1);
+  s.step();  // kick
+  // Keep start asserted mid-encryption; the round counter must not restart.
+  for (int t = 0; t < 4; ++t) s.step();
+  const std::uint64_t round_mid = s.read_register("round");
+  EXPECT_GT(round_mid, 1u);
+  s.step();
+  EXPECT_EQ(s.read_register("round"), round_mid + 1) << "no restart";
+}
+
+TEST(AesControl, KeyLoadIsQuiescentDuringEncryption) {
+  // The key register must hold during busy unless load_key is asserted —
+  // this is the invariant the Eq. 2 monitor rides on.
+  const Design d = build_aes({});
+  sim::Simulator s(d.nl);
+  s.set_input_port("reset", 1);
+  s.step();
+  s.set_input_port("reset", 0);
+  s.set_input_port("load_key", 1);
+  s.set_input_port("key_in", 0x1234);
+  s.step();
+  s.set_input_port("load_key", 0);
+  const auto key_before = s.read_register_bits("key_reg");
+  s.set_input_port("start", 1);
+  s.step();
+  s.set_input_port("start", 0);
+  for (int t = 0; t < 12; ++t) {
+    s.step();
+    EXPECT_EQ(s.read_register_bits("key_reg"), key_before) << "cycle " << t;
+  }
+}
+
+TEST(AesRef, RoundKeysChainThroughTheOnTheFlySchedule) {
+  const AesBlock key = aes_block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto expanded = aes_expand_key(key);
+  static constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                             0x20, 0x40, 0x80, 0x1b, 0x36};
+  AesBlock rolling = key;
+  for (int r = 1; r <= 10; ++r) {
+    rolling = aes_next_round_key(rolling, kRcon[r - 1]);
+    EXPECT_EQ(rolling, expanded[static_cast<std::size_t>(r)]) << "round " << r;
+  }
+}
+
+// ---- RISC extras ----------------------------------------------------------------
+
+class RiscDriver {
+ public:
+  explicit RiscDriver(const Design& design) : simulator_(design.nl) {
+    simulator_.set_input_port("reset", 1);
+    simulator_.step();
+    simulator_.set_input_port("reset", 0);
+    feed(0x0000);
+    feed(0x0000);
+  }
+  void feed(std::uint16_t instruction, bool irq = false) {
+    simulator_.set_input_port("prog_data", instruction);
+    simulator_.set_input_port("ext_interrupt", irq ? 1 : 0);
+    for (int i = 0; i < 4; ++i) simulator_.step();
+  }
+  void sync() { feed(0x0000); }
+  std::uint64_t reg(const std::string& name) {
+    return simulator_.read_register(name);
+  }
+
+ private:
+  sim::Simulator simulator_;
+};
+
+TEST(RiscExtra, GotoLoadsTheTargetAndStallsOneSlot) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.feed(0x2800 | 0x345);  // GOTO 0x345
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter"), 0x345u);
+  const std::uint64_t pc = cpu.reg("program_counter");
+  cpu.sync();  // stalled slot: the wrong-path fetch must not execute
+  EXPECT_EQ(cpu.reg("program_counter"), pc) << "stall holds the PC";
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter"), pc + 1);
+}
+
+TEST(RiscExtra, ExternalInterruptVectorsPcTo4AndClearsTheFlag) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  // The interrupt line is sampled every cycle: the flag sets mid-window and
+  // is observed at that same window's cycle 4, vectoring the PC and
+  // clearing the flag in one machine cycle.
+  cpu.feed(0x0000, /*irq=*/true);
+  EXPECT_EQ(cpu.reg("program_counter"), 0x04u);
+  EXPECT_EQ(cpu.reg("interrupt_enable"), 0u) << "taken clears the flag";
+}
+
+TEST(RiscExtra, WritingPclRedirectsTheProgramCounter) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  cpu.feed(0x3000 | 0x77);  // MOVLW 0x77
+  cpu.feed(0x0100 | 0x2);   // MOVWF PCL (file 0x2)
+  cpu.sync();
+  cpu.sync();
+  EXPECT_EQ(cpu.reg("program_counter") & 0xFFu, 0x77u);
+}
+
+TEST(RiscExtra, StackWrapsModuloEight) {
+  const Design d = build_risc({});
+  RiscDriver cpu(d);
+  for (int i = 0; i < 9; ++i) {
+    cpu.feed(0x2000);  // CALL 0
+    cpu.sync();        // execute
+    cpu.sync();        // flush slot
+  }
+  EXPECT_EQ(cpu.reg("stack_pointer"), 1u) << "3-bit SP wraps after 8 calls";
+}
+
+// ---- MC8051 extras ---------------------------------------------------------------
+
+TEST(Mc8051Extra, MovxWriteDrivesTheExternalBus) {
+  const Design d = build_mc8051({});
+  sim::Simulator s(d.nl);
+  s.set_input_port("reset", 1);
+  s.step();
+  s.set_input_port("reset", 0);
+  // MOV A,#0x5A; MOV R1,#0x21; MOVX @R1,A
+  auto run = [&](std::uint8_t op, std::uint8_t operand) {
+    s.set_input_port("code_op", op);
+    s.set_input_port("code_operand", operand);
+    s.step();
+    s.step();
+  };
+  run(0x74, 0x5A);
+  run(0x79, 0x21);
+  s.set_input_port("code_op", 0xF3);
+  s.step();  // fetch
+  s.eval();
+  // During the execute cycle the write strobe, address and data are live.
+  s.step();
+  EXPECT_EQ(s.read_output("xram_we"), 0u) << "strobe is a single cycle";
+  // Re-run and look during the execute cycle itself.
+  run(0x74, 0x5A);
+  s.set_input_port("code_op", 0xF3);
+  s.step();
+  s.eval();
+  // now in execute phase (phase=1) before the edge:
+  EXPECT_EQ(s.read_output("xram_wdata"), 0x5Au);
+  EXPECT_EQ(s.read_output("xram_addr"), 0x21u);
+  EXPECT_EQ(s.read_output("xram_we"), 1u);
+}
+
+TEST(Mc8051Extra, UartBufferTracksTheLine) {
+  const Design d = build_mc8051({});
+  sim::Simulator s(d.nl);
+  s.set_input_port("reset", 1);
+  s.step();
+  s.set_input_port("reset", 0);
+  s.set_input_port("uart_rx", 0xAB);
+  s.step();
+  EXPECT_EQ(s.read_register("uart_buf"), 0xABu);
+  s.set_input_port("uart_rx", 0xCD);
+  s.step();
+  EXPECT_EQ(s.read_register("uart_buf"), 0xCDu);
+}
+
+// ---- catalog / export ------------------------------------------------------------
+
+TEST(Catalog, AllBenchmarksBuildValidateAndExport) {
+  for (const auto& info : trojan_benchmarks()) {
+    const Design armed = info.build(true);
+    armed.nl.validate();
+    EXPECT_FALSE(armed.trojan_gate_ranges.empty()) << info.name;
+    EXPECT_NE(armed.trojan_trigger, netlist::kNullSignal) << info.name;
+    EXPECT_TRUE(armed.nl.has_register(info.critical_register)) << info.name;
+    const Design disarmed = info.build(false);
+    disarmed.nl.validate();
+    // Verilog export must at least produce a module with the ports.
+    const std::string text = verilog::to_verilog_string(armed.nl, "dut");
+    EXPECT_NE(text.find("endmodule"), std::string::npos) << info.name;
+  }
+}
+
+TEST(Catalog, SpecsCoverTheCriticalRegisters) {
+  for (const auto& info : trojan_benchmarks()) {
+    const Design design = info.build(true);
+    const auto* spec = design.spec.find(info.critical_register);
+    ASSERT_NE(spec, nullptr) << info.name;
+    EXPECT_FALSE(spec->ways.empty()) << info.name;
+    EXPECT_FALSE(spec->obligations.empty())
+        << info.name << ": bypass check needs an obligation";
+  }
+}
+
+}  // namespace
+}  // namespace trojanscout::designs

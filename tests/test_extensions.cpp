@@ -1,0 +1,120 @@
+// Tests for the extensions beyond the paper's core: witness minimization
+// and unbounded proofs via k-induction.
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hpp"
+#include "core/detector.hpp"
+#include "core/minimize.hpp"
+#include "designs/mc8051.hpp"
+#include "designs/risc.hpp"
+#include "properties/monitors.hpp"
+#include "sim/simulator.hpp"
+
+namespace trojanscout {
+namespace {
+
+TEST(MinimizeWitness, ShrinksTheRiscTriggerToItsEssentials) {
+  designs::RiscOptions options;
+  options.trojan = designs::RiscTrojan::kFig1StackPointer;
+  options.trigger_count = 4;
+  designs::Design design = designs::build_risc(options);
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("stack_pointer"),
+      properties::CorruptionMonitorKind::kExact);
+
+  bmc::BmcOptions bmc_options;
+  bmc_options.max_frames = 40;
+  const auto result = bmc::check_bad_signal(design.nl, bad, bmc_options);
+  ASSERT_EQ(result.status, bmc::BmcStatus::kViolated);
+
+  core::MinimizeStats stats;
+  const sim::Witness minimized =
+      core::minimize_witness(design.nl, bad, *result.witness, &stats);
+  EXPECT_LE(stats.bits_after, stats.bits_before);
+  EXPECT_GT(stats.simulations, 1u);
+
+  // The minimized witness must still violate.
+  sim::Simulator simulator(design.nl);
+  for (std::size_t t = 0; t <= minimized.violation_frame; ++t) {
+    simulator.set_inputs(minimized.frames[t].bits);
+    simulator.eval();
+    if (t == minimized.violation_frame) {
+      EXPECT_TRUE(simulator.value(bad));
+    }
+    simulator.step();
+  }
+}
+
+TEST(MinimizeWitness, RejectsNonViolatingWitness) {
+  designs::Design design = designs::build_mc8051({});
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("sp"),
+      properties::CorruptionMonitorKind::kExact);
+  sim::Witness bogus;
+  bogus.violation_frame = 1;
+  bogus.frames.resize(2);
+  for (auto& frame : bogus.frames) {
+    frame.bits = util::BitVec(design.nl.num_inputs());
+  }
+  EXPECT_THROW(core::minimize_witness(design.nl, bad, bogus),
+               std::invalid_argument);
+}
+
+TEST(Induction, CleanContractIsProvenForAllTime) {
+  // The clean MC8051 stack pointer follows its spec from *every* state, so
+  // the no-corruption property is 1-inductive: no reset-every-T-cycles
+  // caveat needed (strengthens the paper's Section 3.2 protocol).
+  designs::Design design = designs::build_mc8051({});
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("sp"),
+      properties::CorruptionMonitorKind::kExact);
+  const auto result = bmc::prove_by_induction(design.nl, bad);
+  EXPECT_EQ(result.status, bmc::InductionStatus::kProven);
+  EXPECT_GE(result.k_used, 1u);
+}
+
+TEST(Induction, TrojanYieldsABaseCounterexample) {
+  designs::Mc8051Options options;
+  options.trojan = designs::Mc8051Trojan::kT700;
+  designs::Design design = designs::build_mc8051(options);
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("acc"),
+      properties::CorruptionMonitorKind::kExact);
+  bmc::InductionOptions induction;
+  induction.max_k = 8;
+  const auto result = bmc::prove_by_induction(design.nl, bad, induction);
+  ASSERT_EQ(result.status, bmc::InductionStatus::kBaseViolated);
+  EXPECT_TRUE(result.witness.has_value());
+}
+
+TEST(Induction, TimeBombIsNotInductivelyProvable) {
+  // AES-T1200's property holds for astronomically long from reset, but an
+  // adversarial (unreachable-from-reset-soon) state violates it, so plain
+  // k-induction must honestly return kUnknown rather than kProven.
+  designs::RiscOptions options;
+  options.trojan = designs::RiscTrojan::kT100;
+  options.trigger_count = 50;
+  designs::Design design = designs::build_risc(options);
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, design.spec.at("program_counter"),
+      properties::CorruptionMonitorKind::kExact);
+  bmc::InductionOptions induction;
+  induction.max_k = 3;
+  induction.time_limit_seconds = 30;
+  const auto result = bmc::prove_by_induction(design.nl, bad, induction);
+  EXPECT_EQ(result.status, bmc::InductionStatus::kUnknown);
+}
+
+TEST(Induction, CleanRiscEepromRegistersAreInductive) {
+  designs::Design design = designs::build_risc({});
+  for (const char* reg : {"eeprom_data", "eeprom_address"}) {
+    const auto bad = properties::build_corruption_monitor(
+        design.nl, design.spec.at(reg),
+        properties::CorruptionMonitorKind::kExact);
+    const auto result = bmc::prove_by_induction(design.nl, bad);
+    EXPECT_EQ(result.status, bmc::InductionStatus::kProven) << reg;
+  }
+}
+
+}  // namespace
+}  // namespace trojanscout

@@ -1,0 +1,297 @@
+// Netlist IR tests: builders, constant folding, structural hashing,
+// topological ordering, cones, cloning, fanout redirection, and SCOAP.
+#include <gtest/gtest.h>
+
+#include "netlist/clone.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/scoap.hpp"
+#include "netlist/wordops.hpp"
+#include "sim/simulator.hpp"
+
+namespace trojanscout::netlist {
+namespace {
+
+TEST(Netlist, ConstantsAreFixedSignals) {
+  Netlist nl;
+  EXPECT_EQ(nl.const0(), 0u);
+  EXPECT_EQ(nl.const1(), 1u);
+  EXPECT_EQ(nl.gate(nl.const0()).op, Op::kConst0);
+  EXPECT_EQ(nl.gate(nl.const1()).op, Op::kConst1);
+}
+
+TEST(Netlist, ConstantFolding) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  EXPECT_EQ(nl.b_and(a, nl.const0()), nl.const0());
+  EXPECT_EQ(nl.b_and(a, nl.const1()), a);
+  EXPECT_EQ(nl.b_or(a, nl.const1()), nl.const1());
+  EXPECT_EQ(nl.b_or(a, nl.const0()), a);
+  EXPECT_EQ(nl.b_xor(a, a), nl.const0());
+  EXPECT_EQ(nl.b_xor(a, nl.const0()), a);
+  EXPECT_EQ(nl.b_not(nl.b_not(a)), a);
+  EXPECT_EQ(nl.b_and(a, nl.b_not(a)), nl.const0());
+  EXPECT_EQ(nl.b_or(a, nl.b_not(a)), nl.const1());
+  EXPECT_EQ(nl.b_mux(nl.const1(), a, nl.const0()), a);
+  EXPECT_EQ(nl.b_mux(a, nl.const1(), nl.const0()), a);
+}
+
+TEST(Netlist, StructuralHashingFoldsDuplicates) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId b = nl.add_input();
+  EXPECT_EQ(nl.b_and(a, b), nl.b_and(b, a));  // commutative key
+  EXPECT_EQ(nl.b_xor(a, b), nl.b_xor(a, b));
+  const std::size_t before = nl.size();
+  (void)nl.b_and(a, b);
+  EXPECT_EQ(nl.size(), before) << "no new gate for a duplicate";
+}
+
+TEST(Netlist, TopoOrderPutsFaninsFirst) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId dff = nl.add_dff(false);
+  const SignalId x = nl.b_xor(a, dff);
+  nl.connect_dff_input(dff, x);  // sequential feedback is fine
+  const auto order = nl.topo_order();
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[x]);
+  EXPECT_LT(pos[dff], pos[x]);
+}
+
+TEST(Netlist, ValidateRejectsUnconnectedDff) {
+  Netlist nl;
+  nl.add_dff(false);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, DoubleConnectDffThrows) {
+  Netlist nl;
+  const SignalId dff = nl.add_dff(false);
+  nl.connect_dff_input(dff, nl.const0());
+  EXPECT_THROW(nl.connect_dff_input(dff, nl.const1()), std::runtime_error);
+}
+
+TEST(Netlist, FaninConeStopsAtState) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId dff = nl.add_dff(false);
+  const SignalId inner = nl.b_and(a, nl.const1());  // folds to a
+  const SignalId x = nl.b_or(inner, dff);
+  nl.connect_dff_input(dff, x);
+  const auto cone = nl.fanin_cone({x});
+  // Cone contains x, a, dff — but does not walk through the dff's input.
+  EXPECT_EQ(cone.size(), 3u);
+}
+
+TEST(Netlist, RedirectReadersRewritesFaninsAndPorts) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId b = nl.add_input();
+  const SignalId g = nl.b_and(a, b);
+  nl.add_output_port("o", Word{a});
+  const SignalId replacement = nl.add_input();
+  nl.redirect_readers(a, replacement, static_cast<SignalId>(nl.size()), {});
+  EXPECT_EQ(nl.gate(g).fanin[0] == replacement ||
+                nl.gate(g).fanin[1] == replacement,
+            true);
+  EXPECT_EQ(nl.output_port("o").bits[0], replacement);
+}
+
+// ---- word ops: parameterized behavioural sweep against uint64 math ---------
+
+struct WordOpCase {
+  std::size_t width;
+  std::uint64_t a, b;
+};
+
+class WordOps : public ::testing::TestWithParam<WordOpCase> {};
+
+TEST_P(WordOps, ArithmeticAndCompareMatchSoftware) {
+  const auto param = GetParam();
+  const std::uint64_t mask =
+      param.width >= 64 ? ~0ull : (1ull << param.width) - 1;
+  Netlist nl;
+  const Word a = nl.add_input_port("a", param.width);
+  const Word b = nl.add_input_port("b", param.width);
+  nl.add_output_port("sum", w_add(nl, a, b));
+  nl.add_output_port("diff", w_sub(nl, a, b));
+  nl.add_output_port("inc", w_inc(nl, a));
+  nl.add_output_port("dec", w_dec(nl, a));
+  nl.add_output_port("eq", Word{w_eq(nl, a, b)});
+  nl.add_output_port("lt", Word{w_ult(nl, a, b)});
+  nl.add_output_port("band", w_and(nl, a, b));
+  nl.add_output_port("bxor", w_xor(nl, a, b));
+  nl.add_output_port("ror", Word{w_reduce_or(nl, a)});
+  nl.add_output_port("rand_", Word{w_reduce_and(nl, a)});
+
+  sim::Simulator simulator(nl);
+  simulator.set_input_port("a", param.a);
+  simulator.set_input_port("b", param.b);
+  simulator.eval();
+  const std::uint64_t av = param.a & mask;
+  const std::uint64_t bv = param.b & mask;
+  EXPECT_EQ(simulator.read_output("sum"), (av + bv) & mask);
+  EXPECT_EQ(simulator.read_output("diff"), (av - bv) & mask);
+  EXPECT_EQ(simulator.read_output("inc"), (av + 1) & mask);
+  EXPECT_EQ(simulator.read_output("dec"), (av - 1) & mask);
+  EXPECT_EQ(simulator.read_output("eq"), av == bv ? 1u : 0u);
+  EXPECT_EQ(simulator.read_output("lt"), av < bv ? 1u : 0u);
+  EXPECT_EQ(simulator.read_output("band"), av & bv);
+  EXPECT_EQ(simulator.read_output("bxor"), av ^ bv);
+  EXPECT_EQ(simulator.read_output("ror"), av != 0 ? 1u : 0u);
+  EXPECT_EQ(simulator.read_output("rand_"), av == mask ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WordOps,
+    ::testing::Values(WordOpCase{4, 0x5, 0xA}, WordOpCase{4, 0xF, 0x1},
+                      WordOpCase{8, 0x80, 0x80}, WordOpCase{8, 0x00, 0xFF},
+                      WordOpCase{13, 0x1FFF, 0x0001},
+                      WordOpCase{16, 0x1234, 0xFEDC},
+                      WordOpCase{16, 0xFFFF, 0xFFFF},
+                      WordOpCase{32, 0xDEADBEEF, 0x12345678},
+                      WordOpCase{1, 1, 0}, WordOpCase{1, 1, 1}));
+
+TEST(WordOpsExtra, InRangeMatchesSoftware) {
+  Netlist nl;
+  const Word a = nl.add_input_port("a", 4);
+  nl.add_output_port("r", Word{w_in_range(nl, a, 0x4, 0xB)});
+  sim::Simulator simulator(nl);
+  for (unsigned v = 0; v < 16; ++v) {
+    simulator.set_input_port("a", v);
+    simulator.eval();
+    EXPECT_EQ(simulator.read_output("r"), (v >= 4 && v <= 0xB) ? 1u : 0u)
+        << "v=" << v;
+  }
+}
+
+TEST(WordOpsExtra, CasePriorityOrder) {
+  Netlist nl;
+  const SignalId c0 = nl.add_input();
+  const SignalId c1 = nl.add_input();
+  std::vector<CaseEntry> entries = {{c0, w_const(nl, 1, 4)},
+                                    {c1, w_const(nl, 2, 4)}};
+  nl.add_output_port("o", w_case(nl, entries, w_const(nl, 7, 4)));
+  sim::Simulator simulator(nl);
+  auto eval = [&](bool v0, bool v1) {
+    simulator.set_input(c0, v0);
+    simulator.set_input(c1, v1);
+    simulator.eval();
+    return simulator.read_output("o");
+  };
+  EXPECT_EQ(eval(false, false), 7u);
+  EXPECT_EQ(eval(false, true), 2u);
+  EXPECT_EQ(eval(true, false), 1u);
+  EXPECT_EQ(eval(true, true), 1u) << "earlier entry wins";
+}
+
+TEST(WordOpsExtra, RamReadsWhatWasWritten) {
+  Netlist nl;
+  const Word raddr = nl.add_input_port("raddr", 2);
+  const Word waddr = nl.add_input_port("waddr", 2);
+  const Word wdata = nl.add_input_port("wdata", 8);
+  const SignalId we = nl.add_input_port("we", 1)[0];
+  const auto ram = w_ram(nl, "m", 4, 8, raddr, waddr, wdata, we);
+  nl.add_output_port("rdata", ram.read_data);
+
+  sim::Simulator simulator(nl);
+  simulator.set_input_port("waddr", 2);
+  simulator.set_input_port("wdata", 0xAB);
+  simulator.set_input_port("we", 1);
+  simulator.step();
+  simulator.set_input_port("we", 0);
+  simulator.set_input_port("raddr", 2);
+  simulator.eval();
+  EXPECT_EQ(simulator.read_output("rdata"), 0xABu);
+  simulator.set_input_port("raddr", 1);
+  simulator.eval();
+  EXPECT_EQ(simulator.read_output("rdata"), 0u);
+}
+
+// ---- clone ---------------------------------------------------------------------
+
+TEST(Clone, BehaviouralEquivalenceOnACounter) {
+  Netlist src;
+  const SignalId en = src.add_input_port("en", 1)[0];
+  const Word count = w_counter(src, "c", 4, en);
+  src.add_output_port("count", count);
+
+  Netlist dst;
+  CloneOptions options;
+  options.prefix = "x_";
+  clone_netlist(src, dst, options);
+  ASSERT_TRUE(dst.has_register("x_c"));
+
+  sim::Simulator s1(src);
+  sim::Simulator s2(dst);
+  for (int t = 0; t < 10; ++t) {
+    const bool enable = (t % 3) != 0;
+    s1.set_input_port("en", enable);
+    s2.set_input_port("en", enable);
+    s1.step();
+    s2.step();
+    EXPECT_EQ(s1.read_register("c"), s2.read_register("x_c"));
+  }
+}
+
+TEST(Clone, ReadOverridesSubstituteRegisterReads) {
+  Netlist src;
+  const Word in = src.add_input_port("in", 4);
+  const Word r = w_make_register(src, "r", 4, 0);
+  w_connect(src, r, in);
+  src.add_output_port("o", r);
+
+  Netlist dst;
+  CloneOptions options;
+  options.prefix = "y_";
+  // Every read of r becomes constant 0xF.
+  for (std::size_t i = 0; i < 4; ++i) {
+    options.read_overrides[r[i]] = dst.const1();
+  }
+  clone_netlist(src, dst, options);
+  sim::Simulator simulator(dst);
+  simulator.set_input_port("in", 0x3);
+  simulator.step();
+  EXPECT_EQ(simulator.read_output("y_o"), 0xFu);
+}
+
+// ---- SCOAP --------------------------------------------------------------------
+
+TEST(Scoap, BasicControllabilities) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId b = nl.add_input();
+  const SignalId g_and = nl.b_and(a, b);
+  const SignalId g_or = nl.b_or(a, b);
+  const auto scoap = compute_scoap(nl);
+  EXPECT_EQ(scoap.cc0[a], 1u);
+  EXPECT_EQ(scoap.cc1[a], 1u);
+  // AND to 1 needs both inputs: cc1 = 1+1+1; to 0 needs one: cc0 = 1+1.
+  EXPECT_EQ(scoap.cc1[g_and], 3u);
+  EXPECT_EQ(scoap.cc0[g_and], 2u);
+  EXPECT_EQ(scoap.cc0[g_or], 3u);
+  EXPECT_EQ(scoap.cc1[g_or], 2u);
+}
+
+TEST(Scoap, WideComparatorIsHardToControl) {
+  Netlist nl;
+  const Word a = nl.add_input_port("a", 16);
+  const SignalId eq = w_eq_const(nl, a, 0xBEEF);
+  const auto scoap = compute_scoap(nl);
+  EXPECT_GT(scoap.cc1[eq], 16u) << "setting a 16-bit match is expensive";
+  EXPECT_LT(scoap.cc0[eq], 5u) << "breaking the match is cheap";
+}
+
+TEST(Scoap, SequentialDepthAccumulates) {
+  Netlist nl;
+  const SignalId en = nl.add_input_port("en", 1)[0];
+  const Word c = w_counter(nl, "c", 3, en);
+  const SignalId top = c[2];
+  const auto scoap = compute_scoap(nl);
+  EXPECT_GT(scoap.cc1[top], scoap.cc1[c[0]])
+      << "the MSB of a counter is harder to set than the LSB";
+}
+
+}  // namespace
+}  // namespace trojanscout::netlist

@@ -1,0 +1,198 @@
+// Property-layer tests: monitor construction details (Eq. 2 variants, fresh
+// elaboration), cone-of-influence reduction, and the select tree used by
+// the hardened scanners.
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hpp"
+#include "netlist/coi.hpp"
+#include "netlist/wordops.hpp"
+#include "properties/monitors.hpp"
+#include "sim/simulator.hpp"
+
+namespace trojanscout::properties {
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+/// Toy design: a 4-bit register with two valid ways (reset -> 0,
+/// load -> data) and an optional out-of-spec backdoor increment.
+struct ToyReg {
+  Netlist nl;
+  RegisterSpec spec;
+  explicit ToyReg(bool with_backdoor) {
+    const SignalId reset = nl.add_input_port("reset", 1)[0];
+    const SignalId load = nl.add_input_port("load", 1)[0];
+    const Word data = nl.add_input_port("data", 4);
+    const SignalId magic = nl.add_input_port("magic", 1)[0];
+    const Word reg = netlist::w_make_register(nl, "r", 4, 0);
+
+    Word next = reg;
+    next = netlist::w_mux(nl, load, data, next);
+    next = netlist::w_mux(nl, reset, netlist::w_const(nl, 0, 4), next);
+    if (with_backdoor) {
+      next = netlist::w_mux(nl, magic, netlist::w_inc(nl, reg), next);
+    }
+    netlist::w_connect(nl, reg, next);
+    nl.add_output_port("r_out", reg);
+
+    spec.reg = "r";
+    spec.ways.push_back(
+        {"Reset=1", "Any", "0", reset, netlist::w_const(nl, 0, 4)});
+    spec.ways.push_back({"Load=1", "Any", "data", load, data});
+  }
+};
+
+TEST(CorruptionMonitor, CleanRegisterIsCertified) {
+  ToyReg toy(false);
+  const SignalId bad = build_corruption_monitor(
+      toy.nl, toy.spec, CorruptionMonitorKind::kExact);
+  bmc::BmcOptions options;
+  options.max_frames = 12;
+  const auto result = bmc::check_bad_signal(toy.nl, bad, options);
+  EXPECT_EQ(result.status, bmc::BmcStatus::kBoundReached);
+}
+
+TEST(CorruptionMonitor, BackdoorIsFoundWithTheMagicInput) {
+  ToyReg toy(true);
+  const SignalId bad = build_corruption_monitor(
+      toy.nl, toy.spec, CorruptionMonitorKind::kExact);
+  bmc::BmcOptions options;
+  options.max_frames = 12;
+  const auto result = bmc::check_bad_signal(toy.nl, bad, options);
+  ASSERT_EQ(result.status, bmc::BmcStatus::kViolated);
+  const auto& witness = *result.witness;
+  EXPECT_EQ(witness.port_value(toy.nl, "magic", witness.violation_frame), 1u);
+}
+
+TEST(CorruptionMonitor, HoldOnlyAlsoCatchesOutOfSpecUpdates) {
+  // The backdoor fires with load=0 and reset=0, so even the literal Eq. (2)
+  // reading catches it (contrast with value corruption during a valid way,
+  // covered in test_detector).
+  ToyReg toy(true);
+  const SignalId bad = build_corruption_monitor(
+      toy.nl, toy.spec, CorruptionMonitorKind::kHoldOnly);
+  bmc::BmcOptions options;
+  options.max_frames = 12;
+  EXPECT_EQ(bmc::check_bad_signal(toy.nl, bad, options).status,
+            bmc::BmcStatus::kViolated);
+}
+
+TEST(CorruptionMonitor, ElaboratesFreshGates) {
+  // The monitor must not fold into the design (SVA-style elaboration):
+  // building it twice yields distinct bad signals, and the netlist grows.
+  ToyReg toy(false);
+  const std::size_t before = toy.nl.size();
+  const SignalId bad1 = build_corruption_monitor(
+      toy.nl, toy.spec, CorruptionMonitorKind::kExact);
+  const std::size_t middle = toy.nl.size();
+  const SignalId bad2 = build_corruption_monitor(
+      toy.nl, toy.spec, CorruptionMonitorKind::kExact);
+  EXPECT_GT(middle, before);
+  EXPECT_GT(toy.nl.size(), middle);
+  EXPECT_NE(bad1, bad2);
+  // And hashing is back on afterwards.
+  EXPECT_TRUE(toy.nl.strash_enabled());
+}
+
+TEST(CorruptionMonitor, WidthMismatchInSpecThrows) {
+  ToyReg toy(false);
+  RegisterSpec broken = toy.spec;
+  broken.ways[1].next_value.pop_back();
+  EXPECT_THROW(build_corruption_monitor(toy.nl, broken,
+                                        CorruptionMonitorKind::kExact),
+               std::invalid_argument);
+}
+
+// ---- cone of influence --------------------------------------------------------
+
+TEST(Coi, ExcludesLogicThatCannotReachTheRoot) {
+  Netlist nl;
+  const Word a = nl.add_input_port("a", 8);
+  const Word b = nl.add_input_port("b", 8);
+  const Word ra = netlist::w_make_register(nl, "ra", 8, 0);
+  netlist::w_connect(nl, ra, a);
+  const Word rb = netlist::w_make_register(nl, "rb", 8, 0);
+  netlist::w_connect(nl, rb, netlist::w_add(nl, rb, b));  // big unrelated cone
+  const SignalId root = netlist::w_eq_const(nl, ra, 0x42);
+
+  const auto cone = netlist::sequential_coi(nl, {root});
+  EXPECT_TRUE(cone[root]);
+  EXPECT_TRUE(cone[ra[0]]);
+  EXPECT_TRUE(cone[a[0]]);
+  EXPECT_FALSE(cone[rb[0]]) << "rb never feeds the root";
+  EXPECT_FALSE(cone[b[0]]);
+}
+
+TEST(Coi, WalksThroughRegisterChains) {
+  Netlist nl;
+  const SignalId in = nl.add_input_port("in", 1)[0];
+  const SignalId s1 = nl.add_dff(false);
+  const SignalId s2 = nl.add_dff(false);
+  nl.connect_dff_input(s1, in);
+  nl.connect_dff_input(s2, s1);
+  const auto cone = netlist::sequential_coi(nl, {s2});
+  EXPECT_TRUE(cone[s1]);
+  EXPECT_TRUE(cone[in]);
+}
+
+// ---- select tree -----------------------------------------------------------------
+
+struct SelectTreeCase {
+  std::size_t options;
+  std::size_t width;
+};
+
+class SelectTree : public ::testing::TestWithParam<SelectTreeCase> {};
+
+TEST_P(SelectTree, SelectsEveryOption) {
+  const auto param = GetParam();
+  std::size_t index_bits = 0;
+  while ((1u << index_bits) < param.options) ++index_bits;
+  if (index_bits == 0) index_bits = 1;
+
+  Netlist nl;
+  const Word index = nl.add_input_port("index", index_bits);
+  std::vector<Word> options;
+  for (std::size_t i = 0; i < param.options; ++i) {
+    options.push_back(
+        nl.add_input_port("opt" + std::to_string(i), param.width));
+  }
+  nl.add_output_port("out", netlist::w_select_tree(nl, index, options));
+
+  sim::Simulator simulator(nl);
+  for (std::size_t i = 0; i < param.options; ++i) {
+    simulator.set_input_port("opt" + std::to_string(i),
+                             (0x1111111111111111ull * (i + 1)));
+  }
+  for (std::size_t i = 0; i < (1u << index_bits); ++i) {
+    simulator.set_input_port("index", i);
+    simulator.eval();
+    const std::uint64_t mask =
+        param.width >= 64 ? ~0ull : (1ull << param.width) - 1;
+    const std::uint64_t expected =
+        i < param.options ? (0x1111111111111111ull * (i + 1)) & mask : 0;
+    EXPECT_EQ(simulator.read_output("out"), expected) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SelectTree,
+                         ::testing::Values(SelectTreeCase{2, 4},
+                                           SelectTreeCase{3, 8},
+                                           SelectTreeCase{16, 8},
+                                           SelectTreeCase{5, 13},
+                                           SelectTreeCase{32, 4}));
+
+TEST(SelectTreeErrors, RejectsBadInputs) {
+  Netlist nl;
+  const Word index = nl.add_input_port("i", 2);
+  EXPECT_THROW(netlist::w_select_tree(nl, index, {}), std::invalid_argument);
+  std::vector<Word> mismatched = {netlist::w_const(nl, 0, 4),
+                                  netlist::w_const(nl, 0, 5)};
+  EXPECT_THROW(netlist::w_select_tree(nl, index, mismatched),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trojanscout::properties

@@ -1,0 +1,184 @@
+// Router family (extension): behaviour, Trojan semantics, detection by both
+// engines, Section 4 attacks, and baseline blindness.
+#include <gtest/gtest.h>
+
+#include "baselines/fanci.hpp"
+#include "baselines/veritrust.hpp"
+#include "baselines/workloads.hpp"
+#include "core/detector.hpp"
+#include "designs/attacks.hpp"
+#include "designs/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace trojanscout::designs {
+namespace {
+
+class RouterDriver {
+ public:
+  explicit RouterDriver(const Design& design) : simulator_(design.nl) {
+    simulator_.set_input_port("reset", 1);
+    simulator_.step();
+    simulator_.set_input_port("reset", 0);
+  }
+  void idle() {
+    simulator_.set_input_port("flit_valid", 0);
+    simulator_.step();
+  }
+  void header(unsigned dest, unsigned payload = 0) {
+    simulator_.set_input_port("flit_valid", 1);
+    simulator_.set_input_port(
+        "flit_in", (static_cast<std::uint64_t>(dest) << 14) | (1u << 13) |
+                       (payload & 0x1FFF));
+    simulator_.step();
+  }
+  void body(unsigned payload) {
+    simulator_.set_input_port("flit_valid", 1);
+    simulator_.set_input_port("flit_in", payload & 0x1FFF);
+    simulator_.step();
+  }
+  std::uint64_t out_valid() { return simulator_.read_output("out_valid"); }
+  std::uint64_t out_data() { return simulator_.read_output("out_data"); }
+  std::uint64_t dest() { return simulator_.read_register("dest_reg"); }
+
+ private:
+  sim::Simulator simulator_;
+};
+
+TEST(Router, RoutesBodyFlitsToTheLatchedDestination) {
+  const Design d = build_router({});
+  RouterDriver r(d);
+  r.header(2);
+  r.body(0x123);
+  EXPECT_EQ(r.dest(), 2u);
+  EXPECT_EQ(r.out_data(), 0x123u);
+  EXPECT_EQ(r.out_valid(), 1u << 2);
+  r.header(0);
+  r.body(0x456);
+  EXPECT_EQ(r.out_valid(), 1u << 0);
+  EXPECT_EQ(r.out_data(), 0x456u);
+}
+
+TEST(Router, IdleCyclesDropTheValidLines) {
+  const Design d = build_router({});
+  RouterDriver r(d);
+  r.header(1);
+  r.body(0x7F);
+  EXPECT_NE(r.out_valid(), 0u);
+  r.idle();
+  EXPECT_EQ(r.out_valid(), 0u);
+}
+
+TEST(Router, MisrouteTrojanDivertsAfterTheMagicTriple) {
+  RouterOptions options;
+  options.trojan = RouterTrojan::kMisroute;
+  const Design d = build_router(options);
+  RouterDriver r(d);
+  r.header(1);
+  r.body(0x003A);  // stage 1
+  r.body(0x015B);  // stage 2 (only the low byte matters)
+  EXPECT_EQ(r.dest(), 1u) << "not yet triggered";
+  r.body(0x007C);  // fires (registered)
+  r.body(0x0001);
+  EXPECT_EQ(r.dest(), 3u) << "diverted to the attacker port";
+  r.header(0);  // even a new header cannot reclaim the destination
+  r.body(0x0002);
+  EXPECT_EQ(r.dest(), 3u);
+  EXPECT_EQ(r.out_valid(), 1u << 3);
+}
+
+TEST(Router, NearMissSequencesDoNotTrigger) {
+  RouterOptions options;
+  options.trojan = RouterTrojan::kMisroute;
+  const Design d = build_router(options);
+  RouterDriver r(d);
+  r.header(2);
+  r.body(0x003A);
+  r.body(0x005A);  // wrong second byte
+  r.body(0x005B);  // not preceded by the first magic
+  r.body(0x007C);  // third magic without the prefix
+  r.body(0x0003);
+  EXPECT_EQ(r.dest(), 2u);
+}
+
+struct RouterEngineCase {
+  core::EngineKind engine;
+};
+
+class RouterDetection
+    : public ::testing::TestWithParam<RouterEngineCase> {};
+
+TEST_P(RouterDetection, BothEnginesRecoverTheMagicPair) {
+  RouterOptions options;
+  options.trojan = RouterTrojan::kMisroute;
+  const Design design = build_router(options);
+  core::DetectorOptions detector_options;
+  detector_options.engine.kind = GetParam().engine;
+  detector_options.engine.max_frames = 16;
+  if (GetParam().engine == core::EngineKind::kAtpg) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      detector_options.engine.atpg_stimulus.push_back(
+          baselines::generate_workload(design.nl, "router", 16, seed));
+    }
+  }
+  core::TrojanDetector detector(design, detector_options);
+  const core::CheckResult result = detector.check_corruption("dest_reg");
+  ASSERT_TRUE(result.violated) << result.status;
+  // The witness must contain the consecutive magic body payloads.
+  const auto& witness = *result.witness;
+  bool found_triple = false;
+  for (std::size_t t = 0; t + 2 < witness.frames.size(); ++t) {
+    const auto b0 = witness.port_value(design.nl, "flit_in", t) & 0xFF;
+    const auto b1 = witness.port_value(design.nl, "flit_in", t + 1) & 0xFF;
+    const auto b2 = witness.port_value(design.nl, "flit_in", t + 2) & 0xFF;
+    if (b0 == 0x3A && b1 == 0x5B && b2 == 0x7C) found_triple = true;
+  }
+  EXPECT_TRUE(found_triple);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, RouterDetection,
+                         ::testing::Values(RouterEngineCase{core::EngineKind::kBmc},
+                                           RouterEngineCase{core::EngineKind::kAtpg}));
+
+TEST(Router, CleanRouterCertifiesAndProvesInductively) {
+  const Design design = build_router({});
+  core::DetectorOptions options;
+  options.engine.max_frames = 16;
+  core::TrojanDetector detector(design, options);
+  EXPECT_FALSE(detector.check_corruption("dest_reg").violated);
+}
+
+TEST(Router, BypassAttackCaughtByEq4AndCleanPasses) {
+  RouterOptions options;
+  options.trojan = RouterTrojan::kMisroute;
+  options.payload_enabled = false;
+  Design attacked = build_router(options);
+  plant_bypass(attacked, "dest_reg");
+  core::DetectorOptions detector_options;
+  detector_options.engine.max_frames = 24;
+  core::TrojanDetector detector(attacked, detector_options);
+  EXPECT_TRUE(detector.check_bypass("dest_reg").violated);
+
+  const Design clean = build_router({});
+  core::TrojanDetector clean_detector(clean, detector_options);
+  const auto clean_result = clean_detector.check_bypass("dest_reg");
+  EXPECT_FALSE(clean_result.violated);
+}
+
+TEST(Router, BaselinesMissTheHardenedMisroute) {
+  RouterOptions options;
+  options.trojan = RouterTrojan::kMisroute;
+  const Design design = build_router(options);
+  const auto fanci = baselines::run_fanci(design.nl);
+  for (const auto& suspect : fanci.suspects) {
+    EXPECT_FALSE(design.is_trojan_gate(suspect.signal));
+  }
+  const auto workload =
+      baselines::generate_workload(design.nl, "router", 20000, 42);
+  const auto veritrust = baselines::run_veritrust(design.nl, workload);
+  for (const auto& suspect : veritrust.suspects) {
+    EXPECT_FALSE(design.is_trojan_gate(suspect.signal));
+  }
+}
+
+}  // namespace
+}  // namespace trojanscout::designs

@@ -1,0 +1,189 @@
+// Simulator tests: 2-valued and 3-valued semantics, witness replay, and the
+// VCD dump.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "netlist/wordops.hpp"
+#include "sim/simulator.hpp"
+#include "sim/ternary_simulator.hpp"
+#include "sim/vcd.hpp"
+
+namespace trojanscout::sim {
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+TEST(Simulator, CombinationalGateSemantics) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId b = nl.add_input();
+  const SignalId g_and = nl.b_and(a, b);
+  const SignalId g_or = nl.b_or(a, b);
+  const SignalId g_xor = nl.b_xor(a, b);
+  const SignalId g_mux = nl.b_mux(a, b, nl.b_not(b));
+  Simulator s(nl);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      s.set_input(a, va != 0);
+      s.set_input(b, vb != 0);
+      s.eval();
+      EXPECT_EQ(s.value(g_and), (va & vb) != 0);
+      EXPECT_EQ(s.value(g_or), (va | vb) != 0);
+      EXPECT_EQ(s.value(g_xor), (va ^ vb) != 0);
+      EXPECT_EQ(s.value(g_mux), (va != 0 ? vb : !vb) != 0);
+    }
+  }
+}
+
+TEST(Simulator, DffLatchesOnStepAndResets) {
+  Netlist nl;
+  const SignalId d = nl.add_input();
+  const SignalId q = nl.add_dff(true);
+  nl.connect_dff_input(q, d);
+  Simulator s(nl);
+  EXPECT_TRUE(s.value(q)) << "reset value";
+  s.set_input(d, false);
+  s.step();
+  EXPECT_FALSE(s.value(q));
+  s.set_input(d, true);
+  s.eval();
+  EXPECT_FALSE(s.value(q)) << "eval must not latch";
+  s.step();
+  EXPECT_TRUE(s.value(q));
+  s.reset();
+  EXPECT_TRUE(s.value(q));
+}
+
+TEST(Simulator, SimultaneousDffUpdate) {
+  // Swap network: a <-> b must exchange values atomically on step.
+  Netlist nl;
+  const SignalId a = nl.add_dff(true);
+  const SignalId b = nl.add_dff(false);
+  nl.connect_dff_input(a, b);
+  nl.connect_dff_input(b, a);
+  Simulator s(nl);
+  s.step();
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  s.step();
+  EXPECT_TRUE(s.value(a));
+  EXPECT_FALSE(s.value(b));
+}
+
+TEST(TernarySim, XPropagatesOnlyWhereItMatters) {
+  Netlist nl;
+  const SignalId a = nl.add_input();
+  const SignalId b = nl.add_input();
+  const SignalId g_and = nl.b_and(a, b);
+  const SignalId g_or = nl.b_or(a, b);
+  TernarySimulator s(nl);
+  s.set_input(a, Ternary::kZero);
+  s.set_input(b, Ternary::kX);
+  s.eval();
+  EXPECT_EQ(s.value(g_and), Ternary::kZero) << "0 controls AND";
+  EXPECT_EQ(s.value(g_or), Ternary::kX);
+  s.set_input(a, Ternary::kOne);
+  s.eval();
+  EXPECT_EQ(s.value(g_and), Ternary::kX);
+  EXPECT_EQ(s.value(g_or), Ternary::kOne) << "1 controls OR";
+}
+
+TEST(TernarySim, MuxWithUnknownSelectAgreeingBranches) {
+  Netlist nl;
+  const SignalId sel = nl.add_input();
+  const SignalId t = nl.add_input();
+  const SignalId f = nl.add_input();
+  const SignalId m = nl.b_mux(sel, t, f);
+  TernarySimulator s(nl);
+  s.set_input(sel, Ternary::kX);
+  s.set_input(t, Ternary::kOne);
+  s.set_input(f, Ternary::kOne);
+  s.eval();
+  EXPECT_EQ(s.value(m), Ternary::kOne) << "agreeing branches resolve X select";
+  s.set_input(f, Ternary::kZero);
+  s.eval();
+  EXPECT_EQ(s.value(m), Ternary::kX);
+}
+
+TEST(TernarySim, ResetToXMakesStateUnknown) {
+  Netlist nl;
+  const SignalId d = nl.add_input();
+  const SignalId q = nl.add_dff(false);
+  nl.connect_dff_input(q, d);
+  TernarySimulator s(nl);
+  EXPECT_EQ(s.value(q), Ternary::kZero);
+  s.reset_to_x();
+  EXPECT_EQ(s.value(q), Ternary::kX);
+}
+
+TEST(Witness, PortValueDecodesByInputIndex) {
+  Netlist nl;
+  const Word a = nl.add_input_port("a", 8);
+  const Word b = nl.add_input_port("b", 4);
+  (void)a;
+  (void)b;
+  Witness w;
+  InputFrame frame;
+  frame.bits = util::BitVec(12);
+  // a = 0xA5 (bits 0..7), b = 0x9 (bits 8..11).
+  for (int i = 0; i < 8; ++i) frame.bits.set(i, (0xA5 >> i) & 1);
+  for (int i = 0; i < 4; ++i) frame.bits.set(8 + i, (0x9 >> i) & 1);
+  w.frames.push_back(frame);
+  EXPECT_EQ(w.port_value(nl, "a", 0), 0xA5u);
+  EXPECT_EQ(w.port_value(nl, "b", 0), 0x9u);
+  const std::string text = w.to_string(nl);
+  EXPECT_NE(text.find("a=0xa5"), std::string::npos);
+}
+
+TEST(Vcd, WritesAParsableHeaderAndValues) {
+  Netlist nl;
+  const SignalId en = nl.add_input_port("en", 1)[0];
+  (void)en;
+  const Word c = netlist::w_counter(nl, "c", 3, nl.input_port("en").bits[0]);
+  nl.add_output_port("count", c);
+
+  Witness w;
+  for (int t = 0; t < 4; ++t) {
+    InputFrame frame;
+    frame.bits = util::BitVec(1);
+    frame.bits.set(0, true);
+    w.frames.push_back(frame);
+  }
+  const std::string path = "/tmp/trojanscout_test.vcd";
+  ASSERT_TRUE(write_witness_vcd(nl, w, path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(text.find("reg_c"), std::string::npos);
+  EXPECT_NE(text.find("in_en"), std::string::npos);
+  EXPECT_NE(text.find("#30"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayRegister, TracksACounter) {
+  Netlist nl;
+  const SignalId en = nl.add_input_port("en", 1)[0];
+  (void)en;
+  netlist::w_counter(nl, "c", 4, nl.input_port("en").bits[0]);
+  Witness w;
+  for (int t = 0; t < 5; ++t) {
+    InputFrame frame;
+    frame.bits = util::BitVec(1);
+    frame.bits.set(0, t != 2);  // skip one enable
+    w.frames.push_back(frame);
+  }
+  const auto trace = replay_register(nl, w, "c");
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0].to_uint(), 1u);
+  EXPECT_EQ(trace[1].to_uint(), 2u);
+  EXPECT_EQ(trace[2].to_uint(), 2u);
+  EXPECT_EQ(trace[4].to_uint(), 4u);
+}
+
+}  // namespace
+}  // namespace trojanscout::sim

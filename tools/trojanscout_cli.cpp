@@ -1,0 +1,209 @@
+// trojanscout command-line tool: audit a structural-Verilog 3PIP against a
+// valid-ways spec file without writing any C++.
+//
+//   trojanscout_cli info  --design ip.v
+//   trojanscout_cli check --design ip.v --spec ip.spec --register cfg
+//                         [--engine bmc|atpg] [--frames N] [--budget S]
+//                         [--minimize] [--vcd out.vcd]
+//   trojanscout_cli prove --design ip.v --spec ip.spec --register cfg
+//                         [--max-k K]
+//   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
+//                         [--out design.v]
+//
+// Exit codes: 0 = clean / generated, 2 = Trojan found, 1 = usage/error.
+#include <fstream>
+#include <iostream>
+
+#include "bmc/bmc.hpp"
+#include "core/detector.hpp"
+#include "core/minimize.hpp"
+#include "designs/catalog.hpp"
+#include "properties/monitors.hpp"
+#include "sim/vcd.hpp"
+#include "specdsl/specdsl.hpp"
+#include "util/cli.hpp"
+#include "verilog/reader.hpp"
+#include "verilog/writer.hpp"
+
+using namespace trojanscout;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: trojanscout_cli <info|check|prove|gen> [flags]\n"
+               "  see the header of tools/trojanscout_cli.cpp\n";
+  return 1;
+}
+
+netlist::Netlist load_design(const util::CliParser& cli) {
+  const std::string path = cli.get_string("design", "");
+  if (path.empty()) throw std::runtime_error("--design is required");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  netlist::Netlist nl = verilog::read_verilog(in);
+  nl.validate();
+  return nl;
+}
+
+int cmd_info(const util::CliParser& cli) {
+  const netlist::Netlist nl = load_design(cli);
+  std::cout << "gates: " << nl.size() << "\nflip-flops: " << nl.dffs().size()
+            << "\ninput ports:";
+  for (const auto& p : nl.input_ports()) {
+    std::cout << " " << p.name << "[" << p.bits.size() << "]";
+  }
+  std::cout << "\noutput ports:";
+  for (const auto& p : nl.output_ports()) {
+    std::cout << " " << p.name << "[" << p.bits.size() << "]";
+  }
+  std::cout << "\nregisters:";
+  for (const auto& r : nl.registers()) {
+    std::cout << " " << r.name << "[" << r.dffs.size() << "]";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_check(const util::CliParser& cli) {
+  designs::Design design;
+  design.name = cli.get_string("design", "design");
+  design.nl = load_design(cli);
+  design.spec =
+      specdsl::load_spec_file(design.nl, cli.get_string("spec", ""));
+
+  const std::string reg = cli.get_string("register", "");
+  const auto* reg_spec = design.spec.find(reg);
+  if (reg_spec == nullptr) {
+    std::cerr << "register '" << reg << "' has no spec block\n";
+    return 1;
+  }
+  design.critical_registers = {reg};
+
+  core::DetectorOptions options;
+  options.engine.kind = cli.get_string("engine", "bmc") == "atpg"
+                            ? core::EngineKind::kAtpg
+                            : core::EngineKind::kBmc;
+  options.engine.max_frames =
+      static_cast<std::size_t>(cli.get_int("frames", 128));
+  options.engine.time_limit_seconds = cli.get_double("budget", 60.0);
+  options.scan_pseudo_critical = false;
+  options.check_bypass = false;
+
+  core::TrojanDetector detector(design, options);
+  const core::CheckResult result = detector.check_corruption(reg);
+  if (!result.violated) {
+    std::cout << "clean: no out-of-spec update of '" << reg << "' within "
+              << result.frames_completed << " cycles ("
+              << result.status << ")\n";
+    return 0;
+  }
+
+  sim::Witness witness = *result.witness;
+  std::cout << "TROJAN: '" << reg << "' corrupted at cycle "
+            << witness.violation_frame << " (found in " << result.seconds
+            << " s)\n";
+  if (cli.get_bool("minimize", false)) {
+    // Rebuild the monitor on a fresh copy to minimize against.
+    designs::Design scratch = design;
+    const auto bad = properties::build_corruption_monitor(
+        scratch.nl, *scratch.spec.find(reg),
+        properties::CorruptionMonitorKind::kExact);
+    core::MinimizeStats stats;
+    witness = core::minimize_witness(scratch.nl, bad, witness, &stats);
+    std::cout << "minimized witness: " << stats.bits_before << " -> "
+              << stats.bits_after << " set input bits\n";
+  }
+  std::cout << witness.to_string(design.nl);
+  const std::string vcd = cli.get_string("vcd", "");
+  if (!vcd.empty() && sim::write_witness_vcd(design.nl, witness, vcd)) {
+    std::cout << "waveform written to " << vcd << "\n";
+  }
+  return 2;
+}
+
+int cmd_prove(const util::CliParser& cli) {
+  designs::Design design;
+  design.nl = load_design(cli);
+  design.spec =
+      specdsl::load_spec_file(design.nl, cli.get_string("spec", ""));
+  const std::string reg = cli.get_string("register", "");
+  const auto* reg_spec = design.spec.find(reg);
+  if (reg_spec == nullptr) {
+    std::cerr << "register '" << reg << "' has no spec block\n";
+    return 1;
+  }
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, *reg_spec, properties::CorruptionMonitorKind::kExact);
+  bmc::InductionOptions options;
+  options.max_k = static_cast<std::size_t>(cli.get_int("max-k", 8));
+  options.time_limit_seconds = cli.get_double("budget", 60.0);
+  const auto result = bmc::prove_by_induction(design.nl, bad, options);
+  switch (result.status) {
+    case bmc::InductionStatus::kProven:
+      std::cout << "PROVEN for all time (k=" << result.k_used << ", "
+                << result.seconds << " s)\n";
+      return 0;
+    case bmc::InductionStatus::kBaseViolated:
+      std::cout << "TROJAN: counterexample at cycle "
+                << result.witness->violation_frame << "\n"
+                << result.witness->to_string(design.nl);
+      return 2;
+    case bmc::InductionStatus::kUnknown:
+      std::cout << "UNKNOWN: not k-inductive within the budget (use 'check' "
+                   "for a bounded certificate)\n";
+      return 1;
+  }
+  return 1;
+}
+
+int cmd_gen(const util::CliParser& cli) {
+  const std::string family = cli.get_string("family", "mc8051");
+  const std::string trojan = cli.get_string("trojan", "");
+  designs::Design design;
+  if (trojan.empty()) {
+    design = designs::build_clean(family);
+  } else {
+    bool found = false;
+    for (const auto& info : designs::trojan_benchmarks()) {
+      if (info.name == trojan) {
+        design = info.build(true);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown trojan '" << trojan << "'; names:";
+      for (const auto& info : designs::trojan_benchmarks()) {
+        std::cerr << " " << info.name;
+      }
+      std::cerr << "\n";
+      return 1;
+    }
+  }
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) {
+    verilog::write_verilog(std::cout, design.nl, design.name);
+  } else {
+    std::ofstream os(out);
+    verilog::write_verilog(os, design.nl, design.name);
+    std::cout << "wrote " << out << " (" << design.nl.size() << " gates)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::CliParser cli(argc - 1, argv + 1);
+  try {
+    if (command == "info") return cmd_info(cli);
+    if (command == "check") return cmd_check(cli);
+    if (command == "prove") return cmd_prove(cli);
+    if (command == "gen") return cmd_gen(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
