@@ -1,0 +1,115 @@
+// Scaling study for the parallel property scheduler: the full Algorithm 1
+// workload on the Table-1 cores (multi-register critical sets with the
+// Eq. 3 pseudo-critical scan enabled, so one design fans out into dozens
+// of independent property obligations), run serially and then with the
+// work-stealing scheduler at 1/2/4/8 workers.
+//
+// Besides wall clock and speedup, the harness diffs every parallel
+// DetectionReport signature against the serial one: the scheduler promises
+// byte-identical reports for any jobs value (no fail-fast), and this bench
+// fails loudly (exit 1) if that ever breaks.
+//
+//   --frames=N    unroll bound per obligation (default 12)
+//   --budget=S    per-obligation engine budget (default 600, i.e. never the
+//                 limiter — timeouts would make the reports nondeterministic)
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/parallel_detector.hpp"
+#include "util/stopwatch.hpp"
+
+namespace trojanscout {
+namespace {
+
+core::DetectorOptions workload_options(const util::CliParser& cli) {
+  core::DetectorOptions options;
+  options.engine.kind = core::EngineKind::kBmc;
+  options.engine.max_frames =
+      static_cast<std::size_t>(cli.get_int("frames", 12));
+  options.engine.time_limit_seconds = cli.get_double("budget", 600.0);
+  options.scan_pseudo_critical = true;
+  options.check_bypass = true;
+  return options;
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv) {
+  const util::CliParser cli(argc, argv);
+
+  struct Workload {
+    std::string name;
+    designs::Design design;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"clean-mc8051", designs::build_clean("mc8051")});
+  workloads.push_back({"clean-risc", designs::build_clean("risc")});
+  for (const auto& info : designs::trojan_benchmarks()) {
+    if (info.name == "MC8051-T800") {
+      workloads.push_back({info.name, info.build(/*payload_enabled=*/true)});
+    }
+  }
+
+  std::cout << "=== Parallel property scheduler scaling (Algorithm 1, "
+               "BMC, pseudo-critical scan on) ===\n\n"
+            << "hardware threads: " << std::thread::hardware_concurrency()
+            << " (speedup is bounded by this; on a 1-core host the table "
+               "only measures scheduler overhead)\n\n";
+
+  util::Table table({"Workload", "Obligations", "Serial t(s)", "1j t(s)",
+                     "2j t(s)", "4j t(s)", "8j t(s)", "4j speedup",
+                     "Deterministic?"});
+
+  bool all_identical = true;
+  for (auto& workload : workloads) {
+    const core::DetectorOptions options = workload_options(cli);
+    core::TrojanDetector serial(workload.design, options);
+    const std::size_t obligations = serial.enumerate_obligations().size();
+
+    util::Stopwatch serial_timer;
+    const core::DetectionReport serial_report = serial.run();
+    const double serial_seconds = serial_timer.elapsed_seconds();
+    const std::string serial_signature = serial_report.signature();
+
+    std::vector<std::string> cells = {workload.name,
+                                      std::to_string(obligations),
+                                      util::cell_double(serial_seconds, 2)};
+    double four_job_seconds = serial_seconds;
+    bool identical = true;
+    for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+      core::ParallelDetectorOptions parallel_options;
+      parallel_options.detector = options;
+      parallel_options.jobs = jobs;
+      core::ParallelDetector parallel(workload.design, parallel_options);
+      util::Stopwatch timer;
+      const core::DetectionReport report = parallel.run();
+      const double seconds = timer.elapsed_seconds();
+      if (jobs == 4) four_job_seconds = seconds;
+      identical = identical && report.signature() == serial_signature;
+      cells.push_back(util::cell_double(seconds, 2));
+      std::cerr << "[scaling] " << workload.name << " jobs=" << jobs
+                << " done (" << util::cell_double(seconds, 2) << " s)\n";
+    }
+    cells.push_back(util::cell_double(serial_seconds / four_job_seconds, 2) +
+                    "x");
+    cells.push_back(identical ? "byte-identical" : "MISMATCH");
+    all_identical = all_identical && identical;
+    table.add_row(cells);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEvery obligation (pseudo pair, corruption, bypass) is an "
+               "independent engine run; the scheduler merges results in "
+               "enumeration order, so the report signature must not depend "
+               "on the jobs count.\n";
+  if (!all_identical) {
+    std::cerr << "FAIL: parallel report diverged from serial report\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace trojanscout
+
+int main(int argc, char** argv) { return trojanscout::run(argc, argv); }

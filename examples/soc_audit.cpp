@@ -2,10 +2,14 @@
 // pseudo-critical scan, Eq. 2 corruption check, Eq. 4 bypass check — on a
 // set of delivered 3PIPs, including one carrying a Section 4 evasion attack.
 //
-// Run: ./soc_audit [--budget=seconds]
+// The per-delivery property checks are scheduled across worker threads
+// (--jobs, default: all hardware threads); the verdicts are identical to a
+// serial run. --fail-fast stops a delivery's audit at its first finding.
+//
+// Run: ./soc_audit [--budget=seconds] [--jobs=N] [--fail-fast]
 #include <iostream>
 
-#include "core/detector.hpp"
+#include "core/parallel_detector.hpp"
 #include "designs/attacks.hpp"
 #include "designs/catalog.hpp"
 #include "designs/mc8051.hpp"
@@ -18,6 +22,8 @@ using namespace trojanscout;
 int main(int argc, char** argv) {
   const util::CliParser cli(argc, argv);
   const double budget = cli.get_double("budget", 30.0);
+  const std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  const bool fail_fast = cli.get_bool("fail-fast", false);
 
   struct Delivery {
     std::string vendor_claim;
@@ -70,11 +76,13 @@ int main(int argc, char** argv) {
   util::Table table({"Delivery", "Verdict", "Findings",
                      "Trust bound (cycles)"});
   for (auto& delivery : deliveries) {
-    core::DetectorOptions options;
-    options.engine.kind = core::EngineKind::kBmc;
-    options.engine.max_frames = 24;
-    options.engine.time_limit_seconds = budget;
-    core::TrojanDetector detector(delivery.design, options);
+    core::ParallelDetectorOptions options;
+    options.detector.engine.kind = core::EngineKind::kBmc;
+    options.detector.engine.max_frames = 24;
+    options.detector.engine.time_limit_seconds = budget;
+    options.jobs = jobs;
+    options.fail_fast = fail_fast;
+    core::ParallelDetector detector(delivery.design, options);
     const core::DetectionReport report = detector.run();
 
     std::string findings;

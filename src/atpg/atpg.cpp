@@ -69,6 +69,11 @@ class Engine {
 
     for (std::size_t target = options_.start_frame;
          target < options_.max_frames; ++target) {
+      if (cancel_requested()) {
+        result.status = AtpgStatus::kResourceOut;
+        result.cancelled = true;
+        break;
+      }
       if (timer.elapsed_seconds() > options_.time_limit_seconds ||
           (target + 1) * (nl_.size() + nl_.num_inputs()) *
                   sizeof(Ternary) * 2 >
@@ -86,6 +91,7 @@ class Engine {
       }
       if (outcome == FrameSearch::kTimeout) {
         result.status = AtpgStatus::kResourceOut;
+        result.cancelled = cancel_requested();
         break;
       }
       if (outcome == FrameSearch::kClean) {
@@ -119,6 +125,11 @@ class Engine {
 
  private:
   enum class FrameSearch { kFound, kClean, kAborted, kTimeout };
+
+  [[nodiscard]] bool cancel_requested() const {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_acquire);
+  }
 
   /// Random-pattern phase: simulates random input sequences watching the
   /// bad signal. On a hit, fills the result (violated + witness) and
@@ -157,7 +168,8 @@ class Engine {
                    : options_.max_frames;
       for (std::size_t f = 0; f < run_frames; ++f) {
         if ((f & 0x3FF) == 0 &&
-            timer.elapsed_seconds() > options_.time_limit_seconds * 0.2) {
+            (cancel_requested() ||
+             timer.elapsed_seconds() > options_.time_limit_seconds * 0.2)) {
           break;
         }
         history.emplace_back(n_inputs);
@@ -520,6 +532,7 @@ class Engine {
                        nl_.name_of(objective->signal).c_str(),
                        objective->frame, objective->value ? 1 : 0,
                        stack_.size());
+          if (cancel_requested()) return FrameSearch::kTimeout;
           if ((decisions_ & 0x3F) == 0 &&
               timer.elapsed_seconds() > options_.time_limit_seconds) {
             return FrameSearch::kTimeout;

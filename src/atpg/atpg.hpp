@@ -17,6 +17,7 @@
 // of magnitude less memory and unrolls ~3x more frames per unit time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -57,6 +58,9 @@ struct AtpgOptions {
   bool use_scoap_guidance = true;
   /// Cap on the per-frame value arrays (kResourceOut past it).
   std::uint64_t memory_limit_bytes = 2ull << 30;
+  /// Cooperative cancellation flag polled between frames and inside the
+  /// branch-and-bound; a set flag ends the run with kResourceOut + cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class AtpgStatus {
@@ -79,6 +83,8 @@ struct AtpgResult {
   std::uint64_t decisions = 0;
   std::uint64_t backtracks = 0;
   std::uint64_t implications = 0;
+  /// True when the run stopped because AtpgOptions::cancel was set.
+  bool cancelled = false;
 
   [[nodiscard]] bool violated() const { return status == AtpgStatus::kViolated; }
   [[nodiscard]] std::string status_name() const;

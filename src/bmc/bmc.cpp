@@ -32,6 +32,12 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
 
   BmcResult result;
   for (std::size_t t = 0; t < options.max_frames; ++t) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_acquire)) {
+      result.status = BmcStatus::kResourceOut;
+      result.cancelled = true;
+      break;
+    }
     const double remaining =
         options.time_limit_seconds - timer.elapsed_seconds();
     if (remaining <= 0 ||
@@ -45,6 +51,7 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
 
     sat::Budget budget;
     budget.time_limit_seconds = remaining;
+    budget.cancel = options.cancel;
     const sat::SolveResult sat_result = solver.solve({bad}, budget);
 
     if (sat_result == sat::SolveResult::kSat) {
@@ -55,6 +62,7 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
     }
     if (sat_result == sat::SolveResult::kUnknown) {
       result.status = BmcStatus::kResourceOut;
+      result.cancelled = sat::budget_cancelled(budget);
       break;
     }
     // Proven unreachable at this frame: pin it down as a unit fact, which

@@ -8,6 +8,7 @@
 // yields "trustworthy for T clock cycles" semantics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -28,6 +29,9 @@ struct BmcOptions {
   std::uint64_t memory_limit_bytes = 2ull << 30;
   /// SAT solver configuration (exposed for the ablation benches).
   sat::SolverOptions solver;
+  /// Cooperative cancellation flag polled between frames and inside the
+  /// SAT search; a set flag ends the run with kResourceOut + cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class BmcStatus {
@@ -48,6 +52,8 @@ struct BmcResult {
   /// RSS growth attributable to this run, in bytes.
   std::uint64_t memory_bytes = 0;
   sat::SolverStats sat_stats;
+  /// True when the run stopped because BmcOptions::cancel was set.
+  bool cancelled = false;
 
   [[nodiscard]] bool violated() const { return status == BmcStatus::kViolated; }
   [[nodiscard]] std::string status_name() const;

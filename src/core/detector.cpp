@@ -46,6 +46,47 @@ std::string DetectionReport::summary() const {
   return os.str();
 }
 
+std::string Obligation::property_name() const {
+  switch (kind) {
+    case Kind::kPseudo:
+      return "pseudo(" + reg + "," + candidate + ")";
+    case Kind::kCorruption:
+      return "corruption(" + reg + ")";
+    case Kind::kBypass:
+      return "bypass(" + reg + ")";
+  }
+  return "?";
+}
+
+std::string DetectionReport::signature() const {
+  std::ostringstream os;
+  os << "trojan_found=" << trojan_found
+     << " trust_bound=" << trust_bound_frames << "\n";
+  for (const auto& run : runs) {
+    os << "run " << run.property << " status=" << run.check.status
+       << " violated=" << run.check.violated
+       << " bound_reached=" << run.check.bound_reached
+       << " frames=" << run.check.frames_completed;
+    if (run.check.witness) {
+      const auto& w = *run.check.witness;
+      os << " witness@" << w.violation_frame << ":";
+      for (const auto& frame : w.frames) {
+        os << " " << frame.bits.to_hex_string();
+      }
+    }
+    os << "\n";
+  }
+  for (const auto& f : findings) {
+    os << "finding " << finding_kind_name(f.kind) << " " << f.register_name;
+    if (!f.candidate_register.empty()) os << " via " << f.candidate_register;
+    os << "\n";
+  }
+  for (const auto& reg : certified_pseudo_critical) {
+    os << "certified " << reg << "\n";
+  }
+  return os.str();
+}
+
 TrojanDetector::TrojanDetector(const Design& design, DetectorOptions options)
     : design_(design), options_(std::move(options)) {}
 
@@ -94,114 +135,151 @@ std::vector<std::string> TrojanDetector::pseudo_candidates(
   return out;
 }
 
-DetectionReport TrojanDetector::run() {
-  DetectionReport report;
-  report.trust_bound_frames = options_.engine.max_frames;
-  std::vector<std::string> critical = design_.critical_registers;
+std::vector<Obligation> TrojanDetector::enumerate_obligations() const {
+  std::vector<Obligation> obligations;
 
-  auto note_bound = [&](const CheckResult& check) {
-    if (!check.violated) {
-      report.trust_bound_frames =
-          std::min(report.trust_bound_frames, check.frames_completed);
-    }
-  };
-
-  // Step 1 (Algorithm 1, inner loop): identify pseudo-critical registers.
+  // Step 1 (Algorithm 1, inner loop): pseudo-critical scan pairs.
   if (options_.scan_pseudo_critical) {
     for (const std::string& reg : design_.critical_registers) {
       for (const std::string& candidate : pseudo_candidates(reg)) {
-        const CheckResult check = check_pseudo_pair(
-            reg, candidate, properties::PseudoPolarity::kIdentity, false);
-        report.runs.push_back({"pseudo(" + reg + "," + candidate + ")", check});
-        if (!check.violated) {
-          // Mirrors within the bound: certified pseudo-critical. Its Eq. (2)
-          // check is exactly the mirror relation just certified.
-          report.certified_pseudo_critical.push_back(candidate);
-          note_bound(check);
-          TS_LOG_INFO("detector: %s certified pseudo-critical for %s",
-                      candidate.c_str(), reg.c_str());
-          continue;
-        }
-        // Deviation found: a Trojan if the candidate mirrored faithfully
-        // before the violation (see header note). The monitor compares
-        // latched values, so the corrupted value is already visible one
-        // frame before the reported violation: the faithful-mirror window
-        // is t in [1, violation_frame - 2].
-        const auto& witness = *check.witness;
-        if (witness.violation_frame < options_.min_pseudo_violation_depth) {
-          continue;  // unrelated register pair (diverges trivially)
-        }
-        const auto cand_trace =
-            sim::replay_register(design_.nl, witness, candidate);
-        const auto crit_trace = sim::replay_register(design_.nl, witness, reg);
-        std::size_t mirrored = 0;
-        std::size_t window = 0;
-        for (std::size_t t = 1; t + 1 < witness.violation_frame; ++t) {
-          ++window;
-          if (cand_trace[t] == crit_trace[t - 1]) ++mirrored;
-        }
-        double fraction = 0.0;
-        if (window > 0) {
-          fraction = static_cast<double>(mirrored) /
-                     static_cast<double>(window);
-        } else {
-          // Empty window (trigger fired immediately): fall back to the
-          // reset-state relation.
-          const auto& crit_dffs = design_.nl.find_register(reg).dffs;
-          util::BitVec crit_init(crit_dffs.size());
-          for (std::size_t i = 0; i < crit_dffs.size(); ++i) {
-            crit_init.set(i, design_.nl.gate(crit_dffs[i]).init);
-          }
-          fraction = cand_trace[0] == crit_init ? 1.0 : 0.0;
-        }
-        if (fraction >= options_.mirror_threshold) {
-          Finding finding;
-          finding.kind = FindingKind::kPseudoCritical;
-          finding.register_name = reg;
-          finding.candidate_register = candidate;
-          finding.check = check;
-          report.findings.push_back(std::move(finding));
-          report.trojan_found = true;
-        }
+        obligations.push_back(
+            {Obligation::Kind::kPseudo, reg, candidate});
       }
     }
   }
 
-  // Step 2: no-data-corruption check per critical register.
-  for (const std::string& reg : critical) {
+  // Step 2: no-data-corruption check per critical register with a spec.
+  for (const std::string& reg : design_.critical_registers) {
     if (design_.spec.find(reg) == nullptr) continue;
-    const CheckResult check = check_corruption(reg);
-    report.runs.push_back({"corruption(" + reg + ")", check});
-    note_bound(check);
-    if (check.violated) {
-      Finding finding;
-      finding.kind = FindingKind::kCorruption;
-      finding.register_name = reg;
-      finding.check = check;
-      report.findings.push_back(std::move(finding));
-      report.trojan_found = true;
-    }
+    obligations.push_back({Obligation::Kind::kCorruption, reg, {}});
   }
 
   // Step 3: bypass check where the spec supports it.
   if (options_.check_bypass) {
-    for (const std::string& reg : critical) {
+    for (const std::string& reg : design_.critical_registers) {
       const auto* spec = design_.spec.find(reg);
       if (spec == nullptr || spec->obligations.empty()) continue;
-      const CheckResult check = check_bypass(reg);
-      report.runs.push_back({"bypass(" + reg + ")", check});
-      note_bound(check);
-      if (check.violated) {
-        Finding finding;
-        finding.kind = FindingKind::kBypass;
-        finding.register_name = reg;
-        finding.check = check;
-        report.findings.push_back(std::move(finding));
-        report.trojan_found = true;
-      }
+      obligations.push_back({Obligation::Kind::kBypass, reg, {}});
     }
   }
 
+  return obligations;
+}
+
+CheckResult TrojanDetector::run_obligation(const Obligation& obligation) const {
+  switch (obligation.kind) {
+    case Obligation::Kind::kPseudo:
+      return check_pseudo_pair(obligation.reg, obligation.candidate,
+                               properties::PseudoPolarity::kIdentity, false);
+    case Obligation::Kind::kCorruption:
+      return check_corruption(obligation.reg);
+    case Obligation::Kind::kBypass:
+      return check_bypass(obligation.reg);
+  }
+  return {};
+}
+
+bool TrojanDetector::pseudo_violation_is_trojan(
+    const Obligation& obligation, const CheckResult& check) const {
+  // Deviation found: a Trojan if the candidate mirrored faithfully before
+  // the violation (see header note). The monitor compares latched values,
+  // so the corrupted value is already visible one frame before the
+  // reported violation: the faithful-mirror window is t in
+  // [1, violation_frame - 2].
+  const auto& witness = *check.witness;
+  if (witness.violation_frame < options_.min_pseudo_violation_depth) {
+    return false;  // unrelated register pair (diverges trivially)
+  }
+  const auto cand_trace =
+      sim::replay_register(design_.nl, witness, obligation.candidate);
+  const auto crit_trace =
+      sim::replay_register(design_.nl, witness, obligation.reg);
+  std::size_t mirrored = 0;
+  std::size_t window = 0;
+  for (std::size_t t = 1; t + 1 < witness.violation_frame; ++t) {
+    ++window;
+    if (cand_trace[t] == crit_trace[t - 1]) ++mirrored;
+  }
+  double fraction = 0.0;
+  if (window > 0) {
+    fraction = static_cast<double>(mirrored) / static_cast<double>(window);
+  } else {
+    // Empty window (trigger fired immediately): fall back to the
+    // reset-state relation.
+    const auto& crit_dffs = design_.nl.find_register(obligation.reg).dffs;
+    util::BitVec crit_init(crit_dffs.size());
+    for (std::size_t i = 0; i < crit_dffs.size(); ++i) {
+      crit_init.set(i, design_.nl.gate(crit_dffs[i]).init);
+    }
+    fraction = cand_trace[0] == crit_init ? 1.0 : 0.0;
+  }
+  return fraction >= options_.mirror_threshold;
+}
+
+bool TrojanDetector::is_finding(const Obligation& obligation,
+                                const CheckResult& check) const {
+  if (!check.violated) return false;
+  if (obligation.kind == Obligation::Kind::kPseudo) {
+    return pseudo_violation_is_trojan(obligation, check);
+  }
+  return true;
+}
+
+void TrojanDetector::merge_obligation(DetectionReport& report,
+                                      const Obligation& obligation,
+                                      const CheckResult& check) const {
+  report.runs.push_back({obligation.property_name(), check});
+
+  auto note_bound = [&report](const CheckResult& c) {
+    // A cancelled run certifies nothing — it must not drag the trust bound
+    // to its (arbitrary) abandonment frame.
+    if (!c.violated && !c.cancelled) {
+      report.trust_bound_frames =
+          std::min(report.trust_bound_frames, c.frames_completed);
+    }
+  };
+
+  if (obligation.kind == Obligation::Kind::kPseudo) {
+    if (!check.violated) {
+      if (!check.cancelled) {
+        // Mirrors within the bound: certified pseudo-critical. Its Eq. (2)
+        // check is exactly the mirror relation just certified.
+        report.certified_pseudo_critical.push_back(obligation.candidate);
+        TS_LOG_INFO("detector: %s certified pseudo-critical for %s",
+                    obligation.candidate.c_str(), obligation.reg.c_str());
+      }
+      note_bound(check);
+      return;
+    }
+    if (!pseudo_violation_is_trojan(obligation, check)) return;
+    Finding finding;
+    finding.kind = FindingKind::kPseudoCritical;
+    finding.register_name = obligation.reg;
+    finding.candidate_register = obligation.candidate;
+    finding.check = check;
+    report.findings.push_back(std::move(finding));
+    report.trojan_found = true;
+    return;
+  }
+
+  note_bound(check);
+  if (!check.violated) return;
+  Finding finding;
+  finding.kind = obligation.kind == Obligation::Kind::kCorruption
+                     ? FindingKind::kCorruption
+                     : FindingKind::kBypass;
+  finding.register_name = obligation.reg;
+  finding.check = check;
+  report.findings.push_back(std::move(finding));
+  report.trojan_found = true;
+}
+
+DetectionReport TrojanDetector::run() {
+  DetectionReport report;
+  report.trust_bound_frames = options_.engine.max_frames;
+  for (const Obligation& obligation : enumerate_obligations()) {
+    merge_obligation(report, obligation, run_obligation(obligation));
+  }
   return report;
 }
 

@@ -62,6 +62,14 @@ struct DetectionReport {
   std::size_t trust_bound_frames = 0;
 
   [[nodiscard]] std::string summary() const;
+
+  /// Canonical text form of everything deterministic in the report: run
+  /// order, statuses, witness input bits, findings, certifications, trust
+  /// bound. Wall-clock and memory fields are excluded, so two runs of the
+  /// same detection — serial or parallel, any jobs count — must produce
+  /// byte-identical signatures. The equivalence tests and the scaling
+  /// bench diff this string.
+  [[nodiscard]] std::string signature() const;
 };
 
 struct DetectorOptions {
@@ -84,12 +92,50 @@ struct DetectorOptions {
   std::size_t min_pseudo_violation_depth = 4;
 };
 
+/// One property obligation of Algorithm 1: an independent engine run whose
+/// outcome feeds the report. Obligations share nothing but the read-only
+/// design, which is what makes them safe to execute on worker threads.
+struct Obligation {
+  enum class Kind { kPseudo, kCorruption, kBypass };
+  Kind kind = Kind::kCorruption;
+  std::string reg;        // critical register
+  std::string candidate;  // kPseudo only: the scanned same-width register
+
+  /// "corruption(R)" / "pseudo(R,P)" / "bypass(R)" — the PropertyRun label.
+  [[nodiscard]] std::string property_name() const;
+};
+
 class TrojanDetector {
  public:
   TrojanDetector(const designs::Design& design, DetectorOptions options);
 
-  /// Runs Algorithm 1 end to end.
+  /// Runs Algorithm 1 end to end (serially; see core::ParallelDetector for
+  /// the multi-threaded scheduler producing the identical report).
   DetectionReport run();
+
+  // -- obligation API (the parallel scheduler is built on these) -----------
+
+  /// All property obligations Algorithm 1 would check, in the canonical
+  /// order: Eq. 3 pseudo-critical pairs per critical register, then Eq. 2
+  /// corruption per critical register with a spec, then Eq. 4 bypass where
+  /// the spec carries obligations. Deterministic for a given design.
+  [[nodiscard]] std::vector<Obligation> enumerate_obligations() const;
+
+  /// Executes one obligation's engine run. Thread-safe: works on a private
+  /// copy of the design and touches no detector state.
+  [[nodiscard]] CheckResult run_obligation(const Obligation& obligation) const;
+
+  /// Folds one obligation's result into the report (run log, trust bound,
+  /// certification, finding classification). Must be called in
+  /// enumerate_obligations() order for a deterministic report; not
+  /// thread-safe (merge on one thread).
+  void merge_obligation(DetectionReport& report, const Obligation& obligation,
+                        const CheckResult& check) const;
+
+  /// Whether a completed obligation constitutes a Trojan finding (for
+  /// kPseudo this applies the faithful-mirror classification). Thread-safe.
+  [[nodiscard]] bool is_finding(const Obligation& obligation,
+                                const CheckResult& check) const;
 
   // Individual steps, usable à la carte (the bench harnesses call these).
   CheckResult check_corruption(const std::string& reg) const;
@@ -103,7 +149,14 @@ class TrojanDetector {
   /// `reg`: same width, not the register itself, not tiny control state.
   std::vector<std::string> pseudo_candidates(const std::string& reg) const;
 
+  [[nodiscard]] const DetectorOptions& options() const { return options_; }
+
  private:
+  /// The Section 4.1 classification: does this Eq. 3 counterexample show a
+  /// faithfully-mirroring candidate deviating only at the trigger?
+  [[nodiscard]] bool pseudo_violation_is_trojan(const Obligation& obligation,
+                                                const CheckResult& check) const;
+
   const designs::Design& design_;
   DetectorOptions options_;
 };

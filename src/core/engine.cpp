@@ -14,6 +14,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     bo.max_frames = options.max_frames;
     bo.time_limit_seconds = options.time_limit_seconds;
     bo.solver = options.solver;
+    bo.cancel = options.cancel;
     bmc::BmcResult r = bmc::check_bad_signal(nl, bad, bo);
     result.violated = r.violated();
     result.bound_reached = r.status == bmc::BmcStatus::kBoundReached;
@@ -21,7 +22,8 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     result.frames_completed = r.frames_completed;
     result.seconds = r.seconds;
     result.memory_bytes = r.memory_bytes;
-    result.status = r.status_name();
+    result.cancelled = r.cancelled;
+    result.status = r.cancelled ? "cancelled" : r.status_name();
   } else {
     atpg::AtpgOptions ao;
     ao.max_frames = options.max_frames;
@@ -30,6 +32,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     ao.use_scoap_guidance = options.atpg_use_scoap;
     ao.stimulus_sequences = options.atpg_stimulus;
     ao.random_sequences = options.atpg_random_sequences;
+    ao.cancel = options.cancel;
     atpg::AtpgResult r = atpg::check_bad_signal(nl, bad, ao);
     result.violated = r.violated();
     result.bound_reached = r.status == atpg::AtpgStatus::kBoundReached;
@@ -37,7 +40,8 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     result.frames_completed = r.frames_completed;
     result.seconds = r.seconds;
     result.memory_bytes = r.memory_bytes;
-    result.status = r.status_name();
+    result.cancelled = r.cancelled;
+    result.status = r.cancelled ? "cancelled" : r.status_name();
   }
   return result;
 }

@@ -3,6 +3,7 @@
 // either Cadence SMV or TetraMAX.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -35,6 +36,10 @@ struct EngineOptions {
   /// Functional stimulus hints forwarded to the ATPG simulation phase
   /// (ignored by BMC). See AtpgOptions::stimulus_sequences.
   std::vector<std::vector<util::BitVec>> atpg_stimulus;
+  /// Cooperative cancellation flag polled by both back ends; a set flag
+  /// ends the run early with CheckResult::cancelled. Used by the parallel
+  /// scheduler's fail-fast mode; leave null for standalone runs.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Engine-agnostic outcome of checking one bad signal.
@@ -48,6 +53,8 @@ struct CheckResult {
   double seconds = 0.0;
   std::uint64_t memory_bytes = 0;
   std::string status;
+  /// True when the run was cut short by EngineOptions::cancel (fail-fast).
+  bool cancelled = false;
 
   /// Table-1-style verdict text: "Yes" (witness found) or "N/A".
   [[nodiscard]] const char* detected_cell() const {

@@ -1,0 +1,63 @@
+#include "core/parallel_detector.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace trojanscout::core {
+
+ParallelDetector::ParallelDetector(const designs::Design& design,
+                                   ParallelDetectorOptions options)
+    : design_(design), options_(std::move(options)) {}
+
+DetectionReport ParallelDetector::run() {
+  // The merge detector sees the caller's options verbatim; the worker
+  // detector additionally carries the shared cancellation flag (only armed
+  // in fail_fast mode so a plain run cannot depend on it).
+  TrojanDetector merger(design_, options_.detector);
+  const std::vector<Obligation> obligations = merger.enumerate_obligations();
+
+  util::CancellationToken cancel;
+  DetectorOptions worker_options = options_.detector;
+  if (options_.fail_fast) {
+    worker_options.engine.cancel = cancel.flag();
+  }
+  const TrojanDetector worker(design_, worker_options);
+
+  // The shared netlist's fanout cache is materialized before workers start
+  // copying the design concurrently (every engine run begins with a copy).
+  (void)design_.nl.fanouts();
+
+  std::vector<CheckResult> results(obligations.size());
+  {
+    util::ThreadPool pool(options_.jobs);
+    for (std::size_t i = 0; i < obligations.size(); ++i) {
+      pool.submit([this, &worker, &obligations, &results, &cancel, i] {
+        if (options_.fail_fast && cancel.cancelled()) {
+          results[i].status = "cancelled";
+          results[i].cancelled = true;
+          return;
+        }
+        results[i] = worker.run_obligation(obligations[i]);
+        if (options_.fail_fast &&
+            worker.is_finding(obligations[i], results[i])) {
+          TS_LOG_INFO("parallel-detector: fail-fast cancel after %s",
+                      obligations[i].property_name().c_str());
+          cancel.cancel();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  DetectionReport report;
+  report.trust_bound_frames = options_.detector.engine.max_frames;
+  for (std::size_t i = 0; i < obligations.size(); ++i) {
+    merger.merge_obligation(report, obligations[i], results[i]);
+  }
+  return report;
+}
+
+}  // namespace trojanscout::core

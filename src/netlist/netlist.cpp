@@ -53,6 +53,73 @@ Netlist::Netlist() {
   gates_.push_back(Gate{Op::kConst1, {}, false});
 }
 
+Netlist::Netlist(const Netlist& other)
+    : gates_(other.gates_),
+      inputs_(other.inputs_),
+      dffs_(other.dffs_),
+      input_ports_(other.input_ports_),
+      output_ports_(other.output_ports_),
+      registers_(other.registers_),
+      strash_(other.strash_),
+      strash_enabled_(other.strash_enabled_),
+      names_(other.names_),
+      input_index_(other.input_index_) {}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  gates_ = other.gates_;
+  inputs_ = other.inputs_;
+  dffs_ = other.dffs_;
+  input_ports_ = other.input_ports_;
+  output_ports_ = other.output_ports_;
+  registers_ = other.registers_;
+  strash_ = other.strash_;
+  strash_enabled_ = other.strash_enabled_;
+  names_ = other.names_;
+  input_index_ = other.input_index_;
+  fanouts_.clear();
+  fanouts_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : gates_(std::move(other.gates_)),
+      inputs_(std::move(other.inputs_)),
+      dffs_(std::move(other.dffs_)),
+      input_ports_(std::move(other.input_ports_)),
+      output_ports_(std::move(other.output_ports_)),
+      registers_(std::move(other.registers_)),
+      strash_(std::move(other.strash_)),
+      strash_enabled_(other.strash_enabled_),
+      names_(std::move(other.names_)),
+      input_index_(std::move(other.input_index_)),
+      fanouts_(std::move(other.fanouts_)) {
+  fanouts_valid_.store(
+      other.fanouts_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.fanouts_valid_.store(false, std::memory_order_relaxed);
+}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+  if (this == &other) return *this;
+  gates_ = std::move(other.gates_);
+  inputs_ = std::move(other.inputs_);
+  dffs_ = std::move(other.dffs_);
+  input_ports_ = std::move(other.input_ports_);
+  output_ports_ = std::move(other.output_ports_);
+  registers_ = std::move(other.registers_);
+  strash_ = std::move(other.strash_);
+  strash_enabled_ = other.strash_enabled_;
+  names_ = std::move(other.names_);
+  input_index_ = std::move(other.input_index_);
+  fanouts_ = std::move(other.fanouts_);
+  fanouts_valid_.store(
+      other.fanouts_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.fanouts_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 SignalId Netlist::add_input() {
   const SignalId id = push_gate(Op::kInput, kNullSignal);
   input_index_[id] = inputs_.size();
@@ -280,16 +347,21 @@ std::vector<SignalId> Netlist::fanin_cone(
 }
 
 const std::vector<std::vector<SignalId>>& Netlist::fanouts() const {
-  if (!fanouts_valid_) {
-    fanouts_.assign(gates_.size(), {});
-    for (SignalId id = 0; id < gates_.size(); ++id) {
-      const Gate& g = gates_[id];
-      const int arity = op_arity(g.op);
-      for (int k = 0; k < arity; ++k) {
-        if (g.fanin[k] != kNullSignal) fanouts_[g.fanin[k]].push_back(id);
+  // Double-checked build so concurrent readers of a const netlist (the
+  // parallel detector's workers) serialize only on first materialization.
+  if (!fanouts_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(fanouts_mutex_);
+    if (!fanouts_valid_.load(std::memory_order_relaxed)) {
+      fanouts_.assign(gates_.size(), {});
+      for (SignalId id = 0; id < gates_.size(); ++id) {
+        const Gate& g = gates_[id];
+        const int arity = op_arity(g.op);
+        for (int k = 0; k < arity; ++k) {
+          if (g.fanin[k] != kNullSignal) fanouts_[g.fanin[k]].push_back(id);
+        }
       }
+      fanouts_valid_.store(true, std::memory_order_release);
     }
-    fanouts_valid_ = true;
   }
   return fanouts_;
 }

@@ -24,7 +24,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -80,6 +82,16 @@ struct Register {
 class Netlist {
  public:
   Netlist();
+
+  // Copies/moves transfer the logical netlist but not the lazily built
+  // fanout cache (it is rebuilt on demand). Explicit because the cache's
+  // guard mutex is neither copyable nor movable; not reading the mutable
+  // cache fields also keeps copying a shared const netlist race-free
+  // while another thread materializes its cache.
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&& other) noexcept;
+  Netlist& operator=(Netlist&& other) noexcept;
 
   // ---- construction ------------------------------------------------------
 
@@ -187,7 +199,9 @@ class Netlist {
       const std::vector<SignalId>& roots) const;
 
   /// Builds the reverse (fanout) adjacency once; subsequent structural edits
-  /// invalidate it and it is rebuilt on demand.
+  /// invalidate it and it is rebuilt on demand. Safe to call concurrently
+  /// from multiple threads on a const netlist (the build is serialized);
+  /// structural edits still require exclusive access.
   [[nodiscard]] const std::vector<std::vector<SignalId>>& fanouts() const;
 
   // ---- structural surgery (attack-injection transformers) -----------------
@@ -230,8 +244,9 @@ class Netlist {
   bool strash_enabled_ = true;
   std::unordered_map<SignalId, std::string> names_;
   std::unordered_map<SignalId, std::size_t> input_index_;
+  mutable std::mutex fanouts_mutex_;
   mutable std::vector<std::vector<SignalId>> fanouts_;
-  mutable bool fanouts_valid_ = false;
+  mutable std::atomic<bool> fanouts_valid_{false};
 };
 
 }  // namespace trojanscout::netlist

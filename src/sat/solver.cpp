@@ -355,6 +355,10 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
       var_decay_activity();
       clause_inc_ /= options_.clause_decay;
 
+      if (budget_cancelled(budget)) {
+        cancel_until(0);
+        return SolveResult::kUnknown;
+      }
       if ((stats_.conflicts & 0xFF) == 0 &&
           timer.elapsed_seconds() > budget.time_limit_seconds) {
         cancel_until(0);

@@ -12,6 +12,7 @@
 // the paper's workloads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -25,7 +26,17 @@ struct Budget {
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   std::uint64_t conflict_limit = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t propagation_limit = std::numeric_limits<std::uint64_t>::max();
+  /// Cooperative cancellation: when non-null and set, solve() returns
+  /// kUnknown at the next conflict boundary (the parallel scheduler's
+  /// fail-fast path sets it when another worker finds a witness).
+  const std::atomic<bool>* cancel = nullptr;
 };
+
+/// True when the budget's cancellation flag is set.
+inline bool budget_cancelled(const Budget& budget) {
+  return budget.cancel != nullptr &&
+         budget.cancel->load(std::memory_order_acquire);
+}
 
 struct SolverStats {
   std::uint64_t decisions = 0;

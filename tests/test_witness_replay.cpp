@@ -1,0 +1,168 @@
+// Deterministic witness-replay harness: every witness an engine emits — for
+// the Eq. 2 corruption monitor, the Eq. 3 pseudo-critical monitor, and the
+// Eq. 4 bypass miter, from both the BMC and ATPG back ends — is re-simulated
+// with the cycle-accurate sim::Simulator on the very monitor netlist it was
+// found on, and the bad signal must actually be 1 at the claimed violation
+// cycle. This closes the loop between the symbolic engines' frame semantics
+// (frame t = inputs of frame t + state latched from t-1) and the concrete
+// simulator.
+#include <gtest/gtest.h>
+
+#include "baselines/workloads.hpp"
+#include "core/engine.hpp"
+#include "designs/attacks.hpp"
+#include "designs/catalog.hpp"
+#include "designs/mc8051.hpp"
+#include "properties/miter.hpp"
+#include "properties/monitors.hpp"
+#include "sim/simulator.hpp"
+
+namespace trojanscout::core {
+namespace {
+
+// Replays the witness from reset on the monitored netlist. The bad signal is
+// combinational in cycle t (it reads the DFF data inputs, i.e. the *next*
+// state), so it is sampled after eval() with frame t's inputs applied and
+// before the clock edge.
+// `require_minimal` additionally asserts the bad signal was silent on every
+// earlier cycle — sound for BMC witnesses (each earlier frame was proven
+// UNSAT) but not for ATPG, whose search may land on a non-first firing.
+void expect_bad_fires_at_violation(const netlist::Netlist& nl,
+                                   netlist::SignalId bad,
+                                   const sim::Witness& witness,
+                                   bool require_minimal) {
+  ASSERT_LT(witness.violation_frame, witness.length());
+  sim::Simulator simulator(nl);
+  simulator.reset();
+  for (std::size_t t = 0; t <= witness.violation_frame; ++t) {
+    simulator.set_inputs(witness.frames[t].bits);
+    simulator.eval();
+    if (t == witness.violation_frame) {
+      EXPECT_TRUE(simulator.value(bad))
+          << "bad signal silent at claimed violation cycle " << t;
+    } else {
+      if (require_minimal) {
+        EXPECT_FALSE(simulator.value(bad))
+            << "bad signal fired early at cycle " << t << " (violation "
+            << "claimed at " << witness.violation_frame << ")";
+      }
+      simulator.step();
+    }
+  }
+}
+
+struct ReplayCase {
+  const char* benchmark;
+  EngineKind engine;
+  std::size_t frames;
+};
+
+void PrintTo(const ReplayCase& c, std::ostream* os) {
+  *os << c.benchmark << "/" << engine_name(c.engine);
+}
+
+class CorruptionWitnessReplay : public ::testing::TestWithParam<ReplayCase> {};
+
+// Eq. 2 witnesses from both engines on the Table-1 Trojans.
+TEST_P(CorruptionWitnessReplay, BadSignalFiresExactlyAtTheViolation) {
+  const auto param = GetParam();
+  designs::CatalogOptions catalog_options;
+  catalog_options.risc_trigger_count = 4;
+  const auto benchmarks = designs::trojan_benchmarks(catalog_options);
+  const designs::BenchmarkInfo* info = nullptr;
+  for (const auto& b : benchmarks) {
+    if (b.name == param.benchmark) info = &b;
+  }
+  ASSERT_NE(info, nullptr);
+  designs::Design design = info->build(/*payload_enabled=*/true);
+
+  const auto bad = properties::build_corruption_monitor(
+      design.nl, *design.spec.find(info->critical_register),
+      properties::CorruptionMonitorKind::kExact);
+
+  EngineOptions options;
+  options.kind = param.engine;
+  options.max_frames = param.frames;
+  options.time_limit_seconds = 60.0;
+  if (param.engine == EngineKind::kAtpg) {
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+      options.atpg_stimulus.push_back(baselines::generate_workload(
+          design.nl, info->family, param.frames, 100 + seed));
+    }
+  }
+  const CheckResult result = run_engine(design.nl, bad, options);
+  ASSERT_TRUE(result.violated) << result.status;
+  ASSERT_TRUE(result.witness.has_value());
+  expect_bad_fires_at_violation(design.nl, bad, *result.witness,
+                                param.engine == EngineKind::kBmc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, CorruptionWitnessReplay,
+    ::testing::Values(ReplayCase{"MC8051-T400", EngineKind::kBmc, 24},
+                      ReplayCase{"MC8051-T700", EngineKind::kBmc, 8},
+                      ReplayCase{"MC8051-T800", EngineKind::kBmc, 8},
+                      ReplayCase{"RISC-T100", EngineKind::kBmc, 40},
+                      ReplayCase{"MC8051-T700", EngineKind::kAtpg, 8},
+                      ReplayCase{"MC8051-T800", EngineKind::kAtpg, 8}));
+
+// Eq. 3 witness: the planted pseudo-critical attack's shadow register
+// deviates from its mirror relation exactly when the trigger fires.
+TEST(PseudoWitnessReplay, ShadowDeviationWitnessReplays) {
+  designs::Mc8051Options mc_options;
+  mc_options.trojan = designs::Mc8051Trojan::kT800;
+  mc_options.payload_enabled = false;
+  designs::Design design = designs::build_mc8051(mc_options);
+  designs::plant_pseudo_critical(design, "sp");
+
+  const auto bad = properties::build_pseudo_critical_monitor(
+      design.nl, "sp", designs::pseudo_register_name("sp"),
+      properties::PseudoPolarity::kIdentity, /*candidate_leads=*/false);
+  EngineOptions options;
+  options.max_frames = 10;
+  options.time_limit_seconds = 60.0;
+  const CheckResult result = run_engine(design.nl, bad, options);
+  ASSERT_TRUE(result.violated) << result.status;
+  expect_bad_fires_at_violation(design.nl, bad, *result.witness,
+                                /*require_minimal=*/true);
+}
+
+// Eq. 3 witness on an unrelated register pair (no attack): the monitor is
+// violated because the registers simply are not mirrors; the witness must
+// still replay faithfully.
+TEST(PseudoWitnessReplay, UnrelatedPairDivergenceWitnessReplays) {
+  designs::Design design = designs::build_clean("mc8051");
+  const auto bad = properties::build_pseudo_critical_monitor(
+      design.nl, "acc", "sp", properties::PseudoPolarity::kIdentity,
+      /*candidate_leads=*/false);
+  EngineOptions options;
+  options.max_frames = 10;
+  options.time_limit_seconds = 60.0;
+  const CheckResult result = run_engine(design.nl, bad, options);
+  ASSERT_TRUE(result.violated) << result.status;
+  expect_bad_fires_at_violation(design.nl, bad, *result.witness,
+                                /*require_minimal=*/true);
+}
+
+// Eq. 4 witness: replayed on the fork miter itself (which carries the extra
+// fork_now input as part of its input frame).
+TEST(BypassWitnessReplay, ForkMiterWitnessReplays) {
+  designs::Mc8051Options mc_options;
+  mc_options.trojan = designs::Mc8051Trojan::kT800;
+  mc_options.payload_enabled = false;
+  designs::Design design = designs::build_mc8051(mc_options);
+  designs::plant_bypass(design, "sp");
+
+  const properties::BypassMiter miter =
+      properties::build_bypass_miter(design.nl, *design.spec.find("sp"));
+  EngineOptions options;
+  options.max_frames = 24;
+  options.time_limit_seconds = 60.0;
+  const CheckResult result = run_engine(miter.nl, miter.bad, options);
+  ASSERT_TRUE(result.violated) << result.status;
+  expect_bad_fires_at_violation(miter.nl, miter.bad, *result.witness,
+                                /*require_minimal=*/true);
+}
+
+}  // namespace
+}  // namespace trojanscout::core

@@ -1,0 +1,34 @@
+#!/bin/sh
+# CI driver: builds and tests the tree twice —
+#   1. a plain Release-ish build running the full suite, and
+#   2. a ThreadSanitizer build re-running the suite (the parallel property
+#      scheduler, thread pool, and lazy netlist caches execute under TSan,
+#      with the equivalence tests exercising jobs > 1).
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -eu
+
+prefix="${1:-build-ci}"
+src="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  name="$1"
+  shift
+  dir="${prefix}-${name}"
+  echo "=== [$name] configure -> $dir ==="
+  cmake -S "$src" -B "$dir" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_config release -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# Halt on the first race report so a regression fails the job instead of
+# scrolling past.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTROJANSCOUT_SANITIZE=thread
+
+echo "=== CI OK: release + tsan suites passed ==="

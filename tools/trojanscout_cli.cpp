@@ -5,10 +5,18 @@
 //   trojanscout_cli check --design ip.v --spec ip.spec --register cfg
 //                         [--engine bmc|atpg] [--frames N] [--budget S]
 //                         [--minimize] [--vcd out.vcd]
+//   trojanscout_cli audit --design ip.v --spec ip.spec
+//                         [--jobs N] [--fail-fast] [--engine bmc|atpg]
+//                         [--frames N] [--budget S] [--no-scan] [--no-bypass]
 //   trojanscout_cli prove --design ip.v --spec ip.spec --register cfg
 //                         [--max-k K]
 //   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
 //                         [--out design.v]
+//
+// `audit` runs the paper's full Algorithm 1 over every register with a spec
+// block, scheduling the independent property checks across --jobs worker
+// threads (default: all hardware threads). Without --fail-fast the report
+// is deterministic — identical for any jobs value.
 //
 // Exit codes: 0 = clean / generated, 2 = Trojan found, 1 = usage/error.
 #include <fstream>
@@ -17,6 +25,7 @@
 #include "bmc/bmc.hpp"
 #include "core/detector.hpp"
 #include "core/minimize.hpp"
+#include "core/parallel_detector.hpp"
 #include "designs/catalog.hpp"
 #include "properties/monitors.hpp"
 #include "sim/vcd.hpp"
@@ -30,7 +39,7 @@ using namespace trojanscout;
 namespace {
 
 int usage() {
-  std::cerr << "usage: trojanscout_cli <info|check|prove|gen> [flags]\n"
+  std::cerr << "usage: trojanscout_cli <info|check|audit|prove|gen> [flags]\n"
                "  see the header of tools/trojanscout_cli.cpp\n";
   return 1;
 }
@@ -121,6 +130,55 @@ int cmd_check(const util::CliParser& cli) {
   return 2;
 }
 
+int cmd_audit(const util::CliParser& cli) {
+  designs::Design design;
+  design.name = cli.get_string("design", "design");
+  design.nl = load_design(cli);
+  design.spec = specdsl::load_spec_file(design.nl, cli.get_string("spec", ""));
+  if (design.spec.registers.empty()) {
+    std::cerr << "spec file declares no registers\n";
+    return 1;
+  }
+  for (const auto& reg_spec : design.spec.registers) {
+    design.critical_registers.push_back(reg_spec.reg);
+  }
+
+  core::ParallelDetectorOptions options;
+  options.detector.engine.kind = cli.get_string("engine", "bmc") == "atpg"
+                                     ? core::EngineKind::kAtpg
+                                     : core::EngineKind::kBmc;
+  options.detector.engine.max_frames =
+      static_cast<std::size_t>(cli.get_int("frames", 128));
+  options.detector.engine.time_limit_seconds = cli.get_double("budget", 60.0);
+  options.detector.scan_pseudo_critical = !cli.get_bool("no-scan", false);
+  options.detector.check_bypass = !cli.get_bool("no-bypass", false);
+  options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  options.fail_fast = cli.get_bool("fail-fast", false);
+
+  core::ParallelDetector detector(design, options);
+  const core::DetectionReport report = detector.run();
+
+  for (const auto& run : report.runs) {
+    std::cout << run.property << ": " << run.check.status << " ("
+              << run.check.frames_completed << " frames, " << run.check.seconds
+              << " s)\n";
+  }
+  std::cout << report.summary() << "\n";
+  if (!report.trojan_found) return 0;
+  for (const auto& finding : report.findings) {
+    std::cout << "\n" << core::finding_kind_name(finding.kind) << " on "
+              << finding.register_name;
+    if (!finding.candidate_register.empty()) {
+      std::cout << " (via " << finding.candidate_register << ")";
+    }
+    std::cout << ":\n";
+    if (finding.check.witness) {
+      std::cout << finding.check.witness->to_string(design.nl);
+    }
+  }
+  return 2;
+}
+
 int cmd_prove(const util::CliParser& cli) {
   designs::Design design;
   design.nl = load_design(cli);
@@ -199,6 +257,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "info") return cmd_info(cli);
     if (command == "check") return cmd_check(cli);
+    if (command == "audit") return cmd_audit(cli);
     if (command == "prove") return cmd_prove(cli);
     if (command == "gen") return cmd_gen(cli);
   } catch (const std::exception& e) {
