@@ -28,6 +28,9 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
   const std::uint64_t rss_before = util::current_rss_bytes();
 
   sat::Solver solver(options.solver);
+  // Attach before the Unroller exists: its constructor already emits the
+  // constant-true clause, which must be part of the recorded formula.
+  if (options.proof != nullptr) solver.set_proof_listener(options.proof);
   cnf::Unroller unroller(nl, solver, {bad_signal});
 
   BmcResult result;

@@ -32,6 +32,11 @@ struct BmcOptions {
   /// Cooperative cancellation flag polled between frames and inside the
   /// SAT search; a set flag ends the run with kResourceOut + cancelled.
   const std::atomic<bool>* cancel = nullptr;
+  /// Clause-proof stream (see proof/drat.hpp). When non-null, attached to
+  /// the solver before any clause is added: the listener sees the full
+  /// input-clause sequence, every learned/deleted clause as binary DRAT,
+  /// and one UNSAT mark per clean frame. Null (the default) costs nothing.
+  sat::ProofListener* proof = nullptr;
 };
 
 enum class BmcStatus {

@@ -166,17 +166,50 @@ std::vector<Obligation> TrojanDetector::enumerate_obligations() const {
   return obligations;
 }
 
-CheckResult TrojanDetector::run_obligation(const Obligation& obligation) const {
+TrojanDetector::InstrumentedProperty TrojanDetector::instrument_obligation(
+    const Obligation& obligation) const {
   switch (obligation.kind) {
-    case Obligation::Kind::kPseudo:
-      return check_pseudo_pair(obligation.reg, obligation.candidate,
-                               properties::PseudoPolarity::kIdentity, false);
-    case Obligation::Kind::kCorruption:
-      return check_corruption(obligation.reg);
-    case Obligation::Kind::kBypass:
-      return check_bypass(obligation.reg);
+    case Obligation::Kind::kPseudo: {
+      Design scratch = design_;
+      const SignalId bad = properties::build_pseudo_critical_monitor(
+          scratch.nl, obligation.reg, obligation.candidate,
+          properties::PseudoPolarity::kIdentity, /*candidate_leads=*/false);
+      return {std::move(scratch.nl), bad};
+    }
+    case Obligation::Kind::kCorruption: {
+      Design scratch = design_;
+      const auto* spec = scratch.spec.find(obligation.reg);
+      if (spec == nullptr) {
+        throw std::invalid_argument(
+            "instrument_obligation: no valid-ways spec for " + obligation.reg);
+      }
+      const SignalId bad = properties::build_corruption_monitor(
+          scratch.nl, *spec, options_.monitor_kind);
+      return {std::move(scratch.nl), bad};
+    }
+    case Obligation::Kind::kBypass: {
+      const auto* spec = design_.spec.find(obligation.reg);
+      if (spec == nullptr || spec->obligations.empty()) {
+        throw std::invalid_argument(
+            "instrument_obligation: register " + obligation.reg +
+            " has no observability obligations in the spec");
+      }
+      properties::BypassMiter miter =
+          properties::build_bypass_miter(design_.nl, *spec);
+      return {std::move(miter.nl), miter.bad};
+    }
   }
-  return {};
+  throw std::logic_error("instrument_obligation: bad obligation kind");
+}
+
+CheckResult TrojanDetector::run_obligation(const Obligation& obligation,
+                                           const EngineOptions& engine) const {
+  const InstrumentedProperty property = instrument_obligation(obligation);
+  return run_engine(property.nl, property.bad, engine);
+}
+
+CheckResult TrojanDetector::run_obligation(const Obligation& obligation) const {
+  return run_obligation(obligation, options_.engine);
 }
 
 bool TrojanDetector::pseudo_violation_is_trojan(

@@ -125,6 +125,23 @@ class TrojanDetector {
   /// copy of the design and touches no detector state.
   [[nodiscard]] CheckResult run_obligation(const Obligation& obligation) const;
 
+  /// Same, but with caller-supplied engine options (the certificate layer
+  /// attaches a per-obligation proof listener this way). Thread-safe.
+  [[nodiscard]] CheckResult run_obligation(const Obligation& obligation,
+                                           const EngineOptions& engine) const;
+
+  /// The monitored netlist an obligation's engine run executes on: a copy
+  /// of the design with the property monitor appended (for kBypass, the
+  /// fork miter), plus its bad signal. Deterministic for a given design and
+  /// obligation — the certificate checker rebuilds it independently to
+  /// replay witnesses and re-derive CNF. Thread-safe.
+  struct InstrumentedProperty {
+    netlist::Netlist nl;
+    netlist::SignalId bad = netlist::kNullSignal;
+  };
+  [[nodiscard]] InstrumentedProperty instrument_obligation(
+      const Obligation& obligation) const;
+
   /// Folds one obligation's result into the report (run log, trust bound,
   /// certification, finding classification). Must be called in
   /// enumerate_obligations() order for a deterministic report; not

@@ -15,6 +15,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     bo.time_limit_seconds = options.time_limit_seconds;
     bo.solver = options.solver;
     bo.cancel = options.cancel;
+    bo.proof = options.proof;
     bmc::BmcResult r = bmc::check_bad_signal(nl, bad, bo);
     result.violated = r.violated();
     result.bound_reached = r.status == bmc::BmcStatus::kBoundReached;

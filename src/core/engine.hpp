@@ -40,6 +40,10 @@ struct EngineOptions {
   /// ends the run early with CheckResult::cancelled. Used by the parallel
   /// scheduler's fail-fast mode; leave null for standalone runs.
   const std::atomic<bool>* cancel = nullptr;
+  /// Clause-proof stream for the BMC back end (forwarded to
+  /// BmcOptions::proof; the ATPG back end has no clause proofs and ignores
+  /// it). Used by proof::certify to make UNSAT answers checkable.
+  sat::ProofListener* proof = nullptr;
 };
 
 /// Engine-agnostic outcome of checking one bad signal.

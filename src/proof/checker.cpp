@@ -1,0 +1,313 @@
+#include "proof/checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "proof/drat.hpp"
+
+namespace trojanscout::proof {
+
+namespace {
+
+using sat::Clause;
+using sat::LBool;
+using sat::Lit;
+using sat::Var;
+
+/// FNV-1a over the sorted literal indices: deletion records must match a
+/// database clause by content, independent of literal order (the solver's
+/// propagation reorders watched literals in place).
+std::uint64_t clause_key(Clause sorted) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const Lit lit : sorted) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(lit.index()));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Clause sorted_copy(const Clause& clause) {
+  Clause out = clause;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+void DratChecker::reset() {
+  stats_ = {};
+  clauses_.clear();
+  active_.clear();
+  marked_.clear();
+  unit_ids_.clear();
+  watches_.clear();
+  assigns_.clear();
+  reason_.clear();
+  seen_.clear();
+  trail_.clear();
+  qhead_ = 0;
+}
+
+void DratChecker::ensure_var(Var v) {
+  if (v < 0) return;
+  const std::size_t need = static_cast<std::size_t>(v) + 1;
+  if (assigns_.size() >= need) return;
+  assigns_.resize(need, LBool::kUndef);
+  reason_.resize(need, kNoClause);
+  seen_.resize(need, 0);
+  watches_.resize(need * 2);
+}
+
+DratChecker::ClauseId DratChecker::store_clause(Clause clause) {
+  const ClauseId id = static_cast<ClauseId>(clauses_.size());
+  for (const Lit lit : clause) ensure_var(lit.var());
+  clauses_.push_back(std::move(clause));
+  active_.push_back(1);
+  marked_.push_back(0);
+  return id;
+}
+
+void DratChecker::attach(ClauseId id) {
+  const Clause& c = clauses_[id];
+  if (c.size() == 1) {
+    unit_ids_.push_back(id);
+  } else if (c.size() >= 2) {
+    watches_[(~c[0]).index()].push_back({id, c[1]});
+    watches_[(~c[1]).index()].push_back({id, c[0]});
+  }
+  // Empty clauses get no watches; check() handles them before propagation.
+}
+
+DratChecker::ClauseId DratChecker::enqueue(Lit p, ClauseId reason) {
+  const LBool v = value(p);
+  if (v == LBool::kTrue) return kNoClause;
+  if (v == LBool::kFalse) return reason;
+  assigns_[p.var()] = sat::lbool_from(!p.sign());
+  reason_[p.var()] = reason;
+  trail_.push_back(p);
+  return kNoClause;
+}
+
+DratChecker::ClauseId DratChecker::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    stats_.propagations++;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const std::size_t n = ws.size();
+    while (i < n) {
+      const Watcher w = ws[i++];
+      // Inactive clauses keep their watcher entries so that reactivating a
+      // deleted clause in the backward pass restores the two-watch
+      // invariant without re-attaching.
+      if (active_[w.id] == 0) {
+        ws[j++] = w;
+        continue;
+      }
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = w;
+        continue;
+      }
+      Clause& lits = clauses_[w.id];
+      const Lit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      const Lit first = lits[0];
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[j++] = {w.id, first};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).index()].push_back({w.id, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      ws[j++] = {w.id, first};
+      if (value(first) == LBool::kFalse) {
+        while (i < n) ws[j++] = ws[i++];
+        ws.resize(j);
+        return w.id;
+      }
+      enqueue(first, w.id);
+    }
+    ws.resize(j);
+  }
+  return kNoClause;
+}
+
+void DratChecker::undo_trail() {
+  for (const Lit p : trail_) {
+    assigns_[p.var()] = LBool::kUndef;
+    reason_[p.var()] = kNoClause;
+    seen_[p.var()] = 0;
+  }
+  trail_.clear();
+  qhead_ = 0;
+}
+
+void DratChecker::mark_cone(ClauseId conflict) {
+  marked_[conflict] = 1;
+  std::vector<Var> stack;
+  for (const Lit lit : clauses_[conflict]) stack.push_back(lit.var());
+  while (!stack.empty()) {
+    const Var v = stack.back();
+    stack.pop_back();
+    if (seen_[v] != 0) continue;
+    seen_[v] = 1;  // cleared by undo_trail (cone vars are all assigned)
+    const ClauseId r = reason_[v];
+    if (r == kNoClause) continue;
+    marked_[r] = 1;
+    for (const Lit lit : clauses_[r]) stack.push_back(lit.var());
+  }
+}
+
+bool DratChecker::rup(const Clause& clause, bool mark) {
+  // Negate the candidate clause: enqueue every literal's complement as an
+  // assumption. A conflict among these alone means the clause is a
+  // tautology — vacuously RUP, nothing to mark.
+  for (const Lit lit : clause) {
+    ensure_var(lit.var());
+    if (value(~lit) == LBool::kFalse) {
+      undo_trail();
+      return true;
+    }
+    enqueue(~lit, kNoClause);
+  }
+  // Active unit clauses seed propagation.
+  ClauseId conflict = kNoClause;
+  for (const ClauseId id : unit_ids_) {
+    if (active_[id] == 0) continue;
+    conflict = enqueue(clauses_[id][0], id);
+    if (conflict != kNoClause) break;
+  }
+  if (conflict == kNoClause) conflict = propagate();
+  const bool ok = conflict != kNoClause;
+  if (ok && mark) mark_cone(conflict);
+  undo_trail();
+  return ok;
+}
+
+bool DratChecker::check(const std::vector<Clause>& formula,
+                        const std::uint8_t* proof, std::size_t proof_size,
+                        std::string* error) {
+  reset();
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  stats_.formula_clauses = formula.size();
+  bool empty_in_db = false;
+  for (const Clause& c : formula) {
+    attach(store_clause(c));
+    if (c.empty()) empty_in_db = true;
+  }
+
+  std::vector<DratStep> steps;
+  std::string parse_error;
+  if (!parse_drat(proof, proof_size, steps, &parse_error)) {
+    return fail(parse_error);
+  }
+
+  // Forward pass: resolve deletions by content against the live database,
+  // record the (is_delete, id) timeline for the backward pass. Stops at the
+  // first explicit empty-clause addition: its RUP check *is* the final
+  // check, and steps past it cannot strengthen the proof.
+  std::unordered_map<std::uint64_t, std::vector<ClauseId>> by_content;
+  auto index_clause = [&](ClauseId id) {
+    by_content[clause_key(sorted_copy(clauses_[id]))].push_back(id);
+  };
+  for (ClauseId id = 0; id < clauses_.size(); ++id) index_clause(id);
+
+  struct StepRef {
+    bool is_delete;
+    ClauseId id;
+  };
+  std::vector<StepRef> refs;
+  refs.reserve(steps.size());
+  for (std::size_t s = 0; s < steps.size() && !empty_in_db; ++s) {
+    DratStep& step = steps[s];
+    if (step.is_delete) {
+      stats_.proof_deletions++;
+      const Clause sorted = sorted_copy(step.clause);
+      auto it = by_content.find(clause_key(sorted));
+      ClauseId target = kNoClause;
+      if (it != by_content.end()) {
+        // Newest matching active clause; stale ids are pruned as seen.
+        auto& ids = it->second;
+        while (!ids.empty()) {
+          const ClauseId cand = ids.back();
+          if (active_[cand] != 0 && sorted_copy(clauses_[cand]) == sorted) {
+            target = cand;
+            break;
+          }
+          if (active_[cand] == 0) {
+            ids.pop_back();
+            continue;
+          }
+          break;  // hash collision with a different live clause: scan below
+        }
+        if (target == kNoClause) {
+          for (auto rit = ids.rbegin(); rit != ids.rend(); ++rit) {
+            if (active_[*rit] != 0 && sorted_copy(clauses_[*rit]) == sorted) {
+              target = *rit;
+              break;
+            }
+          }
+        }
+      }
+      if (target == kNoClause) {
+        return fail("drat: step " + std::to_string(s) +
+                    " deletes a clause not in the database");
+      }
+      active_[target] = 0;
+      refs.push_back({true, target});
+    } else {
+      stats_.proof_additions++;
+      if (step.clause.empty()) {
+        empty_in_db = true;
+        break;
+      }
+      const ClauseId id = store_clause(std::move(step.clause));
+      attach(id);
+      index_clause(id);
+      refs.push_back({false, id});
+    }
+  }
+
+  // Final check: the empty clause must be RUP against the surviving
+  // database (equivalently: unit propagation alone yields a conflict).
+  if (!rup(Clause{}, /*mark=*/true)) {
+    return fail("drat: empty clause is not RUP at end of proof");
+  }
+
+  // Backward pass: unwind the timeline. Deletions reactivate; additions
+  // deactivate and, when in the dependency core of a later check, must be
+  // RUP at their own position. Non-core additions are skipped — the lazy
+  // activation that makes backward checking cheap.
+  for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+    if (it->is_delete) {
+      active_[it->id] = 1;
+      continue;
+    }
+    active_[it->id] = 0;
+    if (marked_[it->id] == 0) {
+      stats_.skipped_additions++;
+      continue;
+    }
+    stats_.checked_additions++;
+    if (!rup(clauses_[it->id], /*mark=*/true)) {
+      return fail("drat: core lemma " + std::to_string(it->id) +
+                  " is not RUP at its position in the proof");
+    }
+  }
+  return true;
+}
+
+}  // namespace trojanscout::proof

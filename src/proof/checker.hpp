@@ -1,0 +1,106 @@
+// Independent DRAT/DRUP proof checker.
+//
+// Verifies that a CNF formula is unsatisfiable given a binary-DRAT clause
+// proof (see proof/drat.hpp for the format): the empty clause must be
+// RUP-derivable (reverse unit propagation) at the end of the proof, and —
+// via drat-trim-style *backward* checking — every lemma the empty clause's
+// derivation actually depends on must itself be RUP at its position in the
+// stream. Lemmas outside that dependency core are activated lazily and
+// never pay for a propagation check, which is what keeps checking cheaper
+// than solving on the BMC workloads (most learned clauses never feed the
+// final conflict).
+//
+// Trust argument: this file and its .cpp share nothing with the CDCL
+// solver except the literal/clause types in sat/types.hpp. A solver bug
+// that produces a bogus UNSAT answer would have to be matched by an
+// independent propagation bug here for a bad certificate to pass.
+//
+// Scope: RUP-only (DRUP). The from-scratch solver performs no
+// RAT-introducing inprocessing, so every clause it logs is RUP; a proof
+// that needs RAT checking is rejected rather than mis-accepted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace trojanscout::proof {
+
+struct CheckerStats {
+  std::size_t formula_clauses = 0;
+  std::size_t proof_additions = 0;
+  std::size_t proof_deletions = 0;
+  /// Additions in the dependency core: RUP-checked at their position.
+  std::size_t checked_additions = 0;
+  /// Additions outside the core: lazily skipped (never propagated over).
+  std::size_t skipped_additions = 0;
+  std::uint64_t propagations = 0;
+};
+
+class DratChecker {
+ public:
+  /// Verifies that `formula` is UNSAT via the binary-DRAT `proof`.
+  /// Returns false (with a diagnostic in `error`) when the stream is
+  /// malformed, a deletion names a clause not in the database, the empty
+  /// clause is not RUP after the final step, or a core lemma fails its RUP
+  /// check. The checker is single-use per call: check() resets all state.
+  bool check(const std::vector<sat::Clause>& formula,
+             const std::uint8_t* proof, std::size_t proof_size,
+             std::string* error = nullptr);
+
+  bool check(const std::vector<sat::Clause>& formula,
+             const std::vector<std::uint8_t>& proof,
+             std::string* error = nullptr) {
+    return check(formula, proof.data(), proof.size(), error);
+  }
+
+  [[nodiscard]] const CheckerStats& stats() const { return stats_; }
+
+ private:
+  using ClauseId = std::uint32_t;
+  static constexpr ClauseId kNoClause = 0xFFFFFFFFu;
+
+  struct Watcher {
+    ClauseId id;
+    sat::Lit blocker;
+  };
+
+  void reset();
+  void ensure_var(sat::Var v);
+  ClauseId store_clause(sat::Clause clause);
+  void attach(ClauseId id);
+
+  [[nodiscard]] sat::LBool value(sat::Lit p) const {
+    return assigns_[p.var()] ^ p.sign();
+  }
+  /// Enqueue onto the trail; returns the conflicting clause id (or the
+  /// sentinel) when `p` is already falsified. `reason` is kNoClause for the
+  /// negated-lemma "decisions" of a RUP check.
+  ClauseId enqueue(sat::Lit p, ClauseId reason);
+  ClauseId propagate();
+  void undo_trail();
+
+  /// RUP check of `clause` against the active database. When it succeeds
+  /// and `mark` is set, every clause in the conflict's reason cone is
+  /// marked as core.
+  bool rup(const sat::Clause& clause, bool mark);
+  void mark_cone(ClauseId conflict);
+
+  CheckerStats stats_;
+
+  std::vector<sat::Clause> clauses_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint8_t> marked_;
+  std::vector<ClauseId> unit_ids_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal index
+
+  std::vector<sat::LBool> assigns_;
+  std::vector<ClauseId> reason_;
+  std::vector<std::uint8_t> seen_;
+  std::vector<sat::Lit> trail_;
+  std::size_t qhead_ = 0;
+};
+
+}  // namespace trojanscout::proof

@@ -1,0 +1,100 @@
+#include "proof/drat.hpp"
+
+#include <string>
+
+namespace trojanscout::proof {
+
+namespace {
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value & 0x7F) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Maps a literal to the format's unsigned code: (var+1)*2 + sign.
+std::uint64_t lit_code(sat::Lit lit) {
+  return (static_cast<std::uint64_t>(lit.var()) + 1) * 2 +
+         (lit.sign() ? 1 : 0);
+}
+
+}  // namespace
+
+void append_drat_record(std::vector<std::uint8_t>& out, std::uint8_t tag,
+                        const sat::Clause& clause) {
+  out.push_back(tag);
+  for (const sat::Lit lit : clause) append_varint(out, lit_code(lit));
+  out.push_back(0);
+}
+
+bool parse_drat(const std::uint8_t* data, std::size_t size,
+                std::vector<DratStep>& out_steps, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  std::size_t i = 0;
+  while (i < size) {
+    const std::uint8_t tag = data[i++];
+    if (tag != kDratAdd && tag != kDratDelete) {
+      return fail("drat: unknown record tag " + std::to_string(int(tag)) +
+                  " at byte " + std::to_string(i - 1));
+    }
+    DratStep step;
+    step.is_delete = tag == kDratDelete;
+    for (;;) {
+      std::uint64_t code = 0;
+      int shift = 0;
+      bool done = false;
+      while (i < size) {
+        const std::uint8_t byte = data[i++];
+        if (shift >= 63) return fail("drat: varint overflow");
+        code |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        shift += 7;
+        if ((byte & 0x80) == 0) {
+          done = true;
+          break;
+        }
+      }
+      if (!done) return fail("drat: truncated varint");
+      if (code == 0) break;  // record terminator
+      if (code < 2) return fail("drat: invalid literal code");
+      const sat::Var var = static_cast<sat::Var>(code / 2 - 1);
+      step.clause.emplace_back(var, (code & 1) != 0);
+    }
+    out_steps.push_back(std::move(step));
+  }
+  return true;
+}
+
+void ProofLog::on_input(const sat::Clause& clause) {
+  input_clauses_++;
+  if (record_formula_) formula_.push_back(clause);
+}
+
+void ProofLog::on_learn(const sat::Clause& clause) {
+  append_drat_record(drat_, kDratAdd, clause);
+  learned_records_++;
+}
+
+void ProofLog::on_delete(const sat::Clause& clause) {
+  append_drat_record(drat_, kDratDelete, clause);
+  deleted_records_++;
+}
+
+void ProofLog::on_solve_unsat(const std::vector<sat::Lit>& assumptions) {
+  marks_.push_back({input_clauses_, drat_.size(), assumptions});
+}
+
+ProofLogStats ProofLog::stats() const {
+  ProofLogStats stats;
+  stats.input_clauses = input_clauses_;
+  stats.learned_records = learned_records_;
+  stats.deleted_records = deleted_records_;
+  stats.proof_bytes = drat_.size();
+  return stats;
+}
+
+}  // namespace trojanscout::proof

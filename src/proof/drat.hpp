@@ -1,0 +1,102 @@
+// Binary DRAT clause-proof emission (the solver side of the proof
+// subsystem).
+//
+// A ProofLog attaches to a sat::Solver via the ProofListener hooks and
+// records three things:
+//   * the formula: every input clause exactly as the encoder emitted it,
+//   * the proof: every learned clause and every deleted clause, streamed
+//     in drat-trim's compact binary-DRAT format ('a'/'d' records with
+//     variable-length literal encoding), and
+//   * UNSAT marks: one per solve() call that concluded UNSAT, snapshotting
+//     (formula size, proof size, assumptions) — the per-frame certificate
+//     boundary of incremental BMC.
+//
+// Checking lives in proof/checker.hpp, which deliberately shares no code
+// with this writer or the solver beyond sat/types.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace trojanscout::proof {
+
+// ---- binary DRAT encoding --------------------------------------------------
+//
+// Record   := ('a' | 'd') Literal* 0x00
+// Literal  := 7-bit little-endian varint of (var + 1) * 2 + sign
+// (the format drat-trim consumes with its -i flag).
+
+inline constexpr std::uint8_t kDratAdd = 0x61;     // 'a'
+inline constexpr std::uint8_t kDratDelete = 0x64;  // 'd'
+
+/// Appends one binary-DRAT record to `out`.
+void append_drat_record(std::vector<std::uint8_t>& out, std::uint8_t tag,
+                        const sat::Clause& clause);
+
+/// One decoded proof step.
+struct DratStep {
+  bool is_delete = false;
+  sat::Clause clause;
+};
+
+/// Decodes a binary-DRAT stream. Returns false (and sets `error`) on a
+/// malformed stream: unknown tag, truncated varint, or truncated record.
+bool parse_drat(const std::uint8_t* data, std::size_t size,
+                std::vector<DratStep>& out_steps, std::string* error);
+
+// ---- the solver-side recorder ---------------------------------------------
+
+/// Proof statistics (also the bench_proof_overhead measurement surface).
+struct ProofLogStats {
+  std::uint64_t input_clauses = 0;
+  std::uint64_t learned_records = 0;
+  std::uint64_t deleted_records = 0;
+  std::uint64_t proof_bytes = 0;
+};
+
+class ProofLog final : public sat::ProofListener {
+ public:
+  /// Snapshot taken when a solve() concluded UNSAT: the formula prefix and
+  /// proof prefix that, together with `assumptions` as unit clauses, make
+  /// the empty clause RUP-derivable.
+  struct UnsatMark {
+    std::size_t formula_clauses = 0;
+    std::size_t proof_bytes = 0;
+    std::vector<sat::Lit> assumptions;
+  };
+
+  void on_input(const sat::Clause& clause) override;
+  void on_learn(const sat::Clause& clause) override;
+  void on_delete(const sat::Clause& clause) override;
+  void on_solve_unsat(const std::vector<sat::Lit>& assumptions) override;
+
+  /// When disabled, input clauses are counted but not stored — the mode
+  /// certify() runs in, since the verifier re-derives the formula from the
+  /// netlist and only the clause *counts* enter the certificate. Storing
+  /// is the default (derive_bmc_formula and the unit tests need contents).
+  void set_record_formula(bool record) { record_formula_ = record; }
+
+  /// Stored input clauses; empty when recording is disabled.
+  [[nodiscard]] const std::vector<sat::Clause>& formula() const {
+    return formula_;
+  }
+  /// Input clauses seen (independent of recording mode).
+  [[nodiscard]] std::size_t input_clauses() const { return input_clauses_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& drat() const { return drat_; }
+  [[nodiscard]] const std::vector<UnsatMark>& marks() const { return marks_; }
+  [[nodiscard]] ProofLogStats stats() const;
+
+ private:
+  bool record_formula_ = true;
+  std::size_t input_clauses_ = 0;
+  std::vector<sat::Clause> formula_;
+  std::vector<std::uint8_t> drat_;
+  std::vector<UnsatMark> marks_;
+  std::uint64_t learned_records_ = 0;
+  std::uint64_t deleted_records_ = 0;
+};
+
+}  // namespace trojanscout::proof

@@ -1,0 +1,125 @@
+// Minimal JSON value type for certificate serialization.
+//
+// Deliberately small: null / bool / int64 / double / string / array /
+// object, with *insertion-ordered* object keys so that serializing a
+// certificate is byte-deterministic (the acceptance bar for serial vs.
+// parallel certify runs). Numbers are written losslessly for int64 and
+// with %.17g for doubles. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trojanscout::proof {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(std::int64_t i) : type_(Type::kInt), int_(i) {}  // NOLINT
+  Json(std::uint64_t u)  // NOLINT
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(u)) {}
+  Json(int i) : type_(Type::kInt), int_(i) {}  // NOLINT
+  Json(double d) : type_(Type::kDouble), double_(d) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  [[nodiscard]] double as_double() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  // -- array ------------------------------------------------------------
+  void push_back(Json value) {
+    type_ = Type::kArray;
+    array_.push_back(std::move(value));
+  }
+  [[nodiscard]] const std::vector<Json>& items() const { return array_; }
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::kObject ? object_.size() : array_.size();
+  }
+
+  // -- object (insertion-ordered) ---------------------------------------
+  void set(std::string key, Json value) {
+    type_ = Type::kObject;
+    for (auto& entry : object_) {
+      if (entry.first == key) {
+        entry.second = std::move(value);
+        return;
+      }
+    }
+    object_.emplace_back(std::move(key), std::move(value));
+  }
+  /// Null reference when the key is absent.
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& entry : object_) {
+      if (entry.first == key) return &entry.second;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& entries()
+      const {
+    return object_;
+  }
+
+  /// Compact, deterministic serialization (no whitespace).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indentation (for humans).
+  [[nodiscard]] std::string dump_pretty() const;
+
+  /// Parses a JSON document. Returns nullptr and sets `error` on failure.
+  static bool parse(const std::string& text, Json& out, std::string* error);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Standard base64 (RFC 4648, with padding) — used to embed binary DRAT
+/// streams in certificate JSON.
+std::string base64_encode(const std::uint8_t* data, std::size_t size);
+inline std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  return base64_encode(data.data(), data.size());
+}
+bool base64_decode(const std::string& text, std::vector<std::uint8_t>& out);
+
+}  // namespace trojanscout::proof

@@ -26,6 +26,10 @@ Var Solver::new_var() {
 }
 
 bool Solver::add_clause(Clause lits) {
+  // The proof log records the clause exactly as given (pre-simplification):
+  // that is the formula the caller believes it asked about, and the clause
+  // the independent checker will re-derive from the same encoder.
+  if (proof_ != nullptr) proof_->on_input(lits);
   if (unsat_) return false;
   assert(decision_level() == 0);
 
@@ -43,6 +47,13 @@ bool Solver::add_clause(Clause lits) {
       out.push_back(p);
       prev = p;
     }
+  }
+
+  // A stripped literal was falsified by level-0 propagation, which the
+  // checker reproduces, so the simplified clause is RUP with respect to the
+  // clauses logged so far: record it as a derivation when it differs.
+  if (proof_ != nullptr && out.size() != lits.size() && !out.empty()) {
+    proof_->on_learn(out);
   }
 
   if (out.empty()) {
@@ -77,6 +88,7 @@ Solver::CRef Solver::attach_clause(InternalClause&& clause) {
 
 void Solver::detach_clause(CRef cref) {
   // Lazy detach: mark deleted; propagate() drops stale watchers as it walks.
+  if (proof_ != nullptr) proof_->on_delete(clauses_[cref].lits);
   clauses_[cref].deleted = true;
   stats_.deleted_clauses++;
 }
@@ -301,11 +313,17 @@ Lit Solver::pick_branch_lit() {
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions,
                           const Budget& budget) {
-  if (unsat_) return SolveResult::kUnsat;
+  // Every kUnsat return funnels through this so the proof log carries one
+  // UNSAT mark per solve — the per-frame certificate boundary for BMC.
+  const auto conclude_unsat = [&]() {
+    if (proof_ != nullptr) proof_->on_solve_unsat(assumptions);
+    return SolveResult::kUnsat;
+  };
+  if (unsat_) return conclude_unsat();
   cancel_until(0);
   if (propagate() != kNullCRef) {
     unsat_ = true;
-    return SolveResult::kUnsat;
+    return conclude_unsat();
   }
 
   util::Stopwatch timer;
@@ -325,15 +343,16 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
       conflicts_this_restart++;
       if (decision_level() == 0) {
         cancel_until(0);
-        return SolveResult::kUnsat;
+        return conclude_unsat();
       }
       int btlevel = 0;
       analyze(conflict, learnt, btlevel);
       cancel_until(btlevel);
+      if (proof_ != nullptr) proof_->on_learn(learnt);
       if (learnt.size() == 1) {
         if (value(learnt[0]) == LBool::kFalse) {
           cancel_until(0);
-          return SolveResult::kUnsat;
+          return conclude_unsat();
         }
         if (value(learnt[0]) == LBool::kUndef) {
           unchecked_enqueue(learnt[0], kNullCRef);
@@ -395,7 +414,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
         trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
       } else if (value(p) == LBool::kFalse) {
         cancel_until(0);
-        return SolveResult::kUnsat;
+        return conclude_unsat();
       } else {
         next = p;
         break;

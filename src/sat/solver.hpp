@@ -95,6 +95,14 @@ class Solver {
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
   [[nodiscard]] bool is_trivially_unsat() const { return unsat_; }
 
+  /// Streams every input clause, learned clause, deletion, and UNSAT
+  /// conclusion to `listener` (see sat::ProofListener for the contract).
+  /// Off by default; when null the hooks cost one pointer test per learned
+  /// clause. Attach before the first add_clause call or the proof will be
+  /// missing input clauses.
+  void set_proof_listener(ProofListener* listener) { proof_ = listener; }
+  [[nodiscard]] ProofListener* proof_listener() const { return proof_; }
+
   /// Approximate heap footprint of the clause database in bytes; the BMC
   /// memory column uses RSS, this is for diagnostics.
   [[nodiscard]] std::size_t clause_bytes() const;
@@ -147,6 +155,7 @@ class Solver {
 
   SolverOptions options_;
   SolverStats stats_;
+  ProofListener* proof_ = nullptr;
   bool unsat_ = false;
 
   std::vector<InternalClause> clauses_;

@@ -58,4 +58,31 @@ inline LBool operator^(LBool v, bool flip) {
 
 using Clause = std::vector<Lit>;
 
+/// Observer for clause-proof logging (binary DRAT, see src/proof).
+///
+/// The solver invokes it at the clause-addition, learning, deletion, and
+/// UNSAT-conclusion sites. It lives in this header (not solver.hpp) so that
+/// the independent proof checker shares only basic types with the solver:
+/// the checker never includes solver code, which is what makes its verdicts
+/// independent evidence rather than the solver grading its own homework.
+///
+/// Contract the solver upholds: every clause passed to on_learn is RUP
+/// (reverse-unit-propagation derivable) with respect to the clauses
+/// recorded before it (inputs + learns - deletes); after on_solve_unsat,
+/// unit propagation over the recorded clauses plus the assumptions as unit
+/// clauses derives the empty clause.
+class ProofListener {
+ public:
+  virtual ~ProofListener() = default;
+  /// An original problem clause, exactly as handed to Solver::add_clause
+  /// (before simplification). These form the formula, not the proof.
+  virtual void on_input(const Clause& clause) = 0;
+  /// A derived clause: learned clauses and simplified forms of inputs.
+  virtual void on_learn(const Clause& clause) = 0;
+  /// A derived clause dropped from the clause database.
+  virtual void on_delete(const Clause& clause) = 0;
+  /// solve() concluded UNSAT under `assumptions` (empty for a plain solve).
+  virtual void on_solve_unsat(const std::vector<Lit>& assumptions) = 0;
+};
+
 }  // namespace trojanscout::sat

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/simulator.hpp"
+
 namespace trojanscout::sim {
 
 std::uint64_t Witness::port_value(const netlist::Netlist& nl,
@@ -41,6 +43,43 @@ std::string Witness::to_string(const netlist::Netlist& nl,
     os << "  ... (" << frames.size() - shown << " more cycles)\n";
   }
   return os.str();
+}
+
+ReplayVerdict replay_confirms(const netlist::Netlist& nl,
+                              netlist::SignalId bad, const Witness& witness) {
+  ReplayVerdict verdict;
+  if (witness.violation_frame >= witness.length()) {
+    verdict.detail = "violation frame " +
+                     std::to_string(witness.violation_frame) +
+                     " outside witness of length " +
+                     std::to_string(witness.length());
+    return verdict;
+  }
+  verdict.minimal = true;
+  Simulator simulator(nl);
+  simulator.reset();
+  for (std::size_t t = 0; t <= witness.violation_frame; ++t) {
+    simulator.set_inputs(witness.frames[t].bits);
+    simulator.eval();
+    if (t == witness.violation_frame) {
+      verdict.confirmed = simulator.value(bad);
+      if (!verdict.confirmed) {
+        verdict.detail =
+            "bad signal silent at claimed violation cycle " + std::to_string(t);
+      }
+    } else {
+      if (simulator.value(bad)) {
+        verdict.minimal = false;
+        if (verdict.detail.empty()) {
+          verdict.detail = "bad signal fired early at cycle " +
+                           std::to_string(t) + " (violation claimed at " +
+                           std::to_string(witness.violation_frame) + ")";
+        }
+      }
+      simulator.step();
+    }
+  }
+  return verdict;
 }
 
 }  // namespace trojanscout::sim

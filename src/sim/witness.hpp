@@ -40,4 +40,28 @@ struct Witness {
                                       std::size_t max_frames = 16) const;
 };
 
+/// Outcome of re-simulating a witness against the monitor it was found on.
+struct ReplayVerdict {
+  /// The bad signal was 1 at the claimed violation cycle.
+  bool confirmed = false;
+  /// The bad signal was silent at every earlier cycle. BMC witnesses must
+  /// be minimal (each earlier frame was proven UNSAT); ATPG witnesses need
+  /// not be (its search may land on a non-first firing).
+  bool minimal = false;
+  /// Diagnostic when not confirmed / not minimal (empty otherwise).
+  std::string detail;
+};
+
+/// Replays `witness` from reset on `nl` with the cycle-accurate simulator
+/// and reports whether `bad` actually fires at the claimed violation cycle.
+/// The bad signal is combinational in cycle t (it reads the DFF data
+/// inputs, i.e. the next state), so it is sampled after eval() with frame
+/// t's inputs applied and before the clock edge.
+///
+/// This is the concrete half of the certificate trust argument: a SAT
+/// answer from either engine is accepted only when the independent
+/// simulator confirms the trigger sequence (see proof::check_certificate).
+ReplayVerdict replay_confirms(const netlist::Netlist& nl,
+                              netlist::SignalId bad, const Witness& witness);
+
 }  // namespace trojanscout::sim

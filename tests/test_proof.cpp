@@ -1,0 +1,338 @@
+// Proof subsystem unit tests: binary-DRAT encode/decode round trips, the
+// solver's ProofListener emission contract (every UNSAT answer comes with a
+// checker-accepted clause proof), and the DratChecker's rejection of
+// hand-mutated proofs — a dropped core lemma, a forged deletion, and an
+// empty proof for a formula unit propagation alone cannot refute.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "proof/checker.hpp"
+#include "proof/drat.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace trojanscout::proof {
+namespace {
+
+using sat::Clause;
+using sat::Lit;
+using sat::SolveResult;
+using sat::Solver;
+using sat::Var;
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+// ---- binary DRAT encoding -------------------------------------------------
+
+TEST(Drat, RecordRoundTripIncludingMultiByteVarints) {
+  util::Xoshiro256 rng(42);
+  std::vector<DratStep> expected;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 200; ++i) {
+    DratStep step;
+    step.is_delete = rng.next_bool();
+    const std::size_t len = rng.next_below(6);
+    for (std::size_t k = 0; k < len; ++k) {
+      // Vars up to ~2^20 force 2- and 3-byte varints for the literal codes.
+      step.clause.emplace_back(static_cast<Var>(rng.next_below(1u << 20)),
+                               rng.next_bool());
+    }
+    append_drat_record(stream, step.is_delete ? kDratDelete : kDratAdd,
+                       step.clause);
+    expected.push_back(std::move(step));
+  }
+  std::vector<DratStep> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_drat(stream.data(), stream.size(), parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), expected.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].is_delete, expected[i].is_delete) << "record " << i;
+    EXPECT_EQ(parsed[i].clause, expected[i].clause) << "record " << i;
+  }
+}
+
+TEST(Drat, ParserRejectsMalformedStreams) {
+  std::vector<DratStep> steps;
+  std::string error;
+
+  const std::uint8_t unknown_tag[] = {0x62, 0x00};
+  EXPECT_FALSE(parse_drat(unknown_tag, sizeof(unknown_tag), steps, &error));
+  EXPECT_NE(error.find("unknown record tag"), std::string::npos);
+
+  const std::uint8_t truncated_record[] = {kDratAdd, 0x04};
+  EXPECT_FALSE(
+      parse_drat(truncated_record, sizeof(truncated_record), steps, &error));
+
+  const std::uint8_t truncated_varint[] = {kDratAdd, 0x84};
+  EXPECT_FALSE(
+      parse_drat(truncated_varint, sizeof(truncated_varint), steps, &error));
+
+  // Literal code 1 maps to no variable.
+  const std::uint8_t bad_code[] = {kDratAdd, 0x01, 0x00};
+  EXPECT_FALSE(parse_drat(bad_code, sizeof(bad_code), steps, &error));
+}
+
+// ---- checker on handcrafted proofs ----------------------------------------
+
+// (a|b)(a|~b)(~a|b)(~a|~b): UNSAT, but unit propagation alone derives
+// nothing — the proof must supply the intermediate lemma.
+std::vector<Clause> contradiction_square() {
+  return {{pos(0), pos(1)},
+          {pos(0), neg(1)},
+          {neg(0), pos(1)},
+          {neg(0), neg(1)}};
+}
+
+std::vector<std::uint8_t> make_proof(
+    const std::vector<std::pair<std::uint8_t, Clause>>& records) {
+  std::vector<std::uint8_t> out;
+  for (const auto& [tag, clause] : records) append_drat_record(out, tag, clause);
+  return out;
+}
+
+TEST(DratChecker, AcceptsAValidLemmaChain) {
+  const auto proof =
+      make_proof({{kDratAdd, {pos(0)}}, {kDratAdd, {}}});
+  DratChecker checker;
+  std::string error;
+  EXPECT_TRUE(checker.check(contradiction_square(), proof, &error)) << error;
+  EXPECT_EQ(checker.stats().proof_additions, 2u);
+  EXPECT_EQ(checker.stats().checked_additions +
+                checker.stats().skipped_additions,
+            1u);  // the explicit empty clause ends the stream
+}
+
+TEST(DratChecker, RejectsWhenTheCoreLemmaIsDropped) {
+  // Same formula, same final empty clause — but the lemma (a) that made it
+  // RUP has been removed from the stream.
+  const auto proof = make_proof({{kDratAdd, {}}});
+  DratChecker checker;
+  std::string error;
+  EXPECT_FALSE(checker.check(contradiction_square(), proof, &error));
+  EXPECT_NE(error.find("not RUP"), std::string::npos) << error;
+}
+
+TEST(DratChecker, RejectsAnEmptyProofForANonPropagatingFormula) {
+  DratChecker checker;
+  std::string error;
+  EXPECT_FALSE(checker.check(contradiction_square(), nullptr, 0, &error));
+  EXPECT_NE(error.find("not RUP"), std::string::npos) << error;
+}
+
+TEST(DratChecker, RejectsAForgedDeletionOfAnAbsentClause) {
+  // Deleting a clause that was never in the database is a forgery, not a
+  // no-op: accepting it would let a prover silently diverge from the
+  // formula the certificate claims to be about.
+  const auto proof = make_proof({{kDratDelete, {pos(0), pos(2)}},
+                                 {kDratAdd, {pos(0)}},
+                                 {kDratAdd, {}}});
+  DratChecker checker;
+  std::string error;
+  EXPECT_FALSE(checker.check(contradiction_square(), proof, &error));
+  EXPECT_NE(error.find("deletes a clause not in the database"),
+            std::string::npos)
+      << error;
+}
+
+TEST(DratChecker, RejectsWhenADeletionInvalidatesALaterLemma) {
+  // Deleting (a|b) first makes the lemma (a) non-RUP at its position.
+  const auto proof = make_proof({{kDratDelete, {pos(0), pos(1)}},
+                                 {kDratAdd, {pos(0)}},
+                                 {kDratAdd, {}}});
+  DratChecker checker;
+  std::string error;
+  EXPECT_FALSE(checker.check(contradiction_square(), proof, &error));
+  EXPECT_NE(error.find("not RUP"), std::string::npos) << error;
+}
+
+TEST(DratChecker, DeletionMatchesByContentNotLiteralOrder) {
+  // The solver's propagation reorders watched literals in place, so its
+  // deletion records may list a clause in a different order than it was
+  // added. Deleting the (by now useless) input (a|b) as (b|a) must resolve.
+  const auto proof = make_proof({{kDratAdd, {pos(0)}},
+                                 {kDratDelete, {pos(1), pos(0)}},
+                                 {kDratAdd, {}}});
+  DratChecker checker;
+  std::string error;
+  EXPECT_TRUE(checker.check(contradiction_square(), proof, &error)) << error;
+  EXPECT_EQ(checker.stats().proof_deletions, 1u);
+}
+
+TEST(DratChecker, AcceptsAPurelyPropagatingFormulaWithNoProof) {
+  // (a)(~a|b)(~b): empty clause is RUP with zero proof steps.
+  const std::vector<Clause> formula = {{pos(0)}, {neg(0), pos(1)}, {neg(1)}};
+  DratChecker checker;
+  std::string error;
+  EXPECT_TRUE(checker.check(formula, nullptr, 0, &error)) << error;
+  EXPECT_EQ(checker.stats().checked_additions, 0u);
+}
+
+TEST(DratChecker, HandlesTautologyAndDuplicateLiterals) {
+  // Inputs with duplicate and opposing literals must not break propagation
+  // or the RUP check (the formula below is still UNSAT: square + noise).
+  std::vector<Clause> formula = contradiction_square();
+  formula.push_back({pos(2), pos(2)});
+  formula.push_back({pos(3), neg(3)});
+  const auto proof = make_proof({{kDratAdd, {pos(0)}}, {kDratAdd, {}}});
+  DratChecker checker;
+  std::string error;
+  EXPECT_TRUE(checker.check(formula, proof, &error)) << error;
+}
+
+// ---- solver emission contract ---------------------------------------------
+
+bool brute_force_unsat(int num_vars, const std::vector<Clause>& clauses) {
+  for (std::uint64_t assignment = 0; assignment < (1ull << num_vars);
+       ++assignment) {
+    bool all = true;
+    for (const Clause& clause : clauses) {
+      bool any = false;
+      for (const Lit lit : clause) {
+        const bool value = ((assignment >> lit.var()) & 1) != 0;
+        if (value != lit.sign()) any = true;
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return false;
+  }
+  return true;
+}
+
+TEST(SolverProof, EveryRandomUnsatAnswerCarriesACheckableProof) {
+  util::Xoshiro256 rng(2718);
+  int unsat_seen = 0;
+  for (int round = 0; round < 60; ++round) {
+    constexpr int kVars = 9;
+    ProofLog log;
+    Solver solver;
+    solver.set_proof_listener(&log);
+    for (int v = 0; v < kVars; ++v) solver.new_var();
+    std::vector<Clause> clauses;
+    for (int c = 0; c < 48; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.emplace_back(static_cast<Var>(rng.next_below(kVars)),
+                            rng.next_bool());
+      }
+      clauses.push_back(clause);
+      solver.add_clause(clause);
+    }
+    const SolveResult result = solver.solve();
+    ASSERT_EQ(result == SolveResult::kUnsat,
+              brute_force_unsat(kVars, clauses));
+    if (result != SolveResult::kUnsat) continue;
+    unsat_seen++;
+    ASSERT_EQ(log.marks().size(), 1u);
+    ASSERT_EQ(log.formula().size(), clauses.size());
+    EXPECT_TRUE(log.marks()[0].assumptions.empty());
+    DratChecker checker;
+    std::string error;
+    EXPECT_TRUE(checker.check(log.formula(), log.drat().data(),
+                              log.marks()[0].proof_bytes, &error))
+        << "round " << round << ": " << error;
+  }
+  // 48 random ternary clauses over 9 vars are nearly always UNSAT; the
+  // contract test is vacuous if none were.
+  EXPECT_GT(unsat_seen, 30);
+}
+
+TEST(SolverProof, IncrementalAssumptionUnsatMarksAreEachCheckable) {
+  // BMC-style usage: one solver, growing formula, one assumption per solve.
+  // Every kUnsat answer must snapshot a (formula, proof, assumption) triple
+  // the checker accepts in isolation.
+  util::Xoshiro256 rng(3141);
+  ProofLog log;
+  Solver solver;
+  solver.set_proof_listener(&log);
+  constexpr int kVars = 12;
+  for (int v = 0; v < kVars; ++v) solver.new_var();
+
+  std::vector<ProofLog::UnsatMark> unsat_marks;
+  for (int stage = 0; stage < 6; ++stage) {
+    for (int c = 0; c < 14; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.emplace_back(static_cast<Var>(rng.next_below(kVars)),
+                            rng.next_bool());
+      }
+      solver.add_clause(clause);
+    }
+    const Lit assumption(static_cast<Var>(stage % kVars), stage % 2 == 0);
+    solver.solve({assumption});
+    if (solver.is_trivially_unsat()) break;
+  }
+  for (const auto& mark : log.marks()) {
+    std::vector<Clause> formula(
+        log.formula().begin(),
+        log.formula().begin() + static_cast<std::ptrdiff_t>(
+                                    mark.formula_clauses));
+    for (const Lit lit : mark.assumptions) formula.push_back({lit});
+    DratChecker checker;
+    std::string error;
+    EXPECT_TRUE(
+        checker.check(formula, log.drat().data(), mark.proof_bytes, &error))
+        << error;
+  }
+}
+
+TEST(SolverProof, DroppingEachAdditionNeverBreaksTheCheckerAndSomeAreCore) {
+  // Take a real solver proof that needed search, then knock out one 'a'
+  // record at a time. The checker must stay well-behaved on every mutant,
+  // and if the original proof had a non-empty core, at least one knockout
+  // must be rejected (the dropped-learned-clause mutation of the issue).
+  ProofLog log;
+  Solver solver;
+  solver.set_proof_listener(&log);
+  // 4-variable pigeonhole-flavored instance: 2 holes, 3 pigeons encoded
+  // directly as pairwise-exclusion clauses — UNSAT and propagation-free.
+  // p_i_h = pigeon i in hole h; vars: (i,h) -> 2i+h for i in 0..2.
+  auto var = [](int pigeon, int hole) {
+    return static_cast<Var>(pigeon * 2 + hole);
+  };
+  for (int v = 0; v < 6; ++v) solver.new_var();
+  std::vector<Clause> clauses;
+  for (int pigeon = 0; pigeon < 3; ++pigeon) {
+    clauses.push_back({pos(var(pigeon, 0)), pos(var(pigeon, 1))});
+  }
+  for (int hole = 0; hole < 2; ++hole) {
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        clauses.push_back({neg(var(a, hole)), neg(var(b, hole))});
+      }
+    }
+  }
+  for (const Clause& clause : clauses) solver.add_clause(clause);
+  ASSERT_EQ(solver.solve(), SolveResult::kUnsat);
+
+  DratChecker checker;
+  std::string error;
+  ASSERT_TRUE(checker.check(log.formula(), log.drat(), &error)) << error;
+  ASSERT_GT(checker.stats().checked_additions, 0u);
+
+  std::vector<DratStep> steps;
+  ASSERT_TRUE(parse_drat(log.drat().data(), log.drat().size(), steps, &error));
+  int rejected = 0;
+  for (std::size_t drop = 0; drop < steps.size(); ++drop) {
+    if (steps[drop].is_delete) continue;
+    std::vector<std::uint8_t> mutant;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (i == drop) continue;
+      append_drat_record(mutant,
+                         steps[i].is_delete ? kDratDelete : kDratAdd,
+                         steps[i].clause);
+    }
+    DratChecker mutant_checker;
+    if (!mutant_checker.check(log.formula(), mutant, &error)) rejected++;
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace trojanscout::proof

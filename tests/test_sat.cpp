@@ -229,6 +229,36 @@ TEST(Dimacs, RoundTrip) {
   EXPECT_EQ(parsed.clauses[1], formula.clauses[1]);
 }
 
+TEST(Dimacs, RandomizedRoundTripPreservesEveryClause) {
+  util::Xoshiro256 rng(20150607);
+  for (int round = 0; round < 25; ++round) {
+    CnfFormula formula;
+    formula.num_vars = 1 + static_cast<int>(rng.next_below(40));
+    const std::size_t n_clauses = rng.next_below(30);
+    for (std::size_t c = 0; c < n_clauses; ++c) {
+      Clause clause;
+      const std::size_t len = 1 + rng.next_below(5);
+      for (std::size_t k = 0; k < len; ++k) {
+        clause.emplace_back(
+            static_cast<Var>(rng.next_below(
+                static_cast<std::uint64_t>(formula.num_vars))),
+            rng.next_bool());
+      }
+      formula.clauses.push_back(std::move(clause));
+    }
+    std::ostringstream os;
+    write_dimacs(os, formula);
+    const CnfFormula parsed = parse_dimacs_string(os.str());
+    EXPECT_EQ(parsed.num_vars, formula.num_vars) << "round " << round;
+    ASSERT_EQ(parsed.clauses.size(), formula.clauses.size())
+        << "round " << round;
+    for (std::size_t c = 0; c < parsed.clauses.size(); ++c) {
+      EXPECT_EQ(parsed.clauses[c], formula.clauses[c])
+          << "round " << round << " clause " << c;
+    }
+  }
+}
+
 TEST(Dimacs, RejectsMalformedInput) {
   EXPECT_THROW(parse_dimacs_string("p cnf x y\n"), std::runtime_error);
   EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);

@@ -20,34 +20,20 @@
 namespace trojanscout::core {
 namespace {
 
-// Replays the witness from reset on the monitored netlist. The bad signal is
-// combinational in cycle t (it reads the DFF data inputs, i.e. the *next*
-// state), so it is sampled after eval() with frame t's inputs applied and
-// before the clock edge.
-// `require_minimal` additionally asserts the bad signal was silent on every
-// earlier cycle — sound for BMC witnesses (each earlier frame was proven
-// UNSAT) but not for ATPG, whose search may land on a non-first firing.
+// Replays through the sim::replay_confirms library API (the same call the
+// certificate checker makes). `require_minimal` additionally asserts the bad
+// signal was silent on every earlier cycle — sound for BMC witnesses (each
+// earlier frame was proven UNSAT) but not for ATPG, whose search may land on
+// a non-first firing.
 void expect_bad_fires_at_violation(const netlist::Netlist& nl,
                                    netlist::SignalId bad,
                                    const sim::Witness& witness,
                                    bool require_minimal) {
   ASSERT_LT(witness.violation_frame, witness.length());
-  sim::Simulator simulator(nl);
-  simulator.reset();
-  for (std::size_t t = 0; t <= witness.violation_frame; ++t) {
-    simulator.set_inputs(witness.frames[t].bits);
-    simulator.eval();
-    if (t == witness.violation_frame) {
-      EXPECT_TRUE(simulator.value(bad))
-          << "bad signal silent at claimed violation cycle " << t;
-    } else {
-      if (require_minimal) {
-        EXPECT_FALSE(simulator.value(bad))
-            << "bad signal fired early at cycle " << t << " (violation "
-            << "claimed at " << witness.violation_frame << ")";
-      }
-      simulator.step();
-    }
+  const sim::ReplayVerdict verdict = sim::replay_confirms(nl, bad, witness);
+  EXPECT_TRUE(verdict.confirmed) << verdict.detail;
+  if (require_minimal) {
+    EXPECT_TRUE(verdict.minimal) << verdict.detail;
   }
 }
 

@@ -1,9 +1,13 @@
 #!/bin/sh
-# CI driver: builds and tests the tree twice —
-#   1. a plain Release-ish build running the full suite, and
+# CI driver: builds and tests the tree three times —
+#   1. a plain Release-ish build running the full suite,
 #   2. a ThreadSanitizer build re-running the suite (the parallel property
 #      scheduler, thread pool, and lazy netlist caches execute under TSan,
-#      with the equivalence tests exercising jobs > 1).
+#      with the equivalence tests exercising jobs > 1), and
+#   3. an AddressSanitizer + UndefinedBehaviorSanitizer build (the CDCL
+#      solver, DRAT checker, and certificate (de)serializers are dense
+#      with raw index arithmetic and byte-level parsing of untrusted
+#      certificate input — exactly what ASan/UBSan catch).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -eu
@@ -30,5 +34,9 @@ run_config release -DCMAKE_BUILD_TYPE=RelWithDebInfo
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTROJANSCOUT_SANITIZE=thread
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTROJANSCOUT_SANITIZE=address,undefined
 
-echo "=== CI OK: release + tsan suites passed ==="
+echo "=== CI OK: release + tsan + asan-ubsan suites passed ==="

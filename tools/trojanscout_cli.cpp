@@ -12,21 +12,36 @@
 //                         [--max-k K]
 //   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
 //                         [--out design.v]
+//   trojanscout_cli certify    --design ip.v --spec ip.spec --out cert.json
+//                              [--jobs N] [--engine bmc|atpg] [--frames N]
+//                              [--budget S] [--no-scan] [--no-bypass]
+//                              [--pretty]
+//   trojanscout_cli check-cert --cert cert.json --design ip.v --spec ip.spec
 //
 // `audit` runs the paper's full Algorithm 1 over every register with a spec
 // block, scheduling the independent property checks across --jobs worker
 // threads (default: all hardware threads). Without --fail-fast the report
 // is deterministic — identical for any jobs value.
 //
-// Exit codes: 0 = clean / generated, 2 = Trojan found, 1 = usage/error.
+// `certify` is `audit` with evidence: every violated property carries its
+// witness, every BMC-clean frame carries a binary-DRAT proof, bundled into
+// a deterministic JSON certificate (byte-identical for any --jobs value).
+// `check-cert` re-validates a certificate offline against the design:
+// witnesses are replayed on the simulator, DRAT proofs are checked against
+// independently re-derived CNF, and the report signature is recomputed.
+//
+// Exit codes: 0 = clean / generated / certificate valid, 2 = Trojan found,
+// 1 = usage / error / certificate rejected.
 #include <fstream>
 #include <iostream>
+#include <iterator>
 
 #include "bmc/bmc.hpp"
 #include "core/detector.hpp"
 #include "core/minimize.hpp"
 #include "core/parallel_detector.hpp"
 #include "designs/catalog.hpp"
+#include "proof/certificate.hpp"
 #include "properties/monitors.hpp"
 #include "sim/vcd.hpp"
 #include "specdsl/specdsl.hpp"
@@ -39,7 +54,8 @@ using namespace trojanscout;
 namespace {
 
 int usage() {
-  std::cerr << "usage: trojanscout_cli <info|check|audit|prove|gen> [flags]\n"
+  std::cerr << "usage: trojanscout_cli "
+               "<info|check|audit|prove|gen|certify|check-cert> [flags]\n"
                "  see the header of tools/trojanscout_cli.cpp\n";
   return 1;
 }
@@ -214,6 +230,90 @@ int cmd_prove(const util::CliParser& cli) {
   return 1;
 }
 
+designs::Design load_design_with_spec(const util::CliParser& cli) {
+  designs::Design design;
+  design.name = cli.get_string("design", "design");
+  design.nl = load_design(cli);
+  design.spec = specdsl::load_spec_file(design.nl, cli.get_string("spec", ""));
+  if (design.spec.registers.empty()) {
+    throw std::runtime_error("spec file declares no registers");
+  }
+  for (const auto& reg_spec : design.spec.registers) {
+    design.critical_registers.push_back(reg_spec.reg);
+  }
+  return design;
+}
+
+int cmd_certify(const util::CliParser& cli) {
+  const designs::Design design = load_design_with_spec(cli);
+
+  proof::CertifyOptions options;
+  options.detector.engine.kind = cli.get_string("engine", "bmc") == "atpg"
+                                     ? core::EngineKind::kAtpg
+                                     : core::EngineKind::kBmc;
+  options.detector.engine.max_frames =
+      static_cast<std::size_t>(cli.get_int("frames", 128));
+  options.detector.engine.time_limit_seconds = cli.get_double("budget", 60.0);
+  options.detector.scan_pseudo_critical = !cli.get_bool("no-scan", false);
+  options.detector.check_bypass = !cli.get_bool("no-bypass", false);
+  options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+
+  const proof::Certificate cert = proof::certify(design, options);
+  const proof::Json json = proof::certificate_to_json(cert);
+  const std::string text =
+      cli.get_bool("pretty", false) ? json.dump_pretty() : json.dump() + "\n";
+
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    os << text;
+    std::size_t witnesses = 0;
+    std::size_t marks = 0;
+    for (const auto& record : cert.records) {
+      if (record.witness.has_value()) witnesses++;
+      if (record.drat.has_value()) marks += record.drat->marks.size();
+    }
+    std::cout << "certificate written to " << out << " ("
+              << cert.records.size() << " obligations, " << witnesses
+              << " witnesses, " << marks << " DRAT-proved frames)\n";
+  }
+  std::cout << (cert.trojan_found
+                    ? "TROJAN FOUND (witnesses included in certificate)"
+                    : "clean within the bound (proofs included in certificate)")
+            << "\n";
+  return cert.trojan_found ? 2 : 0;
+}
+
+int cmd_check_cert(const util::CliParser& cli) {
+  const std::string path = cli.get_string("cert", "");
+  if (path.empty()) throw std::runtime_error("--cert is required");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  proof::Json json;
+  std::string error;
+  if (!proof::Json::parse(text, json, &error)) {
+    std::cerr << "certificate rejected: " << error << "\n";
+    return 1;
+  }
+  proof::Certificate cert;
+  if (!proof::certificate_from_json(json, cert, &error)) {
+    std::cerr << "certificate rejected: " << error << "\n";
+    return 1;
+  }
+
+  const designs::Design design = load_design_with_spec(cli);
+  const proof::CertificateCheckResult result =
+      proof::check_certificate(cert, design);
+  std::cout << result.summary() << "\n";
+  return result.ok ? 0 : 1;
+}
+
 int cmd_gen(const util::CliParser& cli) {
   const std::string family = cli.get_string("family", "mc8051");
   const std::string trojan = cli.get_string("trojan", "");
@@ -260,6 +360,8 @@ int main(int argc, char** argv) {
     if (command == "audit") return cmd_audit(cli);
     if (command == "prove") return cmd_prove(cli);
     if (command == "gen") return cmd_gen(cli);
+    if (command == "certify") return cmd_certify(cli);
+    if (command == "check-cert") return cmd_check_cert(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
