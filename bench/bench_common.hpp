@@ -15,6 +15,7 @@
 #include "baselines/workloads.hpp"
 #include "core/detector.hpp"
 #include "designs/catalog.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/resource.hpp"
 #include "util/table.hpp"
@@ -85,5 +86,59 @@ inline std::string mem_cell(std::uint64_t bytes) {
 inline std::string frames_cell(const core::CheckResult& result) {
   return std::to_string(result.frames_completed);
 }
+
+/// --metrics-out sink shared by the table benches: collects RunReport
+/// records while the bench runs and writes the JSON-lines file on flush().
+/// Disabled (all calls no-ops) when the flag is absent.
+class MetricsSink {
+ public:
+  explicit MetricsSink(const util::CliParser& cli)
+      : path_(cli.get_string("metrics-out", "")) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  telemetry::RunReport& report() { return report_; }
+
+  /// One "bench" record per engine run: the machine-readable twin of a
+  /// table cell. Deterministic fields first, wall clock / memory flagged
+  /// timing (tools/check_metrics.py validates this schema).
+  void add_check(const std::string& bench, const std::string& row,
+                 const std::string& engine, const std::string& property,
+                 const core::CheckResult& check) {
+    if (!enabled()) return;
+    auto& rec = report_.add("bench");
+    rec.set("bench", bench)
+        .set("row", row)
+        .set("engine", engine)
+        .set("property", property)
+        .set("status", check.status)
+        .set("violated", check.violated)
+        .set("bound_reached", check.bound_reached)
+        .set("frames_completed", check.frames_completed)
+        .set("sat_decisions", check.counters.sat.decisions)
+        .set("sat_propagations", check.counters.sat.propagations)
+        .set("sat_conflicts", check.counters.sat.conflicts)
+        .set("cnf_vars", check.counters.cnf_vars)
+        .set("atpg_decisions", check.counters.atpg_decisions)
+        .set("atpg_backtracks", check.counters.atpg_backtracks)
+        .set("seconds", check.seconds, /*timing=*/true)
+        .set("memory_bytes", check.memory_bytes, /*timing=*/true);
+  }
+
+  /// Writes the collected records; true on success (or when disabled).
+  bool flush() const {
+    if (!enabled()) return true;
+    if (!report_.write_file(path_)) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "[bench] metrics written to %s (%zu records)\n",
+                 path_.c_str(), report_.size());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  telemetry::RunReport report_;
+};
 
 }  // namespace trojanscout::bench

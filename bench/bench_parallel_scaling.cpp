@@ -37,6 +37,7 @@ core::DetectorOptions workload_options(const util::CliParser& cli) {
 
 int run(int argc, const char* const* argv) {
   const util::CliParser cli(argc, argv);
+  bench::MetricsSink sink(cli);
 
   struct Workload {
     std::string name;
@@ -87,6 +88,16 @@ int run(int argc, const char* const* argv) {
       const double seconds = timer.elapsed_seconds();
       if (jobs == 4) four_job_seconds = seconds;
       identical = identical && report.signature() == serial_signature;
+      if (sink.enabled()) {
+        sink.report()
+            .add("scaling")
+            .set("workload", workload.name)
+            .set("jobs", jobs)
+            .set("obligations", obligations)
+            .set("deterministic", report.signature() == serial_signature)
+            .set("seconds", seconds, /*timing=*/true)
+            .set("serial_seconds", serial_seconds, /*timing=*/true);
+      }
       cells.push_back(util::cell_double(seconds, 2));
       std::cerr << "[scaling] " << workload.name << " jobs=" << jobs
                 << " done (" << util::cell_double(seconds, 2) << " s)\n";
@@ -107,7 +118,7 @@ int run(int argc, const char* const* argv) {
     std::cerr << "FAIL: parallel report diverged from serial report\n";
     return 1;
   }
-  return 0;
+  return sink.flush() ? 0 : 1;
 }
 
 }  // namespace trojanscout

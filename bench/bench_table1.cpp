@@ -34,8 +34,10 @@ struct EngineRow {
 };
 
 EngineRow run_engine_row(const BenchConfig& config, EngineKind kind,
-                         const designs::BenchmarkInfo& info) {
+                         const designs::BenchmarkInfo& info,
+                         bench::MetricsSink& sink) {
   EngineRow row;
+  const char* engine = core::engine_name(kind);
 
   // Detection run on the armed design.
   designs::Design armed = info.build(/*payload_enabled=*/true);
@@ -46,6 +48,8 @@ EngineRow run_engine_row(const BenchConfig& config, EngineKind kind,
   options.check_bypass = false;
   core::TrojanDetector detector(armed, options);
   const CheckResult detect = detector.check_corruption(info.critical_register);
+  sink.add_check("table1", info.name, engine,
+                 "corruption(" + info.critical_register + ")", detect);
   row.detected = detect.violated ? "Yes" : "N/A";
   row.time = detect.violated ? util::cell_double(detect.seconds, 2) : "N/A";
   row.memory = detect.violated ? bench::mem_cell(detect.memory_bytes) : "N/A";
@@ -60,6 +64,8 @@ EngineRow run_engine_row(const BenchConfig& config, EngineKind kind,
   core::TrojanDetector depth_detector(disarmed, depth_options);
   const CheckResult depth =
       depth_detector.check_corruption(info.critical_register);
+  sink.add_check("table1", info.name, engine,
+                 "depth:corruption(" + info.critical_register + ")", depth);
   row.max_cycles =
       depth.violated ? "!" + bench::frames_cell(depth) : bench::frames_cell(depth);
   return row;
@@ -70,6 +76,10 @@ EngineRow run_engine_row(const BenchConfig& config, EngineKind kind,
 int run(int argc, const char* const* argv) {
   const util::CliParser cli(argc, argv);
   BenchConfig config = BenchConfig::from_cli(cli);
+  // --only=<substring> restricts the benchmark rows (and skips the clean
+  // rows unless they match) — CI uses it to smoke-test one small core.
+  const std::string only = cli.get_string("only", "");
+  bench::MetricsSink sink(cli);
 
   std::cout << "=== Table 1: Detecting the Trojans from Trust-Hub "
                "(DeTrust-hardened structures) ===\n"
@@ -86,6 +96,7 @@ int run(int argc, const char* const* argv) {
   catalog_options.risc_trigger_count = config.risc_trigger_count;
 
   for (const auto& info : designs::trojan_benchmarks(catalog_options)) {
+    if (!only.empty() && info.name.find(only) == std::string::npos) continue;
     const designs::Design design = info.build(/*payload_enabled=*/true);
 
     // Structural / simulation baselines.
@@ -103,8 +114,9 @@ int run(int argc, const char* const* argv) {
       veritrust_hit = veritrust_hit || design.is_trojan_gate(s.signal);
     }
 
-    const EngineRow bmc = run_engine_row(config, EngineKind::kBmc, info);
-    const EngineRow atpg = run_engine_row(config, EngineKind::kAtpg, info);
+    const EngineRow bmc = run_engine_row(config, EngineKind::kBmc, info, sink);
+    const EngineRow atpg =
+        run_engine_row(config, EngineKind::kAtpg, info, sink);
 
     table.add_row({info.name, info.critical_register,
                    fanci_hit ? "Yes" : "No", veritrust_hit ? "Yes" : "No",
@@ -115,6 +127,10 @@ int run(int argc, const char* const* argv) {
 
   // False-positive rows: clean designs must not be flagged.
   for (const char* family : {"mc8051", "risc", "aes"}) {
+    if (!only.empty() &&
+        (std::string("clean-") + family).find(only) == std::string::npos) {
+      continue;
+    }
     const designs::Design clean = designs::build_clean(family);
     bool any_violation = false;
     std::size_t min_frames = config.max_frames;
@@ -126,6 +142,8 @@ int run(int argc, const char* const* argv) {
       options.check_bypass = false;
       core::TrojanDetector detector(clean, options);
       const CheckResult result = detector.check_corruption(reg);
+      sink.add_check("table1", std::string("clean-") + family, "BMC",
+                     "depth:corruption(" + reg + ")", result);
       any_violation = any_violation || result.violated;
       min_frames = std::min(min_frames, result.frames_completed);
     }
@@ -140,7 +158,7 @@ int run(int argc, const char* const* argv) {
                "(AES-T1200's trigger needs ~2^128 cycles). Max-clk columns "
                "use the depth budget on the trigger-armed, payload-disabled "
                "variants.\n";
-  return 0;
+  return sink.flush() ? 0 : 1;
 }
 
 }  // namespace trojanscout

@@ -10,9 +10,20 @@
 int main(int argc, char** argv) {
   using namespace trojanscout;
   const util::CliParser cli(argc, argv);
-  (void)cli;
+  bench::MetricsSink sink(cli);
 
   const designs::Design design = designs::build_risc({});
+  // The machine-readable twin of the table: one "spec" record per register
+  // (this bench runs no engines, so there are no timing fields at all).
+  for (const auto& spec : design.spec.registers) {
+    if (!sink.enabled()) break;
+    sink.report()
+        .add("spec")
+        .set("design", design.name)
+        .set("register", spec.reg)
+        .set("ways", spec.ways.size())
+        .set("obligations", spec.obligations.size());
+  }
   std::cout << "=== Table 2: Valid ways to update registers in RISC ===\n\n";
 
   util::Table table({"Register", "Cycle", "Valid way", "Value"});
@@ -36,5 +47,5 @@ int main(int argc, char** argv) {
     }
   }
   obligations.print(std::cout);
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

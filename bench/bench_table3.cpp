@@ -92,6 +92,7 @@ int run(int argc, const char* const* argv) {
   const util::CliParser cli(argc, argv);
   BenchConfig config = BenchConfig::from_cli(cli);
   if (!cli.has("budget")) config.budget_seconds = 60;  // default for this bench
+  bench::MetricsSink sink(cli);
 
   std::cout << "=== Table 3: Detecting pseudo-critical and bypass registers "
                "===\n"
@@ -116,6 +117,11 @@ int run(int argc, const char* const* argv) {
       const CheckResult bypass = bypass_check(config, kind, info,
                                               /*planted=*/true,
                                               config.budget_seconds);
+      const char* engine = core::engine_name(kind);
+      sink.add_check("table3", info.name, engine,
+                     "pseudo(" + info.critical_register + ")", pseudo);
+      sink.add_check("table3", info.name, engine,
+                     "bypass(" + info.critical_register + ")", bypass);
       const bool detected = pseudo.violated || bypass.violated;
       (kind == EngineKind::kBmc ? row.detected_bmc : row.detected_atpg) =
           detected ? "Yes" : "N/A";
@@ -125,6 +131,12 @@ int run(int argc, const char* const* argv) {
           config, kind, info, config.depth_budget_seconds);
       const CheckResult bypass_depth = bypass_depth_check(
           config, kind, info, config.depth_budget_seconds);
+      sink.add_check("table3", info.name, engine,
+                     "depth:pseudo(" + info.critical_register + ")",
+                     pseudo_depth);
+      sink.add_check("table3", info.name, engine,
+                     "depth:bypass(" + info.critical_register + ")",
+                     bypass_depth);
       (kind == EngineKind::kBmc ? row.pseudo_cycles_bmc
                                 : row.pseudo_cycles_atpg) =
           bench::frames_cell(pseudo_depth);
@@ -142,7 +154,7 @@ int run(int argc, const char* const* argv) {
   std::cout << "\nFANCI / VeriTrust detect none of these variants (the "
                "Section 4 attacks only add DeTrust-style registered logic); "
                "see bench_table1 for those columns.\n";
-  return 0;
+  return sink.flush() ? 0 : 1;
 }
 
 }  // namespace trojanscout

@@ -6,15 +6,30 @@
 // (--jobs, default: all hardware threads); the verdicts are identical to a
 // serial run. --fail-fast stops a delivery's audit at its first finding.
 //
+// Observability taps: --trace-out writes the spans of every obligation
+// (unroll → CNF → SAT frames → witness replay) as Chrome trace_event JSON —
+// load it in Perfetto to see the worker threads chew through the audit.
+// --metrics-out writes a JSON-lines run report (one "obligation" record per
+// property run, one "summary" per delivery, one "counters" snapshot);
+// every non-timing field is byte-identical for any --jobs value.
+//
 // Run: ./soc_audit [--budget=seconds] [--jobs=N] [--fail-fast]
+//                  [--trace-out=trace.json] [--metrics-out=audit.jsonl]
 #include <iostream>
+#include <memory>
 
 #include "core/parallel_detector.hpp"
+#include "core/telemetry_sink.hpp"
 #include "designs/attacks.hpp"
 #include "designs/catalog.hpp"
 #include "designs/mc8051.hpp"
 #include "designs/router.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/span.hpp"
 #include "util/cli.hpp"
+#include "util/resource.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 using namespace trojanscout;
@@ -24,6 +39,18 @@ int main(int argc, char** argv) {
   const double budget = cli.get_double("budget", 30.0);
   const std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   const bool fail_fast = cli.get_bool("fail-fast", false);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
+
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<telemetry::TraceRecorder>();
+    telemetry::TraceRecorder::set_global(recorder.get());
+  }
+  if (!metrics_out.empty()) {
+    telemetry::Registry::global().set_enabled(true);
+  }
+  telemetry::RunReport metrics;
 
   struct Delivery {
     std::string vendor_claim;
@@ -82,8 +109,13 @@ int main(int argc, char** argv) {
     options.detector.engine.time_limit_seconds = budget;
     options.jobs = jobs;
     options.fail_fast = fail_fast;
+    util::Stopwatch delivery_timer;
     core::ParallelDetector detector(delivery.design, options);
     const core::DetectionReport report = detector.run();
+    if (!metrics_out.empty()) {
+      core::append_detection_report(metrics, delivery.design.name, "BMC",
+                                    report, delivery_timer.elapsed_seconds());
+    }
 
     std::string findings;
     for (const auto& finding : report.findings) {
@@ -98,8 +130,32 @@ int main(int argc, char** argv) {
               << report.summary() << "\n";
   }
 
+  if (recorder != nullptr) {
+    telemetry::TraceRecorder::set_global(nullptr);
+    if (recorder->write_file(trace_out)) {
+      std::cerr << "[audit] trace written to " << trace_out << " ("
+                << recorder->event_count() << " events)\n";
+    } else {
+      std::cerr << "[audit] cannot write " << trace_out << "\n";
+    }
+  }
+  if (!metrics_out.empty()) {
+    core::append_registry_snapshot(metrics, telemetry::Registry::global());
+    if (metrics.write_file(metrics_out)) {
+      std::cerr << "[audit] metrics written to " << metrics_out << " ("
+                << metrics.size() << " records)\n";
+    } else {
+      std::cerr << "[audit] cannot write " << metrics_out << "\n";
+    }
+  }
+
   std::cout << "\n=== SoC integration audit ===\n\n";
   table.print(std::cout);
+  std::cout << "\nPeak RSS: " << util::format_bytes(util::peak_rss_bytes())
+            << " (getrusage)";
+  if (const std::uint64_t hwm = util::peak_rss_hwm_bytes(); hwm > 0) {
+    std::cout << " / " << util::format_bytes(hwm) << " (VmHWM)";
+  }
   std::cout << "\nProperty runs per delivery cover: Eq. 3 pseudo-critical "
                "scan over same-width register pairs, Eq. 2 corruption per "
                "critical register, Eq. 4 bypass miter where the spec "

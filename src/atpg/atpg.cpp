@@ -5,6 +5,8 @@
 #include "netlist/coi.hpp"
 #include "netlist/scoap.hpp"
 #include "sim/ternary.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/logging.hpp"
 #include "util/resource.hpp"
 #include "util/rng.hpp"
@@ -59,12 +61,16 @@ class Engine {
     const std::uint64_t rss_before = util::current_rss_bytes();
     AtpgResult result;
 
-    if (random_phase(timer, result)) {
-      result.seconds = timer.elapsed_seconds();
-      const std::uint64_t rss_now = util::current_rss_bytes();
-      result.memory_bytes =
-          rss_now > rss_before ? rss_now - rss_before : nl_.size();
-      return result;
+    {
+      telemetry::Span random_span("atpg:random-sim");
+      if (random_phase(timer, result)) {
+        result.seconds = timer.elapsed_seconds();
+        const std::uint64_t rss_now = util::current_rss_bytes();
+        result.memory_bytes =
+            rss_now > rss_before ? rss_now - rss_before : nl_.size();
+        finish_counters(result);
+        return result;
+      }
     }
 
     for (std::size_t target = options_.start_frame;
@@ -82,7 +88,9 @@ class Engine {
         break;
       }
       ensure_frames(target + 1);
+      telemetry::Span frame_span("atpg:frame");
       const FrameSearch outcome = search_frame(target, timer);
+      TS_COUNTER_ADD("atpg.frames", 1);
       if (outcome == FrameSearch::kFound) {
         result.status = AtpgStatus::kViolated;
         result.witness = extract_witness(target);
@@ -117,14 +125,24 @@ class Engine {
         rss_after > rss_before ? rss_after - rss_before : 0;
     (void)rss_delta;
     result.memory_bytes = accounted * sizeof(Ternary);
-    result.decisions = decisions_;
-    result.backtracks = backtracks_;
-    result.implications = implications_;
+    finish_counters(result);
     return result;
   }
 
  private:
   enum class FrameSearch { kFound, kClean, kAborted, kTimeout };
+
+  /// Copies the engine tallies into the result and publishes the run's
+  /// deltas to the global telemetry registry.
+  void finish_counters(AtpgResult& result) const {
+    result.decisions = decisions_;
+    result.backtracks = backtracks_;
+    result.implications = implications_;
+    TS_COUNTER_ADD("atpg.runs", 1);
+    TS_COUNTER_ADD("atpg.decisions", decisions_);
+    TS_COUNTER_ADD("atpg.backtracks", backtracks_);
+    TS_COUNTER_ADD("atpg.implications", implications_);
+  }
 
   [[nodiscard]] bool cancel_requested() const {
     return options_.cancel != nullptr &&

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cnf/unroller.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/logging.hpp"
 #include "util/resource.hpp"
 #include "util/stopwatch.hpp"
@@ -49,6 +51,8 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
       break;
     }
 
+    // One span per frame; the unroll and solve children nest inside it.
+    telemetry::Span frame_span("bmc:frame");
     unroller.add_frame();
     const sat::Lit bad = unroller.lit_of(bad_signal, t);
 
@@ -56,6 +60,9 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
     budget.time_limit_seconds = remaining;
     budget.cancel = options.cancel;
     const sat::SolveResult sat_result = solver.solve({bad}, budget);
+    result.frame_clauses.push_back(
+        static_cast<std::uint32_t>(solver.num_clauses()));
+    TS_COUNTER_ADD("bmc.frames", 1);
 
     if (sat_result == sat::SolveResult::kSat) {
       result.status = BmcStatus::kViolated;
@@ -90,6 +97,7 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
       rss_after > rss_before ? rss_after - rss_before : 0;
   result.memory_bytes = std::max(rss_delta, solver.clause_bytes());
   result.sat_stats = solver.stats();
+  result.vars = unroller.vars_allocated();
   return result;
 }
 

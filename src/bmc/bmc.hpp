@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 #include "sat/solver.hpp"
@@ -57,6 +58,11 @@ struct BmcResult {
   /// RSS growth attributable to this run, in bytes.
   std::uint64_t memory_bytes = 0;
   sat::SolverStats sat_stats;
+  /// CNF variables allocated by the unroller across all frames.
+  std::size_t vars = 0;
+  /// Clause-database size sampled after each frame's solve — the growth
+  /// curve behind the paper's "BMC makes multiple copies of the design".
+  std::vector<std::uint32_t> frame_clauses;
   /// True when the run stopped because BmcOptions::cancel was set.
   bool cancelled = false;
 

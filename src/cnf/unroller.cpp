@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "netlist/coi.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace trojanscout::cnf {
 
@@ -39,6 +41,8 @@ Unroller::Unroller(const Netlist& nl, sat::Solver& solver,
 }
 
 std::size_t Unroller::add_frame() {
+  telemetry::Span span("cnf:unroll");
+  const std::size_t vars_before = vars_allocated_;
   const std::size_t frame = frames_.size();
   frames_.emplace_back(nl_.size(), sat::undef_lit());
   auto& lits = frames_.back();
@@ -74,6 +78,8 @@ std::size_t Unroller::add_frame() {
     if (lits[id].index() != sat::kUndefLitIndex) continue;  // already mapped
     lits[id] = encode_gate(id, frame);
   }
+  TS_COUNTER_ADD("cnf.frames", 1);
+  TS_COUNTER_ADD("cnf.vars", vars_allocated_ - vars_before);
   return frame;
 }
 

@@ -5,6 +5,8 @@
 
 #include "properties/miter.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/bitvec.hpp"
 #include "util/logging.hpp"
 
@@ -223,6 +225,8 @@ bool TrojanDetector::pseudo_violation_is_trojan(
   if (witness.violation_frame < options_.min_pseudo_violation_depth) {
     return false;  // unrelated register pair (diverges trivially)
   }
+  telemetry::Span span("witness:replay");
+  TS_COUNTER_ADD("detector.witness_replays", 1);
   const auto cand_trace =
       sim::replay_register(design_.nl, witness, obligation.candidate);
   const auto crit_trace =
@@ -308,10 +312,17 @@ void TrojanDetector::merge_obligation(DetectionReport& report,
 }
 
 DetectionReport TrojanDetector::run() {
+  telemetry::Span audit_span("audit");
   DetectionReport report;
   report.trust_bound_frames = options_.engine.max_frames;
   for (const Obligation& obligation : enumerate_obligations()) {
-    merge_obligation(report, obligation, run_obligation(obligation));
+    CheckResult check;
+    {
+      telemetry::Span span("obligation:" + obligation.property_name());
+      TS_COUNTER_ADD("detector.obligations", 1);
+      check = run_obligation(obligation);
+    }
+    merge_obligation(report, obligation, check);
   }
   return report;
 }

@@ -1,5 +1,9 @@
 #include "core/engine.hpp"
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/timer.hpp"
+
 namespace trojanscout::core {
 
 const char* engine_name(EngineKind kind) {
@@ -9,7 +13,10 @@ const char* engine_name(EngineKind kind) {
 CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
                        const EngineOptions& options) {
   CheckResult result;
+  TS_COUNTER_ADD("engine.runs", 1);
+  TS_SCOPED_TIMER("engine.run_seconds");
   if (options.kind == EngineKind::kBmc) {
+    telemetry::Span span("engine:bmc");
     bmc::BmcOptions bo;
     bo.max_frames = options.max_frames;
     bo.time_limit_seconds = options.time_limit_seconds;
@@ -25,7 +32,11 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     result.memory_bytes = r.memory_bytes;
     result.cancelled = r.cancelled;
     result.status = r.cancelled ? "cancelled" : r.status_name();
+    result.counters.sat = r.sat_stats;
+    result.counters.cnf_vars = r.vars;
+    result.counters.frame_clauses = std::move(r.frame_clauses);
   } else {
+    telemetry::Span span("engine:atpg");
     atpg::AtpgOptions ao;
     ao.max_frames = options.max_frames;
     ao.time_limit_seconds = options.time_limit_seconds;
@@ -43,6 +54,11 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     result.memory_bytes = r.memory_bytes;
     result.cancelled = r.cancelled;
     result.status = r.cancelled ? "cancelled" : r.status_name();
+    result.counters.atpg_decisions = r.decisions;
+    result.counters.atpg_backtracks = r.backtracks;
+    result.counters.atpg_implications = r.implications;
+    result.counters.atpg_frames_proven_clean = r.frames_proven_clean;
+    result.counters.atpg_frames_aborted = r.frames_aborted;
   }
   return result;
 }

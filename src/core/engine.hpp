@@ -46,6 +46,23 @@ struct EngineOptions {
   sat::ProofListener* proof = nullptr;
 };
 
+/// Deterministic per-run work counters, copied off whichever back end ran.
+/// Everything here is a function of (netlist, property, options) only —
+/// never of wall-clock time or machine load — so the telemetry sink can
+/// assert byte-identical reports across --jobs settings.
+struct EngineCounters {
+  // BMC back end (zero for ATPG runs).
+  sat::SolverStats sat;
+  std::size_t cnf_vars = 0;
+  std::vector<std::uint32_t> frame_clauses;
+  // ATPG back end (zero for BMC runs).
+  std::uint64_t atpg_decisions = 0;
+  std::uint64_t atpg_backtracks = 0;
+  std::uint64_t atpg_implications = 0;
+  std::size_t atpg_frames_proven_clean = 0;
+  std::size_t atpg_frames_aborted = 0;
+};
+
 /// Engine-agnostic outcome of checking one bad signal.
 struct CheckResult {
   bool violated = false;
@@ -59,6 +76,8 @@ struct CheckResult {
   std::string status;
   /// True when the run was cut short by EngineOptions::cancel (fail-fast).
   bool cancelled = false;
+  /// Deterministic work counters for the run report (see EngineCounters).
+  EngineCounters counters;
 
   /// Table-1-style verdict text: "Yes" (witness found) or "N/A".
   [[nodiscard]] const char* detected_cell() const {

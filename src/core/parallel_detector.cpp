@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,6 +15,11 @@ ParallelDetector::ParallelDetector(const designs::Design& design,
     : design_(design), options_(std::move(options)) {}
 
 DetectionReport ParallelDetector::run() {
+  // Root span for the whole audit; obligation spans running on pool workers
+  // attach to it by explicit id (the thread-local span stack does not cross
+  // threads).
+  telemetry::Span audit_span("audit");
+  const std::uint64_t audit_id = audit_span.id();
   // The merge detector sees the caller's options verbatim; the worker
   // detector additionally carries the shared cancellation flag (only armed
   // in fail_fast mode so a plain run cannot depend on it).
@@ -34,12 +41,16 @@ DetectionReport ParallelDetector::run() {
   {
     util::ThreadPool pool(options_.jobs);
     for (std::size_t i = 0; i < obligations.size(); ++i) {
-      pool.submit([this, &worker, &obligations, &results, &cancel, i] {
+      pool.submit([this, &worker, &obligations, &results, &cancel, audit_id,
+                   i] {
         if (options_.fail_fast && cancel.cancelled()) {
           results[i].status = "cancelled";
           results[i].cancelled = true;
           return;
         }
+        telemetry::Span span("obligation:" + obligations[i].property_name(),
+                             audit_id);
+        TS_COUNTER_ADD("detector.obligations", 1);
         results[i] = worker.run_obligation(obligations[i]);
         if (options_.fail_fast &&
             worker.is_finding(obligations[i], results[i])) {

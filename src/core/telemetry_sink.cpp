@@ -1,0 +1,104 @@
+#include "core/telemetry_sink.hpp"
+
+#include <cstdint>
+
+#include "util/resource.hpp"
+
+namespace trojanscout::core {
+
+namespace {
+
+/// FNV-1a over the report signature: a compact fingerprint that lets two
+/// metrics files be compared for behavioural equality without embedding the
+/// multi-line signature text itself.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string witness_hex(const sim::Witness& witness) {
+  std::string out;
+  for (std::size_t i = 0; i < witness.frames.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += witness.frames[i].bits.to_hex_string();
+  }
+  return out;
+}
+
+}  // namespace
+
+void append_detection_report(telemetry::RunReport& report,
+                             const std::string& design_name,
+                             const std::string& engine,
+                             const DetectionReport& detection,
+                             double total_seconds) {
+  for (const PropertyRun& run : detection.runs) {
+    auto& rec = report.add("obligation");
+    rec.set("design", design_name)
+        .set("engine", engine)
+        .set("property", run.property)
+        .set("status", run.check.status)
+        .set("violated", run.check.violated)
+        .set("cancelled", run.check.cancelled)
+        .set("bound_reached", run.check.bound_reached)
+        .set("frames_completed", run.check.frames_completed);
+
+    const EngineCounters& c = run.check.counters;
+    rec.set("sat_decisions", c.sat.decisions)
+        .set("sat_propagations", c.sat.propagations)
+        .set("sat_conflicts", c.sat.conflicts)
+        .set("sat_restarts", c.sat.restarts)
+        .set("sat_learned_clauses", c.sat.learned_clauses)
+        .set("cnf_vars", c.cnf_vars);
+    std::vector<std::uint64_t> frame_clauses(c.frame_clauses.begin(),
+                                             c.frame_clauses.end());
+    rec.set("frame_clauses", std::move(frame_clauses));
+    rec.set("atpg_decisions", c.atpg_decisions)
+        .set("atpg_backtracks", c.atpg_backtracks)
+        .set("atpg_implications", c.atpg_implications)
+        .set("atpg_frames_proven_clean", c.atpg_frames_proven_clean)
+        .set("atpg_frames_aborted", c.atpg_frames_aborted);
+
+    if (run.check.witness) {
+      rec.set("witness_frame", run.check.witness->violation_frame);
+      rec.set("witness", witness_hex(*run.check.witness));
+    }
+    rec.set("seconds", run.check.seconds, /*timing=*/true);
+    rec.set("memory_bytes", run.check.memory_bytes, /*timing=*/true);
+  }
+
+  auto& summary = report.add("summary");
+  summary.set("design", design_name)
+      .set("engine", engine)
+      .set("trojan_found", detection.trojan_found)
+      .set("findings", detection.findings.size())
+      .set("certified_pseudo_critical",
+           detection.certified_pseudo_critical.size())
+      .set("obligations", detection.runs.size())
+      .set("trust_bound_frames", detection.trust_bound_frames)
+      .set("signature_fnv1a", fnv1a(detection.signature()))
+      .set("total_seconds", total_seconds, /*timing=*/true)
+      .set("peak_rss_bytes", util::peak_rss_bytes(), /*timing=*/true)
+      .set("peak_rss_hwm_bytes", util::peak_rss_hwm_bytes(),
+           /*timing=*/true);
+}
+
+void append_registry_snapshot(telemetry::RunReport& report,
+                              const telemetry::Registry& registry) {
+  const telemetry::Registry::Snapshot snap = registry.snapshot();
+  auto& rec = report.add("counters");
+  for (const auto& counter : snap.counters) {
+    rec.set(counter.name, counter.value);
+  }
+  for (const auto& hist : snap.histograms) {
+    rec.set(hist.name + ".count", hist.count);
+    rec.set(hist.name + ".sum_seconds", hist.sum_seconds, /*timing=*/true);
+    rec.set(hist.name + ".max_seconds", hist.max_seconds, /*timing=*/true);
+  }
+}
+
+}  // namespace trojanscout::core

@@ -1,0 +1,37 @@
+// Bridges the detector's DetectionReport into telemetry::RunReport records.
+//
+// The telemetry library is deliberately core-agnostic (it knows nothing
+// about obligations or witnesses); this sink owns the schema instead:
+//   {"type":"obligation", ...}  one per property run, in merge order
+//   {"type":"summary", ...}     one per detection report
+//   {"type":"counters", ...}    one per Registry snapshot
+// Field order is fixed here and validated by tools/check_metrics.py and the
+// golden-schema test. Only wall-clock / memory fields are flagged timing,
+// so to_jsonl(false) output is byte-identical across --jobs settings.
+#pragma once
+
+#include <string>
+
+#include "core/detector.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace trojanscout::core {
+
+/// Appends one "obligation" record per property run plus one "summary"
+/// record for `detection`. `design_name` and `engine` label every record;
+/// `total_seconds` (timing) is the caller's wall clock for the whole audit.
+void append_detection_report(telemetry::RunReport& report,
+                             const std::string& design_name,
+                             const std::string& engine,
+                             const DetectionReport& detection,
+                             double total_seconds = 0.0);
+
+/// Appends one "counters" record holding every counter of `registry`'s
+/// current snapshot (sorted by name). Histogram timers are wall-clock data
+/// and are flagged timing: histogram sample *counts* are kept (they are
+/// deterministic), their durations are not serialized here.
+void append_registry_snapshot(telemetry::RunReport& report,
+                              const telemetry::Registry& registry);
+
+}  // namespace trojanscout::core

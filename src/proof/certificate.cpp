@@ -7,6 +7,8 @@
 #include "cnf/unroller.hpp"
 #include "proof/checker.hpp"
 #include "sat/solver.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace trojanscout::proof {
@@ -180,8 +182,16 @@ Certificate certify(const designs::Design& design,
   const std::vector<Obligation> obligations = detector.enumerate_obligations();
   const bool is_bmc = options.detector.engine.kind == EngineKind::kBmc;
 
+  telemetry::Span certify_span("certify");
+  const std::uint64_t certify_id = certify_span.id();
+
   std::vector<ObligationRecord> records(obligations.size());
+  // `run_one` executes on pool workers, so the obligation span parents to
+  // the certify root by explicit id rather than the thread-local stack.
   auto run_one = [&](std::size_t i) {
+    telemetry::Span span("certify:" + obligations[i].property_name(),
+                         certify_id);
+    TS_COUNTER_ADD("certify.obligations", 1);
     ProofLog log;
     // Only the input-clause *counts* enter the marks; the verifier
     // re-derives clause contents from the netlist, so skip storing them.

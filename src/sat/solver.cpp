@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/stopwatch.hpp"
 
 namespace trojanscout::sat {
@@ -313,6 +315,23 @@ Lit Solver::pick_branch_lit() {
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions,
                           const Budget& budget) {
+  // Telemetry wrapper: solve_inner has many return paths, so the counter
+  // deltas are taken once here around the whole call.
+  const std::uint64_t conflicts_before = stats_.conflicts;
+  const std::uint64_t decisions_before = stats_.decisions;
+  const std::uint64_t propagations_before = stats_.propagations;
+  telemetry::Span span("sat:solve");
+  const SolveResult result = solve_inner(assumptions, budget);
+  TS_COUNTER_ADD("sat.solves", 1);
+  TS_COUNTER_ADD("sat.conflicts", stats_.conflicts - conflicts_before);
+  TS_COUNTER_ADD("sat.decisions", stats_.decisions - decisions_before);
+  TS_COUNTER_ADD("sat.propagations",
+                 stats_.propagations - propagations_before);
+  return result;
+}
+
+SolveResult Solver::solve_inner(const std::vector<Lit>& assumptions,
+                                const Budget& budget) {
   // Every kUnsat return funnels through this so the proof log carries one
   // UNSAT mark per solve — the per-frame certificate boundary for BMC.
   const auto conclude_unsat = [&]() {

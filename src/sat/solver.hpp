@@ -107,7 +107,15 @@ class Solver {
   /// memory column uses RSS, this is for diagnostics.
   [[nodiscard]] std::size_t clause_bytes() const;
 
+  /// Total clauses in the database (problem + learned, including deleted
+  /// slots awaiting compaction). The BMC per-frame telemetry samples this
+  /// after each frame's solve.
+  [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
+
  private:
+  SolveResult solve_inner(const std::vector<Lit>& assumptions,
+                          const Budget& budget);
+
   using CRef = std::uint32_t;
   static constexpr CRef kNullCRef = 0xFFFFFFFFu;
 

@@ -1,0 +1,233 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace trojanscout::telemetry {
+
+namespace {
+
+/// Single-writer cell: the owning thread stores (load + store, no RMW),
+/// snapshot() reads from other threads with relaxed loads.
+using Cell = std::atomic<std::uint64_t>;
+
+inline void cell_add(Cell& cell, std::uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+inline void cell_max(Cell& cell, std::uint64_t value) {
+  if (value > cell.load(std::memory_order_relaxed)) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+inline void cell_min(Cell& cell, std::uint64_t value) {
+  const std::uint64_t current = cell.load(std::memory_order_relaxed);
+  if (current == 0 || value < current) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t next_registry_serial() {
+  static std::atomic<std::uint64_t> serial{1};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+/// Per-histogram, per-shard accumulator. Durations are kept in integer
+/// nanoseconds so the cells stay plain uint64 atomics.
+struct HistCell {
+  Cell count{0};
+  Cell sum_ns{0};
+  Cell min_ns{0};  // 0 = no sample yet
+  Cell max_ns{0};
+  std::array<Cell, Registry::kHistogramBuckets> buckets{};
+};
+
+struct Registry::Shard {
+  // Owned cells; the vectors grow only under State::mutex (the owning
+  // thread's unlocked reads are safe — nobody else ever resizes them).
+  std::vector<std::unique_ptr<Cell>> counters;
+  std::vector<std::unique_ptr<HistCell>> histograms;
+};
+
+struct Registry::State {
+  mutable std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> histogram_names;
+  std::unordered_map<std::string, MetricId> counter_ids;
+  std::unordered_map<std::string, MetricId> histogram_ids;
+  std::vector<std::shared_ptr<Shard>> shards;
+};
+
+Registry::Registry()
+    : state_(std::make_shared<State>()), serial_(next_registry_serial()) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* instance = [] {
+    auto* registry = new Registry();
+    if (const char* env = std::getenv("TROJANSCOUT_TELEMETRY")) {
+      if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+        registry->set_enabled(true);
+      }
+    }
+    return registry;
+  }();
+  return *instance;
+}
+
+MetricId Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->counter_ids.find(name);
+  if (it != state_->counter_ids.end()) return it->second;
+  const MetricId id = state_->counter_names.size();
+  state_->counter_names.push_back(name);
+  state_->counter_ids.emplace(name, id);
+  return id;
+}
+
+MetricId Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->histogram_ids.find(name);
+  if (it != state_->histogram_ids.end()) return it->second;
+  const MetricId id = state_->histogram_names.size();
+  state_->histogram_names.push_back(name);
+  state_->histogram_ids.emplace(name, id);
+  return id;
+}
+
+Registry::Shard& Registry::local_shard() {
+  // One entry per (thread, registry) pair, keyed by the registry serial so
+  // a test registry reusing a destroyed registry's address cannot collide.
+  struct TlsEntry {
+    std::uint64_t serial;
+    std::shared_ptr<Shard> shard;
+  };
+  thread_local std::vector<TlsEntry> tls;
+  for (const TlsEntry& entry : tls) {
+    if (entry.serial == serial_) return *entry.shard;
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->shards.push_back(shard);
+  }
+  tls.push_back({serial_, shard});
+  return *tls.back().shard;
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  if (id >= shard.counters.size()) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    while (shard.counters.size() <= id) {
+      shard.counters.push_back(std::make_unique<Cell>(0));
+    }
+  }
+  cell_add(*shard.counters[id], delta);
+}
+
+std::size_t Registry::bucket_of(double seconds) {
+  if (seconds <= 0) return 0;
+  const double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  double bound = 1.0;
+  while (us >= bound && bucket + 1 < kHistogramBuckets) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void Registry::record_seconds(MetricId id, double seconds) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  if (id >= shard.histograms.size()) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    while (shard.histograms.size() <= id) {
+      shard.histograms.push_back(std::make_unique<HistCell>());
+    }
+  }
+  HistCell& cell = *shard.histograms[id];
+  const double clamped = std::max(seconds, 0.0);
+  const auto ns = static_cast<std::uint64_t>(clamped * 1e9);
+  cell_add(cell.count, 1);
+  cell_add(cell.sum_ns, ns);
+  cell_min(cell.min_ns, ns == 0 ? 1 : ns);
+  cell_max(cell.max_ns, ns == 0 ? 1 : ns);
+  cell_add(cell.buckets[bucket_of(clamped)], 1);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  Snapshot out;
+  out.counters.resize(state_->counter_names.size());
+  for (std::size_t i = 0; i < state_->counter_names.size(); ++i) {
+    out.counters[i].name = state_->counter_names[i];
+  }
+  out.histograms.resize(state_->histogram_names.size());
+  for (std::size_t i = 0; i < state_->histogram_names.size(); ++i) {
+    out.histograms[i].name = state_->histogram_names[i];
+  }
+
+  std::vector<std::uint64_t> hist_min(out.histograms.size(), 0);
+  std::vector<std::uint64_t> hist_max(out.histograms.size(), 0);
+  std::vector<std::uint64_t> hist_sum_ns(out.histograms.size(), 0);
+  for (const auto& shard : state_->shards) {
+    for (std::size_t i = 0; i < shard->counters.size(); ++i) {
+      out.counters[i].value +=
+          shard->counters[i]->load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < shard->histograms.size(); ++i) {
+      const HistCell& cell = *shard->histograms[i];
+      out.histograms[i].count += cell.count.load(std::memory_order_relaxed);
+      hist_sum_ns[i] += cell.sum_ns.load(std::memory_order_relaxed);
+      const std::uint64_t mn = cell.min_ns.load(std::memory_order_relaxed);
+      if (mn != 0 && (hist_min[i] == 0 || mn < hist_min[i])) hist_min[i] = mn;
+      hist_max[i] =
+          std::max(hist_max[i], cell.max_ns.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out.histograms[i].buckets[b] +=
+            cell.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.histograms.size(); ++i) {
+    out.histograms[i].sum_seconds = static_cast<double>(hist_sum_ns[i]) * 1e-9;
+    out.histograms[i].min_seconds = static_cast<double>(hist_min[i]) * 1e-9;
+    out.histograms[i].max_seconds = static_cast<double>(hist_max[i]) * 1e-9;
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (const auto& shard : state_->shards) {
+    for (const auto& cell : shard->counters) {
+      cell->store(0, std::memory_order_relaxed);
+    }
+    for (const auto& hist : shard->histograms) {
+      hist->count.store(0, std::memory_order_relaxed);
+      hist->sum_ns.store(0, std::memory_order_relaxed);
+      hist->min_ns.store(0, std::memory_order_relaxed);
+      hist->max_ns.store(0, std::memory_order_relaxed);
+      for (auto& bucket : hist->buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace trojanscout::telemetry

@@ -1,0 +1,130 @@
+// Low-overhead, thread-safe metrics registry: named monotonic counters and
+// log-scale histogram timers.
+//
+// Hot-path design: every thread lazily acquires a *shard* per registry — a
+// flat array of relaxed-atomic cells indexed by the interned metric id.
+// Increments are single-writer (only the owning thread stores), so the fast
+// path is one relaxed enabled-check, one thread-local lookup, and one
+// relaxed store; there is no lock and no atomic RMW. snapshot() merges all
+// shards under the registry mutex (shards of exited threads stay in the
+// shard list and keep contributing — thread counts here are bounded by the
+// pool size, so retiring them buys nothing).
+//
+// The registry is *disabled* by default: a disabled registry costs one
+// relaxed atomic load per TS_COUNTER_ADD, and defining
+// TROJANSCOUT_TELEMETRY_DISABLED (CMake -DTROJANSCOUT_DISABLE_TELEMETRY=ON)
+// compiles the macros out entirely.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trojanscout::telemetry {
+
+using MetricId = std::size_t;
+
+class Registry {
+ public:
+  /// Histogram buckets are log2 of the recorded duration in microseconds:
+  /// bucket b counts samples in [2^(b-1), 2^b) µs, bucket 0 is < 1 µs.
+  static constexpr std::size_t kHistogramBuckets = 40;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-global registry the TS_COUNTER_* / TS_SCOPED_TIMER macros use.
+  /// Starts disabled unless the TROJANSCOUT_TELEMETRY environment variable
+  /// is set to a non-zero value.
+  static Registry& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Interns a counter / histogram name; idempotent, thread-safe. Metric
+  /// ids are stable for the registry's lifetime (reset() keeps them).
+  MetricId counter(const std::string& name);
+  MetricId histogram(const std::string& name);
+
+  /// Adds to a counter on this thread's shard. Cheap and lock-free; safe
+  /// from any thread. No-op while the registry is disabled.
+  void add(MetricId id, std::uint64_t delta = 1);
+
+  /// Records one duration sample into a histogram. No-op while disabled.
+  void record_seconds(MetricId id, double seconds);
+
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  };
+  struct Snapshot {
+    /// Sorted by name, so two runs doing the same work serialize the same.
+    std::vector<CounterValue> counters;
+    std::vector<HistogramValue> histograms;
+  };
+
+  /// Merges every thread's shard. Counter sums are exact (each cell is a
+  /// monotonic single-writer atomic); a snapshot taken while workers are
+  /// mid-increment simply observes a slightly earlier total.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every cell of every shard (names and ids survive). Tests only:
+  /// the caller must ensure no thread is concurrently incrementing.
+  void reset();
+
+  /// Bucket index for a duration (exposed for the tests).
+  static std::size_t bucket_of(double seconds);
+
+ private:
+  struct Shard;
+  struct State;
+
+  Shard& local_shard();
+
+  std::atomic<bool> enabled_{false};
+  // Shared with thread-local handles so a shard never outlives its cells.
+  std::shared_ptr<State> state_;
+  const std::uint64_t serial_;
+};
+
+}  // namespace trojanscout::telemetry
+
+#ifdef TROJANSCOUT_TELEMETRY_DISABLED
+
+#define TS_COUNTER_ADD(name, delta) \
+  do {                              \
+  } while (0)
+
+#else
+
+/// Adds `delta` to the named global counter when telemetry is enabled.
+/// The name→id lookup happens once per call site (function-local static).
+#define TS_COUNTER_ADD(name, delta)                                  \
+  do {                                                               \
+    auto& ts_registry_ = ::trojanscout::telemetry::Registry::global(); \
+    if (ts_registry_.enabled()) {                                    \
+      static const ::trojanscout::telemetry::MetricId ts_metric_ =   \
+          ts_registry_.counter(name);                                \
+      ts_registry_.add(ts_metric_, (delta));                         \
+    }                                                                \
+  } while (0)
+
+#endif

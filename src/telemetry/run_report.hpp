@@ -1,0 +1,78 @@
+// Machine-readable run reports: typed records serialized as JSON-lines.
+//
+// Every record is an ordered list of (key, value) fields — insertion order
+// is serialization order, so a given emitter produces byte-stable output.
+// Fields flagged `timing` carry wall-clock / memory measurements that vary
+// run to run; to_jsonl(/*include_timing=*/false) omits them, which is how
+// the tests (and the acceptance bar) assert that a --jobs=4 report is
+// byte-identical to a --jobs=1 report modulo timing.
+//
+// The same sink serves the CLI (`--metrics-out audit.jsonl`) and the bench
+// harnesses (`bench_table1 --metrics-out BENCH_table1.json`);
+// tools/check_metrics.py validates the emitted lines against the schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trojanscout::telemetry {
+
+class RunReport {
+ public:
+  class Record {
+   public:
+    Record& set(std::string key, std::int64_t value, bool timing = false);
+    Record& set(std::string key, std::uint64_t value, bool timing = false);
+    Record& set(std::string key, int value, bool timing = false) {
+      return set(std::move(key), static_cast<std::int64_t>(value), timing);
+    }
+    Record& set(std::string key, double value, bool timing = false);
+    Record& set(std::string key, bool value, bool timing = false);
+    Record& set(std::string key, std::string value, bool timing = false);
+    Record& set(std::string key, const char* value, bool timing = false) {
+      return set(std::move(key), std::string(value), timing);
+    }
+    Record& set(std::string key, std::vector<std::uint64_t> values,
+                bool timing = false);
+
+    /// One JSON object, no trailing newline.
+    [[nodiscard]] std::string to_json(bool include_timing) const;
+
+   private:
+    struct Field {
+      enum class Kind { kInt, kUint, kDouble, kBool, kString, kUintArray };
+      std::string key;
+      Kind kind = Kind::kInt;
+      bool timing = false;
+      std::int64_t int_value = 0;
+      std::uint64_t uint_value = 0;
+      double double_value = 0.0;
+      bool bool_value = false;
+      std::string string_value;
+      std::vector<std::uint64_t> array_value;
+    };
+
+    Field& upsert(std::string key, bool timing);
+
+    std::vector<Field> fields_;
+  };
+
+  /// Appends a record whose first field is `"type": type` — every consumer
+  /// (tools/check_metrics.py, the tests) dispatches on it.
+  Record& add(const std::string& type);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+  /// One JSON object per line, each terminated by '\n'.
+  [[nodiscard]] std::string to_jsonl(bool include_timing = true) const;
+
+  /// Writes to_jsonl(true) to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace trojanscout::telemetry

@@ -1,0 +1,59 @@
+// ScopedTimer: RAII timer that feeds a Registry histogram on destruction.
+//
+// Built on util::Stopwatch (steady clock — never the wall clock, so a
+// recorded duration cannot go negative under NTP adjustment). Use the
+// TS_SCOPED_TIMER macro for the common global-registry case; it is fully
+// compiled out under TROJANSCOUT_TELEMETRY_DISABLED and costs one relaxed
+// load when the registry is disabled.
+#pragma once
+
+#include "telemetry/registry.hpp"
+#include "util/stopwatch.hpp"
+
+namespace trojanscout::telemetry {
+
+class ScopedTimer {
+ public:
+  /// Records into `registry`'s histogram `id` when the scope exits.
+  ScopedTimer(Registry& registry, MetricId id)
+      : registry_(registry.enabled() ? &registry : nullptr), id_(id) {}
+
+  /// Global-registry convenience (interned per call through the macro).
+  explicit ScopedTimer(const char* name)
+      : registry_(Registry::global().enabled() ? &Registry::global()
+                                               : nullptr),
+        id_(registry_ != nullptr ? registry_->histogram(name) : 0) {}
+
+  ~ScopedTimer() {
+    if (registry_ != nullptr) {
+      registry_->record_seconds(id_, watch_.elapsed_seconds());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry* registry_;  // null = disabled at construction: record nothing
+  MetricId id_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace trojanscout::telemetry
+
+#ifdef TROJANSCOUT_TELEMETRY_DISABLED
+
+#define TS_SCOPED_TIMER(name) \
+  do {                        \
+  } while (0)
+
+#else
+
+#define TS_TIMER_CONCAT_IMPL(a, b) a##b
+#define TS_TIMER_CONCAT(a, b) TS_TIMER_CONCAT_IMPL(a, b)
+/// Times the rest of the enclosing scope into the named global histogram.
+#define TS_SCOPED_TIMER(name)                           \
+  ::trojanscout::telemetry::ScopedTimer TS_TIMER_CONCAT( \
+      ts_scoped_timer_, __LINE__)(name)
+
+#endif

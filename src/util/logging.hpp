@@ -36,10 +36,23 @@ void log_message(LogLevel level, const char* file, int line, const char* fmt,
 
 }  // namespace trojanscout::util
 
+/// Compile-time log floor: calls with a level *above* this number are
+/// removed entirely — the branch is constant-false, so the argument
+/// expressions are dead code and the call compiles out. 4 (trace) keeps
+/// everything; build with -DTROJANSCOUT_LOG_COMPILED_MAX_LEVEL=2 to strip
+/// debug/trace logging from release binaries.
+#ifndef TROJANSCOUT_LOG_COMPILED_MAX_LEVEL
+#define TROJANSCOUT_LOG_COMPILED_MAX_LEVEL 4
+#endif
+
+// The runtime check short-circuits before the format arguments are
+// evaluated, so a disabled TS_LOG_TRACE("%d", expensive()) never calls
+// expensive() — tests/test_logging.cpp pins this down.
 #define TS_LOG_AT(level, ...)                                       \
   do {                                                              \
-    if (static_cast<int>(level) <=                                  \
-        static_cast<int>(::trojanscout::util::log_level())) {       \
+    if (static_cast<int>(level) <= TROJANSCOUT_LOG_COMPILED_MAX_LEVEL && \
+        static_cast<int>(level) <=                                  \
+            static_cast<int>(::trojanscout::util::log_level())) {   \
       ::trojanscout::util::log_message(level, __FILE__, __LINE__,   \
                                        __VA_ARGS__);                \
     }                                                               \

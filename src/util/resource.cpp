@@ -16,6 +16,22 @@ std::uint64_t peak_rss_bytes() {
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
 }
 
+std::uint64_t peak_rss_hwm_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kb) * 1024u;
+}
+
 std::uint64_t current_rss_bytes() {
   std::FILE* f = std::fopen("/proc/self/statm", "r");
   if (f == nullptr) {

@@ -12,6 +12,12 @@ namespace trojanscout::util {
 /// Peak resident set size of this process in bytes (ru_maxrss).
 std::uint64_t peak_rss_bytes();
 
+/// Peak resident set size in bytes from the kernel's own high-water mark
+/// (/proc/self/status VmHWM) — an independent sampling path from the
+/// getrusage() value above; the two must agree to within a few pages.
+/// Returns 0 where the proc file is unavailable (non-Linux).
+std::uint64_t peak_rss_hwm_bytes();
+
 /// Current resident set size in bytes, read from /proc/self/statm.
 /// Returns 0 if the proc file is unavailable.
 std::uint64_t current_rss_bytes();

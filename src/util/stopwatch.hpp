@@ -1,5 +1,8 @@
-// Monotonic wall-clock stopwatch used by the BMC/ATPG resource budgets and
-// the benchmark harnesses.
+// Monotonic stopwatch used by the BMC/ATPG resource budgets and the
+// benchmark harnesses. Always std::chrono::steady_clock — never the system
+// clock — so elapsed times cannot jump under NTP adjustment; every timer in
+// the tree goes through this class (or telemetry::ScopedTimer, which wraps
+// it and feeds a Registry histogram).
 #pragma once
 
 #include <chrono>

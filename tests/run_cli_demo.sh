@@ -18,6 +18,23 @@ set -e
 [ "$CODE" -eq 2 ] || { echo "expected Trojan verdict (2), got $CODE"; exit 1; }
 [ -s "$WORK/w.vcd" ] || { echo "missing VCD"; exit 1; }
 
+# Observability: the same audit with the span recorder, the metrics sink,
+# and trace-level logging all enabled at once. Still exit 2 (Trojan), and
+# the artifacts must carry the expected structure.
+set +e
+TROJANSCOUT_LOG=trace "$CLI" audit --design="$WORK/ip.v" \
+  --spec="$SPEC_DIR/mc8051_sp.spec" --frames=16 --jobs=4 \
+  --trace-out="$WORK/trace.json" --metrics-out="$WORK/metrics.jsonl" \
+  2>"$WORK/audit.log"
+CODE=$?
+set -e
+[ "$CODE" -eq 2 ] || { echo "expected audit Trojan verdict (2), got $CODE"; exit 1; }
+grep -q '"traceEvents"' "$WORK/trace.json" || { echo "trace missing traceEvents"; exit 1; }
+grep -q '"name":"audit"' "$WORK/trace.json" || { echo "trace missing audit span"; exit 1; }
+grep -q '"type":"summary"' "$WORK/metrics.jsonl" || { echo "metrics missing summary"; exit 1; }
+grep -q '"type":"counters"' "$WORK/metrics.jsonl" || { echo "metrics missing counters"; exit 1; }
+grep -q 'DEBUG' "$WORK/audit.log" || { echo "TROJANSCOUT_LOG=trace produced no debug logs"; exit 1; }
+
 # Clean design must pass and be provable forever.
 "$CLI" gen --family=mc8051 --out="$WORK/clean.v"
 "$CLI" check --design="$WORK/clean.v" --spec="$SPEC_DIR/mc8051_sp.spec" \

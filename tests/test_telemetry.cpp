@@ -1,0 +1,367 @@
+// Telemetry subsystem tests: counter/histogram shard-merge determinism
+// across thread counts, span nesting exported as valid Chrome trace_event
+// JSON (matched B/E pairs, parent ids), the RunReport JSON-lines golden
+// schema, and the jobs-invariance of the detection-report sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_detector.hpp"
+#include "core/telemetry_sink.hpp"
+#include "designs/mc8051.hpp"
+#include "proof/json.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/timer.hpp"
+
+namespace trojanscout::telemetry {
+namespace {
+
+TEST(Registry, CounterMergeIsExactAcrossThreadCounts) {
+  // The same logical workload sharded over 1, 2, 4, and 8 threads must
+  // merge to the same totals: each thread writes to a private shard, and
+  // snapshot() sums them.
+  constexpr std::uint64_t kIncrements = 10000;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    Registry registry;
+    registry.set_enabled(true);
+    const MetricId ticks = registry.counter("ticks");
+    const MetricId weighted = registry.counter("weighted");
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&registry, ticks, weighted, threads] {
+        for (std::uint64_t i = 0; i < kIncrements / threads; ++i) {
+          registry.add(ticks);
+          registry.add(weighted, 3);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    const Registry::Snapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u) << threads << " threads";
+    // Snapshot is sorted by name: "ticks" < "weighted".
+    EXPECT_EQ(snap.counters[0].name, "ticks");
+    EXPECT_EQ(snap.counters[0].value,
+              kIncrements / threads * threads);
+    EXPECT_EQ(snap.counters[1].name, "weighted");
+    EXPECT_EQ(snap.counters[1].value, kIncrements / threads * threads * 3);
+  }
+}
+
+TEST(Registry, DisabledRegistryRecordsNothing) {
+  Registry registry;
+  const MetricId id = registry.counter("silent");
+  registry.add(id, 5);  // disabled: dropped
+  registry.set_enabled(true);
+  registry.add(id, 7);
+  registry.set_enabled(false);
+  registry.add(id, 11);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 7u);
+}
+
+TEST(Registry, InterningIsIdempotentAndResetKeepsIds) {
+  Registry registry;
+  registry.set_enabled(true);
+  const MetricId a = registry.counter("metric");
+  EXPECT_EQ(registry.counter("metric"), a);
+  registry.add(a, 2);
+  registry.reset();
+  EXPECT_EQ(registry.counter("metric"), a);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 0u);
+}
+
+TEST(Registry, HistogramAggregates) {
+  Registry registry;
+  registry.set_enabled(true);
+  const MetricId id = registry.histogram("latency");
+  registry.record_seconds(id, 0.010);
+  registry.record_seconds(id, 0.002);
+  registry.record_seconds(id, 0.040);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.name, "latency");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_NEAR(h.sum_seconds, 0.052, 1e-6);
+  EXPECT_NEAR(h.min_seconds, 0.002, 1e-6);
+  EXPECT_NEAR(h.max_seconds, 0.040, 1e-6);
+  std::uint64_t bucketed = 0;
+  for (const auto b : h.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, 3u);
+}
+
+TEST(Registry, BucketOfIsLog2Microseconds) {
+  EXPECT_EQ(Registry::bucket_of(0.0), 0u);
+  EXPECT_EQ(Registry::bucket_of(0.5e-6), 0u);    // < 1 us
+  EXPECT_EQ(Registry::bucket_of(1.5e-6), 1u);    // [1, 2) us
+  EXPECT_EQ(Registry::bucket_of(3e-6), 2u);      // [2, 4) us
+  EXPECT_EQ(Registry::bucket_of(1e-3), 10u);     // 1000 us in [512, 1024)
+  EXPECT_LT(Registry::bucket_of(3600.0), Registry::kHistogramBuckets);
+}
+
+TEST(Registry, ScopedTimerFeedsHistogram) {
+  Registry registry;
+  registry.set_enabled(true);
+  const MetricId id = registry.histogram("scope");
+  {
+    ScopedTimer timer(registry, id);
+  }
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_GE(snap.histograms[0].max_seconds, 0.0);
+}
+
+TEST(Registry, CounterMacroRespectsGlobalEnable) {
+  Registry& global = Registry::global();
+  const bool was_enabled = global.enabled();
+  global.set_enabled(true);
+  TS_COUNTER_ADD("test.macro_counter", 2);
+  global.set_enabled(false);
+  TS_COUNTER_ADD("test.macro_counter", 100);
+  global.set_enabled(was_enabled);
+#ifndef TROJANSCOUT_TELEMETRY_DISABLED
+  std::uint64_t value = 0;
+  for (const auto& c : global.snapshot().counters) {
+    if (c.name == "test.macro_counter") value = c.value;
+  }
+  EXPECT_EQ(value, 2u);
+#endif
+}
+
+// ---- spans ---------------------------------------------------------------
+
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  std::int64_t tid = 0;
+  std::int64_t ts = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+};
+
+std::vector<ParsedEvent> parse_trace(const std::string& text) {
+  proof::Json json;
+  std::string error;
+  EXPECT_TRUE(proof::Json::parse(text, json, &error)) << error;
+  const proof::Json* events = json.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  std::vector<ParsedEvent> out;
+  for (const proof::Json& e : events->items()) {
+    ParsedEvent p;
+    p.name = e.find("name")->as_string();
+    p.ph = e.find("ph")->as_string();
+    p.tid = e.find("tid")->as_int();
+    p.ts = e.find("ts")->as_int();
+    const proof::Json* args = e.find("args");
+    if (args != nullptr) {
+      p.span_id = static_cast<std::uint64_t>(args->find("span_id")->as_int());
+      if (const proof::Json* parent = args->find("parent_id")) {
+        p.parent_id = static_cast<std::uint64_t>(parent->as_int());
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(Span, NoRecorderMeansNoIds) {
+  ASSERT_EQ(TraceRecorder::global(), nullptr);
+  Span span("idle");
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(Span::current_id(), 0u);
+}
+
+TEST(Span, NestedSpansEmitMatchedPairsWithParentIds) {
+  TraceRecorder recorder;
+  TraceRecorder::set_global(&recorder);
+  {
+    Span outer("outer");
+    EXPECT_EQ(Span::current_id(), outer.id());
+    {
+      Span inner("inner");
+      EXPECT_NE(inner.id(), outer.id());
+    }
+    EXPECT_EQ(Span::current_id(), outer.id());
+  }
+  TraceRecorder::set_global(nullptr);
+
+  const auto events = parse_trace(recorder.to_chrome_json());
+  ASSERT_EQ(events.size(), 4u);
+  // B events carry parent ids; the inner span's parent is the outer span.
+  std::map<std::string, ParsedEvent> begins;
+  std::set<std::uint64_t> begin_ids;
+  std::set<std::uint64_t> end_ids;
+  for (const auto& e : events) {
+    if (e.ph == "B") {
+      begins[e.name] = e;
+      begin_ids.insert(e.span_id);
+    } else {
+      ASSERT_EQ(e.ph, "E");
+      end_ids.insert(e.span_id);
+    }
+  }
+  EXPECT_EQ(begin_ids, end_ids);  // every B has a matching E
+  ASSERT_TRUE(begins.count("outer"));
+  ASSERT_TRUE(begins.count("inner"));
+  EXPECT_EQ(begins["outer"].parent_id, 0u);
+  EXPECT_EQ(begins["inner"].parent_id, begins["outer"].span_id);
+}
+
+TEST(Span, ExplicitParentCrossesThreads) {
+  TraceRecorder recorder;
+  TraceRecorder::set_global(&recorder);
+  std::uint64_t root_id = 0;
+  {
+    Span root("root");
+    root_id = root.id();
+    std::thread worker([root_id] {
+      Span child("child", root_id);
+      EXPECT_NE(child.id(), 0u);
+    });
+    worker.join();
+  }
+  TraceRecorder::set_global(nullptr);
+
+  const auto events = parse_trace(recorder.to_chrome_json());
+  ASSERT_EQ(events.size(), 4u);
+  const ParsedEvent* root_begin = nullptr;
+  const ParsedEvent* child_begin = nullptr;
+  for (const auto& e : events) {
+    if (e.ph != "B") continue;
+    if (e.name == "root") root_begin = &e;
+    if (e.name == "child") child_begin = &e;
+  }
+  ASSERT_NE(root_begin, nullptr);
+  ASSERT_NE(child_begin, nullptr);
+  EXPECT_EQ(child_begin->parent_id, root_begin->span_id);
+  EXPECT_NE(child_begin->tid, root_begin->tid);  // ran on a worker thread
+}
+
+TEST(Span, TimestampsAreMonotonicPerThread) {
+  TraceRecorder recorder;
+  TraceRecorder::set_global(&recorder);
+  {
+    Span a("a");
+    Span b("b");
+  }
+  TraceRecorder::set_global(nullptr);
+  const auto events = parse_trace(recorder.to_chrome_json());
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts, events[i].ts);
+  }
+}
+
+// ---- run reports ---------------------------------------------------------
+
+TEST(RunReport, GoldenSchema) {
+  RunReport report;
+  report.add("demo")
+      .set("name", "x")
+      .set("count", 3)
+      .set("big", std::uint64_t{18446744073709551615ull})
+      .set("ratio", 0.5)
+      .set("ok", true)
+      .set("ids", std::vector<std::uint64_t>{1, 2, 3})
+      .set("seconds", 1.25, /*timing=*/true);
+  // Byte-exact golden line: field order is insertion order, "type" first.
+  EXPECT_EQ(report.to_jsonl(true),
+            "{\"type\":\"demo\",\"name\":\"x\",\"count\":3,"
+            "\"big\":18446744073709551615,\"ratio\":0.5,\"ok\":true,"
+            "\"ids\":[1,2,3],\"seconds\":1.25}\n");
+  EXPECT_EQ(report.to_jsonl(false),
+            "{\"type\":\"demo\",\"name\":\"x\",\"count\":3,"
+            "\"big\":18446744073709551615,\"ratio\":0.5,\"ok\":true,"
+            "\"ids\":[1,2,3]}\n");
+}
+
+TEST(RunReport, EscapesStringsAndOverwritesKeys) {
+  RunReport report;
+  auto& rec = report.add("demo");
+  rec.set("path", "a\"b\\c\nd");
+  rec.set("path", "tab\there");  // overwrite keeps position
+  rec.set("later", 1);
+  EXPECT_EQ(report.to_jsonl(true),
+            "{\"type\":\"demo\",\"path\":\"tab\\there\",\"later\":1}\n");
+}
+
+TEST(RunReport, LinesParseAsJson) {
+  RunReport report;
+  report.add("one").set("nan", std::nan(""), true).set("k", -7);
+  report.add("two").set("s", "<>&\x01");
+  for (const auto& record : report.records()) {
+    proof::Json json;
+    std::string error;
+    EXPECT_TRUE(proof::Json::parse(record.to_json(true), json, &error))
+        << error;
+  }
+}
+
+// ---- detection-report sink ----------------------------------------------
+
+TEST(TelemetrySink, NonTimingFieldsIdenticalAcrossJobs) {
+  designs::Mc8051Options options;
+  options.trojan = designs::Mc8051Trojan::kT800;
+  const designs::Design design = designs::build_mc8051(options);
+
+  auto run = [&design](std::size_t jobs) {
+    core::ParallelDetectorOptions parallel_options;
+    parallel_options.detector.engine.kind = core::EngineKind::kBmc;
+    parallel_options.detector.engine.max_frames = 8;
+    parallel_options.jobs = jobs;
+    core::ParallelDetector detector(design, parallel_options);
+    RunReport report;
+    core::append_detection_report(report, design.name, "BMC", detector.run(),
+                                  /*total_seconds=*/jobs * 1.0);
+    return report;
+  };
+
+  const RunReport serial = run(1);
+  const RunReport parallel = run(4);
+  // Timing fields (seconds, memory, RSS) differ; everything else must not.
+  EXPECT_NE(serial.to_jsonl(true), parallel.to_jsonl(true));
+  EXPECT_EQ(serial.to_jsonl(false), parallel.to_jsonl(false));
+
+  // Every line carries the schema the validator expects.
+  ASSERT_GE(serial.size(), 2u);
+  const std::string last =
+      serial.records().back().to_json(/*include_timing=*/true);
+  proof::Json json;
+  std::string error;
+  ASSERT_TRUE(proof::Json::parse(last, json, &error)) << error;
+  ASSERT_NE(json.find("type"), nullptr);
+  EXPECT_EQ(json.find("type")->as_string(), "summary");
+  EXPECT_NE(json.find("signature_fnv1a"), nullptr);
+  EXPECT_NE(json.find("peak_rss_bytes"), nullptr);
+}
+
+TEST(TelemetrySink, RegistrySnapshotRecord) {
+  Registry registry;
+  registry.set_enabled(true);
+  registry.add(registry.counter("alpha"), 4);
+  registry.record_seconds(registry.histogram("beta"), 0.25);
+  RunReport report;
+  core::append_registry_snapshot(report, registry);
+  ASSERT_EQ(report.size(), 1u);
+  const std::string line = report.records()[0].to_json(true);
+  EXPECT_NE(line.find("\"alpha\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"beta.count\":1"), std::string::npos) << line;
+  // Histogram durations are timing-flagged: stripped without timing.
+  const std::string bare = report.records()[0].to_json(false);
+  EXPECT_EQ(bare.find("sum_seconds"), std::string::npos) << bare;
+}
+
+}  // namespace
+}  // namespace trojanscout::telemetry

@@ -138,6 +138,25 @@ TEST(Resource, RssIsPositive) {
   EXPECT_GT(current_rss_bytes(), 0u);
 }
 
+TEST(Resource, VmHwmAgreesWithGetrusage) {
+  // The two peak-RSS sources (getrusage ru_maxrss vs /proc/self/status
+  // VmHWM) measure the same kernel high-water mark; the CLI summary prints
+  // both as a cross-check. On Linux both must be available and agree to
+  // within a small slack (page accounting differs by a few pages).
+  const std::uint64_t rusage = peak_rss_bytes();
+  const std::uint64_t hwm = peak_rss_hwm_bytes();
+#ifdef __linux__
+  ASSERT_GT(hwm, 0u);
+  const std::uint64_t hi = rusage > hwm ? rusage : hwm;
+  const std::uint64_t lo = rusage > hwm ? hwm : rusage;
+  EXPECT_LT(hi - lo, 16u << 20)
+      << "rusage=" << rusage << " vmhwm=" << hwm;
+#else
+  // Non-Linux: VmHWM is best-effort and may be unavailable (returns 0).
+  if (hwm > 0) EXPECT_GT(rusage, 0u);
+#endif
+}
+
 TEST(Resource, FormatBytesScales) {
   EXPECT_STREQ(format_bytes(512), "512 B");
   EXPECT_STREQ(format_bytes(2048), "2.00 KB");

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validates a trojanscout --metrics-out JSON-lines file.
+
+Every line must be a standalone JSON object with a "type" field; each type
+has a required-field schema below (emitters: core/telemetry_sink.cpp and
+bench/bench_common.hpp). CI runs this over the BENCH_table*.json artifacts,
+so a schema drift between the C++ emitters and this file fails the build.
+
+Usage: check_metrics.py FILE [FILE...]
+Exit codes: 0 = all files valid, 1 = violation (details on stderr).
+"""
+
+import json
+import sys
+
+# type -> {field: python type(s)}. int covers both signed and unsigned
+# emitter fields; bool is checked before int (bool is an int subclass).
+SCHEMAS = {
+    "obligation": {
+        "design": str,
+        "engine": str,
+        "property": str,
+        "status": str,
+        "violated": bool,
+        "cancelled": bool,
+        "bound_reached": bool,
+        "frames_completed": int,
+        "sat_decisions": int,
+        "sat_propagations": int,
+        "sat_conflicts": int,
+        "sat_restarts": int,
+        "sat_learned_clauses": int,
+        "cnf_vars": int,
+        "frame_clauses": list,
+        "atpg_decisions": int,
+        "atpg_backtracks": int,
+        "atpg_implications": int,
+        "atpg_frames_proven_clean": int,
+        "atpg_frames_aborted": int,
+        "seconds": (int, float),
+        "memory_bytes": int,
+    },
+    "summary": {
+        "design": str,
+        "engine": str,
+        "trojan_found": bool,
+        "findings": int,
+        "certified_pseudo_critical": int,
+        "obligations": int,
+        "trust_bound_frames": int,
+        "signature_fnv1a": int,
+        "total_seconds": (int, float),
+        "peak_rss_bytes": int,
+        "peak_rss_hwm_bytes": int,
+    },
+    # One counter snapshot: arbitrary metric names, all numeric.
+    "counters": {},
+    "bench": {
+        "bench": str,
+        "row": str,
+        "engine": str,
+        "property": str,
+        "status": str,
+        "violated": bool,
+        "bound_reached": bool,
+        "frames_completed": int,
+        "sat_decisions": int,
+        "sat_propagations": int,
+        "sat_conflicts": int,
+        "cnf_vars": int,
+        "atpg_decisions": int,
+        "atpg_backtracks": int,
+        "seconds": (int, float),
+        "memory_bytes": int,
+    },
+    "spec": {
+        "design": str,
+        "register": str,
+        "ways": int,
+        "obligations": int,
+    },
+    "scaling": {
+        "workload": str,
+        "jobs": int,
+        "obligations": int,
+        "deterministic": bool,
+        "seconds": (int, float),
+        "serial_seconds": (int, float),
+    },
+}
+
+
+def check_field(record, key, expected):
+    if key not in record:
+        return f"missing field '{key}'"
+    value = record[key]
+    if expected is bool:
+        if not isinstance(value, bool):
+            return f"field '{key}' should be bool, got {type(value).__name__}"
+        return None
+    if isinstance(value, bool):  # bool passes isinstance(..., int); reject
+        return f"field '{key}' should be {expected}, got bool"
+    if not isinstance(value, expected):
+        return f"field '{key}' has type {type(value).__name__}"
+    return None
+
+
+def check_line(lineno, line):
+    errors = []
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as e:
+        return [f"line {lineno}: invalid JSON: {e}"]
+    if not isinstance(record, dict):
+        return [f"line {lineno}: not a JSON object"]
+    rtype = record.get("type")
+    if rtype not in SCHEMAS:
+        return [f"line {lineno}: unknown record type {rtype!r}"]
+    # "type" must be the first key (insertion order is serialization order).
+    if next(iter(record)) != "type":
+        errors.append(f"line {lineno}: 'type' is not the first field")
+    for key, expected in SCHEMAS[rtype].items():
+        err = check_field(record, key, expected)
+        if err:
+            errors.append(f"line {lineno} ({rtype}): {err}")
+    if rtype == "obligation":
+        for v in record.get("frame_clauses", []):
+            if not isinstance(v, int) or isinstance(v, bool):
+                errors.append(
+                    f"line {lineno} (obligation): frame_clauses entry "
+                    f"{v!r} is not an integer")
+                break
+    if rtype == "counters":
+        for key, value in record.items():
+            if key == "type":
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(
+                    f"line {lineno} (counters): metric '{key}' is not "
+                    f"numeric")
+    return errors
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{path}: {e}"]
+    if not lines:
+        errors.append(f"{path}: empty file")
+    for lineno, line in enumerate(lines, start=1):
+        errors.extend(f"{path}: {e}" for e in check_line(lineno, line))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    if all_errors:
+        print(f"check_metrics: FAILED ({len(all_errors)} violations)",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics: OK ({len(argv) - 1} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

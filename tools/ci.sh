@@ -29,6 +29,18 @@ run_config() {
 }
 
 run_config release -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+# Metrics artifact smoke test: regenerate one small Table-1 row with
+# --metrics-out and validate the JSON-lines schema. Guarded on python3 so
+# the sanitizer-only environments without it still pass.
+if command -v python3 >/dev/null 2>&1; then
+  echo "=== [release] metrics artifact smoke ==="
+  "${prefix}-release/bench/bench_table1" --only=MC8051-T800 --budget=5 \
+      --depth-budget=1 --metrics-out "${prefix}-release/BENCH_table1.json"
+  python3 "$src/tools/check_metrics.py" "${prefix}-release/BENCH_table1.json"
+else
+  echo "=== skipping metrics artifact smoke (no python3) ==="
+fi
 # Halt on the first race report so a regression fails the job instead of
 # scrolling past.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \

@@ -8,6 +8,7 @@
 //   trojanscout_cli audit --design ip.v --spec ip.spec
 //                         [--jobs N] [--fail-fast] [--engine bmc|atpg]
 //                         [--frames N] [--budget S] [--no-scan] [--no-bypass]
+//                         [--trace-out trace.json] [--metrics-out run.jsonl]
 //   trojanscout_cli prove --design ip.v --spec ip.spec --register cfg
 //                         [--max-k K]
 //   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
@@ -35,17 +36,24 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 
 #include "bmc/bmc.hpp"
 #include "core/detector.hpp"
 #include "core/minimize.hpp"
 #include "core/parallel_detector.hpp"
+#include "core/telemetry_sink.hpp"
 #include "designs/catalog.hpp"
 #include "proof/certificate.hpp"
 #include "properties/monitors.hpp"
 #include "sim/vcd.hpp"
 #include "specdsl/specdsl.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/span.hpp"
 #include "util/cli.hpp"
+#include "util/resource.hpp"
+#include "util/stopwatch.hpp"
 #include "verilog/reader.hpp"
 #include "verilog/writer.hpp"
 
@@ -171,8 +179,48 @@ int cmd_audit(const util::CliParser& cli) {
   options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   options.fail_fast = cli.get_bool("fail-fast", false);
 
+  // Observability taps: --trace-out installs a span recorder (Chrome
+  // trace_event JSON, one span tree per obligation), --metrics-out enables
+  // the counter registry and serializes a JSON-lines run report.
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<telemetry::TraceRecorder>();
+    telemetry::TraceRecorder::set_global(recorder.get());
+  }
+  if (!metrics_out.empty()) {
+    telemetry::Registry::global().set_enabled(true);
+  }
+
+  util::Stopwatch total;
   core::ParallelDetector detector(design, options);
   const core::DetectionReport report = detector.run();
+  const double total_seconds = total.elapsed_seconds();
+
+  if (recorder != nullptr) {
+    telemetry::TraceRecorder::set_global(nullptr);
+    if (recorder->write_file(trace_out)) {
+      std::cout << "trace written to " << trace_out << " ("
+                << recorder->event_count() << " events)\n";
+    } else {
+      std::cerr << "cannot write " << trace_out << "\n";
+    }
+  }
+  if (!metrics_out.empty()) {
+    telemetry::RunReport metrics;
+    core::append_detection_report(
+        metrics, design.name,
+        core::engine_name(options.detector.engine.kind), report,
+        total_seconds);
+    core::append_registry_snapshot(metrics, telemetry::Registry::global());
+    if (metrics.write_file(metrics_out)) {
+      std::cout << "metrics written to " << metrics_out << " ("
+                << metrics.size() << " records)\n";
+    } else {
+      std::cerr << "cannot write " << metrics_out << "\n";
+    }
+  }
 
   for (const auto& run : report.runs) {
     std::cout << run.property << ": " << run.check.status << " ("
@@ -180,6 +228,11 @@ int cmd_audit(const util::CliParser& cli) {
               << " s)\n";
   }
   std::cout << report.summary() << "\n";
+  std::cout << "peak RSS: " << util::format_bytes(util::peak_rss_bytes());
+  if (const std::uint64_t hwm = util::peak_rss_hwm_bytes(); hwm > 0) {
+    std::cout << " (getrusage) / " << util::format_bytes(hwm) << " (VmHWM)";
+  }
+  std::cout << "\n";
   if (!report.trojan_found) return 0;
   for (const auto& finding : report.findings) {
     std::cout << "\n" << core::finding_kind_name(finding.kind) << " on "
