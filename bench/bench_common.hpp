@@ -6,6 +6,9 @@
 //   --budget=<seconds>        wall clock per engine run (paper: 100)
 //   --depth-budget=<seconds>  wall clock for max-unroll-depth measurements
 //   --risc-trigger=<count>    RISC Trojan trigger count (default 25)
+//   --repeats=<count>         timing repeats per case for --bench-out
+//   --bench-out=<file>        standardized BENCH_<name>.json history artifact
+//   --metrics-out=<file>      JSON-lines run report (per-run records)
 #pragma once
 
 #include <cstdio>
@@ -28,6 +31,9 @@ struct BenchConfig {
   unsigned risc_trigger_count = 25;
   std::size_t max_frames = 4096;
   std::size_t stimulus_sequences = 16;
+  /// Timing repeats per case for the --bench-out artifact (the regression
+  /// gate needs a stddev, so CI runs with --repeats=3).
+  std::size_t repeats = 1;
 
   static BenchConfig from_cli(const util::CliParser& cli) {
     BenchConfig config;
@@ -38,8 +44,49 @@ struct BenchConfig {
         cli.get_int("risc-trigger", config.risc_trigger_count));
     config.max_frames =
         static_cast<std::size_t>(cli.get_int("max-frames", config.max_frames));
+    config.repeats = static_cast<std::size_t>(
+        cli.get_int("repeats", static_cast<std::int64_t>(config.repeats)));
+    if (config.repeats == 0) config.repeats = 1;
     return config;
   }
+};
+
+/// Standardized bench-history artifact (--bench-out=BENCH_<name>.json):
+/// one JSON document per bench run carrying the machine fingerprint, the
+/// build's git revision, and per-case run statistics (runs, median, min,
+/// max, stddev in seconds). The schema is `trojanscout-bench-v1`;
+/// tools/bench_compare.py diffs two artifacts with noise-aware thresholds
+/// and tools/ci.sh gates a quick-mode run against the committed baselines
+/// in bench/baselines/. Disabled (all calls no-ops) without the flag.
+class BenchWriter {
+ public:
+  /// `bench_name` identifies the suite ("table1", ...); the output path
+  /// comes from --bench-out.
+  BenchWriter(std::string bench_name, const util::CliParser& cli);
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Records one timing sample for a case; repeated calls with the same
+  /// case name accumulate into that case's run statistics.
+  void add_sample(const std::string& case_name, double seconds);
+
+  /// Writes the artifact (cases sorted by name); true on success or when
+  /// disabled.
+  [[nodiscard]] bool flush() const;
+
+  /// The artifact text (exposed for tests).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<double> samples;
+  };
+  Case& case_of(const std::string& name);
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Case> cases_;
 };
 
 /// Engine options for a detection run on `design`, including the ATPG
@@ -87,16 +134,28 @@ inline std::string frames_cell(const core::CheckResult& result) {
   return std::to_string(result.frames_completed);
 }
 
+/// Stable case key for a bench timing sample: "row/engine/property".
+inline std::string bench_case_key(const std::string& row,
+                                  const std::string& engine,
+                                  const std::string& property) {
+  return row + "/" + engine + "/" + property;
+}
+
 /// --metrics-out sink shared by the table benches: collects RunReport
 /// records while the bench runs and writes the JSON-lines file on flush().
-/// Disabled (all calls no-ops) when the flag is absent.
+/// Disabled (all calls no-ops) when the flag is absent. Also owns the
+/// --bench-out BenchWriter, so every add_check doubles as a timing sample
+/// in the BENCH_<name>.json history artifact.
 class MetricsSink {
  public:
-  explicit MetricsSink(const util::CliParser& cli)
-      : path_(cli.get_string("metrics-out", "")) {}
+  explicit MetricsSink(const util::CliParser& cli,
+                       std::string bench_name = "bench")
+      : path_(cli.get_string("metrics-out", "")),
+        bench_(std::move(bench_name), cli) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
   telemetry::RunReport& report() { return report_; }
+  BenchWriter& bench() { return bench_; }
 
   /// One "bench" record per engine run: the machine-readable twin of a
   /// table cell. Deterministic fields first, wall clock / memory flagged
@@ -104,6 +163,7 @@ class MetricsSink {
   void add_check(const std::string& bench, const std::string& row,
                  const std::string& engine, const std::string& property,
                  const core::CheckResult& check) {
+    bench_.add_sample(bench_case_key(row, engine, property), check.seconds);
     if (!enabled()) return;
     auto& rec = report_.add("bench");
     rec.set("bench", bench)
@@ -124,21 +184,24 @@ class MetricsSink {
         .set("memory_bytes", check.memory_bytes, /*timing=*/true);
   }
 
-  /// Writes the collected records; true on success (or when disabled).
+  /// Writes the collected records and the bench-history artifact; true
+  /// when every enabled output succeeded (or all are disabled).
   bool flush() const {
-    if (!enabled()) return true;
+    bool ok = bench_.flush();
+    if (!enabled()) return ok;
     if (!report_.write_file(path_)) {
       std::fprintf(stderr, "[bench] cannot write %s\n", path_.c_str());
       return false;
     }
     std::fprintf(stderr, "[bench] metrics written to %s (%zu records)\n",
                  path_.c_str(), report_.size());
-    return true;
+    return ok;
   }
 
  private:
   std::string path_;
   telemetry::RunReport report_;
+  BenchWriter bench_;
 };
 
 }  // namespace trojanscout::bench

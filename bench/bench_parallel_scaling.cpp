@@ -37,7 +37,9 @@ core::DetectorOptions workload_options(const util::CliParser& cli) {
 
 int run(int argc, const char* const* argv) {
   const util::CliParser cli(argc, argv);
-  bench::MetricsSink sink(cli);
+  // --only=<substring> restricts the workloads (CI quick mode).
+  const std::string only = cli.get_string("only", "");
+  bench::MetricsSink sink(cli, "parallel_scaling");
 
   struct Workload {
     std::string name;
@@ -64,6 +66,9 @@ int run(int argc, const char* const* argv) {
 
   bool all_identical = true;
   for (auto& workload : workloads) {
+    if (!only.empty() && workload.name.find(only) == std::string::npos) {
+      continue;
+    }
     const core::DetectorOptions options = workload_options(cli);
     core::TrojanDetector serial(workload.design, options);
     const std::size_t obligations = serial.enumerate_obligations().size();
@@ -72,6 +77,7 @@ int run(int argc, const char* const* argv) {
     const core::DetectionReport serial_report = serial.run();
     const double serial_seconds = serial_timer.elapsed_seconds();
     const std::string serial_signature = serial_report.signature();
+    sink.bench().add_sample(workload.name + "/serial", serial_seconds);
 
     std::vector<std::string> cells = {workload.name,
                                       std::to_string(obligations),
@@ -86,6 +92,8 @@ int run(int argc, const char* const* argv) {
       util::Stopwatch timer;
       const core::DetectionReport report = parallel.run();
       const double seconds = timer.elapsed_seconds();
+      sink.bench().add_sample(
+          workload.name + "/jobs=" + std::to_string(jobs), seconds);
       if (jobs == 4) four_job_seconds = seconds;
       identical = identical && report.signature() == serial_signature;
       if (sink.enabled()) {

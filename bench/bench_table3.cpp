@@ -92,7 +92,10 @@ int run(int argc, const char* const* argv) {
   const util::CliParser cli(argc, argv);
   BenchConfig config = BenchConfig::from_cli(cli);
   if (!cli.has("budget")) config.budget_seconds = 60;  // default for this bench
-  bench::MetricsSink sink(cli);
+  // --only=<substring> restricts the benchmark rows — CI uses it to
+  // smoke-test one small core (same contract as bench_table1).
+  const std::string only = cli.get_string("only", "");
+  bench::MetricsSink sink(cli, "table3");
 
   std::cout << "=== Table 3: Detecting pseudo-critical and bypass registers "
                "===\n"
@@ -108,6 +111,7 @@ int run(int argc, const char* const* argv) {
   catalog_options.risc_trigger_count = config.risc_trigger_count;
 
   for (const auto& info : designs::trojan_benchmarks(catalog_options)) {
+    if (!only.empty() && info.name.find(only) == std::string::npos) continue;
     Row row;
     for (const EngineKind kind : {EngineKind::kBmc, EngineKind::kAtpg}) {
       // Detection: either attack variant being exposed counts.

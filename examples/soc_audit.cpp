@@ -13,8 +13,14 @@
 // property run, one "summary" per delivery, one "counters" snapshot);
 // every non-timing field is byte-identical for any --jobs value.
 //
+// --profile-out folds the span tree into a per-phase/per-obligation time
+// attribution (deterministic JSON + a top-phases table on stderr);
+// --progress[=SECS] renders a live heartbeat (aggregate over all deliveries'
+// obligations) and arms the stall watchdog (--stall-window=SECS).
+//
 // Run: ./soc_audit [--budget=seconds] [--jobs=N] [--fail-fast]
 //                  [--trace-out=trace.json] [--metrics-out=audit.jsonl]
+//                  [--profile-out=profile.json] [--progress[=SECS]]
 #include <iostream>
 #include <memory>
 
@@ -24,6 +30,8 @@
 #include "designs/catalog.hpp"
 #include "designs/mc8051.hpp"
 #include "designs/router.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/span.hpp"
@@ -41,14 +49,23 @@ int main(int argc, char** argv) {
   const bool fail_fast = cli.get_bool("fail-fast", false);
   const std::string trace_out = cli.get_string("trace-out", "");
   const std::string metrics_out = cli.get_string("metrics-out", "");
+  const std::string profile_out = cli.get_string("profile-out", "");
 
   std::unique_ptr<telemetry::TraceRecorder> recorder;
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || !profile_out.empty()) {
     recorder = std::make_unique<telemetry::TraceRecorder>();
     telemetry::TraceRecorder::set_global(recorder.get());
   }
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() || !profile_out.empty()) {
     telemetry::Registry::global().set_enabled(true);
+  }
+  std::unique_ptr<telemetry::ProgressReporter> progress;
+  if (cli.has("progress")) {
+    telemetry::ProgressOptions po;
+    po.interval_seconds = cli.get_double("progress", 1.0);
+    po.stall_window_seconds = cli.get_double("stall-window", 30.0);
+    progress = std::make_unique<telemetry::ProgressReporter>(po);
+    telemetry::ProgressReporter::set_global(progress.get());
   }
   telemetry::RunReport metrics;
 
@@ -130,17 +147,30 @@ int main(int argc, char** argv) {
               << report.summary() << "\n";
   }
 
+  if (progress != nullptr) {
+    telemetry::ProgressReporter::set_global(nullptr);
+    progress->stop();
+    if (progress->stall_count() > 0) {
+      std::cerr << "[audit] watchdog: " << progress->stall_count()
+                << " stall(s) detected\n";
+    }
+  }
   if (recorder != nullptr) {
     telemetry::TraceRecorder::set_global(nullptr);
-    if (recorder->write_file(trace_out)) {
-      std::cerr << "[audit] trace written to " << trace_out << " ("
-                << recorder->event_count() << " events)\n";
-    } else {
-      std::cerr << "[audit] cannot write " << trace_out << "\n";
+    if (!trace_out.empty()) {
+      if (recorder->write_file(trace_out)) {
+        std::cerr << "[audit] trace written to " << trace_out << " ("
+                  << recorder->event_count() << " events)\n";
+      } else {
+        std::cerr << "[audit] cannot write " << trace_out << "\n";
+      }
     }
   }
   if (!metrics_out.empty()) {
     core::append_registry_snapshot(metrics, telemetry::Registry::global());
+    if (progress != nullptr) {
+      telemetry::append_stall_records(metrics, *progress);
+    }
     if (metrics.write_file(metrics_out)) {
       std::cerr << "[audit] metrics written to " << metrics_out << " ("
                 << metrics.size() << " records)\n";
@@ -148,14 +178,23 @@ int main(int argc, char** argv) {
       std::cerr << "[audit] cannot write " << metrics_out << "\n";
     }
   }
+  if (!profile_out.empty() && recorder != nullptr) {
+    const telemetry::Profile profile = telemetry::build_profile(
+        *recorder, telemetry::Registry::global().snapshot());
+    if (profile.write_file(profile_out)) {
+      std::cerr << "[audit] profile written to " << profile_out << " ("
+                << profile.phases.size() << " phases, "
+                << profile.obligations.size() << " obligations)\n";
+      std::cerr << "[audit] top phases by exclusive time:\n"
+                << profile.top_table(10);
+    } else {
+      std::cerr << "[audit] cannot write " << profile_out << "\n";
+    }
+  }
 
   std::cout << "\n=== SoC integration audit ===\n\n";
   table.print(std::cout);
-  std::cout << "\nPeak RSS: " << util::format_bytes(util::peak_rss_bytes())
-            << " (getrusage)";
-  if (const std::uint64_t hwm = util::peak_rss_hwm_bytes(); hwm > 0) {
-    std::cout << " / " << util::format_bytes(hwm) << " (VmHWM)";
-  }
+  std::cout << "\nPeak RSS: " << util::peak_rss_summary();
   std::cout << "\nProperty runs per delivery cover: Eq. 3 pseudo-critical "
                "scan over same-width register pairs, Eq. 2 corruption per "
                "critical register, Eq. 4 bypass miter where the spec "

@@ -5,6 +5,7 @@
 #include "netlist/coi.hpp"
 #include "netlist/scoap.hpp"
 #include "sim/ternary.hpp"
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/logging.hpp"
@@ -88,6 +89,10 @@ class Engine {
         break;
       }
       ensure_frames(target + 1);
+      if (options_.progress != nullptr) {
+        options_.progress->frames.store(target + 1,
+                                        std::memory_order_relaxed);
+      }
       telemetry::Span frame_span("atpg:frame");
       const FrameSearch outcome = search_frame(target, timer);
       TS_COUNTER_ADD("atpg.frames", 1);
@@ -142,6 +147,12 @@ class Engine {
     TS_COUNTER_ADD("atpg.decisions", decisions_);
     TS_COUNTER_ADD("atpg.backtracks", backtracks_);
     TS_COUNTER_ADD("atpg.implications", implications_);
+    // Final publication so the cells agree with the result totals once the
+    // run returns.
+    if (options_.progress != nullptr) {
+      options_.progress->backtracks.store(backtracks_,
+                                          std::memory_order_relaxed);
+    }
   }
 
   [[nodiscard]] bool cancel_requested() const {
@@ -570,6 +581,12 @@ class Engine {
                    sim::t_char(values_[target][bad_]), stack_.size());
       backtracks_++;
       backtracks_here++;
+      // Coarse live-progress publication; the watchdog only needs the key
+      // to keep moving while the search is productive.
+      if (options_.progress != nullptr && (backtracks_ & 0x3F) == 0) {
+        options_.progress->backtracks.store(backtracks_,
+                                            std::memory_order_relaxed);
+      }
       if (backtracks_here > backtrack_budget) {
         return FrameSearch::kAborted;
       }

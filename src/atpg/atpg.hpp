@@ -28,6 +28,10 @@
 #include "sim/witness.hpp"
 #include "util/bitvec.hpp"
 
+namespace trojanscout::telemetry {
+struct ObligationProgress;
+}  // namespace trojanscout::telemetry
+
 namespace trojanscout::atpg {
 
 struct AtpgOptions {
@@ -61,6 +65,10 @@ struct AtpgOptions {
   /// Cooperative cancellation flag polled between frames and inside the
   /// branch-and-bound; a set flag ends the run with kResourceOut + cancelled.
   const std::atomic<bool>* cancel = nullptr;
+  /// Live-progress cells for the --progress heartbeat / stall watchdog:
+  /// frame depth per target frame, decisions/backtracks at coarse
+  /// intervals inside the search. Null costs nothing.
+  telemetry::ObligationProgress* progress = nullptr;
 };
 
 enum class AtpgStatus {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cnf/unroller.hpp"
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/logging.hpp"
@@ -55,10 +56,14 @@ BmcResult check_bad_signal(const netlist::Netlist& nl,
     telemetry::Span frame_span("bmc:frame");
     unroller.add_frame();
     const sat::Lit bad = unroller.lit_of(bad_signal, t);
+    if (options.progress != nullptr) {
+      options.progress->frames.store(t + 1, std::memory_order_relaxed);
+    }
 
     sat::Budget budget;
     budget.time_limit_seconds = remaining;
     budget.cancel = options.cancel;
+    budget.progress = options.progress;
     const sat::SolveResult sat_result = solver.solve({bad}, budget);
     result.frame_clauses.push_back(
         static_cast<std::uint32_t>(solver.num_clauses()));

@@ -38,6 +38,10 @@ struct BmcOptions {
   /// input-clause sequence, every learned/deleted clause as binary DRAT,
   /// and one UNSAT mark per clean frame. Null (the default) costs nothing.
   sat::ProofListener* proof = nullptr;
+  /// Live-progress cells for the --progress heartbeat / stall watchdog.
+  /// When non-null, forwarded into every solve's Budget and the frame
+  /// counter is stored after each frame. Null costs nothing.
+  telemetry::ObligationProgress* progress = nullptr;
 };
 
 enum class BmcStatus {

@@ -1,10 +1,12 @@
 #include "core/detector.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "properties/miter.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/bitvec.hpp"
@@ -315,12 +317,22 @@ DetectionReport TrojanDetector::run() {
   telemetry::Span audit_span("audit");
   DetectionReport report;
   report.trust_bound_frames = options_.engine.max_frames;
-  for (const Obligation& obligation : enumerate_obligations()) {
+  telemetry::ProgressReporter* reporter = telemetry::ProgressReporter::global();
+  const std::vector<Obligation> obligations = enumerate_obligations();
+  if (reporter != nullptr) reporter->add_planned(obligations.size());
+  for (const Obligation& obligation : obligations) {
     CheckResult check;
     {
       telemetry::Span span("obligation:" + obligation.property_name());
       TS_COUNTER_ADD("detector.obligations", 1);
-      check = run_obligation(obligation);
+      std::shared_ptr<telemetry::ProgressReporter::Task> task;
+      EngineOptions engine = options_.engine;
+      if (reporter != nullptr) {
+        task = reporter->begin(obligation.property_name());
+        engine.progress = &task->cells;
+      }
+      check = run_obligation(obligation, engine);
+      if (task != nullptr) task->finish();
     }
     merge_obligation(report, obligation, check);
   }

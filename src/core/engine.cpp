@@ -23,6 +23,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     bo.solver = options.solver;
     bo.cancel = options.cancel;
     bo.proof = options.proof;
+    bo.progress = options.progress;
     bmc::BmcResult r = bmc::check_bad_signal(nl, bad, bo);
     result.violated = r.violated();
     result.bound_reached = r.status == bmc::BmcStatus::kBoundReached;
@@ -45,6 +46,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     ao.stimulus_sequences = options.atpg_stimulus;
     ao.random_sequences = options.atpg_random_sequences;
     ao.cancel = options.cancel;
+    ao.progress = options.progress;
     atpg::AtpgResult r = atpg::check_bad_signal(nl, bad, ao);
     result.violated = r.violated();
     result.bound_reached = r.status == atpg::AtpgStatus::kBoundReached;

@@ -44,6 +44,10 @@ struct EngineOptions {
   /// BmcOptions::proof; the ATPG back end has no clause proofs and ignores
   /// it). Used by proof::certify to make UNSAT answers checkable.
   sat::ProofListener* proof = nullptr;
+  /// Live-progress cells (telemetry::ObligationProgress) forwarded to the
+  /// back end; the --progress heartbeat and stall watchdog read them from
+  /// the reporter thread. Null (the default) costs nothing.
+  telemetry::ObligationProgress* progress = nullptr;
 };
 
 /// Deterministic per-run work counters, copied off whichever back end ran.

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/logging.hpp"
@@ -37,12 +38,15 @@ DetectionReport ParallelDetector::run() {
   // copying the design concurrently (every engine run begins with a copy).
   (void)design_.nl.fanouts();
 
+  telemetry::ProgressReporter* reporter = telemetry::ProgressReporter::global();
+  if (reporter != nullptr) reporter->add_planned(obligations.size());
+
   std::vector<CheckResult> results(obligations.size());
   {
     util::ThreadPool pool(options_.jobs);
     for (std::size_t i = 0; i < obligations.size(); ++i) {
       pool.submit([this, &worker, &obligations, &results, &cancel, audit_id,
-                   i] {
+                   reporter, i] {
         if (options_.fail_fast && cancel.cancelled()) {
           results[i].status = "cancelled";
           results[i].cancelled = true;
@@ -51,7 +55,14 @@ DetectionReport ParallelDetector::run() {
         telemetry::Span span("obligation:" + obligations[i].property_name(),
                              audit_id);
         TS_COUNTER_ADD("detector.obligations", 1);
-        results[i] = worker.run_obligation(obligations[i]);
+        std::shared_ptr<telemetry::ProgressReporter::Task> task;
+        EngineOptions engine = worker.options().engine;
+        if (reporter != nullptr) {
+          task = reporter->begin(obligations[i].property_name());
+          engine.progress = &task->cells;
+        }
+        results[i] = worker.run_obligation(obligations[i], engine);
+        if (task != nullptr) task->finish();
         if (options_.fail_fast &&
             worker.is_finding(obligations[i], results[i])) {
           TS_LOG_INFO("parallel-detector: fail-fast cancel after %s",

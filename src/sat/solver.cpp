@@ -4,11 +4,28 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/stopwatch.hpp"
 
 namespace trojanscout::sat {
+
+namespace {
+
+/// Publishes the solver's cumulative totals into the live-progress cells.
+/// One solver serves one obligation, so absolute stats are exactly the
+/// obligation's SAT-side progress.
+void publish_progress(telemetry::ObligationProgress* progress,
+                      const SolverStats& stats) {
+  if (progress == nullptr) return;
+  progress->conflicts.store(stats.conflicts, std::memory_order_relaxed);
+  progress->propagations.store(stats.propagations, std::memory_order_relaxed);
+  progress->learned_clauses.store(stats.learned_clauses,
+                                  std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Solver::Solver(SolverOptions options) : options_(options) {}
 
@@ -327,6 +344,9 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
   TS_COUNTER_ADD("sat.decisions", stats_.decisions - decisions_before);
   TS_COUNTER_ADD("sat.propagations",
                  stats_.propagations - propagations_before);
+  // Final publication so the cells agree with stats() once solve() returns
+  // (the tests assert this consistency after the workers join).
+  publish_progress(budget.progress, stats_);
   return result;
 }
 
@@ -393,6 +413,9 @@ SolveResult Solver::solve_inner(const std::vector<Lit>& assumptions,
       var_decay_activity();
       clause_inc_ /= options_.clause_decay;
 
+      if ((stats_.conflicts & 0x3F) == 0) {
+        publish_progress(budget.progress, stats_);
+      }
       if (budget_cancelled(budget)) {
         cancel_until(0);
         return SolveResult::kUnknown;

@@ -19,6 +19,10 @@
 
 #include "sat/types.hpp"
 
+namespace trojanscout::telemetry {
+struct ObligationProgress;
+}  // namespace trojanscout::telemetry
+
 namespace trojanscout::sat {
 
 /// Resource budget for a solve() call. Exceeding any limit yields kUnknown.
@@ -30,6 +34,12 @@ struct Budget {
   /// kUnknown at the next conflict boundary (the parallel scheduler's
   /// fail-fast path sets it when another worker finds a witness).
   const std::atomic<bool>* cancel = nullptr;
+  /// Live-progress publication cells (telemetry::ObligationProgress). When
+  /// non-null the solver stores its cumulative conflict / propagation /
+  /// learned-clause totals there at coarse conflict intervals and once per
+  /// solve() return, with relaxed stores — the --progress heartbeat and the
+  /// stall watchdog read them from another thread.
+  telemetry::ObligationProgress* progress = nullptr;
 };
 
 /// True when the budget's cancellation flag is set.

@@ -1,0 +1,97 @@
+// Post-run phase-attribution profiler: folds the recorded span tree and
+// Registry histogram timers into an inclusive/exclusive time breakdown per
+// phase and per obligation (the `--profile-out` report).
+//
+// Spans are RAII and therefore properly nested per thread, so attribution
+// is a per-tid stack walk over the TraceRecorder's events: a span's
+// *inclusive* time is end − begin; its *exclusive* time subtracts the
+// inclusive time of same-thread children (cross-thread children run
+// concurrently on their own tid and are charged there, keeping the
+// exclusive times of one thread telescoping — summed over all spans they
+// account for that thread's busy wall-clock exactly). Each span is also
+// attributed to the nearest enclosing `obligation:<name>` span on its
+// thread's stack, which reproduces the paper's per-property cost columns
+// (Tables 1–3 report per-design/per-fault time and memory).
+//
+// The JSON schema is `trojanscout-profile-v1`. Every timing field's key
+// ends in `_us` or `_seconds`; to_json(/*include_timing=*/false) omits all
+// of them, leaving phase/obligation names and span counts — a function of
+// (netlist, property, options) only, byte-identical across --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace trojanscout::telemetry {
+
+/// Aggregated cost of one span name ("phase"): sat:solve, bmc:frame, ...
+struct PhaseStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t inclusive_us = 0;
+  std::uint64_t exclusive_us = 0;
+};
+
+/// Per-obligation rollup: exclusive time of every span nested (same-thread)
+/// under that obligation's span, bucketed by phase name.
+struct ObligationProfile {
+  std::string name;          // obligation span name without the prefix
+  std::uint64_t total_us = 0;  // inclusive time of the obligation span
+  std::vector<PhaseStats> phases;  // sorted by name
+};
+
+struct Profile {
+  /// All phases across the run, sorted by name.
+  std::vector<PhaseStats> phases;
+  /// Per-obligation breakdowns, sorted by name. Spans outside any
+  /// obligation roll up under "(unattributed)" (run overhead).
+  std::vector<ObligationProfile> obligations;
+  /// Registry histogram timers (count/sum/min/max + estimated quantiles).
+  struct TimerStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p90_seconds = 0.0;
+  };
+  std::vector<TimerStats> timers;  // sorted by name
+  /// Wall-clock span of the trace (max ts − min ts) and total busy time
+  /// (sum of exclusive over all spans, i.e. thread-seconds of traced work).
+  std::uint64_t wall_us = 0;
+  std::uint64_t busy_us = 0;
+  std::uint64_t thread_count = 0;
+
+  /// Deterministic JSON document. include_timing=false drops every field
+  /// whose key ends `_us`/`_seconds` (the jobs-invariance form).
+  [[nodiscard]] std::string to_json(bool include_timing = true) const;
+
+  /// Writes to_json(true) to `path`; false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  /// Human-readable top-N phases by exclusive time, as table lines for the
+  /// CLI summary (header + up to n rows).
+  [[nodiscard]] std::string top_table(std::size_t n = 10) const;
+};
+
+/// Folds recorded events into a Profile. Unclosed spans (recorder snapshot
+/// taken mid-run) are charged up to the latest timestamp seen on their tid.
+[[nodiscard]] Profile build_profile(const std::vector<TraceEvent>& events);
+
+/// build_profile + Registry histogram timers attached.
+[[nodiscard]] Profile build_profile(const TraceRecorder& recorder,
+                                    const Registry::Snapshot& snapshot);
+
+/// Quantile estimate (q in [0,1]) from a log2-µs histogram: walks the
+/// cumulative bucket counts and interpolates linearly inside the target
+/// bucket's [2^(b-1), 2^b) µs bounds, clamped to the observed [min, max].
+/// Returns 0 for an empty histogram.
+[[nodiscard]] double histogram_quantile(const Registry::HistogramValue& hist,
+                                        double q);
+
+}  // namespace trojanscout::telemetry

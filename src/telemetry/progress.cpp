@@ -1,0 +1,315 @@
+#include "telemetry/progress.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "telemetry/run_report.hpp"
+
+namespace trojanscout::telemetry {
+
+namespace {
+
+std::atomic<ProgressReporter*> g_reporter{nullptr};
+
+bool stream_is_tty(std::FILE* stream) {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stream)) == 1;
+#else
+  (void)stream;
+  return false;
+#endif
+}
+
+/// "1234", "56.7k", "1.2M" — heartbeat lines have ~100 columns to spend.
+std::string format_quantity(double value) {
+  char buf[32];
+  if (value >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", value / 1e6);
+  } else if (value >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[48];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%dh%02dm", static_cast<int>(seconds) / 3600,
+                  (static_cast<int>(seconds) % 3600) / 60);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(ProgressOptions options)
+    : options_(options) {
+  if (options_.out == nullptr) options_.out = stderr;
+  if (options_.interval_seconds > 0.0) {
+    thread_ = std::thread([this] { thread_main(); });
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  stop();
+  if (global() == this) set_global(nullptr);
+}
+
+ProgressReporter* ProgressReporter::global() {
+  return g_reporter.load(std::memory_order_acquire);
+}
+
+void ProgressReporter::set_global(ProgressReporter* reporter) {
+  g_reporter.store(reporter, std::memory_order_release);
+}
+
+std::shared_ptr<ProgressReporter::Task> ProgressReporter::begin(
+    std::string label) {
+  auto task = std::make_shared<Task>();
+  task->label_ = std::move(label);
+  std::lock_guard<std::mutex> lock(mutex_);
+  task->last_advance_seconds_ = clock_.elapsed_seconds();
+  tasks_.push_back(task);
+  return task;
+}
+
+void ProgressReporter::add_planned(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  planned_ += count;
+}
+
+ProgressReporter::Aggregate ProgressReporter::aggregate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Aggregate agg;
+  agg.planned = planned_;
+  agg.started = tasks_.size();
+  agg.elapsed_seconds = clock_.elapsed_seconds();
+  for (const auto& task : tasks_) {
+    const bool done = task->done();
+    if (done) {
+      ++agg.done;
+    } else {
+      ++agg.active;
+      if (task->stalled_) ++agg.stalled;
+      const std::uint64_t frame =
+          task->cells.frames.load(std::memory_order_relaxed);
+      if (frame >= agg.deepest_frame) {
+        agg.deepest_frame = frame;
+        agg.deepest_label = task->label_;
+      }
+    }
+    agg.conflicts += task->cells.conflicts.load(std::memory_order_relaxed);
+    agg.propagations +=
+        task->cells.propagations.load(std::memory_order_relaxed);
+    agg.learned_clauses +=
+        task->cells.learned_clauses.load(std::memory_order_relaxed);
+    agg.backtracks += task->cells.backtracks.load(std::memory_order_relaxed);
+  }
+  return agg;
+}
+
+void ProgressReporter::tick() {
+  Aggregate agg;
+  double interval = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = clock_.elapsed_seconds();
+
+    // Watchdog pass: a task whose key has not moved for stall_window is
+    // stalled; the flag is sticky per episode (one StallEvent per episode,
+    // cleared when the key advances again).
+    for (const auto& task : tasks_) {
+      if (task->done()) {
+        task->stalled_ = false;
+        continue;
+      }
+      const std::uint64_t key = task->cells.key();
+      if (key != task->last_key_) {
+        task->last_key_ = key;
+        task->last_advance_seconds_ = now;
+        task->stalled_ = false;
+        continue;
+      }
+      const double idle = now - task->last_advance_seconds_;
+      if (!task->stalled_ && options_.stall_window_seconds > 0.0 &&
+          idle >= options_.stall_window_seconds) {
+        task->stalled_ = true;
+        stalls_.push_back(
+            {task->label_, task->cells.frames.load(std::memory_order_relaxed),
+             key, idle});
+      }
+    }
+
+    // Aggregate inline (aggregate() would deadlock on mutex_).
+    agg.planned = planned_;
+    agg.started = tasks_.size();
+    agg.elapsed_seconds = now;
+    for (const auto& task : tasks_) {
+      const bool done = task->done();
+      if (done) {
+        ++agg.done;
+      } else {
+        ++agg.active;
+        if (task->stalled_) ++agg.stalled;
+        const std::uint64_t frame =
+            task->cells.frames.load(std::memory_order_relaxed);
+        if (frame >= agg.deepest_frame) {
+          agg.deepest_frame = frame;
+          agg.deepest_label = task->label_;
+        }
+      }
+      agg.conflicts += task->cells.conflicts.load(std::memory_order_relaxed);
+      agg.propagations +=
+          task->cells.propagations.load(std::memory_order_relaxed);
+      agg.learned_clauses +=
+          task->cells.learned_clauses.load(std::memory_order_relaxed);
+      agg.backtracks += task->cells.backtracks.load(std::memory_order_relaxed);
+    }
+    interval = now - last_tick_seconds_;
+    last_tick_seconds_ = now;
+  }
+
+  const std::string line = format_line(agg, interval);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_line_ = line;
+    last_conflicts_ = agg.conflicts;
+    last_propagations_ = agg.propagations;
+  }
+  if (!options_.render) return;
+  if (!options_.force_plain && stream_is_tty(options_.out)) {
+    // Rewrite one status line in place: CR + erase-to-end-of-line.
+    std::fprintf(options_.out, "\r\x1b[K%s", line.c_str());
+    wrote_tty_line_ = true;
+  } else {
+    std::fprintf(options_.out, "[progress] %s\n", line.c_str());
+  }
+  std::fflush(options_.out);
+}
+
+std::string ProgressReporter::format_line(const Aggregate& agg,
+                                          double interval_seconds) {
+  std::uint64_t prev_conflicts = 0;
+  std::uint64_t prev_propagations = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    prev_conflicts = last_conflicts_;
+    prev_propagations = last_propagations_;
+  }
+  const double dt = interval_seconds > 1e-6 ? interval_seconds : 1e-6;
+  const double conf_rate =
+      static_cast<double>(agg.conflicts - std::min(prev_conflicts,
+                                                   agg.conflicts)) /
+      dt;
+  const double prop_rate =
+      static_cast<double>(
+          agg.propagations - std::min(prev_propagations, agg.propagations)) /
+      dt;
+
+  std::string line;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu/%zu done, %zu active", agg.done,
+                std::max(agg.planned, agg.started), agg.active);
+  line += buf;
+  if (agg.stalled > 0) {
+    std::snprintf(buf, sizeof(buf), " (%zu stalled)", agg.stalled);
+    line += buf;
+  }
+  if (agg.active > 0 && !agg.deepest_label.empty()) {
+    std::snprintf(buf, sizeof(buf), " | %s frame %" PRIu64,
+                  agg.deepest_label.c_str(), agg.deepest_frame);
+    line += buf;
+  }
+  line += " | " + format_quantity(conf_rate) + " conf/s, " +
+          format_quantity(prop_rate) + " prop/s, " +
+          format_quantity(static_cast<double>(agg.learned_clauses)) +
+          " learned";
+  if (agg.backtracks > 0) {
+    line += ", " + format_quantity(static_cast<double>(agg.backtracks)) +
+            " backtracks";
+  }
+  line += " | elapsed " + format_duration(agg.elapsed_seconds);
+  // ETA from completion throughput so far; only meaningful once something
+  // finished and work remains.
+  const std::size_t total = std::max(agg.planned, agg.started);
+  if (agg.done > 0 && agg.done < total && agg.elapsed_seconds > 0.0) {
+    const double per_obligation =
+        agg.elapsed_seconds / static_cast<double>(agg.done);
+    const double eta =
+        per_obligation * static_cast<double>(total - agg.done);
+    line += ", ETA " + format_duration(eta);
+  }
+  return line;
+}
+
+void ProgressReporter::thread_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto wait = std::chrono::duration<double>(options_.interval_seconds);
+    cv_.wait_for(lock, wait, [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final snapshot so even a run shorter than one interval renders a line
+  // (and the last line reflects the completed state).
+  if (options_.interval_seconds > 0.0) tick();
+  if (options_.render && wrote_tty_line_) {
+    // Leave the terminal on a fresh line after the in-place heartbeat.
+    std::fprintf(options_.out, "\n");
+    std::fflush(options_.out);
+  }
+}
+
+std::vector<StallEvent> ProgressReporter::stall_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+std::size_t ProgressReporter::stall_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_.size();
+}
+
+std::string ProgressReporter::last_line() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_line_;
+}
+
+void append_stall_records(RunReport& report, const ProgressReporter& reporter) {
+  for (const StallEvent& stall : reporter.stall_events()) {
+    report.add("stall")
+        .set("property", stall.property)
+        .set("at_frame", stall.at_frame)
+        .set("progress_key", stall.progress_key, /*timing=*/true)
+        .set("stalled_seconds", stall.stalled_seconds, /*timing=*/true);
+  }
+}
+
+}  // namespace trojanscout::telemetry

@@ -1,0 +1,192 @@
+// Live audit progress: a heartbeat renderer and stall watchdog fed by the
+// engine/BMC/ATPG/SAT layers while obligations run.
+//
+// The plumbing is one lock-free ObligationProgress cell block per in-flight
+// obligation: the worker publishes absolute totals (frames unrolled, SAT
+// conflicts/propagations, clauses learned, ATPG backtracks) with relaxed
+// stores at coarse intervals, and the reporter thread reads them without
+// ever touching the solver. A ProgressReporter installed with set_global()
+// (the CLI does this for --progress) owns a background thread that renders
+// a throttled stderr heartbeat — single-line rewrite on a TTY, plain
+// `[progress]` log lines otherwise — and runs the watchdog: an obligation
+// whose progress key stops advancing for stall_window_seconds is flagged
+// *stalled* (a hung 30-minute audit becomes distinguishable from a
+// productive one). Stall episodes are kept as events and can be appended to
+// a RunReport ({"type":"stall"} records) after the run.
+//
+// With no reporter installed nothing in the hot paths costs more than a
+// null-pointer test, and stderr stays byte-untouched.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace trojanscout::telemetry {
+
+class RunReport;
+
+/// Publication cells for one obligation's live progress. All counters are
+/// absolute totals (monotone per obligation); writers use relaxed stores,
+/// the reporter uses relaxed loads — a torn read across fields only skews
+/// one heartbeat line.
+struct ObligationProgress {
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> conflicts{0};
+  std::atomic<std::uint64_t> propagations{0};
+  std::atomic<std::uint64_t> learned_clauses{0};
+  std::atomic<std::uint64_t> backtracks{0};
+
+  /// Monotone progress key the watchdog compares between ticks: advances
+  /// whenever any counter advances.
+  [[nodiscard]] std::uint64_t key() const {
+    return frames.load(std::memory_order_relaxed) +
+           conflicts.load(std::memory_order_relaxed) +
+           propagations.load(std::memory_order_relaxed) +
+           learned_clauses.load(std::memory_order_relaxed) +
+           backtracks.load(std::memory_order_relaxed);
+  }
+};
+
+struct ProgressOptions {
+  /// Heartbeat period. <= 0 starts no background thread — the owner calls
+  /// tick() by hand (tests, and callers embedding their own loop).
+  double interval_seconds = 1.0;
+  /// Watchdog: flag an obligation as stalled after this long without its
+  /// progress key advancing.
+  double stall_window_seconds = 30.0;
+  /// Render heartbeat lines (false = watchdog only, no output).
+  bool render = true;
+  /// Force plain log lines even on a TTY (tests, CI logs).
+  bool force_plain = false;
+  /// Heartbeat destination; nullptr = stderr.
+  std::FILE* out = nullptr;
+};
+
+/// One watchdog detection: the obligation made no progress for
+/// `stalled_seconds` (>= the configured window). The run is NOT aborted —
+/// stalls are reported, budgets do the killing.
+struct StallEvent {
+  std::string property;
+  std::uint64_t at_frame = 0;
+  std::uint64_t progress_key = 0;
+  double stalled_seconds = 0.0;
+};
+
+class ProgressReporter {
+ public:
+  /// Handle for one in-flight obligation. The worker owns a shared_ptr so
+  /// the cells outlive the reporter's snapshots even if the reporter is
+  /// destroyed mid-run.
+  class Task {
+   public:
+    ObligationProgress cells;
+
+    [[nodiscard]] const std::string& label() const { return label_; }
+    [[nodiscard]] bool done() const {
+      return done_.load(std::memory_order_acquire);
+    }
+    /// Marks the obligation complete; it leaves the active set and can no
+    /// longer stall.
+    void finish() { done_.store(true, std::memory_order_release); }
+
+   private:
+    friend class ProgressReporter;
+    std::string label_;
+    std::atomic<bool> done_{false};
+    // Watchdog bookkeeping — reporter-thread only (guarded by the
+    // reporter's mutex).
+    std::uint64_t last_key_ = 0;
+    double last_advance_seconds_ = 0.0;
+    bool stalled_ = false;
+  };
+
+  explicit ProgressReporter(ProgressOptions options = {});
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// The installed reporter, or nullptr when live progress is off. Same
+  /// ownership contract as TraceRecorder::set_global.
+  static ProgressReporter* global();
+  static void set_global(ProgressReporter* reporter);
+
+  /// Registers an obligation; the caller updates task->cells while it runs
+  /// and calls task->finish() when it completes.
+  std::shared_ptr<Task> begin(std::string label);
+
+  /// Adds to the planned-obligation total (the "12/21 done" denominator and
+  /// the ETA basis). Cumulative: call once per scheduled batch.
+  void add_planned(std::size_t count);
+
+  /// Cross-obligation totals as of the last tick()/aggregate() call.
+  struct Aggregate {
+    std::size_t planned = 0;
+    std::size_t started = 0;
+    std::size_t done = 0;
+    std::size_t active = 0;
+    std::size_t stalled = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t learned_clauses = 0;
+    std::uint64_t backtracks = 0;
+    /// Deepest frame among active obligations, and its label.
+    std::uint64_t deepest_frame = 0;
+    std::string deepest_label;
+    double elapsed_seconds = 0.0;
+  };
+  [[nodiscard]] Aggregate aggregate() const;
+
+  /// One watchdog + render pass. The background thread calls this every
+  /// interval; tests call it directly (interval_seconds <= 0).
+  void tick();
+
+  /// Stops the background thread and finishes the heartbeat line (TTY mode
+  /// leaves the cursor mid-line otherwise). Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  [[nodiscard]] std::vector<StallEvent> stall_events() const;
+  [[nodiscard]] std::size_t stall_count() const;
+
+  /// The last heartbeat line rendered (without cursor control), for tests.
+  [[nodiscard]] std::string last_line() const;
+
+ private:
+  void thread_main();
+  std::string format_line(const Aggregate& agg, double interval_seconds);
+
+  ProgressOptions options_;
+  util::Stopwatch clock_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Task>> tasks_;
+  std::vector<StallEvent> stalls_;
+  std::size_t planned_ = 0;
+  // Rate bookkeeping between ticks (mutex-guarded; only tick() writes).
+  double last_tick_seconds_ = 0.0;
+  std::uint64_t last_conflicts_ = 0;
+  std::uint64_t last_propagations_ = 0;
+  std::string last_line_;
+  std::atomic<bool> wrote_tty_line_{false};
+
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// Appends one {"type":"stall"} record per watchdog event. Stalls are
+/// wall-clock phenomena, so these records are inherently timing-dependent;
+/// the duration field is flagged timing, the identity fields are not.
+void append_stall_records(RunReport& report, const ProgressReporter& reporter);
+
+}  // namespace trojanscout::telemetry

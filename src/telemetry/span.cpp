@@ -97,12 +97,17 @@ std::size_t TraceRecorder::event_count() const {
   return events_.size();
 }
 
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
 std::string TraceRecorder::to_chrome_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"traceEvents\":[";
   char buf[160];
   bool first = true;
-  for (const Event& event : events_) {
+  for (const TraceEvent& event : events_) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";

@@ -24,6 +24,18 @@
 
 namespace trojanscout::telemetry {
 
+/// One begin/end trace event as recorded. Public so the phase profiler
+/// (telemetry/profile.hpp) can fold the span tree without reparsing the
+/// Chrome JSON it serializes to.
+struct TraceEvent {
+  bool begin = true;
+  std::string name;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  int tid = 0;
+  std::uint64_t ts_us = 0;
+};
+
 class TraceRecorder {
  public:
   TraceRecorder();
@@ -51,6 +63,10 @@ class TraceRecorder {
 
   [[nodiscard]] std::size_t event_count() const;
 
+  /// Snapshot of all recorded events, in recording order. Per-thread
+  /// subsequences are chronological; the interleaving across threads is not.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
   /// The full {"traceEvents":[...]} document (Chrome trace_event JSON
   /// array format — loadable in Perfetto and chrome://tracing).
   [[nodiscard]] std::string to_chrome_json() const;
@@ -59,17 +75,8 @@ class TraceRecorder {
   bool write_file(const std::string& path) const;
 
  private:
-  struct Event {
-    bool begin = true;
-    std::string name;
-    std::uint64_t span_id = 0;
-    std::uint64_t parent_id = 0;
-    int tid = 0;
-    std::uint64_t ts_us = 0;
-  };
-
   mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  std::vector<TraceEvent> events_;
   std::uint64_t epoch_ns_ = 0;
   std::uint64_t next_id_ = 1;
 };

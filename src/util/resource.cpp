@@ -48,6 +48,32 @@ std::uint64_t current_rss_bytes() {
   return resident_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
 }
 
+std::string peak_rss_summary() {
+  const std::uint64_t rusage_peak = peak_rss_bytes();
+  const std::uint64_t hwm = peak_rss_hwm_bytes();
+  std::string out = format_bytes(rusage_peak);
+  out += " (getrusage";
+  if (hwm == 0) {
+    // /proc/self/status has no readable VmHWM here (non-Linux kernel or a
+    // hardened container): the independent sampling path does not exist,
+    // so say so instead of comparing against 0.
+    out += "; VmHWM unavailable, cross-check skipped)";
+    return out;
+  }
+  out += ") / ";
+  out += format_bytes(hwm);
+  out += " (VmHWM";
+  // The two paths should agree to within a few pages; flag divergence
+  // beyond 25% + 1 MiB so a broken sampling path is visible.
+  const std::uint64_t hi = rusage_peak > hwm ? rusage_peak : hwm;
+  const std::uint64_t lo = rusage_peak > hwm ? hwm : rusage_peak;
+  if (hi - lo > hi / 4 + (1u << 20)) {
+    out += "; MISMATCH between sampling paths";
+  }
+  out += ")";
+  return out;
+}
+
 const char* format_bytes(std::uint64_t bytes) {
   thread_local char buffer[32];
   const double b = static_cast<double>(bytes);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace trojanscout::util {
 
@@ -25,5 +26,12 @@ std::uint64_t current_rss_bytes();
 /// Formats a byte count as a short human-readable string ("1.25 GB").
 /// The buffer is static thread_local; copy the result if you keep it.
 const char* format_bytes(std::uint64_t bytes);
+
+/// One-line peak-RSS summary cross-checking getrusage against the kernel's
+/// VmHWM. Kernels/containers without a readable /proc/self/status VmHWM
+/// line (non-Linux, hardened containers) get an explicit "cross-check
+/// skipped" note instead of a bogus 0-byte comparison; a large divergence
+/// between the two sampling paths is called out rather than hidden.
+std::string peak_rss_summary();
 
 }  // namespace trojanscout::util

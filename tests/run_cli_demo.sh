@@ -34,6 +34,21 @@ grep -q '"name":"audit"' "$WORK/trace.json" || { echo "trace missing audit span"
 grep -q '"type":"summary"' "$WORK/metrics.jsonl" || { echo "metrics missing summary"; exit 1; }
 grep -q '"type":"counters"' "$WORK/metrics.jsonl" || { echo "metrics missing counters"; exit 1; }
 grep -q 'DEBUG' "$WORK/audit.log" || { echo "TROJANSCOUT_LOG=trace produced no debug logs"; exit 1; }
+# The heartbeat is opt-in: no --progress, no [progress] bytes anywhere.
+grep -q '\[progress\]' "$WORK/audit.log" && { echo "heartbeat output without --progress"; exit 1; }
+
+# The same audit with the live heartbeat and the phase profiler on.
+set +e
+"$CLI" audit --design="$WORK/ip.v" --spec="$SPEC_DIR/mc8051_sp.spec" \
+  --frames=16 --jobs=2 --progress=0.2 \
+  --profile-out="$WORK/profile.json" 2>"$WORK/progress.log"
+CODE=$?
+set -e
+[ "$CODE" -eq 2 ] || { echo "expected audit Trojan verdict (2), got $CODE"; exit 1; }
+grep -q '\[progress\]' "$WORK/progress.log" || { echo "--progress produced no heartbeat"; exit 1; }
+grep -q 'conf/s' "$WORK/progress.log" || { echo "heartbeat lacks solver rates"; exit 1; }
+grep -q '"schema":"trojanscout-profile-v1"' "$WORK/profile.json" || { echo "bad profile schema"; exit 1; }
+grep -q '"name":"sat:solve"' "$WORK/profile.json" || { echo "profile missing sat:solve phase"; exit 1; }
 
 # Clean design must pass and be provable forever.
 "$CLI" gen --family=mc8051 --out="$WORK/clean.v"

@@ -1,0 +1,197 @@
+// Live progress reporter and stall watchdog: manual-tick watchdog
+// semantics, heartbeat line content, RunReport stall records, solver
+// progress publication, and an end-to-end parallel audit with the
+// reporter installed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/parallel_detector.hpp"
+#include "designs/catalog.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace trojanscout::telemetry {
+namespace {
+
+ProgressOptions manual_options(double stall_window = 30.0) {
+  ProgressOptions options;
+  options.interval_seconds = 0.0;  // no background thread; tick() by hand
+  options.stall_window_seconds = stall_window;
+  options.render = false;
+  return options;
+}
+
+TEST(ProgressTest, AggregateCountsTasks) {
+  ProgressReporter reporter(manual_options());
+  reporter.add_planned(3);
+  auto a = reporter.begin("corruption(sp)");
+  auto b = reporter.begin("bypass(sp)");
+  a->cells.conflicts.store(10, std::memory_order_relaxed);
+  b->cells.frames.store(7, std::memory_order_relaxed);
+  a->finish();
+
+  const auto agg = reporter.aggregate();
+  EXPECT_EQ(agg.planned, 3u);
+  EXPECT_EQ(agg.started, 2u);
+  EXPECT_EQ(agg.done, 1u);
+  EXPECT_EQ(agg.active, 1u);
+  EXPECT_EQ(agg.conflicts, 10u);
+  EXPECT_EQ(agg.deepest_frame, 7u);
+  EXPECT_EQ(agg.deepest_label, "bypass(sp)");
+}
+
+TEST(ProgressTest, WatchdogFlagsFrozenObligationOnly) {
+  // A "looping" obligation whose counters never advance (mimicking a solver
+  // stuck between publications) next to one that keeps advancing and
+  // completes: only the frozen one may stall, and nothing is aborted.
+  ProgressReporter reporter(manual_options(/*stall_window=*/0.01));
+  reporter.add_planned(2);
+  auto frozen = reporter.begin("corruption(hard)");
+  auto advancing = reporter.begin("corruption(easy)");
+  frozen->cells.conflicts.store(5, std::memory_order_relaxed);
+
+  reporter.tick();  // records both keys as the watchdog baseline
+  for (int i = 1; i <= 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    advancing->cells.conflicts.store(100 + i, std::memory_order_relaxed);
+    reporter.tick();
+  }
+  advancing->finish();
+  reporter.tick();
+
+  ASSERT_EQ(reporter.stall_count(), 1u);
+  const auto stalls = reporter.stall_events();
+  EXPECT_EQ(stalls[0].property, "corruption(hard)");
+  EXPECT_EQ(stalls[0].progress_key, 5u);
+  EXPECT_GE(stalls[0].stalled_seconds, 0.01);
+  // Sticky per episode: repeated ticks while still frozen add no events.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  reporter.tick();
+  EXPECT_EQ(reporter.stall_count(), 1u);
+
+  // The other obligation completed normally.
+  const auto agg = reporter.aggregate();
+  EXPECT_EQ(agg.done, 1u);
+  EXPECT_EQ(agg.stalled, 1u);
+}
+
+TEST(ProgressTest, StallClearsWhenProgressResumes) {
+  ProgressReporter reporter(manual_options(/*stall_window=*/0.01));
+  auto task = reporter.begin("corruption(sp)");
+  reporter.tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  reporter.tick();
+  ASSERT_EQ(reporter.stall_count(), 1u);
+
+  // Progress resumes, then freezes again: a second episode is recorded.
+  task->cells.conflicts.store(1, std::memory_order_relaxed);
+  reporter.tick();
+  EXPECT_EQ(reporter.aggregate().stalled, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  reporter.tick();
+  EXPECT_EQ(reporter.stall_count(), 2u);
+}
+
+TEST(ProgressTest, DoneTasksNeverStall) {
+  ProgressReporter reporter(manual_options(/*stall_window=*/0.01));
+  auto task = reporter.begin("corruption(sp)");
+  task->finish();
+  reporter.tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  reporter.tick();
+  EXPECT_EQ(reporter.stall_count(), 0u);
+}
+
+TEST(ProgressTest, HeartbeatLineShowsCountsAndRates) {
+  ProgressReporter reporter(manual_options());
+  reporter.add_planned(2);
+  auto a = reporter.begin("corruption(sp)");
+  a->cells.conflicts.store(640, std::memory_order_relaxed);
+  a->cells.propagations.store(10000, std::memory_order_relaxed);
+  a->cells.learned_clauses.store(12, std::memory_order_relaxed);
+  auto b = reporter.begin("bypass(sp)");
+  b->finish();
+  reporter.tick();
+
+  const std::string line = reporter.last_line();
+  EXPECT_NE(line.find("1/2 done"), std::string::npos) << line;
+  EXPECT_NE(line.find("1 active"), std::string::npos) << line;
+  EXPECT_NE(line.find("conf/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("prop/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("learned"), std::string::npos) << line;
+  EXPECT_NE(line.find("elapsed"), std::string::npos) << line;
+}
+
+TEST(ProgressTest, StallRecordsAppendToRunReport) {
+  ProgressReporter reporter(manual_options(/*stall_window=*/0.01));
+  auto task = reporter.begin("corruption(sp)");
+  task->cells.frames.store(3, std::memory_order_relaxed);
+  reporter.tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  reporter.tick();
+  ASSERT_EQ(reporter.stall_count(), 1u);
+
+  RunReport report;
+  append_stall_records(report, reporter);
+  ASSERT_EQ(report.size(), 1u);
+  const std::string jsonl = report.to_jsonl(/*include_timing=*/true);
+  EXPECT_NE(jsonl.find("\"type\":\"stall\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"property\":\"corruption(sp)\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"at_frame\":3"), std::string::npos);
+  // The duration and key are timing fields: stripped in the invariance form.
+  const std::string stripped = report.to_jsonl(/*include_timing=*/false);
+  EXPECT_EQ(stripped.find("stalled_seconds"), std::string::npos);
+  EXPECT_EQ(stripped.find("progress_key"), std::string::npos);
+}
+
+TEST(ProgressTest, SolverPublishesProgressCells) {
+  const designs::Design design = designs::build_clean("mc8051");
+  core::DetectorOptions options;
+  options.engine.kind = core::EngineKind::kBmc;
+  options.engine.max_frames = 4;
+  options.scan_pseudo_critical = false;
+  options.check_bypass = false;
+
+  ObligationProgress cells;
+  options.engine.progress = &cells;
+  core::TrojanDetector detector(design, options);
+  const core::CheckResult result =
+      detector.check_corruption(design.critical_registers.front());
+
+  // The final publication makes the cells agree with the run's counters.
+  EXPECT_EQ(cells.frames.load(std::memory_order_relaxed),
+            result.frames_completed);
+  EXPECT_EQ(cells.conflicts.load(std::memory_order_relaxed),
+            result.counters.sat.conflicts);
+  EXPECT_EQ(cells.propagations.load(std::memory_order_relaxed),
+            result.counters.sat.propagations);
+  EXPECT_GT(cells.key(), 0u);
+}
+
+TEST(ProgressTest, ParallelAuditWithReporterFinishesAllObligations) {
+  ProgressReporter reporter(manual_options());
+  ProgressReporter::set_global(&reporter);
+
+  const designs::Design design = designs::build_clean("mc8051");
+  core::ParallelDetectorOptions options;
+  options.detector.engine.kind = core::EngineKind::kBmc;
+  options.detector.engine.max_frames = 3;
+  options.jobs = 2;
+  core::ParallelDetector detector(design, options);
+  const core::DetectionReport report = detector.run();
+  ProgressReporter::set_global(nullptr);
+  reporter.tick();
+
+  const auto agg = reporter.aggregate();
+  EXPECT_EQ(agg.planned, report.runs.size());
+  EXPECT_EQ(agg.done, agg.started);
+  EXPECT_EQ(agg.active, 0u);
+  EXPECT_GT(agg.done, 0u);
+  EXPECT_GT(agg.propagations, 0u);
+  EXPECT_EQ(reporter.stall_count(), 0u);
+}
+
+}  // namespace
+}  // namespace trojanscout::telemetry

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Noise-aware regression gate for trojanscout-bench-v1 artifacts.
+
+Compares a current BENCH_<name>.json (written by any bench binary's
+--bench-out flag) against a committed baseline. A case regresses only when
+its median slowdown exceeds BOTH a relative threshold and an absolute
+floor, plus an allowance for the observed run-to-run noise:
+
+    delta = current_median - baseline_median
+    regressed  iff  delta > max(rel * baseline_median, abs_floor)
+                            + noise_k * max(baseline_stddev, current_stddev)
+
+The absolute floor keeps sub-millisecond cases (where scheduler jitter
+dwarfs the work) from flapping; the stddev term absorbs machines whose
+timings are honest but noisy. Cases only present on one side are reported
+but never fail the gate (benches grow rows over time).
+
+Usage: bench_compare.py BASELINE CURRENT [--rel=0.35] [--abs-floor=0.05]
+                        [--noise-k=3.0]
+       bench_compare.py --self-test
+Exit codes: 0 = no regression, 1 = regression or invalid input.
+"""
+
+import json
+import sys
+
+DEFAULT_REL = 0.35
+DEFAULT_ABS_FLOOR = 0.05
+DEFAULT_NOISE_K = 3.0
+
+SCHEMA = "trojanscout-bench-v1"
+
+
+def load_artifact(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return validate_artifact(doc, path)
+
+
+def validate_artifact(doc, label):
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise ValueError(f"{label}: not a {SCHEMA} artifact")
+    cases = {}
+    for case in doc.get("cases", []):
+        for key in ("name", "runs", "median_seconds", "min_seconds",
+                    "max_seconds", "stddev_seconds"):
+            if key not in case:
+                raise ValueError(f"{label}: case missing '{key}'")
+        cases[case["name"]] = case
+    return doc, cases
+
+
+def compare(baseline_cases, current_cases, rel, abs_floor, noise_k, out=None):
+    """Returns the list of regressed case names; prints a per-case report."""
+    out = out or sys.stdout
+    regressions = []
+    for name in sorted(set(baseline_cases) | set(current_cases)):
+        base = baseline_cases.get(name)
+        cur = current_cases.get(name)
+        if base is None:
+            print(f"  new      {name} (no baseline)", file=out)
+            continue
+        if cur is None:
+            print(f"  missing  {name} (in baseline only)", file=out)
+            continue
+        base_med = base["median_seconds"]
+        cur_med = cur["median_seconds"]
+        delta = cur_med - base_med
+        noise = noise_k * max(base["stddev_seconds"], cur["stddev_seconds"])
+        threshold = max(rel * base_med, abs_floor) + noise
+        ratio = cur_med / base_med if base_med > 0 else float("inf")
+        verdict = "REGRESSED" if delta > threshold else "ok"
+        print(f"  {verdict:8s} {name}: {base_med:.4f}s -> {cur_med:.4f}s "
+              f"({ratio:.2f}x, delta {delta:+.4f}s, "
+              f"threshold {threshold:.4f}s)", file=out)
+        if delta > threshold:
+            regressions.append(name)
+    return regressions
+
+
+def make_case(name, median, stddev=0.0, runs=3):
+    return {"name": name, "runs": runs, "median_seconds": median,
+            "min_seconds": median - stddev, "max_seconds": median + stddev,
+            "stddev_seconds": stddev}
+
+
+def self_test():
+    """The gate's own contract, runnable as a ctest."""
+    rel, floor, k = DEFAULT_REL, DEFAULT_ABS_FLOOR, DEFAULT_NOISE_K
+
+    # A clear 2.1x slowdown well above the absolute floor must fail.
+    base = {"a": make_case("a", 1.0, stddev=0.02)}
+    slow = {"a": make_case("a", 2.1, stddev=0.02)}
+    if compare(base, slow, rel, floor, k) != ["a"]:
+        print("self-test: 2.1x slowdown was not flagged", file=sys.stderr)
+        return 1
+
+    # Honest re-run noise (+4% with comparable stddev) must pass.
+    rerun = {"a": make_case("a", 1.04, stddev=0.03)}
+    if compare(base, rerun, rel, floor, k):
+        print("self-test: 1.04x noise was flagged", file=sys.stderr)
+        return 1
+
+    # Sub-floor absolute deltas pass even at a large ratio (0.1ms -> 3ms):
+    # cases this small are scheduler jitter, not signal.
+    tiny_base = {"b": make_case("b", 0.0001)}
+    tiny_slow = {"b": make_case("b", 0.003)}
+    if compare(tiny_base, tiny_slow, rel, floor, k):
+        print("self-test: sub-floor delta was flagged", file=sys.stderr)
+        return 1
+
+    # A noisy machine: 1.5x median but stddev covers it -> pass.
+    noisy_base = {"c": make_case("c", 0.4, stddev=0.1)}
+    noisy_cur = {"c": make_case("c", 0.6, stddev=0.1)}
+    if compare(noisy_base, noisy_cur, rel, floor, k):
+        print("self-test: stddev-covered delta was flagged", file=sys.stderr)
+        return 1
+
+    # The same 1.5x with tight stddevs -> fail (it is real).
+    tight_base = {"c": make_case("c", 0.4, stddev=0.001)}
+    tight_cur = {"c": make_case("c", 0.6, stddev=0.001)}
+    if compare(tight_base, tight_cur, rel, floor, k) != ["c"]:
+        print("self-test: tight-stddev 1.5x was not flagged", file=sys.stderr)
+        return 1
+
+    # Case-set drift (new/missing rows) never fails the gate.
+    drift = {"d": make_case("d", 0.2)}
+    if compare(base, drift, rel, floor, k):
+        print("self-test: case-set drift was flagged", file=sys.stderr)
+        return 1
+
+    print("bench_compare self-test: OK")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = dict(a[2:].split("=", 1) for a in argv[1:]
+                if a.startswith("--") and "=" in a)
+    flags = {a[2:] for a in argv[1:] if a.startswith("--") and "=" not in a}
+
+    if "self-test" in flags:
+        return self_test()
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+
+    rel = float(opts.get("rel", DEFAULT_REL))
+    abs_floor = float(opts.get("abs-floor", DEFAULT_ABS_FLOOR))
+    noise_k = float(opts.get("noise-k", DEFAULT_NOISE_K))
+
+    try:
+        baseline_doc, baseline_cases = load_artifact(args[0])
+        current_doc, current_cases = load_artifact(args[1])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 1
+
+    print(f"bench_compare: {baseline_doc.get('bench')} "
+          f"(baseline rev {baseline_doc.get('git_rev')} -> "
+          f"current rev {current_doc.get('git_rev')})")
+    regressions = compare(baseline_cases, current_cases, rel, abs_floor,
+                          noise_k)
+    if regressions:
+        print(f"bench_compare: FAILED ({len(regressions)} regression(s): "
+              f"{', '.join(regressions)})", file=sys.stderr)
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,10 +1,19 @@
 #!/usr/bin/env python3
-"""Validates a trojanscout --metrics-out JSON-lines file.
+"""Validates trojanscout observability artifacts.
 
-Every line must be a standalone JSON object with a "type" field; each type
-has a required-field schema below (emitters: core/telemetry_sink.cpp and
-bench/bench_common.hpp). CI runs this over the BENCH_table*.json artifacts,
-so a schema drift between the C++ emitters and this file fails the build.
+The file kind is auto-detected from its shape:
+  * a JSON object with "traceEvents"      -> --trace-out Chrome trace
+    (required event keys, monotone timestamps per tid, parent-id
+    referential integrity, end-events matching an opened span);
+  * "schema": "trojanscout-profile-v1"    -> --profile-out phase profile;
+  * "schema": "trojanscout-bench-v1"      -> --bench-out history artifact;
+  * anything else                         -> --metrics-out JSON lines,
+    where every line must be a standalone JSON object with a "type" field
+    validated against the schemas below (emitters: core/telemetry_sink.cpp,
+    telemetry/progress.cpp, bench/bench_common.hpp).
+
+CI runs this over every artifact a quick audit + bench run produces, so a
+schema drift between the C++ emitters and this file fails the build.
 
 Usage: check_metrics.py FILE [FILE...]
 Exit codes: 0 = all files valid, 1 = violation (details on stderr).
@@ -87,6 +96,13 @@ SCHEMAS = {
         "seconds": (int, float),
         "serial_seconds": (int, float),
     },
+    # Stall-watchdog events appended from the --progress reporter.
+    "stall": {
+        "property": str,
+        "at_frame": int,
+        "progress_key": int,
+        "stalled_seconds": (int, float),
+    },
 }
 
 
@@ -141,16 +157,173 @@ def check_line(lineno, line):
     return errors
 
 
+def check_trace(doc):
+    """Chrome trace_event JSON from --trace-out (telemetry/span.cpp)."""
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    span_ids = set()
+    last_ts = {}  # tid -> last timestamp seen in file order
+    for i, ev in enumerate(events):
+        label = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{label}: not an object")
+            continue
+        for key, expected in (("name", str), ("ph", str), ("ts", (int, float)),
+                              ("pid", int), ("tid", int), ("args", dict)):
+            err = check_field(ev, key, expected)
+            if err:
+                errors.append(f"{label}: {err}")
+        ph = ev.get("ph")
+        if ph not in ("B", "E"):
+            errors.append(f"{label}: ph {ph!r} is not 'B' or 'E'")
+            continue
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            continue
+        if not isinstance(args.get("span_id"), int):
+            errors.append(f"{label}: args.span_id missing or not int")
+            continue
+        if ph == "B":
+            span_ids.add(args["span_id"])
+            if not isinstance(args.get("parent_id"), int):
+                errors.append(f"{label}: begin event lacks int parent_id")
+        tid = ev.get("tid")
+        ts = ev.get("ts")
+        if isinstance(tid, int) and isinstance(ts, (int, float)):
+            if tid in last_ts and ts < last_ts[tid]:
+                errors.append(
+                    f"{label}: ts {ts} goes backwards on tid {tid} "
+                    f"(previous {last_ts[tid]})")
+            last_ts[tid] = ts
+    # Referential integrity over the whole file: parents must exist
+    # (parent_id 0 = root) and every end event must close an opened span.
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or not isinstance(ev.get("args"), dict):
+            continue
+        span_id = ev["args"].get("span_id")
+        parent = ev["args"].get("parent_id")
+        if ev.get("ph") == "B" and isinstance(parent, int) and parent != 0 \
+                and parent not in span_ids:
+            errors.append(f"event {i}: parent_id {parent} never begun")
+        if ev.get("ph") == "E" and span_id not in span_ids:
+            errors.append(f"event {i}: end of span {span_id} never begun")
+    if not errors and not events:
+        errors.append("trace has no events")
+    return errors
+
+
+def check_phase_list(phases, label):
+    errors = []
+    if not isinstance(phases, list):
+        return [f"{label}: 'phases' is not a list"]
+    for phase in phases:
+        if not isinstance(phase, dict):
+            errors.append(f"{label}: phase entry is not an object")
+            continue
+        for key, expected in (("name", str), ("count", int)):
+            err = check_field(phase, key, expected)
+            if err:
+                errors.append(f"{label} phase: {err}")
+        # inclusive_us / exclusive_us are timing fields: present in normal
+        # output, stripped in jobs-invariance comparisons — allow both.
+        for key in ("inclusive_us", "exclusive_us"):
+            if key in phase and (isinstance(phase[key], bool)
+                                 or not isinstance(phase[key], int)):
+                errors.append(f"{label} phase: '{key}' is not an integer")
+    return errors
+
+
+def check_profile(doc):
+    """--profile-out JSON (telemetry/profile.cpp), with or without timing."""
+    errors = []
+    errors.extend(check_phase_list(doc.get("phases"), "profile"))
+    obligations = doc.get("obligations")
+    if not isinstance(obligations, list):
+        errors.append("'obligations' is not a list")
+        obligations = []
+    for ob in obligations:
+        if not isinstance(ob, dict) or not isinstance(ob.get("name"), str):
+            errors.append("obligation entry lacks a string 'name'")
+            continue
+        errors.extend(
+            check_phase_list(ob.get("phases", []), f"obligation {ob['name']}"))
+    timers = doc.get("timers")
+    if not isinstance(timers, list):
+        errors.append("'timers' is not a list")
+        timers = []
+    for timer in timers:
+        if not isinstance(timer, dict):
+            errors.append("timer entry is not an object")
+            continue
+        for key, expected in (("name", str), ("count", int)):
+            err = check_field(timer, key, expected)
+            if err:
+                errors.append(f"timer: {err}")
+    return errors
+
+
+def check_bench(doc):
+    """--bench-out history artifact (bench/bench_common.cpp)."""
+    errors = []
+    for key, expected in (("bench", str), ("git_rev", str),
+                          ("machine", dict), ("cases", list)):
+        err = check_field(doc, key, expected)
+        if err:
+            errors.append(err)
+    machine = doc.get("machine")
+    if isinstance(machine, dict):
+        for key, expected in (("hostname", str), ("hardware_threads", int),
+                              ("page_size", int)):
+            err = check_field(machine, key, expected)
+            if err:
+                errors.append(f"machine: {err}")
+    for case in doc.get("cases", []) if isinstance(doc.get("cases"), list) \
+            else []:
+        if not isinstance(case, dict):
+            errors.append("case entry is not an object")
+            continue
+        for key, expected in (("name", str), ("runs", int),
+                              ("median_seconds", (int, float)),
+                              ("min_seconds", (int, float)),
+                              ("max_seconds", (int, float)),
+                              ("stddev_seconds", (int, float))):
+            err = check_field(case, key, expected)
+            if err:
+                errors.append(f"case {case.get('name', '?')}: {err}")
+        if isinstance(case.get("runs"), int) and case["runs"] < 1:
+            errors.append(f"case {case.get('name', '?')}: runs < 1")
+    return errors
+
+
 def check_file(path):
     errors = []
     try:
         with open(path, "r", encoding="utf-8") as f:
-            lines = f.read().splitlines()
+            text = f.read()
     except OSError as e:
         return [f"{path}: {e}"]
-    if not lines:
-        errors.append(f"{path}: empty file")
-    for lineno, line in enumerate(lines, start=1):
+    if not text.strip():
+        return [f"{path}: empty file"]
+
+    # Single-document artifacts (trace / profile / bench) parse as one JSON
+    # object; --metrics-out files are one object per line.
+    doc = None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return [f"{path} (trace): {e}" for e in check_trace(doc)]
+    if isinstance(doc, dict) and doc.get("schema") == "trojanscout-profile-v1":
+        return [f"{path} (profile): {e}" for e in check_profile(doc)]
+    if isinstance(doc, dict) and doc.get("schema") == "trojanscout-bench-v1":
+        return [f"{path} (bench): {e}" for e in check_bench(doc)]
+    if isinstance(doc, dict) and "schema" in doc:
+        return [f"{path}: unknown schema {doc['schema']!r}"]
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
         errors.extend(f"{path}: {e}" for e in check_line(lineno, line))
     return errors
 

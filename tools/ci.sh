@@ -30,16 +30,84 @@ run_config() {
 
 run_config release -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-# Metrics artifact smoke test: regenerate one small Table-1 row with
-# --metrics-out and validate the JSON-lines schema. Guarded on python3 so
-# the sanitizer-only environments without it still pass.
+# Observability leg: quick-mode bench runs emitting BENCH_<name>.json
+# history artifacts gated against the committed baselines, a small audit
+# producing trace/profile/metrics/progress artifacts, and schema
+# validation over everything. All artifacts are archived under
+# ${prefix}-release/artifacts/. Guarded on python3 so the sanitizer-only
+# environments without it still pass.
 if command -v python3 >/dev/null 2>&1; then
-  echo "=== [release] metrics artifact smoke ==="
-  "${prefix}-release/bench/bench_table1" --only=MC8051-T800 --budget=5 \
-      --depth-budget=1 --metrics-out "${prefix}-release/BENCH_table1.json"
-  python3 "$src/tools/check_metrics.py" "${prefix}-release/BENCH_table1.json"
+  rel="${prefix}-release"
+  art="$rel/artifacts"
+  mkdir -p "$art"
+
+  echo "=== [release] quick benches -> BENCH history artifacts ==="
+  "$rel/bench/bench_table1" --only=MC8051-T800 --budget=5 --depth-budget=1 \
+      --repeats=3 --bench-out="$art/BENCH_table1.json" \
+      --metrics-out="$art/table1.jsonl"
+  "$rel/bench/bench_table2" --repeats=3 \
+      --bench-out="$art/BENCH_table2.json" --metrics-out="$art/table2.jsonl"
+  "$rel/bench/bench_table3" --only=MC8051-T800 --budget=5 --depth-budget=1 \
+      --bench-out="$art/BENCH_table3.json" --metrics-out="$art/table3.jsonl"
+  "$rel/bench/bench_parallel_scaling" --only=MC8051-T800 --frames=6 \
+      --bench-out="$art/BENCH_parallel_scaling.json" \
+      --metrics-out="$art/parallel_scaling.jsonl"
+
+  echo "=== [release] audit observability artifacts ==="
+  "$rel/tools/trojanscout_cli" gen --family=mc8051 --trojan=MC8051-T800 \
+      --out="$art/ip.v"
+  # Exit 2 = trojan found, which is the expected verdict on this IP.
+  status=0
+  "$rel/tools/trojanscout_cli" audit --design="$art/ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --frames=8 --jobs=2 \
+      --progress=0.2 --stall-window=30 \
+      --trace-out="$art/audit_trace.json" \
+      --profile-out="$art/audit_profile.json" \
+      --metrics-out="$art/audit_metrics.jsonl" \
+      >"$art/audit_progress.stdout" 2>"$art/audit_progress.stderr" \
+      || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: audit expected exit 2 (trojan found), got $status"
+    exit 1
+  fi
+  if ! grep -q '\[progress\]' "$art/audit_progress.stderr"; then
+    echo "FAIL: --progress produced no heartbeat on stderr"
+    exit 1
+  fi
+  # Progress is opt-in: without the flag the heartbeat must be byte-absent
+  # from both streams.
+  status=0
+  "$rel/tools/trojanscout_cli" audit --design="$art/ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --frames=8 --jobs=2 \
+      >"$art/audit_plain.stdout" 2>"$art/audit_plain.stderr" || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: plain audit expected exit 2 (trojan found), got $status"
+    exit 1
+  fi
+  if grep -q '\[progress\]' "$art/audit_plain.stdout" \
+      "$art/audit_plain.stderr"; then
+    echo "FAIL: heartbeat output present without --progress"
+    exit 1
+  fi
+
+  echo "=== [release] artifact schema validation ==="
+  python3 "$src/tools/check_metrics.py" \
+      "$art/BENCH_table1.json" "$art/BENCH_table2.json" \
+      "$art/BENCH_table3.json" "$art/BENCH_parallel_scaling.json" \
+      "$art/table1.jsonl" "$art/table2.jsonl" "$art/table3.jsonl" \
+      "$art/parallel_scaling.jsonl" "$art/audit_trace.json" \
+      "$art/audit_profile.json" "$art/audit_metrics.jsonl"
+
+  echo "=== [release] bench regression gate ==="
+  python3 "$src/tools/bench_compare.py" --self-test
+  for name in table1 table2 table3 parallel_scaling; do
+    python3 "$src/tools/bench_compare.py" \
+        "$src/bench/baselines/BENCH_${name}.json" \
+        "$art/BENCH_${name}.json"
+  done
+  echo "=== [release] observability artifacts archived in $art ==="
 else
-  echo "=== skipping metrics artifact smoke (no python3) ==="
+  echo "=== skipping observability leg (no python3) ==="
 fi
 # Halt on the first race report so a regression fails the job instead of
 # scrolling past.

@@ -9,6 +9,8 @@
 //                         [--jobs N] [--fail-fast] [--engine bmc|atpg]
 //                         [--frames N] [--budget S] [--no-scan] [--no-bypass]
 //                         [--trace-out trace.json] [--metrics-out run.jsonl]
+//                         [--profile-out profile.json] [--progress[=SECS]]
+//                         [--stall-window SECS]
 //   trojanscout_cli prove --design ip.v --spec ip.spec --register cfg
 //                         [--max-k K]
 //   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
@@ -48,6 +50,8 @@
 #include "properties/monitors.hpp"
 #include "sim/vcd.hpp"
 #include "specdsl/specdsl.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/span.hpp"
@@ -181,16 +185,28 @@ int cmd_audit(const util::CliParser& cli) {
 
   // Observability taps: --trace-out installs a span recorder (Chrome
   // trace_event JSON, one span tree per obligation), --metrics-out enables
-  // the counter registry and serializes a JSON-lines run report.
+  // the counter registry and serializes a JSON-lines run report,
+  // --profile-out folds the span tree into a phase-attribution profile
+  // (it needs a recorder and the registry even without the other flags),
+  // --progress[=interval] starts the live heartbeat + stall watchdog.
   const std::string trace_out = cli.get_string("trace-out", "");
   const std::string metrics_out = cli.get_string("metrics-out", "");
+  const std::string profile_out = cli.get_string("profile-out", "");
   std::unique_ptr<telemetry::TraceRecorder> recorder;
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || !profile_out.empty()) {
     recorder = std::make_unique<telemetry::TraceRecorder>();
     telemetry::TraceRecorder::set_global(recorder.get());
   }
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() || !profile_out.empty()) {
     telemetry::Registry::global().set_enabled(true);
+  }
+  std::unique_ptr<telemetry::ProgressReporter> progress;
+  if (cli.has("progress")) {
+    telemetry::ProgressOptions po;
+    po.interval_seconds = cli.get_double("progress", 1.0);
+    po.stall_window_seconds = cli.get_double("stall-window", 30.0);
+    progress = std::make_unique<telemetry::ProgressReporter>(po);
+    telemetry::ProgressReporter::set_global(progress.get());
   }
 
   util::Stopwatch total;
@@ -198,13 +214,23 @@ int cmd_audit(const util::CliParser& cli) {
   const core::DetectionReport report = detector.run();
   const double total_seconds = total.elapsed_seconds();
 
+  if (progress != nullptr) {
+    telemetry::ProgressReporter::set_global(nullptr);
+    progress->stop();
+    if (progress->stall_count() > 0) {
+      std::cout << "watchdog: " << progress->stall_count()
+                << " stall(s) detected (see metrics records)\n";
+    }
+  }
   if (recorder != nullptr) {
     telemetry::TraceRecorder::set_global(nullptr);
-    if (recorder->write_file(trace_out)) {
-      std::cout << "trace written to " << trace_out << " ("
-                << recorder->event_count() << " events)\n";
-    } else {
-      std::cerr << "cannot write " << trace_out << "\n";
+    if (!trace_out.empty()) {
+      if (recorder->write_file(trace_out)) {
+        std::cout << "trace written to " << trace_out << " ("
+                  << recorder->event_count() << " events)\n";
+      } else {
+        std::cerr << "cannot write " << trace_out << "\n";
+      }
     }
   }
   if (!metrics_out.empty()) {
@@ -214,12 +240,27 @@ int cmd_audit(const util::CliParser& cli) {
         core::engine_name(options.detector.engine.kind), report,
         total_seconds);
     core::append_registry_snapshot(metrics, telemetry::Registry::global());
+    if (progress != nullptr) {
+      telemetry::append_stall_records(metrics, *progress);
+    }
     if (metrics.write_file(metrics_out)) {
       std::cout << "metrics written to " << metrics_out << " ("
                 << metrics.size() << " records)\n";
     } else {
       std::cerr << "cannot write " << metrics_out << "\n";
     }
+  }
+  if (!profile_out.empty() && recorder != nullptr) {
+    const telemetry::Profile profile = telemetry::build_profile(
+        *recorder, telemetry::Registry::global().snapshot());
+    if (profile.write_file(profile_out)) {
+      std::cout << "profile written to " << profile_out << " ("
+                << profile.phases.size() << " phases, "
+                << profile.obligations.size() << " obligations)\n";
+    } else {
+      std::cerr << "cannot write " << profile_out << "\n";
+    }
+    std::cout << "top phases by exclusive time:\n" << profile.top_table(10);
   }
 
   for (const auto& run : report.runs) {
@@ -228,11 +269,7 @@ int cmd_audit(const util::CliParser& cli) {
               << " s)\n";
   }
   std::cout << report.summary() << "\n";
-  std::cout << "peak RSS: " << util::format_bytes(util::peak_rss_bytes());
-  if (const std::uint64_t hwm = util::peak_rss_hwm_bytes(); hwm > 0) {
-    std::cout << " (getrusage) / " << util::format_bytes(hwm) << " (VmHWM)";
-  }
-  std::cout << "\n";
+  std::cout << "peak RSS: " << util::peak_rss_summary() << "\n";
   if (!report.trojan_found) return 0;
   for (const auto& finding : report.findings) {
     std::cout << "\n" << core::finding_kind_name(finding.kind) << " on "
