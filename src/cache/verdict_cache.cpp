@@ -1,0 +1,338 @@
+#include "cache/verdict_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace fs = std::filesystem;
+
+namespace trojanscout::cache {
+
+namespace {
+
+constexpr const char* kEntryMagic = "trojanscout-verdict-cache";
+constexpr const char* kIndexMagic = "trojanscout-cache-index";
+constexpr int kFormatVersion = 1;
+constexpr const char* kIndexName = "index.txt";
+constexpr const char* kEntrySuffix = ".vjson";
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  out = os.str();
+  return true;
+}
+
+/// Write-then-rename so a concurrent reader sees the old bytes or the new
+/// bytes, never a prefix. The temp name carries the pid so two processes
+/// writing the same entry cannot collide on the temp file either.
+bool atomic_write(const std::string& path, const std::string& content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os << content;
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+/// Splits the entry file into header + payload and verifies the checksum.
+bool verify_entry(const std::string& file_text, std::string& payload) {
+  const std::size_t eol = file_text.find('\n');
+  if (eol == std::string::npos) return false;
+  std::istringstream header(file_text.substr(0, eol));
+  std::string magic;
+  std::string version;
+  std::string checksum_hex;
+  std::uint64_t size = 0;
+  if (!(header >> magic >> version >> checksum_hex >> size)) return false;
+  if (magic != kEntryMagic || version != "v" + std::to_string(kFormatVersion)) {
+    return false;
+  }
+  payload = file_text.substr(eol + 1);
+  if (payload.size() != size) return false;  // truncated (or padded)
+  return hex16(fnv1a(payload)) == checksum_hex;
+}
+
+std::string frame_entry(const std::string& payload) {
+  std::string out = kEntryMagic;
+  out += " v" + std::to_string(kFormatVersion) + " " +
+         hex16(fnv1a(payload)) + " " + std::to_string(payload.size()) + "\n";
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+const char* cache_mode_name(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff: return "off";
+    case CacheMode::kReadOnly: return "ro";
+    case CacheMode::kReadWrite: return "rw";
+  }
+  return "?";
+}
+
+bool cache_mode_from_name(const std::string& name, CacheMode& out) {
+  if (name == "off") out = CacheMode::kOff;
+  else if (name == "ro") out = CacheMode::kReadOnly;
+  else if (name == "rw") out = CacheMode::kReadWrite;
+  else return false;
+  return true;
+}
+
+std::string VerdictCache::entry_filename(const std::string& key) {
+  return key + kEntrySuffix;
+}
+
+std::string VerdictCache::entry_path(const std::string& key) const {
+  return (fs::path(options_.dir) / entry_filename(key)).string();
+}
+
+VerdictCache::VerdictCache(Options options) : options_(std::move(options)) {
+  if (options_.mode == CacheMode::kOff) return;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (!fs::is_directory(options_.dir)) {
+    if (options_.mode == CacheMode::kReadWrite) {
+      throw std::runtime_error("cannot create cache directory " +
+                               options_.dir);
+    }
+    return;  // read-only over a missing directory: everything misses
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  load_index_locked();
+}
+
+void VerdictCache::load_index_locked() {
+  const std::string path = (fs::path(options_.dir) / kIndexName).string();
+  std::string text;
+  if (!read_file(path, text)) {
+    rebuild_index_locked();
+    return;
+  }
+  std::istringstream in(text);
+  std::string magic;
+  std::string version;
+  std::uint64_t clock = 0;
+  if (!(in >> magic >> version >> clock) || magic != kIndexMagic ||
+      version != "v" + std::to_string(kFormatVersion)) {
+    rebuild_index_locked();
+    return;
+  }
+  std::map<std::string, Entry> entries;
+  std::uint64_t total = 0;
+  std::string key;
+  Entry entry;
+  while (in >> key >> entry.last_used >> entry.bytes) {
+    entries.emplace(key, entry);
+    total += entry.bytes;
+  }
+  if (!in.eof()) {  // trailing garbage: distrust the whole index
+    rebuild_index_locked();
+    return;
+  }
+  entries_ = std::move(entries);
+  clock_ = clock;
+  total_bytes_ = total;
+}
+
+void VerdictCache::rebuild_index_locked() {
+  entries_.clear();
+  clock_ = 0;
+  total_bytes_ = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.size() <= std::string(kEntrySuffix).size() ||
+        name.substr(name.size() - std::string(kEntrySuffix).size()) !=
+            kEntrySuffix) {
+      continue;
+    }
+    const std::string key =
+        name.substr(0, name.size() - std::string(kEntrySuffix).size());
+    std::string text;
+    std::string payload;
+    if (!read_file(de.path().string(), text) || !verify_entry(text, payload)) {
+      stats_.corrupt_skipped++;
+      if (options_.mode == CacheMode::kReadWrite) {
+        fs::remove(de.path(), ec);
+      }
+      TS_LOG_WARN("cache: dropping corrupt entry %s during index rebuild",
+                  name.c_str());
+      continue;
+    }
+    Entry entry;
+    entry.bytes = payload.size();
+    entry.last_used = 0;
+    total_bytes_ += entry.bytes;
+    entries_.emplace(key, entry);
+  }
+  if (options_.mode == CacheMode::kReadWrite) persist_index_locked();
+}
+
+void VerdictCache::persist_index_locked() {
+  std::ostringstream os;
+  os << kIndexMagic << " v" << kFormatVersion << " " << clock_ << "\n";
+  for (const auto& [key, entry] : entries_) {
+    os << key << " " << entry.last_used << " " << entry.bytes << "\n";
+  }
+  const std::string path = (fs::path(options_.dir) / kIndexName).string();
+  if (!atomic_write(path, os.str())) {
+    TS_LOG_WARN("cache: cannot persist index to %s", path.c_str());
+  }
+}
+
+void VerdictCache::drop_entry_locked(const std::string& key,
+                                     bool count_corrupt) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  if (count_corrupt) stats_.corrupt_skipped++;
+  if (options_.mode == CacheMode::kReadWrite) {
+    std::error_code ec;
+    fs::remove(entry_path(key), ec);
+    persist_index_locked();
+  }
+}
+
+std::optional<std::string> VerdictCache::lookup(const std::string& key) {
+  if (options_.mode == CacheMode::kOff) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.misses++;
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  if (!read_file(entry_path(key), text)) {
+    // Another process may have evicted it since the index was loaded.
+    if (entries_.count(key) != 0) drop_entry_locked(key, /*corrupt=*/false);
+    stats_.misses++;
+    return std::nullopt;
+  }
+  std::string payload;
+  if (!verify_entry(text, payload)) {
+    TS_LOG_WARN("cache: entry %s failed integrity check; treating as miss",
+                key.c_str());
+    drop_entry_locked(key, /*corrupt=*/true);
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  if (options_.mode == CacheMode::kReadWrite) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {  // adopted from a concurrent writer
+      Entry entry;
+      entry.bytes = payload.size();
+      it = entries_.emplace(key, entry).first;
+      total_bytes_ += entry.bytes;
+    }
+    it->second.last_used = ++clock_;
+    persist_index_locked();
+  }
+  return payload;
+}
+
+void VerdictCache::store(const std::string& key, const std::string& payload) {
+  if (options_.mode != CacheMode::kReadWrite) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!atomic_write(entry_path(key), frame_entry(payload))) {
+    TS_LOG_WARN("cache: cannot write entry %s", key.c_str());
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) total_bytes_ -= it->second.bytes;
+  Entry entry;
+  entry.bytes = payload.size();
+  entry.last_used = ++clock_;
+  entries_[key] = entry;
+  total_bytes_ += entry.bytes;
+  stats_.stores++;
+  evict_over_cap_locked(key);
+  persist_index_locked();
+}
+
+void VerdictCache::evict_over_cap_locked(const std::string& keep_key) {
+  if (options_.max_bytes == 0) return;
+  while (total_bytes_ > options_.max_bytes && entries_.size() > 1) {
+    // Least-recently-used victim; ties (rebuilt indexes reset every clock
+    // to 0) break on key order so eviction stays deterministic.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep_key) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;
+    std::error_code ec;
+    fs::remove(entry_path(victim->first), ec);
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    stats_.evictions++;
+  }
+}
+
+void VerdictCache::invalidate(const std::string& key) {
+  if (options_.mode == CacheMode::kOff) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  drop_entry_locked(key, /*corrupt=*/true);
+}
+
+CacheStats VerdictCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t VerdictCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t VerdictCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+}  // namespace trojanscout::cache

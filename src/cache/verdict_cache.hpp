@@ -1,0 +1,109 @@
+// Persistent, content-addressed verdict store.
+//
+// A cache directory holds one file per entry, named by the entry's
+// canonical key (a hex digest computed by the codec layer from the netlist
+// signature, the property encoding, and the engine configuration — see
+// cache/verdict_codec.hpp). The store itself is payload-agnostic: it deals
+// in opaque text blobs and owns durability, integrity, and eviction:
+//
+//   * writes are atomic (write to a temp file in the same directory, then
+//     rename), so a crashed or concurrent writer can never leave a
+//     half-written entry visible under its final name;
+//   * every entry carries a header line with a checksum of the payload;
+//     a truncated or bit-flipped file fails verification on load and is
+//     skipped (counted + unlinked), never fatal to the audit;
+//   * an LRU byte-size cap: each hit/store bumps the entry's use clock in
+//     a sidecar index (`index.json`, also written atomically), and stores
+//     evict least-recently-used entries until the directory fits the cap.
+//     A missing or corrupt index is rebuilt by scanning the directory.
+//
+// Modes: kOff (every lookup misses, nothing is written), kReadOnly (hits
+// are served but no store/evict/bump touches the directory), kReadWrite.
+// All methods are thread-safe; cross-process sharing is safe for entry
+// files (atomic rename) while the LRU index is best-effort under races.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace trojanscout::cache {
+
+enum class CacheMode { kOff, kReadOnly, kReadWrite };
+
+const char* cache_mode_name(CacheMode mode);
+/// Accepts "off" | "ro" | "rw" (the --cache flag values).
+bool cache_mode_from_name(const std::string& name, CacheMode& out);
+
+/// Monotonic event counts since this VerdictCache was opened.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  /// Entries rejected on load: checksum/header failure here, or a payload
+  /// the codec refused (reported via invalidate()).
+  std::uint64_t corrupt_skipped = 0;
+};
+
+class VerdictCache {
+ public:
+  struct Options {
+    std::string dir;
+    CacheMode mode = CacheMode::kReadWrite;
+    /// LRU cap on the summed payload bytes of live entries (0 = unlimited).
+    std::uint64_t max_bytes = 256ull << 20;
+  };
+
+  /// Creates the directory (if rw) and loads or rebuilds the LRU index.
+  /// Throws std::runtime_error only when a read-write cache directory
+  /// cannot be created at all.
+  explicit VerdictCache(Options options);
+
+  /// Returns the payload stored under `key`, or nullopt on miss. A file
+  /// that exists but fails integrity verification counts as
+  /// corrupt_skipped, is unlinked (rw mode), and reads as a miss.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Persists `payload` under `key` (read-write mode only; silently a
+  /// no-op otherwise), then evicts LRU entries beyond max_bytes.
+  void store(const std::string& key, const std::string& payload);
+
+  /// Drops an entry whose payload the codec layer rejected after the
+  /// checksum passed (schema-level corruption). Counts corrupt_skipped.
+  void invalidate(const std::string& key);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+  [[nodiscard]] CacheMode mode() const { return options_.mode; }
+
+  /// Filename (not path) an entry lives under — exposed so robustness
+  /// tests can corrupt entries without re-deriving the naming scheme.
+  static std::string entry_filename(const std::string& key);
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;      // payload bytes (excl. header)
+    std::uint64_t last_used = 0;  // LRU clock value of the latest touch
+  };
+
+  [[nodiscard]] std::string entry_path(const std::string& key) const;
+  void load_index_locked();
+  void rebuild_index_locked();
+  void persist_index_locked();
+  void evict_over_cap_locked(const std::string& keep_key);
+  void drop_entry_locked(const std::string& key, bool count_corrupt);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace trojanscout::cache

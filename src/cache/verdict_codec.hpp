@@ -1,0 +1,90 @@
+// Binds the payload-agnostic VerdictCache to Algorithm 1's obligations.
+//
+// Key derivation: an obligation's CheckResult is a pure function of
+//   (netlist structure, valid-ways spec, obligation, monitor kind,
+//    engine configuration),
+// so the cache key is a 128-bit hex digest over exactly that tuple —
+// proof::design_hash + proof::spec_hash anchor the netlist and property
+// encoding, and every engine knob that can change a verdict (backend,
+// bound, budget, solver/ATPG configuration, fail-fast) is mixed in. Two
+// audits agree on a key if and only if they would ask the engine the same
+// question.
+//
+// Payload: a versioned JSON record carrying the full deterministic part of
+// the CheckResult — verdict flags, status, frames, witness input bits, the
+// EngineCounters block (so a warm RunReport is byte-identical to the cold
+// one when timing is stripped), and an optional reference to the proof
+// certificate produced alongside the verdict. Wall-clock and memory fields
+// are recorded for diagnostics but deliberately NOT restored: a cache hit
+// reports zero seconds, and both fields are timing-flagged everywhere they
+// surface.
+#pragma once
+
+#include <string>
+
+#include "cache/verdict_cache.hpp"
+#include "core/detector.hpp"
+#include "core/verdict_store.hpp"
+#include "designs/design.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace trojanscout::cache {
+
+/// Precomputes the per-audit half of the key (design + spec + config) once;
+/// key() then mixes the per-obligation fields. Thread-safe after
+/// construction.
+class ObligationKeyer {
+ public:
+  ObligationKeyer(const designs::Design& design,
+                  const core::DetectorOptions& options, bool fail_fast);
+
+  /// 32 lowercase hex chars, stable across processes and platforms.
+  [[nodiscard]] std::string key(const core::Obligation& obligation) const;
+
+ private:
+  std::string context_;
+};
+
+/// Serializes a completed (non-cancelled) verdict. `cert_ref` (may be
+/// empty) names the certificate file whose evidence covers this verdict.
+std::string verdict_to_json(const core::Obligation& obligation,
+                            const core::CheckResult& result,
+                            const std::string& cert_ref);
+
+/// Strict parse of a cache payload; any missing/ill-typed field fails (the
+/// caller treats that as a corrupt entry). On success `out.seconds` and
+/// `out.memory_bytes` are zero — hits cost nothing.
+bool verdict_from_json(const std::string& text, core::CheckResult& out,
+                       std::string* cert_ref, std::string* error);
+
+/// core::VerdictStore over a VerdictCache: lookup parses + validates the
+/// payload (invalidating schema-corrupt entries), store skips cancelled
+/// results and stamps the configured cert_ref.
+class AuditVerdictStore final : public core::VerdictStore {
+ public:
+  AuditVerdictStore(VerdictCache& cache, const designs::Design& design,
+                    const core::DetectorOptions& options, bool fail_fast);
+
+  /// Reference recorded into entries stored from now on (the certify path
+  /// points it at the emitted certificate file).
+  void set_cert_ref(std::string ref);
+
+  bool lookup(const core::Obligation& obligation,
+              core::CheckResult& out) override;
+  void store(const core::Obligation& obligation,
+             const core::CheckResult& result) override;
+
+ private:
+  VerdictCache& cache_;
+  ObligationKeyer keyer_;
+  std::mutex cert_ref_mutex_;
+  std::string cert_ref_;
+};
+
+/// Appends one {"type":"cache"} record with the cache's configuration,
+/// event counts, and current size — all deterministic for a given starting
+/// cache state, so timing-stripped reports stay byte-comparable.
+void append_cache_record(telemetry::RunReport& report,
+                         const VerdictCache& cache);
+
+}  // namespace trojanscout::cache

@@ -55,14 +55,30 @@ DetectionReport ParallelDetector::run() {
         telemetry::Span span("obligation:" + obligations[i].property_name(),
                              audit_id);
         TS_COUNTER_ADD("detector.obligations", 1);
-        std::shared_ptr<telemetry::ProgressReporter::Task> task;
-        EngineOptions engine = worker.options().engine;
-        if (reporter != nullptr) {
-          task = reporter->begin(obligations[i].property_name());
-          engine.progress = &task->cells;
+        // A store hit serves the verdict without any engine run; a miss
+        // computes and feeds the store. Either way the result still flows
+        // through the fail-fast classification below, so a cached finding
+        // cancels outstanding obligations exactly like a fresh one.
+        const bool hit = options_.store != nullptr &&
+                         options_.store->lookup(obligations[i], results[i]);
+        if (hit) {
+          if (reporter != nullptr) {
+            // Keep the heartbeat's done/planned tally honest.
+            reporter->begin(obligations[i].property_name())->finish();
+          }
+        } else {
+          std::shared_ptr<telemetry::ProgressReporter::Task> task;
+          EngineOptions engine = worker.options().engine;
+          if (reporter != nullptr) {
+            task = reporter->begin(obligations[i].property_name());
+            engine.progress = &task->cells;
+          }
+          results[i] = worker.run_obligation(obligations[i], engine);
+          if (task != nullptr) task->finish();
+          if (options_.store != nullptr) {
+            options_.store->store(obligations[i], results[i]);
+          }
         }
-        results[i] = worker.run_obligation(obligations[i], engine);
-        if (task != nullptr) task->finish();
         if (options_.fail_fast &&
             worker.is_finding(obligations[i], results[i])) {
           TS_LOG_INFO("parallel-detector: fail-fast cancel after %s",

@@ -19,6 +19,7 @@
 #include <cstddef>
 
 #include "core/detector.hpp"
+#include "core/verdict_store.hpp"
 
 namespace trojanscout::core {
 
@@ -28,6 +29,11 @@ struct ParallelDetectorOptions {
   std::size_t jobs = 0;
   /// Cancel outstanding obligations after the first Trojan finding.
   bool fail_fast = false;
+  /// Optional verdict store consulted before each obligation's engine run
+  /// and fed with every freshly computed (non-cancelled) result. A hit
+  /// skips the engine entirely — same report, zero solves. Must outlive
+  /// run(); null disables caching.
+  VerdictStore* store = nullptr;
 };
 
 class ParallelDetector {

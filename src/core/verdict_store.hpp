@@ -1,0 +1,31 @@
+// Abstract per-obligation verdict store consulted by the schedulers.
+//
+// Algorithm 1's obligations are pure functions of (netlist, property,
+// engine configuration), which makes their CheckResults cacheable. The
+// core library stays storage-agnostic: ParallelDetector (and
+// proof::certify) only see this interface, while cache::AuditVerdictStore
+// binds it to the persistent content-addressed store in src/cache —
+// keeping the dependency arrow cache -> core, never the reverse.
+#pragma once
+
+namespace trojanscout::core {
+
+struct Obligation;
+struct CheckResult;
+
+class VerdictStore {
+ public:
+  virtual ~VerdictStore() = default;
+
+  /// Fills `out` and returns true when a previously computed verdict for
+  /// this obligation exists. Must be thread-safe: the parallel scheduler
+  /// calls it from worker threads.
+  virtual bool lookup(const Obligation& obligation, CheckResult& out) = 0;
+
+  /// Persists a freshly computed verdict. Implementations must ignore
+  /// cancelled results (a cancelled run is not a verdict). Thread-safe.
+  virtual void store(const Obligation& obligation,
+                     const CheckResult& result) = 0;
+};
+
+}  // namespace trojanscout::core

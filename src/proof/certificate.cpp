@@ -200,6 +200,9 @@ Certificate certify(const designs::Design& design,
     engine.cancel = nullptr;  // certificates never race a fail-fast cancel
     if (is_bmc) engine.proof = &log;
     const CheckResult check = detector.run_obligation(obligations[i], engine);
+    if (options.store != nullptr) {
+      options.store->store(obligations[i], check);
+    }
 
     ObligationRecord& record = records[i];
     record.obligation = obligations[i];

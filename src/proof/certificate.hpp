@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/verdict_store.hpp"
 #include "designs/design.hpp"
 #include "proof/drat.hpp"
 #include "proof/json.hpp"
@@ -115,6 +116,11 @@ struct CertifyOptions {
   /// Worker threads for the obligation fan-out; 1 = serial. The emitted
   /// certificate is byte-identical at every jobs count.
   std::size_t jobs = 1;
+  /// Optional verdict store fed write-through as obligations complete.
+  /// Certify never *reads* from it — a cached verdict carries no DRAT
+  /// evidence, and certificates must be backed by a real engine run — but
+  /// storing lets a later `audit --cache-dir` reuse the certified answers.
+  core::VerdictStore* store = nullptr;
 };
 
 /// Runs the audit and gathers evidence. Throws on an internal invariant

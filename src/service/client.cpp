@@ -1,0 +1,130 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace trojanscout::service {
+
+using proof::Json;
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd_);
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("cannot connect to " + socket_path +
+                             " (is the daemon running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("daemon connection lost while sending");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::read_line(std::string& out) {
+  for (;;) {
+    const std::size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      out = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (!buffer_.empty()) {
+        out = std::move(buffer_);
+        buffer_.clear();
+        return true;
+      }
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::read_response(Json& out) {
+  std::string line;
+  if (!read_line(line)) return false;
+  std::string error;
+  return Json::parse(line, out, &error);
+}
+
+SubmitResult submit_audit(
+    Client& client, const AuditJob& job,
+    const std::function<void(const proof::Json&)>& on_response) {
+  SubmitResult result;
+  client.send_line(audit_request_line(job));
+  Json response;
+  while (client.read_response(response)) {
+    if (on_response) on_response(response);
+    const Json* type = response.find("type");
+    if (type == nullptr || !type->is_string()) continue;
+    if (type->as_string() == "error") {
+      const Json* message = response.find("message");
+      result.error = message != nullptr && message->is_string()
+                         ? message->as_string()
+                         : "daemon error";
+      return result;
+    }
+    if (type->as_string() == "accepted") {
+      const Json* n = response.find("obligations");
+      if (n != nullptr && n->is_int()) {
+        result.obligations = static_cast<std::size_t>(n->as_int());
+      }
+    }
+    if (type->as_string() == "report") {
+      const auto get_u64 = [&response](const char* key) -> std::uint64_t {
+        const Json* f = response.find(key);
+        return f != nullptr && f->is_int()
+                   ? static_cast<std::uint64_t>(f->as_int())
+                   : 0;
+      };
+      const auto get_str = [&response](const char* key) -> std::string {
+        const Json* f = response.find(key);
+        return f != nullptr && f->is_string() ? f->as_string() : "";
+      };
+      const Json* found = response.find("trojan_found");
+      result.trojan_found = found != nullptr && found->is_bool() &&
+                            found->as_bool();
+      result.signature = get_str("signature");
+      result.summary = get_str("summary");
+      result.cache_hits = get_u64("cache_hits");
+      result.shared = get_u64("shared");
+      result.computed = get_u64("computed");
+      result.ok = true;
+      return result;
+    }
+  }
+  result.error = "daemon closed the connection before the report";
+  return result;
+}
+
+}  // namespace trojanscout::service

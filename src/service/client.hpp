@@ -1,0 +1,56 @@
+// Minimal blocking client for the audit daemon's Unix-socket protocol,
+// shared by the `submit` subcommand and the service tests.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "proof/json.hpp"
+#include "service/protocol.hpp"
+
+namespace trojanscout::service {
+
+class Client {
+ public:
+  /// Connects to a daemon's socket. Throws std::runtime_error on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (the newline is appended here).
+  void send_line(const std::string& line);
+
+  /// Reads the next response line into `out`; false on EOF.
+  bool read_line(std::string& out);
+
+  /// Reads and parses the next response; false on EOF or non-JSON noise.
+  bool read_response(proof::Json& out);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Outcome of one submitted audit job.
+struct SubmitResult {
+  bool ok = false;            // report received (vs error / lost daemon)
+  bool trojan_found = false;
+  std::string error;          // daemon-side message when !ok
+  std::string signature;      // DetectionReport::signature() text
+  std::string summary;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t shared = 0;
+  std::uint64_t computed = 0;
+  std::size_t obligations = 0;
+};
+
+/// Submits one audit job and consumes its response stream. `on_response`
+/// (optional) sees every parsed response object as it arrives — the
+/// submit subcommand prints progress from it.
+SubmitResult submit_audit(Client& client, const AuditJob& job,
+                          const std::function<void(const proof::Json&)>&
+                              on_response = nullptr);
+
+}  // namespace trojanscout::service

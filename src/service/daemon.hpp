@@ -1,0 +1,127 @@
+// Single-machine audit daemon: `trojanscout_cli serve`.
+//
+// Accepts connections on a Unix-domain socket and executes audit jobs on
+// one shared work-stealing thread pool, so a batch submitted over many
+// connections saturates the machine exactly like one big parallel audit.
+// Three layers keep repeated work off the engines:
+//
+//   1. the persistent verdict cache (optional, shared with the CLI's
+//      --cache-dir) answers obligations solved in any previous run;
+//   2. an in-flight table dedupes identical obligations across concurrent
+//      jobs — the second job waits for the first's engine run instead of
+//      re-solving (both report the verdict, tagged "shared");
+//   3. everything else is computed once and fed back to the cache.
+//
+// Per job the daemon enumerates Algorithm 1's obligations with the same
+// TrojanDetector a direct audit uses and merges results in enumeration
+// order, so the streamed final report carries a DetectionReport signature
+// byte-identical to `trojanscout_cli audit` with the same flags.
+//
+// Threading model: one accept thread, one thread per connection (jobs on a
+// connection run sequentially; concurrency comes from multiple
+// connections), engine runs on the shared pool. Connection threads wait on
+// executions but never run on the pool, so a jobs=1 pool cannot deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/verdict_cache.hpp"
+#include "core/detector.hpp"
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace trojanscout::service {
+
+class AuditDaemon {
+ public:
+  struct Options {
+    std::string socket_path;
+    /// Engine worker threads in the shared pool; 0 = hardware threads.
+    std::size_t jobs = 0;
+    /// Optional persistent verdict cache; null = in-flight dedupe only.
+    cache::VerdictCache* cache = nullptr;
+  };
+
+  explicit AuditDaemon(Options options);
+  ~AuditDaemon();
+
+  AuditDaemon(const AuditDaemon&) = delete;
+  AuditDaemon& operator=(const AuditDaemon&) = delete;
+
+  /// Binds the socket and spawns the accept thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Blocks until a client sends {"op":"shutdown"} (or stop() is called
+  /// from another thread).
+  void wait();
+
+  /// Stops accepting, joins every connection thread (in-flight jobs finish
+  /// first), and removes the socket file. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One obligation's engine run, shared between every job that needs it.
+  struct Execution {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    core::CheckResult result;
+  };
+
+  /// Per-connection socket state: stop() shuts the socket down (waking a
+  /// blocked read) while the owning thread is the only one that closes it;
+  /// the mutex keeps shutdown from racing a close-and-fd-reuse.
+  struct Connection {
+    std::mutex mutex;
+    int fd = -1;
+    bool closed = false;
+  };
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void handle_audit(int fd, const AuditJob& job);
+  bool send_line(int fd, const std::string& line);
+
+  /// Returns the execution registered under `key`, creating it (and
+  /// setting `created`) when this caller is the one that must compute it.
+  std::shared_ptr<Execution> claim(const std::string& key, bool& created);
+  void publish(const std::string& key, const std::shared_ptr<Execution>& exec,
+               core::CheckResult result);
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> shared_hits_{0};
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::mutex inflight_mutex_;
+  std::map<std::string, std::shared_ptr<Execution>> inflight_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+};
+
+}  // namespace trojanscout::service

@@ -1,0 +1,109 @@
+#include "service/protocol.hpp"
+
+#include "proof/json.hpp"
+
+namespace trojanscout::service {
+
+using proof::Json;
+
+core::DetectorOptions AuditJob::detector_options() const {
+  core::DetectorOptions options;
+  options.engine.kind = engine;
+  options.engine.max_frames = frames;
+  options.engine.time_limit_seconds = budget;
+  options.scan_pseudo_critical = scan_pseudo_critical;
+  options.check_bypass = check_bypass;
+  return options;
+}
+
+bool parse_request(const std::string& line, Request& out, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  Json j;
+  std::string parse_error;
+  if (!Json::parse(line, j, &parse_error)) {
+    return fail("bad JSON: " + parse_error);
+  }
+  if (!j.is_object()) return fail("request is not an object");
+  const Json* op = j.find("op");
+  if (op == nullptr || !op->is_string()) return fail("missing op");
+
+  Request request;
+  if (op->as_string() == "ping") {
+    request.op = Request::Op::kPing;
+  } else if (op->as_string() == "stats") {
+    request.op = Request::Op::kStats;
+  } else if (op->as_string() == "shutdown") {
+    request.op = Request::Op::kShutdown;
+  } else if (op->as_string() == "audit") {
+    request.op = Request::Op::kAudit;
+    AuditJob& job = request.job;
+    const Json* f = j.find("id");
+    if (f != nullptr && f->is_string()) job.id = f->as_string();
+    f = j.find("design");
+    if (f == nullptr || !f->is_string() || f->as_string().empty()) {
+      return fail("audit needs a design path");
+    }
+    job.design_path = f->as_string();
+    f = j.find("spec");
+    if (f == nullptr || !f->is_string() || f->as_string().empty()) {
+      return fail("audit needs a spec path");
+    }
+    job.spec_path = f->as_string();
+    f = j.find("engine");
+    if (f != nullptr) {
+      if (!f->is_string()) return fail("bad engine");
+      if (f->as_string() == "bmc") job.engine = core::EngineKind::kBmc;
+      else if (f->as_string() == "atpg") job.engine = core::EngineKind::kAtpg;
+      else return fail("unknown engine '" + f->as_string() + "'");
+    }
+    f = j.find("frames");
+    if (f != nullptr) {
+      if (!f->is_int() || f->as_int() <= 0) return fail("bad frames");
+      job.frames = static_cast<std::size_t>(f->as_int());
+    }
+    f = j.find("budget");
+    if (f != nullptr) {
+      if (!f->is_number() || f->as_double() <= 0) return fail("bad budget");
+      job.budget = f->as_double();
+    }
+    f = j.find("no_scan");
+    if (f != nullptr) {
+      if (!f->is_bool()) return fail("bad no_scan");
+      job.scan_pseudo_critical = !f->as_bool();
+    }
+    f = j.find("no_bypass");
+    if (f != nullptr) {
+      if (!f->is_bool()) return fail("bad no_bypass");
+      job.check_bypass = !f->as_bool();
+    }
+  } else {
+    return fail("unknown op '" + op->as_string() + "'");
+  }
+  out = std::move(request);
+  return true;
+}
+
+std::string audit_request_line(const AuditJob& job) {
+  Json j = Json::object();
+  j.set("op", "audit");
+  j.set("id", job.id);
+  j.set("design", job.design_path);
+  j.set("spec", job.spec_path);
+  j.set("engine", job.engine == core::EngineKind::kAtpg ? "atpg" : "bmc");
+  j.set("frames", job.frames);
+  j.set("budget", job.budget);
+  j.set("no_scan", !job.scan_pseudo_critical);
+  j.set("no_bypass", !job.check_bypass);
+  return j.dump();
+}
+
+std::string control_request_line(const std::string& op) {
+  Json j = Json::object();
+  j.set("op", op);
+  return j.dump();
+}
+
+}  // namespace trojanscout::service

@@ -1,0 +1,69 @@
+// Wire protocol of the audit daemon: newline-delimited JSON over a
+// Unix-domain stream socket.
+//
+// Requests — one JSON object per line, dispatched on "op":
+//   {"op":"audit","id":"job-1","design":"ip.v","spec":"ip.spec",
+//    "engine":"bmc","frames":128,"budget":60.0,
+//    "no_scan":false,"no_bypass":false}
+//   {"op":"ping"}        liveness probe
+//   {"op":"stats"}       cache + service counters
+//   {"op":"shutdown"}    finish in-flight jobs, then exit the accept loop
+//
+// Responses — streamed back on the same connection, one object per line,
+// dispatched on "type":
+//   {"type":"accepted","id":...,"design":...,"obligations":N}
+//   {"type":"obligation","id":...,"property":...,"status":...,
+//    "violated":...,"bound_reached":...,"frames_completed":...,
+//    "source":"cache"|"computed"|"shared"}      (enumeration order)
+//   {"type":"report","id":...,"trojan_found":...,"trust_bound_frames":...,
+//    "summary":...,"signature":...,"cache_hits":N,"shared":N,"computed":N}
+//   {"type":"pong"} / {"type":"stats",...} / {"type":"bye"}
+//   {"type":"error","id":...,"message":...}
+//
+// "source" says where the verdict came from: the persistent cache, a fresh
+// engine run, or an identical obligation already in flight for another job
+// (the daemon dedupes those — both jobs get the one result). The report's
+// "signature" is DetectionReport::signature() verbatim, byte-identical to
+// what a direct `trojanscout_cli audit` of the same design produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/detector.hpp"
+
+namespace trojanscout::service {
+
+/// An audit job as it crosses the wire. Defaults mirror the audit
+/// subcommand's flag defaults, so a job that only names design + spec
+/// audits exactly like `trojanscout_cli audit --design ... --spec ...`.
+struct AuditJob {
+  std::string id;
+  std::string design_path;
+  std::string spec_path;
+  core::EngineKind engine = core::EngineKind::kBmc;
+  std::size_t frames = 128;
+  double budget = 60.0;
+  bool scan_pseudo_critical = true;
+  bool check_bypass = true;
+
+  /// The DetectorOptions an equivalent direct audit would use.
+  [[nodiscard]] core::DetectorOptions detector_options() const;
+};
+
+struct Request {
+  enum class Op { kAudit, kPing, kStats, kShutdown };
+  Op op = Op::kPing;
+  AuditJob job;  // kAudit only
+};
+
+/// Parses one request line. False (with `error`) on malformed input —
+/// the daemon answers with an "error" response and keeps the connection.
+bool parse_request(const std::string& line, Request& out, std::string* error);
+
+/// Serializes an audit job to its request line (no trailing newline).
+std::string audit_request_line(const AuditJob& job);
+/// Serializes a control request ("ping" | "stats" | "shutdown").
+std::string control_request_line(const std::string& op);
+
+}  // namespace trojanscout::service

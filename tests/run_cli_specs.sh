@@ -1,0 +1,50 @@
+#!/bin/sh
+# Integration test for the spec-file path on the RISC core: audit the
+# generated Verilog against specs/risc_sp.spec, confirm the contract scopes
+# to the stack pointer (a program-counter Trojan stays invisible to it),
+# and require warm verdict-cache re-audits to be hit-only with a
+# byte-identical report signature.
+set -e
+CLI="$1"
+SPEC_DIR="$2"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen --family=risc --out="$WORK/risc.v"
+"$CLI" info --design="$WORK/risc.v" | grep -q "registers:.*stack_pointer"
+
+# Clean core satisfies the Table 2 stack-pointer contract.
+"$CLI" audit --design="$WORK/risc.v" --spec="$SPEC_DIR/risc_sp.spec" \
+  --frames=24 > "$WORK/clean.log"
+grep -q "No data-corruption Trojan" "$WORK/clean.log"
+
+# One register checks out via the single-property path too.
+"$CLI" check --design="$WORK/risc.v" --spec="$SPEC_DIR/risc_sp.spec" \
+  --register=stack_pointer --frames=24 | grep -q "clean"
+
+# RISC-T100 corrupts the program counter; the stack-pointer spec must not
+# (and cannot) flag it — specs scope the audit to the registers they cover.
+"$CLI" gen --family=risc --trojan=RISC-T100 --out="$WORK/t100.v"
+"$CLI" audit --design="$WORK/t100.v" --spec="$SPEC_DIR/risc_sp.spec" \
+  --frames=24 > "$WORK/t100.log"
+grep -q "No data-corruption Trojan" "$WORK/t100.log"
+
+# Verdict cache: a cold audit stores every obligation, the warm re-audit
+# answers them all from disk (zero misses) with the same report signature.
+"$CLI" audit --design="$WORK/risc.v" --spec="$SPEC_DIR/risc_sp.spec" \
+  --frames=24 --cache-dir="$WORK/cache" --signature-out="$WORK/sig_cold" \
+  > "$WORK/cold.log"
+grep -q "cache (rw .*): 0 hits" "$WORK/cold.log"
+"$CLI" audit --design="$WORK/risc.v" --spec="$SPEC_DIR/risc_sp.spec" \
+  --frames=24 --cache-dir="$WORK/cache" --signature-out="$WORK/sig_warm" \
+  > "$WORK/warm.log"
+grep -q "hits, 0 misses, 0 stores" "$WORK/warm.log"
+cmp "$WORK/sig_cold" "$WORK/sig_warm" || {
+  echo "warm cache signature differs from cold run"; exit 1; }
+
+# A different bound is a different question: the warm entry must NOT hit.
+"$CLI" audit --design="$WORK/risc.v" --spec="$SPEC_DIR/risc_sp.spec" \
+  --frames=12 --cache-dir="$WORK/cache" > "$WORK/other.log"
+grep -q "cache (rw .*): 0 hits" "$WORK/other.log"
+
+echo "cli specs OK"

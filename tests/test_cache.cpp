@@ -1,0 +1,345 @@
+// Verdict-cache tests: hit/miss/readonly semantics of the persistent
+// content-addressed store, corruption tolerance (truncated, bit-flipped,
+// and schema-mangled entries must read as misses — never abort an audit),
+// deterministic LRU eviction, the obligation codec round trip, and the
+// acceptance bar for the audit service PR: a warm ParallelDetector run over
+// a cached design answers every obligation from disk (zero engine runs) and
+// produces a DetectionReport signature plus a timing-stripped RunReport
+// byte-identical to the cold run's.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "cache/verdict_cache.hpp"
+#include "cache/verdict_codec.hpp"
+#include "core/parallel_detector.hpp"
+#include "core/telemetry_sink.hpp"
+#include "designs/catalog.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace trojanscout::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh cache directory per test, removed on destruction.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/ts_cache_test_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+VerdictCache::Options cache_options(const std::string& dir,
+                                    CacheMode mode = CacheMode::kReadWrite,
+                                    std::uint64_t max_bytes = 0) {
+  VerdictCache::Options options;
+  options.dir = dir;
+  options.mode = mode;
+  options.max_bytes = max_bytes;
+  return options;
+}
+
+TEST(VerdictCache, StoreThenLookupRoundTripsAcrossInstances) {
+  TempDir dir;
+  const std::string key(32, 'a');
+  {
+    VerdictCache cache(cache_options(dir.path));
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.store(key, "payload-1");
+    const auto got = cache.lookup(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "payload-1");
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+  }
+  // A second process (fresh instance over the same directory) sees it.
+  VerdictCache reopened(cache_options(dir.path));
+  EXPECT_EQ(reopened.entry_count(), 1u);
+  const auto got = reopened.lookup(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "payload-1");
+}
+
+TEST(VerdictCache, ReadOnlyServesHitsButNeverWrites) {
+  TempDir dir;
+  const std::string key(32, 'b');
+  {
+    VerdictCache writer(cache_options(dir.path));
+    writer.store(key, "stored-by-writer");
+  }
+  VerdictCache ro(cache_options(dir.path, CacheMode::kReadOnly));
+  const auto got = ro.lookup(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "stored-by-writer");
+  ro.store(std::string(32, 'c'), "must-not-land");
+  EXPECT_EQ(ro.stats().stores, 0u);
+  EXPECT_FALSE(
+      fs::exists(fs::path(dir.path) /
+                 VerdictCache::entry_filename(std::string(32, 'c'))));
+  // Read-only over a directory that does not exist: everything misses.
+  VerdictCache absent(
+      cache_options(dir.path + "/nonexistent", CacheMode::kReadOnly));
+  EXPECT_FALSE(absent.lookup(key).has_value());
+}
+
+TEST(VerdictCache, OffModeMissesAndTouchesNothing) {
+  TempDir dir;
+  VerdictCache cache(cache_options(dir.path + "/off", CacheMode::kOff));
+  cache.store(std::string(32, 'd'), "nope");
+  EXPECT_FALSE(cache.lookup(std::string(32, 'd')).has_value());
+  EXPECT_FALSE(fs::exists(dir.path + "/off"));
+}
+
+TEST(VerdictCache, TruncatedEntryIsSkippedNotFatal) {
+  TempDir dir;
+  const std::string key(32, 'e');
+  VerdictCache cache(cache_options(dir.path));
+  cache.store(key, "a payload long enough to truncate meaningfully");
+  const std::string path =
+      (fs::path(dir.path) / VerdictCache::entry_filename(key)).string();
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text.substr(0, text.size() - 10);
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt_skipped, 1u);
+  EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be unlinked in rw";
+  // Dropped from the in-memory picture too.
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(VerdictCache, BitFlippedPayloadFailsTheChecksum) {
+  TempDir dir;
+  const std::string key(32, 'f');
+  VerdictCache cache(cache_options(dir.path));
+  cache.store(key, "checksummed payload bytes");
+  const std::string path =
+      (fs::path(dir.path) / VerdictCache::entry_filename(key)).string();
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  text[text.size() - 3] ^= 0x20;  // flip a bit inside the payload
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt_skipped, 1u);
+}
+
+TEST(VerdictCache, CorruptEntriesAreDroppedDuringIndexRebuild) {
+  TempDir dir;
+  const std::string good(32, '1');
+  const std::string bad(32, '2');
+  {
+    VerdictCache cache(cache_options(dir.path));
+    cache.store(good, "good payload");
+    cache.store(bad, "bad payload");
+  }
+  // Mangle one entry and the index, forcing a scan on reopen.
+  {
+    std::ofstream os(fs::path(dir.path) / VerdictCache::entry_filename(bad),
+                     std::ios::trunc);
+    os << "not a cache entry at all";
+  }
+  {
+    std::ofstream os(fs::path(dir.path) / "index.txt", std::ios::trunc);
+    os << "garbage index";
+  }
+  VerdictCache reopened(cache_options(dir.path));
+  EXPECT_EQ(reopened.entry_count(), 1u);
+  EXPECT_EQ(reopened.stats().corrupt_skipped, 1u);
+  EXPECT_TRUE(reopened.lookup(good).has_value());
+  EXPECT_FALSE(reopened.lookup(bad).has_value());
+}
+
+TEST(VerdictCache, EvictsLeastRecentlyUsedFirst) {
+  TempDir dir;
+  // Cap fits exactly two 10-byte payloads.
+  VerdictCache cache(
+      cache_options(dir.path, CacheMode::kReadWrite, /*max_bytes=*/20));
+  const std::string k1(32, '1');
+  const std::string k2(32, '2');
+  const std::string k3(32, '3');
+  cache.store(k1, "0123456789");
+  cache.store(k2, "0123456789");
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Touch k1 so k2 becomes the LRU victim.
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  cache.store(k3, "0123456789");
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+  EXPECT_LE(cache.total_bytes(), 20u);
+}
+
+/// Codec + end-to-end fixture: one small catalog design, real obligations.
+struct AuditFixture {
+  AuditFixture() : design(designs::build_clean("mc8051")) {
+    options.engine.kind = core::EngineKind::kBmc;
+    options.engine.max_frames = 6;
+    options.scan_pseudo_critical = true;
+    options.check_bypass = true;
+  }
+  designs::Design design;
+  core::DetectorOptions options;
+};
+
+TEST(VerdictCodec, RoundTripsVerdictsWitnessesAndCounters) {
+  AuditFixture fx;
+  core::TrojanDetector detector(fx.design, fx.options);
+  const auto obligations = detector.enumerate_obligations();
+  ASSERT_FALSE(obligations.empty());
+  for (const auto& obligation : obligations) {
+    const core::CheckResult result =
+        detector.run_obligation(obligation, fx.options.engine);
+    const std::string text =
+        verdict_to_json(obligation, result, "certs/run1.json");
+    core::CheckResult restored;
+    std::string cert_ref;
+    std::string error;
+    ASSERT_TRUE(verdict_from_json(text, restored, &cert_ref, &error))
+        << obligation.property_name() << ": " << error;
+    EXPECT_EQ(cert_ref, "certs/run1.json");
+    EXPECT_EQ(restored.violated, result.violated);
+    EXPECT_EQ(restored.bound_reached, result.bound_reached);
+    EXPECT_EQ(restored.frames_completed, result.frames_completed);
+    EXPECT_EQ(restored.status, result.status);
+    EXPECT_EQ(restored.witness.has_value(), result.witness.has_value());
+    if (result.witness) {
+      EXPECT_EQ(restored.witness->violation_frame,
+                result.witness->violation_frame);
+      ASSERT_EQ(restored.witness->frames.size(), result.witness->frames.size());
+      for (std::size_t i = 0; i < result.witness->frames.size(); ++i) {
+        EXPECT_EQ(restored.witness->frames[i].bits,
+                  result.witness->frames[i].bits);
+      }
+    }
+    EXPECT_EQ(restored.counters.sat.decisions, result.counters.sat.decisions);
+    EXPECT_EQ(restored.counters.cnf_vars, result.counters.cnf_vars);
+    EXPECT_EQ(restored.counters.frame_clauses, result.counters.frame_clauses);
+    // Hits must cost nothing: wall clock and memory are not restored.
+    EXPECT_EQ(restored.seconds, 0.0);
+    EXPECT_EQ(restored.memory_bytes, 0u);
+    EXPECT_FALSE(restored.cancelled);
+  }
+}
+
+TEST(VerdictCodec, RejectsSchemaCorruptPayloadWithoutAborting) {
+  core::CheckResult out;
+  std::string error;
+  EXPECT_FALSE(verdict_from_json("{\"format\":\"wrong\"}", out, nullptr,
+                                 &error));
+  EXPECT_FALSE(verdict_from_json("not json", out, nullptr, &error));
+  EXPECT_FALSE(verdict_from_json("{}", out, nullptr, &error));
+}
+
+TEST(VerdictCodec, KeysSeparateConfigurationsAndObligations) {
+  AuditFixture fx;
+  core::TrojanDetector detector(fx.design, fx.options);
+  const auto obligations = detector.enumerate_obligations();
+  ASSERT_GE(obligations.size(), 2u);
+
+  const ObligationKeyer keyer(fx.design, fx.options, /*fail_fast=*/false);
+  EXPECT_EQ(keyer.key(obligations[0]).size(), 32u);
+  EXPECT_EQ(keyer.key(obligations[0]), keyer.key(obligations[0]));
+  EXPECT_NE(keyer.key(obligations[0]), keyer.key(obligations[1]));
+
+  core::DetectorOptions deeper = fx.options;
+  deeper.engine.max_frames += 1;
+  EXPECT_NE(ObligationKeyer(fx.design, deeper, false).key(obligations[0]),
+            keyer.key(obligations[0]));
+  EXPECT_NE(ObligationKeyer(fx.design, fx.options, true).key(obligations[0]),
+            keyer.key(obligations[0]));
+}
+
+/// The PR's acceptance bar: a warm re-audit of an unchanged design through
+/// --cache-dir performs zero engine runs and reports identically.
+TEST(VerdictCache, WarmAuditHitsEverythingAndMatchesColdReportByteForByte) {
+  TempDir dir;
+  AuditFixture fx;
+
+  const auto run_audit = [&fx](VerdictCache& cache, std::string& jsonl) {
+    AuditVerdictStore store(cache, fx.design, fx.options,
+                            /*fail_fast=*/false);
+    core::ParallelDetectorOptions options;
+    options.detector = fx.options;
+    options.jobs = 4;
+    options.store = &store;
+    core::ParallelDetector detector(fx.design, options);
+    const core::DetectionReport report = detector.run();
+    telemetry::RunReport metrics;
+    core::append_detection_report(metrics, fx.design.name, "BMC", report);
+    jsonl = metrics.to_jsonl(/*include_timing=*/false);
+    return report.signature();
+  };
+
+  std::string cold_jsonl;
+  std::string warm_jsonl;
+  std::string cold_signature;
+  std::string warm_signature;
+  const std::size_t obligation_count =
+      core::TrojanDetector(fx.design, fx.options)
+          .enumerate_obligations()
+          .size();
+  {
+    VerdictCache cache(cache_options(dir.path));
+    cold_signature = run_audit(cache, cold_jsonl);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, obligation_count);
+    EXPECT_EQ(cache.stats().stores, obligation_count);
+  }
+  {
+    VerdictCache cache(cache_options(dir.path));
+    warm_signature = run_audit(cache, warm_jsonl);
+    EXPECT_EQ(cache.stats().hits, obligation_count)
+        << "warm re-audit must answer every obligation from the cache";
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_EQ(cache.stats().stores, 0u);
+  }
+  EXPECT_EQ(warm_signature, cold_signature);
+  EXPECT_EQ(warm_jsonl, cold_jsonl)
+      << "timing-stripped warm report must be byte-identical to cold";
+}
+
+TEST(VerdictCache, AppendCacheRecordCarriesTheSchemaFields) {
+  TempDir dir;
+  VerdictCache cache(cache_options(dir.path));
+  cache.store(std::string(32, 'a'), "x");
+  cache.lookup(std::string(32, 'a'));
+  cache.lookup(std::string(32, 'b'));
+  telemetry::RunReport report;
+  append_cache_record(report, cache);
+  const std::string line = report.to_jsonl();
+  EXPECT_NE(line.find("\"type\":\"cache\""), std::string::npos);
+  EXPECT_NE(line.find("\"mode\":\"rw\""), std::string::npos);
+  EXPECT_NE(line.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"stores\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"entries\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trojanscout::cache

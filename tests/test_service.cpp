@@ -1,0 +1,280 @@
+// Audit daemon tests: an in-process AuditDaemon on a temp Unix socket must
+// serve submitted jobs with DetectionReport signatures byte-identical to a
+// direct ParallelDetector run over the same files, answer warm re-submits
+// entirely from the shared verdict cache, respond to ping/stats, reject
+// malformed jobs with an error response (connection stays usable), and
+// shut down cleanly from both a client op and a server-side stop().
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/verdict_cache.hpp"
+#include "core/parallel_detector.hpp"
+#include "designs/catalog.hpp"
+#include "proof/json.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "specdsl/specdsl.hpp"
+#include "verilog/reader.hpp"
+#include "verilog/writer.hpp"
+
+namespace trojanscout::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMc8051Spec =
+    "register sp\n"
+    "  way \"Reset\"     : reset == 1 -> const 0x07\n"
+    "  way \"LCALL\"     : phase == 1 && opcode == 0x12 -> add 1\n"
+    "  way \"RET\"       : phase == 1 && opcode == 0x22 -> sub 1\n"
+    "  way \"MOV SP,#d\" : phase == 1 && opcode == 0x75 -> code_operand\n";
+
+/// Work area holding the socket, the cache, and the design/spec files the
+/// daemon loads by path.
+struct ServiceFixture {
+  ServiceFixture() {
+    char tmpl[] = "/tmp/ts_service_test_XXXXXX";
+    dir = ::mkdtemp(tmpl);
+    socket_path = dir + "/daemon.sock";
+    design_path = dir + "/mc8051.v";
+    spec_path = dir + "/mc8051_sp.spec";
+    const designs::Design design = designs::build_clean("mc8051");
+    std::ofstream vs(design_path);
+    verilog::write_verilog(vs, design.nl, design.name);
+    std::ofstream ss(spec_path);
+    ss << kMc8051Spec;
+  }
+  ~ServiceFixture() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  AuditJob job(std::size_t frames = 6) const {
+    AuditJob j;
+    j.id = "test-job";
+    j.design_path = design_path;
+    j.spec_path = spec_path;
+    j.frames = frames;
+    return j;
+  }
+
+  /// What the daemon must match: a direct parallel audit of the same files.
+  std::string direct_signature(const AuditJob& j) const {
+    designs::Design design;
+    design.name = "design";
+    std::ifstream in(j.design_path);
+    design.nl = verilog::read_verilog(in);
+    design.nl.validate();
+    design.spec = specdsl::load_spec_file(design.nl, j.spec_path);
+    for (const auto& reg_spec : design.spec.registers) {
+      design.critical_registers.push_back(reg_spec.reg);
+    }
+    core::ParallelDetectorOptions options;
+    options.detector = j.detector_options();
+    options.jobs = 2;
+    return core::ParallelDetector(design, options).run().signature();
+  }
+
+  std::string dir;
+  std::string socket_path;
+  std::string design_path;
+  std::string spec_path;
+};
+
+TEST(AuditDaemon, SubmittedJobMatchesDirectAuditSignature) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.socket_path = fx.socket_path;
+  options.jobs = 2;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  const AuditJob job = fx.job();
+  std::size_t obligation_lines = 0;
+  Client client(fx.socket_path);
+  const SubmitResult result =
+      submit_audit(client, job, [&obligation_lines](const proof::Json& r) {
+        const proof::Json* type = r.find("type");
+        if (type != nullptr && type->is_string() &&
+            type->as_string() == "obligation") {
+          obligation_lines++;
+        }
+      });
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.trojan_found);
+  EXPECT_EQ(result.signature, fx.direct_signature(job));
+  EXPECT_GT(result.obligations, 0u);
+  EXPECT_EQ(obligation_lines, result.obligations)
+      << "every obligation must stream one response line";
+  EXPECT_EQ(result.computed, result.obligations);
+
+  daemon.stop();
+  EXPECT_FALSE(fs::exists(fx.socket_path)) << "stop() must unlink the socket";
+  EXPECT_EQ(daemon.jobs_completed(), 1u);
+}
+
+TEST(AuditDaemon, WarmResubmitIsServedEntirelyFromTheCache) {
+  ServiceFixture fx;
+  cache::VerdictCache cache({fx.dir + "/cache", cache::CacheMode::kReadWrite,
+                             /*max_bytes=*/0});
+  AuditDaemon::Options options;
+  options.socket_path = fx.socket_path;
+  options.jobs = 2;
+  options.cache = &cache;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  const AuditJob job = fx.job();
+  SubmitResult cold;
+  SubmitResult warm;
+  {
+    Client client(fx.socket_path);
+    cold = submit_audit(client, job);
+  }
+  {
+    Client client(fx.socket_path);
+    warm = submit_audit(client, job);
+  }
+  daemon.stop();
+
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.computed, cold.obligations);
+  EXPECT_EQ(warm.cache_hits, warm.obligations)
+      << "warm batch must perform zero engine runs";
+  EXPECT_EQ(warm.computed, 0u);
+  EXPECT_EQ(warm.signature, cold.signature);
+
+  // Jobs with a different bound ask a different question — key must differ.
+  EXPECT_EQ(cache.stats().misses, cold.obligations);
+}
+
+TEST(AuditDaemon, AnswersPingAndStatsAndErrorsKeepTheConnectionUsable) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.socket_path = fx.socket_path;
+  options.jobs = 1;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  Client client(fx.socket_path);
+  proof::Json response;
+
+  client.send_line(control_request_line("ping"));
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.find("type")->as_string(), "pong");
+
+  client.send_line("this is not json");
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.find("type")->as_string(), "error");
+
+  client.send_line("{\"op\":\"audit\",\"design\":\"\",\"spec\":\"\"}");
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.find("type")->as_string(), "error");
+
+  // A job whose design file does not exist fails that job, not the daemon.
+  AuditJob bad = fx.job();
+  bad.design_path = fx.dir + "/missing.v";
+  const SubmitResult result = submit_audit(client, bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+
+  client.send_line(control_request_line("stats"));
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.find("type")->as_string(), "stats");
+  ASSERT_NE(response.find("jobs_completed"), nullptr);
+
+  // The connection survived all of the above: a real job still works.
+  const SubmitResult good = submit_audit(client, fx.job());
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.signature, fx.direct_signature(fx.job()));
+
+  daemon.stop();
+}
+
+TEST(AuditDaemon, ClientShutdownOpStopsTheDaemon) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.socket_path = fx.socket_path;
+  options.jobs = 1;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  std::thread waiter([&daemon] { daemon.wait(); });
+  {
+    Client client(fx.socket_path);
+    client.send_line(control_request_line("shutdown"));
+    proof::Json response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "bye");
+  }
+  waiter.join();  // wait() returns once the shutdown op lands
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST(AuditDaemon, StopWakesAnIdleConnection) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.socket_path = fx.socket_path;
+  options.jobs = 1;
+  AuditDaemon daemon(options);
+  daemon.start();
+  // An idle client blocked in the daemon's read() must not hang stop().
+  Client client(fx.socket_path);
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST(AuditDaemon, ConcurrentConnectionsAllMatchTheDirectSignature) {
+  ServiceFixture fx;
+  cache::VerdictCache cache({fx.dir + "/cache", cache::CacheMode::kReadWrite,
+                             /*max_bytes=*/0});
+  AuditDaemon::Options options;
+  options.socket_path = fx.socket_path;
+  options.jobs = 2;
+  options.cache = &cache;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  const AuditJob job = fx.job();
+  const std::string expected = fx.direct_signature(job);
+  constexpr int kClients = 4;
+  std::vector<SubmitResult> results(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&fx, &job, &results, i] {
+      Client client(fx.socket_path);
+      results[i] = submit_audit(client, job);
+    });
+  }
+  for (auto& t : threads) t.join();
+  daemon.stop();
+
+  std::uint64_t computed = 0;
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.signature, expected);
+    computed += result.computed;
+  }
+  // Identical concurrent jobs share engine runs (in-flight dedupe) or hit
+  // the cache; each obligation is computed at most once.
+  const std::uint64_t obligations = results[0].obligations;
+  EXPECT_EQ(computed, obligations)
+      << "in-flight dedupe must compute each obligation exactly once";
+  EXPECT_EQ(daemon.jobs_completed(), static_cast<std::uint64_t>(kClients));
+}
+
+}  // namespace
+}  // namespace trojanscout::service

@@ -103,6 +103,18 @@ SCHEMAS = {
         "progress_key": int,
         "stalled_seconds": (int, float),
     },
+    # Verdict-cache snapshot appended by audits run with --cache-dir.
+    "cache": {
+        "dir": str,
+        "mode": str,
+        "hits": int,
+        "misses": int,
+        "stores": int,
+        "evictions": int,
+        "corrupt_skipped": int,
+        "entries": int,
+        "bytes": int,
+    },
 }
 
 

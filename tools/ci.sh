@@ -90,13 +90,86 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   fi
 
+  echo "=== [release] audit service smoke (daemon + verdict cache) ==="
+  # Start the daemon with a fresh cache, submit the catalog IP over the
+  # socket, and require the streamed signature to be byte-identical to a
+  # direct audit of the same files. A warm re-submit must then be served
+  # entirely from the verdict cache (zero engine runs).
+  sock="$art/audit.sock"
+  "$rel/tools/trojanscout_cli" serve --socket="$sock" \
+      --cache-dir="$art/vcache" >"$art/serve.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
+  if ! [ -S "$sock" ]; then
+    echo "FAIL: daemon socket never appeared"
+    exit 1
+  fi
+  status=0
+  "$rel/tools/trojanscout_cli" submit --socket="$sock" \
+      --design="$art/ip.v" --spec="$src/specs/mc8051_sp.spec" --frames=8 \
+      --signature-out="$art/sig_daemon_cold" \
+      >"$art/submit_cold.log" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: daemon submit expected exit 2 (trojan found), got $status"
+    exit 1
+  fi
+  status=0
+  "$rel/tools/trojanscout_cli" submit --socket="$sock" \
+      --design="$art/ip.v" --spec="$src/specs/mc8051_sp.spec" --frames=8 \
+      --signature-out="$art/sig_daemon_warm" \
+      >"$art/submit_warm.log" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: warm daemon submit expected exit 2, got $status"
+    exit 1
+  fi
+  if ! grep -q "served: 0 from cache" "$art/submit_cold.log"; then
+    echo "FAIL: cold submit should not have cache hits"
+    exit 1
+  fi
+  if ! grep -q ", 0 computed" "$art/submit_warm.log"; then
+    echo "FAIL: warm submit performed engine runs (expected all-cache)"
+    exit 1
+  fi
+  status=0
+  "$rel/tools/trojanscout_cli" audit --design="$art/ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --frames=8 --jobs=2 \
+      --signature-out="$art/sig_direct" \
+      >"$art/audit_direct.stdout" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: direct audit expected exit 2, got $status"
+    exit 1
+  fi
+  if ! cmp -s "$art/sig_daemon_cold" "$art/sig_direct" \
+      || ! cmp -s "$art/sig_daemon_warm" "$art/sig_direct"; then
+    echo "FAIL: daemon signatures differ from the direct audit"
+    exit 1
+  fi
+  kill -TERM "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  # Cache-instrumented metrics for the schema validator below.
+  status=0
+  "$rel/tools/trojanscout_cli" audit --design="$art/ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --frames=8 --jobs=2 \
+      --cache-dir="$art/vcache" \
+      --metrics-out="$art/audit_cached_metrics.jsonl" \
+      >"$art/audit_cached.stdout" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: cached audit expected exit 2, got $status"
+    exit 1
+  fi
+  if ! grep -q "\"type\":\"cache\"" "$art/audit_cached_metrics.jsonl"; then
+    echo "FAIL: cached audit metrics lack the cache record"
+    exit 1
+  fi
+
   echo "=== [release] artifact schema validation ==="
   python3 "$src/tools/check_metrics.py" \
       "$art/BENCH_table1.json" "$art/BENCH_table2.json" \
       "$art/BENCH_table3.json" "$art/BENCH_parallel_scaling.json" \
       "$art/table1.jsonl" "$art/table2.jsonl" "$art/table3.jsonl" \
       "$art/parallel_scaling.jsonl" "$art/audit_trace.json" \
-      "$art/audit_profile.json" "$art/audit_metrics.jsonl"
+      "$art/audit_profile.json" "$art/audit_metrics.jsonl" \
+      "$art/audit_cached_metrics.jsonl"
 
   echo "=== [release] bench regression gate ==="
   python3 "$src/tools/bench_compare.py" --self-test

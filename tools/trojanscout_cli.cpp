@@ -20,11 +20,25 @@
 //                              [--budget S] [--no-scan] [--no-bypass]
 //                              [--pretty]
 //   trojanscout_cli check-cert --cert cert.json --design ip.v --spec ip.spec
+//   trojanscout_cli serve  --socket /run/ts.sock [--cache-dir DIR]
+//                          [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]
+//   trojanscout_cli submit --socket /run/ts.sock --design ip.v --spec ip.spec
+//                          [--engine bmc|atpg] [--frames N] [--budget S]
+//                          [--no-scan] [--no-bypass] [--id NAME]
+//                          [--signature-out FILE] [--quiet]
 //
 // `audit` runs the paper's full Algorithm 1 over every register with a spec
 // block, scheduling the independent property checks across --jobs worker
 // threads (default: all hardware threads). Without --fail-fast the report
-// is deterministic — identical for any jobs value.
+// is deterministic — identical for any jobs value. With --cache-dir,
+// per-obligation verdicts persist to a content-addressed store and warm
+// re-audits of unchanged designs skip the engines entirely.
+//
+// `serve` runs the same audits as a daemon: newline-delimited JSON jobs
+// arrive over a Unix-domain socket, identical in-flight obligations are
+// deduped across concurrent jobs, and every reported DetectionReport
+// signature is byte-identical to a direct `audit` with the same flags.
+// `submit` is the matching client.
 //
 // `certify` is `audit` with evidence: every violated property carries its
 // witness, every BMC-clean frame carries a binary-DRAT proof, bundled into
@@ -35,12 +49,15 @@
 //
 // Exit codes: 0 = clean / generated / certificate valid, 2 = Trojan found,
 // 1 = usage / error / certificate rejected.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <memory>
 
 #include "bmc/bmc.hpp"
+#include "cache/verdict_cache.hpp"
+#include "cache/verdict_codec.hpp"
 #include "core/detector.hpp"
 #include "core/minimize.hpp"
 #include "core/parallel_detector.hpp"
@@ -48,6 +65,9 @@
 #include "designs/catalog.hpp"
 #include "proof/certificate.hpp"
 #include "properties/monitors.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
 #include "sim/vcd.hpp"
 #include "specdsl/specdsl.hpp"
 #include "telemetry/profile.hpp"
@@ -65,11 +85,102 @@ using namespace trojanscout;
 
 namespace {
 
+#ifndef TROJANSCOUT_GIT_REV
+#define TROJANSCOUT_GIT_REV "unknown"
+#endif
+
 int usage() {
-  std::cerr << "usage: trojanscout_cli "
-               "<info|check|audit|prove|gen|certify|check-cert> [flags]\n"
-               "  see the header of tools/trojanscout_cli.cpp\n";
+  std::cerr
+      << "usage: trojanscout_cli <subcommand> [flags]\n"
+         "\n"
+         "  info       --design ip.v\n"
+         "               print gate/port/register structure\n"
+         "  check      --design ip.v --spec ip.spec --register REG\n"
+         "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
+         "               [--minimize] [--vcd out.vcd]\n"
+         "               check one register's corruption property\n"
+         "  audit      --design ip.v --spec ip.spec\n"
+         "               [--jobs N] [--fail-fast] [--engine bmc|atpg]\n"
+         "               [--frames N] [--budget S] [--no-scan] [--no-bypass]\n"
+         "               [--cache-dir DIR] [--cache off|ro|rw]\n"
+         "               [--cache-max-mb N] [--signature-out FILE]\n"
+         "               [--trace-out t.json] [--metrics-out run.jsonl]\n"
+         "               [--profile-out p.json] [--progress[=SECS]]\n"
+         "               [--stall-window SECS]\n"
+         "               run Algorithm 1 over every spec'd register\n"
+         "  prove      --design ip.v --spec ip.spec --register REG\n"
+         "               [--max-k K] [--budget S]\n"
+         "               unbounded proof by k-induction\n"
+         "  gen        --family mc8051|risc|aes [--trojan NAME]\n"
+         "               [--out design.v]\n"
+         "               emit a benchmark design as structural Verilog\n"
+         "  certify    --design ip.v --spec ip.spec --out cert.json\n"
+         "               [--jobs N] [--engine bmc|atpg] [--frames N]\n"
+         "               [--budget S] [--no-scan] [--no-bypass] [--pretty]\n"
+         "               [--cache-dir DIR] [--cache off|ro|rw]\n"
+         "               [--cache-max-mb N]\n"
+         "               audit with witness + DRAT evidence bundled\n"
+         "  check-cert --cert cert.json --design ip.v --spec ip.spec\n"
+         "               re-validate a certificate offline\n"
+         "  serve      --socket PATH [--cache-dir DIR] [--cache off|ro|rw]\n"
+         "               [--cache-max-mb N] [--jobs N]\n"
+         "               audit daemon on a Unix socket (NDJSON protocol)\n"
+         "  submit     --socket PATH --design ip.v --spec ip.spec\n"
+         "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
+         "               [--no-scan] [--no-bypass] [--id NAME]\n"
+         "               [--signature-out FILE] [--quiet]\n"
+         "               send one audit job to a running daemon\n"
+         "\n"
+         "  --version  print the build's git revision\n"
+         "\n"
+         "exit codes: 0 = clean/ok, 2 = Trojan found, 1 = usage/error\n";
   return 1;
+}
+
+/// Opens the verdict cache requested by --cache-dir / --cache /
+/// --cache-max-mb; null when caching is off (no directory, or --cache=off).
+std::unique_ptr<cache::VerdictCache> open_cache(const util::CliParser& cli) {
+  const std::string dir = cli.get_string("cache-dir", "");
+  if (dir.empty()) {
+    if (cli.has("cache")) {
+      throw std::runtime_error("--cache needs --cache-dir");
+    }
+    return nullptr;
+  }
+  cache::VerdictCache::Options options;
+  options.dir = dir;
+  const std::string mode = cli.get_string("cache", "rw");
+  if (!cache::cache_mode_from_name(mode, options.mode)) {
+    throw std::runtime_error("--cache must be off, ro, or rw (got '" + mode +
+                             "')");
+  }
+  if (options.mode == cache::CacheMode::kOff) return nullptr;
+  const long max_mb = cli.get_int("cache-max-mb", 256);
+  options.max_bytes = max_mb <= 0
+                          ? 0
+                          : static_cast<std::uint64_t>(max_mb) * 1024 * 1024;
+  return std::make_unique<cache::VerdictCache>(std::move(options));
+}
+
+void print_cache_summary(const cache::VerdictCache& vc) {
+  const cache::CacheStats s = vc.stats();
+  std::cout << "cache (" << cache_mode_name(vc.mode()) << " " << vc.dir()
+            << "): " << s.hits << " hits, " << s.misses << " misses, "
+            << s.stores << " stores, " << s.evictions << " evictions";
+  if (s.corrupt_skipped > 0) {
+    std::cout << ", " << s.corrupt_skipped << " corrupt skipped";
+  }
+  std::cout << "; " << vc.entry_count() << " entries, " << vc.total_bytes()
+            << " bytes\n";
+}
+
+void write_signature(const std::string& path,
+                     const core::DetectionReport& report) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << report.signature();
+  std::cout << "signature written to " << path << "\n";
 }
 
 netlist::Netlist load_design(const util::CliParser& cli) {
@@ -183,6 +294,16 @@ int cmd_audit(const util::CliParser& cli) {
   options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   options.fail_fast = cli.get_bool("fail-fast", false);
 
+  // --cache-dir persists per-obligation verdicts; a warm re-audit of an
+  // unchanged design answers every obligation from disk with zero solves.
+  const std::unique_ptr<cache::VerdictCache> verdict_cache = open_cache(cli);
+  std::unique_ptr<cache::AuditVerdictStore> store;
+  if (verdict_cache != nullptr) {
+    store = std::make_unique<cache::AuditVerdictStore>(
+        *verdict_cache, design, options.detector, options.fail_fast);
+    options.store = store.get();
+  }
+
   // Observability taps: --trace-out installs a span recorder (Chrome
   // trace_event JSON, one span tree per obligation), --metrics-out enables
   // the counter registry and serializes a JSON-lines run report,
@@ -240,6 +361,9 @@ int cmd_audit(const util::CliParser& cli) {
         core::engine_name(options.detector.engine.kind), report,
         total_seconds);
     core::append_registry_snapshot(metrics, telemetry::Registry::global());
+    if (verdict_cache != nullptr) {
+      cache::append_cache_record(metrics, *verdict_cache);
+    }
     if (progress != nullptr) {
       telemetry::append_stall_records(metrics, *progress);
     }
@@ -268,6 +392,8 @@ int cmd_audit(const util::CliParser& cli) {
               << run.check.frames_completed << " frames, " << run.check.seconds
               << " s)\n";
   }
+  if (verdict_cache != nullptr) print_cache_summary(*verdict_cache);
+  write_signature(cli.get_string("signature-out", ""), report);
   std::cout << report.summary() << "\n";
   std::cout << "peak RSS: " << util::peak_rss_summary() << "\n";
   if (!report.trojan_found) return 0;
@@ -348,12 +474,25 @@ int cmd_certify(const util::CliParser& cli) {
   options.detector.check_bypass = !cli.get_bool("no-bypass", false);
   options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
 
+  const std::string out = cli.get_string("out", "");
+
+  // Certify never reads the cache (certificates need real engine evidence)
+  // but writes every verdict through, stamped with the certificate path, so
+  // a later `audit --cache-dir` reuses the certified answers.
+  const std::unique_ptr<cache::VerdictCache> verdict_cache = open_cache(cli);
+  std::unique_ptr<cache::AuditVerdictStore> store;
+  if (verdict_cache != nullptr) {
+    store = std::make_unique<cache::AuditVerdictStore>(
+        *verdict_cache, design, options.detector, /*fail_fast=*/false);
+    store->set_cert_ref(out);
+    options.store = store.get();
+  }
+
   const proof::Certificate cert = proof::certify(design, options);
   const proof::Json json = proof::certificate_to_json(cert);
   const std::string text =
       cli.get_bool("pretty", false) ? json.dump_pretty() : json.dump() + "\n";
 
-  const std::string out = cli.get_string("out", "");
   if (out.empty()) {
     std::cout << text;
   } else {
@@ -370,6 +509,7 @@ int cmd_certify(const util::CliParser& cli) {
               << cert.records.size() << " obligations, " << witnesses
               << " witnesses, " << marks << " DRAT-proved frames)\n";
   }
+  if (verdict_cache != nullptr) print_cache_summary(*verdict_cache);
   std::cout << (cert.trojan_found
                     ? "TROJAN FOUND (witnesses included in certificate)"
                     : "clean within the bound (proofs included in certificate)")
@@ -402,6 +542,104 @@ int cmd_check_cert(const util::CliParser& cli) {
       proof::check_certificate(cert, design);
   std::cout << result.summary() << "\n";
   return result.ok ? 0 : 1;
+}
+
+service::AuditDaemon* g_daemon = nullptr;
+
+void handle_stop_signal(int) {
+  // stop() joins threads, which is not async-signal-safe in general, but
+  // the daemon's accept loop polls with a timeout and every blocking read
+  // is shutdown() first, so in practice this terminates promptly; the
+  // alternative (a self-pipe) buys little for a CLI tool.
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+int cmd_serve(const util::CliParser& cli) {
+  const std::string socket_path = cli.get_string("socket", "");
+  if (socket_path.empty()) throw std::runtime_error("--socket is required");
+
+  const std::unique_ptr<cache::VerdictCache> verdict_cache = open_cache(cli);
+
+  service::AuditDaemon::Options options;
+  options.socket_path = socket_path;
+  options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  options.cache = verdict_cache.get();
+
+  service::AuditDaemon daemon(options);
+  daemon.start();
+  g_daemon = &daemon;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::cout << "audit daemon listening on " << socket_path;
+  if (verdict_cache != nullptr) {
+    std::cout << " (cache " << cache_mode_name(verdict_cache->mode()) << " "
+              << verdict_cache->dir() << ")";
+  }
+  std::cout << "\n" << std::flush;
+
+  daemon.wait();
+  daemon.stop();
+  g_daemon = nullptr;
+
+  std::cout << "daemon stopped after " << daemon.jobs_completed()
+            << " job(s)\n";
+  if (verdict_cache != nullptr) print_cache_summary(*verdict_cache);
+  return 0;
+}
+
+int cmd_submit(const util::CliParser& cli) {
+  const std::string socket_path = cli.get_string("socket", "");
+  if (socket_path.empty()) throw std::runtime_error("--socket is required");
+
+  service::AuditJob job;
+  job.id = cli.get_string("id", "job");
+  job.design_path = cli.get_string("design", "");
+  job.spec_path = cli.get_string("spec", "");
+  if (job.design_path.empty()) throw std::runtime_error("--design is required");
+  if (job.spec_path.empty()) throw std::runtime_error("--spec is required");
+  job.engine = cli.get_string("engine", "bmc") == "atpg"
+                   ? core::EngineKind::kAtpg
+                   : core::EngineKind::kBmc;
+  job.frames = static_cast<std::size_t>(cli.get_int("frames", 128));
+  job.budget = cli.get_double("budget", 60.0);
+  job.scan_pseudo_critical = !cli.get_bool("no-scan", false);
+  job.check_bypass = !cli.get_bool("no-bypass", false);
+
+  const bool quiet = cli.get_bool("quiet", false);
+  service::Client client(socket_path);
+  const service::SubmitResult result = service::submit_audit(
+      client, job, [quiet](const proof::Json& response) {
+        if (quiet) return;
+        const proof::Json* type = response.find("type");
+        if (type == nullptr || !type->is_string() ||
+            type->as_string() != "obligation") {
+          return;
+        }
+        const auto str = [&response](const char* key) -> std::string {
+          const proof::Json* f = response.find(key);
+          return f != nullptr && f->is_string() ? f->as_string() : "";
+        };
+        std::cout << str("property") << ": " << str("status") << " ["
+                  << str("source") << "]\n";
+      });
+
+  if (!result.ok) {
+    std::cerr << "error: " << result.error << "\n";
+    return 1;
+  }
+  std::cout << result.summary << "\n"
+            << "served: " << result.cache_hits << " from cache, "
+            << result.shared << " shared in-flight, " << result.computed
+            << " computed\n";
+  const std::string signature_out = cli.get_string("signature-out", "");
+  if (!signature_out.empty()) {
+    std::ofstream os(signature_out);
+    if (!os) throw std::runtime_error("cannot write " + signature_out);
+    os << result.signature;
+    std::cout << "signature written to " << signature_out << "\n";
+  }
+  return result.trojan_found ? 2 : 0;
 }
 
 int cmd_gen(const util::CliParser& cli) {
@@ -443,6 +681,10 @@ int cmd_gen(const util::CliParser& cli) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::cout << "trojanscout " << TROJANSCOUT_GIT_REV << "\n";
+    return 0;
+  }
   const util::CliParser cli(argc - 1, argv + 1);
   try {
     if (command == "info") return cmd_info(cli);
@@ -452,6 +694,8 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(cli);
     if (command == "certify") return cmd_certify(cli);
     if (command == "check-cert") return cmd_check_cert(cli);
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "submit") return cmd_submit(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
