@@ -288,11 +288,21 @@ Design build_risc(const RiscOptions& options) {
   }
   const SignalId targets_differ =
       nl.b_not(netlist::w_eq(nl, return_target, alt_return_target));
+  // The not-taken next PC must genuinely differ from the vector: a program
+  // can mask the flag by jumping (GOTO/RETURN/PCL-write) to 0x04 exactly
+  // when the interrupt would have fired, so exclude every way, not just the
+  // sequential fetch.
+  Word pc_not_taken = pc_reg;
+  pc_not_taken = w_mux(nl, pc_step, w_inc(nl, pc_reg), pc_not_taken);
+  pc_not_taken = w_mux(nl, pc_write_pcl, pcl_target, pc_not_taken);
+  pc_not_taken = w_mux(nl, pc_jump, jump_target, pc_not_taken);
+  pc_not_taken = w_mux(nl, pc_return, return_target, pc_not_taken);
   const SignalId inte_discriminator = nl.b_and(
-      nl.b_and(cycle4, run),
-      nl.b_not(netlist::w_eq(nl, w_inc(nl, pc_reg), w_const(nl, 4, kPcBits))));
-  inte.obligation("interrupt flag steers the PC at cycle 4 (vector != PC+1)",
-                  inte_discriminator, Word{}, 4);
+      nl.b_and(nl.b_and(cycle4, run), nl.b_not(reset)),
+      nl.b_not(w_eq_const(nl, pc_not_taken, 0x04)));
+  inte.obligation(
+      "interrupt flag steers the PC at cycle 4 (vector != next PC)",
+      inte_discriminator, Word{}, 4);
 
   // Stack pointer (Figure 1 Trojan: SP -= 2 when triggered).
   {
@@ -305,9 +315,14 @@ Design build_risc(const RiscOptions& options) {
       design.trojan_gate_ranges.emplace_back(begin,
                                              static_cast<SignalId>(nl.size()));
     }
+    // The Return way must actually win the PC priority mux: a pending
+    // interrupt (or reset) hijacks the PC in both miter copies at the very
+    // cycle the RETURN executes, masking the differing return targets.
+    const SignalId return_wins =
+        nl.b_and(pc_return, nl.b_not(nl.b_or(int_taken, reset)));
     sp.obligation(
-        "Return=1 & Stall=0 observes stack[SP] on the PC (targets differ)",
-        nl.b_and(pc_return, targets_differ), Word{}, 3);
+        "Return wins the PC mux and observes stack[SP] (targets differ)",
+        nl.b_and(return_wins, targets_differ), Word{}, 3);
     sp.finish_with(design.spec, next);
   }
 

@@ -160,6 +160,17 @@ void Netlist::connect_dff_input(SignalId dff, SignalId d) {
   fanouts_valid_ = false;
 }
 
+void Netlist::rewire_dff_input(SignalId dff, SignalId d) {
+  if (dff >= gates_.size() || gates_[dff].op != Op::kDff) {
+    throw std::runtime_error("rewire_dff_input: signal is not a DFF");
+  }
+  if (gates_[dff].fanin[0] == kNullSignal) {
+    throw std::runtime_error("rewire_dff_input: DFF was never connected");
+  }
+  gates_[dff].fanin[0] = d;
+  fanouts_valid_ = false;
+}
+
 void Netlist::add_register(const std::string& name, Word dffs) {
   for (const SignalId s : dffs) {
     if (s >= gates_.size() || gates_[s].op != Op::kDff) {

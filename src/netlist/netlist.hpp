@@ -114,6 +114,13 @@ class Netlist {
   /// Connects the data input of a DFF created with add_dff.
   void connect_dff_input(SignalId dff, SignalId d);
 
+  /// Replaces the data input of an already connected DFF (attack-injection
+  /// surgery: the mutation fuzzer wraps payload muxes around the golden
+  /// next-state cone of a finished design). Throws if the DFF was never
+  /// connected — use connect_dff_input for first-time wiring. Invalidates
+  /// the fanout cache.
+  void rewire_dff_input(SignalId dff, SignalId d);
+
   /// Declares a named register over existing DFF signals (LSB first).
   void add_register(const std::string& name, Word dffs);
 

@@ -116,11 +116,28 @@ BypassMiter build_bypass_miter(const Netlist& design,
   nl.connect_dff_input(differed, differed_now);
   nl.set_name(differed, "miter_differed");
 
-  // bad: window elapsed, obligation was seen, outputs never diverged.
+  // A reset pulse inside the observation window legitimately masks the
+  // forced difference (the core restarts and the obligation's latency point
+  // falls outside the window), so such traces abort the check rather than
+  // witness a bypass. A genuine bypass still has a reset-free witness, which
+  // the solver is free to pick.
+  SignalId aborted_now = nl.const0();
+  for (const auto& port : design.input_ports()) {
+    if (port.name != "reset" || port.bits.size() != 1) continue;
+    const SignalId reset_a = map_a[port.bits[0]];
+    const SignalId aborted = nl.add_dff(false);
+    aborted_now = nl.b_or(aborted, nl.b_and(active, reset_a));
+    nl.connect_dff_input(aborted, aborted_now);
+    nl.set_name(aborted, "miter_aborted");
+    break;
+  }
+
+  // bad: window elapsed, obligation was seen, outputs never diverged, and
+  // no mid-window reset invalidated the observation.
   const SignalId window_elapsed = netlist::w_eq_const(nl, age, window_end);
   miter.bad = nl.b_and(
       nl.b_and(window_elapsed, obligation_seen_now),
-      nl.b_not(differed_now));
+      nl.b_and(nl.b_not(differed_now), nl.b_not(aborted_now)));
   nl.set_name(miter.bad, "monitor_bypass_" + spec.reg);
   nl.add_output_port("miter_bad", Word{miter.bad});
   return miter;

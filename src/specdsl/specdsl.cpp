@@ -242,6 +242,12 @@ properties::DesignSpec parse_spec(Netlist& nl, const std::string& text) {
       if (!nl.has_register(name)) {
         throw SpecError(line_number, "design has no register '" + name + "'");
       }
+      for (const auto& existing : spec.registers) {
+        if (existing.reg == name) {
+          throw SpecError(line_number,
+                          "duplicate register block '" + name + "'");
+        }
+      }
       spec.registers.emplace_back();
       current = &spec.registers.back();
       current->reg = name;

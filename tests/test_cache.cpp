@@ -21,6 +21,7 @@
 #include "core/telemetry_sink.hpp"
 #include "designs/catalog.hpp"
 #include "telemetry/run_report.hpp"
+#include "util/rng.hpp"
 
 namespace trojanscout::cache {
 namespace {
@@ -244,6 +245,175 @@ TEST(VerdictCodec, RoundTripsVerdictsWitnessesAndCounters) {
     EXPECT_EQ(restored.seconds, 0.0);
     EXPECT_EQ(restored.memory_bytes, 0u);
     EXPECT_FALSE(restored.cancelled);
+  }
+}
+
+/// Property-based round trip: the codec must restore ANY deterministic
+/// CheckResult payload bit-exactly, not just the ones the engines happen to
+/// produce today. 64 seeded-random payloads sweep witness shapes (absent,
+/// empty frames, ragged frame widths crossing the 64-bit word boundary) and
+/// the full EngineCounters block, including the extremal u64 values JSON
+/// codecs most often mangle.
+TEST(VerdictCodec, RoundTripsRandomizedPayloads) {
+  AuditFixture fx;
+  core::TrojanDetector detector(fx.design, fx.options);
+  const auto obligations = detector.enumerate_obligations();
+  ASSERT_FALSE(obligations.empty());
+
+  util::Xoshiro256 rng(20260808);
+  // Counters ride the JSON int64 lane, so the codec's domain is
+  // [0, 2^63): bias toward the boundaries JSON codecs most often mangle.
+  const auto pick_u64 = [&rng]() -> std::uint64_t {
+    switch (rng.next_below(6)) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return 0xffffffffull;
+      case 3: return 0x100000000ull;
+      case 4: return 0x7fffffffffffffffull;
+      default: return rng.next() >> 1;
+    }
+  };
+
+  for (int round = 0; round < 64; ++round) {
+    const auto& obligation = obligations[rng.next_below(obligations.size())];
+    core::CheckResult result;
+    result.bound_reached = rng.next_below(2) != 0;
+    result.frames_completed = static_cast<std::size_t>(rng.next_below(1000));
+    result.seconds = 1.5;        // must NOT survive the round trip
+    result.memory_bytes = 4096;  // must NOT survive the round trip
+    result.status = "status-" + std::to_string(rng.next_below(1000));
+    result.counters.sat.decisions = pick_u64();
+    result.counters.sat.propagations = pick_u64();
+    result.counters.sat.conflicts = pick_u64();
+    result.counters.sat.restarts = pick_u64();
+    result.counters.sat.learned_clauses = pick_u64();
+    result.counters.sat.learned_literals = pick_u64();
+    result.counters.sat.deleted_clauses = pick_u64();
+    result.counters.sat.minimized_literals = pick_u64();
+    result.counters.cnf_vars = static_cast<std::size_t>(rng.next_below(1u << 20));
+    const std::size_t n_frames_clauses = rng.next_below(8);
+    for (std::size_t i = 0; i < n_frames_clauses; ++i) {
+      result.counters.frame_clauses.push_back(
+          static_cast<std::uint32_t>(rng.next()));
+    }
+    result.counters.atpg_decisions = pick_u64();
+    result.counters.atpg_backtracks = pick_u64();
+    result.counters.atpg_implications = pick_u64();
+    result.counters.atpg_frames_proven_clean =
+        static_cast<std::size_t>(rng.next_below(64));
+    result.counters.atpg_frames_aborted =
+        static_cast<std::size_t>(rng.next_below(64));
+    if (rng.next_below(2) != 0) {
+      sim::Witness witness;
+      const std::size_t frames = rng.next_below(5);
+      for (std::size_t t = 0; t < frames; ++t) {
+        // Widths straddle the word boundary (0..96 bits).
+        util::BitVec bits(rng.next_below(97));
+        for (std::size_t b = 0; b < bits.size(); ++b) {
+          bits.set(b, rng.next_below(2) != 0);
+        }
+        witness.frames.push_back(sim::InputFrame{std::move(bits)});
+      }
+      witness.violation_frame =
+          frames == 0 ? 0 : rng.next_below(frames);
+      result.witness = std::move(witness);
+    }
+    // Codec invariant: a verdict is violated iff it carries a witness.
+    result.violated = result.witness.has_value();
+
+    const std::string cert_ref =
+        rng.next_below(2) != 0 ? "certs/p" + std::to_string(round) : "";
+    const std::string text = verdict_to_json(obligation, result, cert_ref);
+
+    core::CheckResult restored;
+    std::string restored_ref;
+    std::string error;
+    ASSERT_TRUE(verdict_from_json(text, restored, &restored_ref, &error))
+        << "round " << round << ": " << error;
+    EXPECT_EQ(restored_ref, cert_ref);
+    EXPECT_EQ(restored.violated, result.violated);
+    EXPECT_EQ(restored.bound_reached, result.bound_reached);
+    EXPECT_EQ(restored.frames_completed, result.frames_completed);
+    EXPECT_EQ(restored.status, result.status);
+    EXPECT_EQ(restored.seconds, 0.0);
+    EXPECT_EQ(restored.memory_bytes, 0u);
+    EXPECT_FALSE(restored.cancelled);
+    EXPECT_EQ(restored.counters.sat.decisions, result.counters.sat.decisions);
+    EXPECT_EQ(restored.counters.sat.propagations,
+              result.counters.sat.propagations);
+    EXPECT_EQ(restored.counters.sat.conflicts, result.counters.sat.conflicts);
+    EXPECT_EQ(restored.counters.sat.restarts, result.counters.sat.restarts);
+    EXPECT_EQ(restored.counters.sat.learned_clauses,
+              result.counters.sat.learned_clauses);
+    EXPECT_EQ(restored.counters.sat.learned_literals,
+              result.counters.sat.learned_literals);
+    EXPECT_EQ(restored.counters.sat.deleted_clauses,
+              result.counters.sat.deleted_clauses);
+    EXPECT_EQ(restored.counters.sat.minimized_literals,
+              result.counters.sat.minimized_literals);
+    EXPECT_EQ(restored.counters.cnf_vars, result.counters.cnf_vars);
+    EXPECT_EQ(restored.counters.frame_clauses, result.counters.frame_clauses);
+    EXPECT_EQ(restored.counters.atpg_decisions,
+              result.counters.atpg_decisions);
+    EXPECT_EQ(restored.counters.atpg_backtracks,
+              result.counters.atpg_backtracks);
+    EXPECT_EQ(restored.counters.atpg_implications,
+              result.counters.atpg_implications);
+    EXPECT_EQ(restored.counters.atpg_frames_proven_clean,
+              result.counters.atpg_frames_proven_clean);
+    EXPECT_EQ(restored.counters.atpg_frames_aborted,
+              result.counters.atpg_frames_aborted);
+    ASSERT_EQ(restored.witness.has_value(), result.witness.has_value());
+    if (result.witness) {
+      EXPECT_EQ(restored.witness->violation_frame,
+                result.witness->violation_frame);
+      ASSERT_EQ(restored.witness->frames.size(),
+                result.witness->frames.size());
+      for (std::size_t t = 0; t < result.witness->frames.size(); ++t) {
+        EXPECT_EQ(restored.witness->frames[t].bits,
+                  result.witness->frames[t].bits);
+      }
+    }
+  }
+}
+
+/// A disk cache can lose a tail of any length (torn write, full disk, power
+/// cut); the strict parser must reject EVERY proper prefix of a valid
+/// payload — no truncation point may read back as a (wrong) verdict.
+TEST(VerdictCodec, RejectsEveryTruncationOfAValidPayload) {
+  AuditFixture fx;
+  core::TrojanDetector detector(fx.design, fx.options);
+  const auto obligations = detector.enumerate_obligations();
+  ASSERT_FALSE(obligations.empty());
+
+  core::CheckResult result;
+  result.violated = true;
+  result.bound_reached = false;
+  result.frames_completed = 7;
+  result.status = "violation found";
+  result.counters.sat.decisions = 123456;
+  result.counters.cnf_vars = 4242;
+  result.counters.frame_clauses = {10, 20, 30};
+  sim::Witness witness;
+  for (std::size_t t = 0; t < 3; ++t) {
+    util::BitVec bits(40);
+    bits.set(t, true);
+    witness.frames.push_back(sim::InputFrame{std::move(bits)});
+  }
+  witness.violation_frame = 2;
+  result.witness = std::move(witness);
+
+  const std::string text =
+      verdict_to_json(obligations[0], result, "certs/run.json");
+  core::CheckResult parsed;
+  std::string error;
+  ASSERT_TRUE(verdict_from_json(text, parsed, nullptr, &error)) << error;
+
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    core::CheckResult out;
+    EXPECT_FALSE(verdict_from_json(text.substr(0, len), out, nullptr, &error))
+        << "prefix of length " << len << " of " << text.size()
+        << " parsed as a verdict";
   }
 }
 

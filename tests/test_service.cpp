@@ -4,13 +4,23 @@
 // entirely from the shared verdict cache, respond to ping/stats, reject
 // malformed jobs with an error response (connection stays usable), and
 // shut down cleanly from both a client op and a server-side stop().
+//
+// Every leg that can block on daemon I/O (socket reads, wait(), joins) runs
+// under run_leg(): a worker thread plus a condition-variable wait with a
+// hard timeout. A deadlocked daemon then fails the suite with a diagnostic
+// in seconds instead of hanging a TSan CI job until the outer timeout.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +40,37 @@ namespace trojanscout::service {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Hard ceiling per blocking leg. Generous: the slowest leg is a cold
+/// 2-job audit (~1 s release, several seconds under TSan); a leg that is
+/// still blocked after two minutes is deadlocked, not slow.
+constexpr std::chrono::seconds kLegTimeout{120};
+
+/// Runs `body` on a worker thread and waits on a condition variable with
+/// kLegTimeout. On timeout the worker is stuck in a blocking call that
+/// nothing will interrupt, so the only useful move is to fail the whole
+/// binary loudly — _Exit beats a silent CI hang.
+void run_leg(const char* what, const std::function<void()>& body) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::thread worker([&] {
+    body();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  if (!cv.wait_for(lock, kLegTimeout, [&] { return done; })) {
+    std::cerr << "FATAL: test leg '" << what << "' still blocked after "
+              << kLegTimeout.count() << "s — daemon deadlock\n";
+    std::_Exit(2);
+  }
+  lock.unlock();
+  worker.join();
+}
 
 constexpr const char* kMc8051Spec =
     "register sp\n"
@@ -100,15 +141,18 @@ TEST(AuditDaemon, SubmittedJobMatchesDirectAuditSignature) {
 
   const AuditJob job = fx.job();
   std::size_t obligation_lines = 0;
-  Client client(fx.socket_path);
-  const SubmitResult result =
-      submit_audit(client, job, [&obligation_lines](const proof::Json& r) {
-        const proof::Json* type = r.find("type");
-        if (type != nullptr && type->is_string() &&
-            type->as_string() == "obligation") {
-          obligation_lines++;
-        }
-      });
+  SubmitResult result;
+  run_leg("submit", [&] {
+    Client client(fx.socket_path);
+    result =
+        submit_audit(client, job, [&obligation_lines](const proof::Json& r) {
+          const proof::Json* type = r.find("type");
+          if (type != nullptr && type->is_string() &&
+              type->as_string() == "obligation") {
+            obligation_lines++;
+          }
+        });
+  });
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_FALSE(result.trojan_found);
   EXPECT_EQ(result.signature, fx.direct_signature(job));
@@ -136,14 +180,14 @@ TEST(AuditDaemon, WarmResubmitIsServedEntirelyFromTheCache) {
   const AuditJob job = fx.job();
   SubmitResult cold;
   SubmitResult warm;
-  {
+  run_leg("cold submit", [&] {
     Client client(fx.socket_path);
     cold = submit_audit(client, job);
-  }
-  {
+  });
+  run_leg("warm submit", [&] {
     Client client(fx.socket_path);
     warm = submit_audit(client, job);
-  }
+  });
   daemon.stop();
 
   ASSERT_TRUE(cold.ok) << cold.error;
@@ -167,37 +211,40 @@ TEST(AuditDaemon, AnswersPingAndStatsAndErrorsKeepTheConnectionUsable) {
   AuditDaemon daemon(options);
   daemon.start();
 
-  Client client(fx.socket_path);
-  proof::Json response;
+  run_leg("ping/error/stats conversation", [&] {
+    Client client(fx.socket_path);
+    proof::Json response;
 
-  client.send_line(control_request_line("ping"));
-  ASSERT_TRUE(client.read_response(response));
-  EXPECT_EQ(response.find("type")->as_string(), "pong");
+    client.send_line(control_request_line("ping"));
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "pong");
 
-  client.send_line("this is not json");
-  ASSERT_TRUE(client.read_response(response));
-  EXPECT_EQ(response.find("type")->as_string(), "error");
+    client.send_line("this is not json");
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "error");
 
-  client.send_line("{\"op\":\"audit\",\"design\":\"\",\"spec\":\"\"}");
-  ASSERT_TRUE(client.read_response(response));
-  EXPECT_EQ(response.find("type")->as_string(), "error");
+    client.send_line("{\"op\":\"audit\",\"design\":\"\",\"spec\":\"\"}");
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "error");
 
-  // A job whose design file does not exist fails that job, not the daemon.
-  AuditJob bad = fx.job();
-  bad.design_path = fx.dir + "/missing.v";
-  const SubmitResult result = submit_audit(client, bad);
-  EXPECT_FALSE(result.ok);
-  EXPECT_FALSE(result.error.empty());
+    // A job whose design file does not exist fails that job, not the
+    // daemon.
+    AuditJob bad = fx.job();
+    bad.design_path = fx.dir + "/missing.v";
+    const SubmitResult result = submit_audit(client, bad);
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.error.empty());
 
-  client.send_line(control_request_line("stats"));
-  ASSERT_TRUE(client.read_response(response));
-  EXPECT_EQ(response.find("type")->as_string(), "stats");
-  ASSERT_NE(response.find("jobs_completed"), nullptr);
+    client.send_line(control_request_line("stats"));
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "stats");
+    ASSERT_NE(response.find("jobs_completed"), nullptr);
 
-  // The connection survived all of the above: a real job still works.
-  const SubmitResult good = submit_audit(client, fx.job());
-  ASSERT_TRUE(good.ok) << good.error;
-  EXPECT_EQ(good.signature, fx.direct_signature(fx.job()));
+    // The connection survived all of the above: a real job still works.
+    const SubmitResult good = submit_audit(client, fx.job());
+    ASSERT_TRUE(good.ok) << good.error;
+    EXPECT_EQ(good.signature, fx.direct_signature(fx.job()));
+  });
 
   daemon.stop();
 }
@@ -210,15 +257,17 @@ TEST(AuditDaemon, ClientShutdownOpStopsTheDaemon) {
   AuditDaemon daemon(options);
   daemon.start();
 
-  std::thread waiter([&daemon] { daemon.wait(); });
-  {
-    Client client(fx.socket_path);
-    client.send_line(control_request_line("shutdown"));
-    proof::Json response;
-    ASSERT_TRUE(client.read_response(response));
-    EXPECT_EQ(response.find("type")->as_string(), "bye");
-  }
-  waiter.join();  // wait() returns once the shutdown op lands
+  run_leg("shutdown op", [&] {
+    std::thread waiter([&daemon] { daemon.wait(); });
+    {
+      Client client(fx.socket_path);
+      client.send_line(control_request_line("shutdown"));
+      proof::Json response;
+      ASSERT_TRUE(client.read_response(response));
+      EXPECT_EQ(response.find("type")->as_string(), "bye");
+    }
+    waiter.join();  // wait() returns once the shutdown op lands
+  });
   daemon.stop();
   EXPECT_FALSE(daemon.running());
 }
@@ -232,7 +281,7 @@ TEST(AuditDaemon, StopWakesAnIdleConnection) {
   daemon.start();
   // An idle client blocked in the daemon's read() must not hang stop().
   Client client(fx.socket_path);
-  daemon.stop();
+  run_leg("stop with idle connection", [&] { daemon.stop(); });
   EXPECT_FALSE(daemon.running());
 }
 
@@ -251,15 +300,17 @@ TEST(AuditDaemon, ConcurrentConnectionsAllMatchTheDirectSignature) {
   const std::string expected = fx.direct_signature(job);
   constexpr int kClients = 4;
   std::vector<SubmitResult> results(kClients);
-  std::vector<std::thread> threads;
-  threads.reserve(kClients);
-  for (int i = 0; i < kClients; ++i) {
-    threads.emplace_back([&fx, &job, &results, i] {
-      Client client(fx.socket_path);
-      results[i] = submit_audit(client, job);
-    });
-  }
-  for (auto& t : threads) t.join();
+  run_leg("concurrent submits", [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&fx, &job, &results, i] {
+        Client client(fx.socket_path);
+        results[i] = submit_audit(client, job);
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
   daemon.stop();
 
   std::uint64_t computed = 0;

@@ -100,33 +100,78 @@ register acc
 struct BadSpecCase {
   const char* label;
   const char* text;
+  /// 1-based line the diagnostic must name; 0 = no line (whole-file error).
+  int line;
+  /// Substring the diagnostic must carry (the what, not just a location).
+  const char* message;
 };
 
 class SpecDslErrors : public ::testing::TestWithParam<BadSpecCase> {};
 
-TEST_P(SpecDslErrors, AreReportedWithContext) {
+/// A spec author fixes what the diagnostic names: every parse error must
+/// point at the offending line and say what is wrong with it.
+TEST_P(SpecDslErrors, AreReportedWithLineNumberAndCause) {
   designs::Design design = designs::build_mc8051({});
-  EXPECT_THROW(parse_spec(design.nl, GetParam().text), std::runtime_error)
-      << GetParam().label;
+  const BadSpecCase& c = GetParam();
+  try {
+    parse_spec(design.nl, c.text);
+    FAIL() << c.label << ": expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    if (c.line > 0) {
+      const std::string expected_loc =
+          "line " + std::to_string(c.line) + ":";
+      EXPECT_NE(what.find(expected_loc), std::string::npos)
+          << c.label << ": diagnostic lacks '" << expected_loc
+          << "': " << what;
+    }
+    EXPECT_NE(what.find(c.message), std::string::npos)
+        << c.label << ": diagnostic lacks '" << c.message << "': " << what;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Cases, SpecDslErrors,
     ::testing::Values(
-        BadSpecCase{"unknown register", "register bogus\n"},
-        BadSpecCase{"way outside block", "way \"x\" : reset == 1 -> hold\n"},
+        BadSpecCase{"unknown register", "register bogus\n", 1,
+                    "design has no register 'bogus'"},
+        BadSpecCase{"way outside block", "way \"x\" : reset == 1 -> hold\n",
+                    1, "statement outside a register block"},
         BadSpecCase{"unknown signal",
-                    "register sp\n  way \"x\" : nosuch == 1 -> hold\n"},
+                    "register sp\n  way \"x\" : nosuch == 1 -> hold\n", 2,
+                    "unknown port or register 'nosuch'"},
         BadSpecCase{"missing arrow",
-                    "register sp\n  way \"x\" : reset == 1 const 0\n"},
+                    "register sp\n  way \"x\" : reset == 1 const 0\n", 2,
+                    "expected '->' in way"},
         BadSpecCase{"bad integer",
-                    "register sp\n  way \"x\" : reset == zz -> hold\n"},
+                    "register sp\n  way \"x\" : reset == zz -> hold\n", 2,
+                    "expected integer"},
         BadSpecCase{"width mismatch",
-                    "register sp\n  way \"x\" : reset == 1 -> pc\n"},
-        BadSpecCase{"empty spec", "# nothing here\n"},
+                    "register sp\n  way \"x\" : reset == 1 -> pc\n", 2,
+                    "width does not match"},
+        BadSpecCase{"empty spec", "# nothing here\n", 0,
+                    "no register blocks found"},
+        BadSpecCase{"bad arity: add without operand",
+                    "register sp\n  way \"x\" : reset == 1 -> add\n", 2,
+                    "unexpected end of line"},
+        BadSpecCase{"bad arity: dangling comparison",
+                    "register sp\n  way \"x\" : reset == -> hold\n", 2,
+                    "unexpected end of line"},
+        BadSpecCase{"bad arity: latency without a count",
+                    "register sp\n  way \"x\" : reset == 1 -> hold\n"
+                    "  obligation \"o\" : reset == 1 latency\n",
+                    3, "unexpected end of line"},
         BadSpecCase{"missing latency",
                     "register sp\n  way \"x\" : reset == 1 -> hold\n"
-                    "  obligation \"o\" : reset == 1\n"}));
+                    "  obligation \"o\" : reset == 1\n",
+                    3, "obligation needs 'latency <N>'"},
+        BadSpecCase{"duplicate register block",
+                    "register sp\n  way \"x\" : reset == 1 -> hold\n"
+                    "register sp\n  way \"y\" : reset == 1 -> hold\n",
+                    3, "duplicate register block 'sp'"},
+        BadSpecCase{"unrecognized statement",
+                    "register sp\n  wayy \"x\" : reset == 1 -> hold\n", 2,
+                    "unrecognized statement"}));
 
 }  // namespace
 }  // namespace trojanscout::specdsl

@@ -7,6 +7,7 @@ The file kind is auto-detected from its shape:
     referential integrity, end-events matching an opened span);
   * "schema": "trojanscout-profile-v1"    -> --profile-out phase profile;
   * "schema": "trojanscout-bench-v1"      -> --bench-out history artifact;
+  * "schema": "trojanscout-corpus-v1"     -> fuzz --out mutation corpus;
   * anything else                         -> --metrics-out JSON lines,
     where every line must be a standalone JSON object with a "type" field
     validated against the schemas below (emitters: core/telemetry_sink.cpp,
@@ -309,6 +310,121 @@ def check_bench(doc):
     return errors
 
 
+def check_corpus(doc):
+    """fuzz --out corpus artifact (src/fuzz/harness.cpp), with or without
+    the timing block (stripped in jobs-invariance comparisons)."""
+    errors = []
+    for key, expected in (("seed", int), ("engine", str), ("count", int),
+                          ("clean", list), ("variants", list),
+                          ("summary", dict)):
+        err = check_field(doc, key, expected)
+        if err:
+            errors.append(err)
+    for leg in doc.get("clean", []) if isinstance(doc.get("clean"), list) \
+            else []:
+        if not isinstance(leg, dict):
+            errors.append("clean entry is not an object")
+            continue
+        for key, expected in (("family", str), ("scanned", bool),
+                              ("frames", int), ("obligations", int),
+                              ("pass", bool)):
+            err = check_field(leg, key, expected)
+            if err:
+                errors.append(f"clean {leg.get('family', '?')}: {err}")
+    detected = 0
+    reachable = 0
+    variants = doc.get("variants")
+    for v in variants if isinstance(variants, list) else []:
+        if not isinstance(v, dict):
+            errors.append("variant entry is not an object")
+            continue
+        label = f"variant {v.get('name', '?')}"
+        for key, expected in (("name", str), ("family", str),
+                              ("trigger", dict), ("payload", dict),
+                              ("deep", bool), ("frames", int),
+                              ("reachable", bool), ("detected", bool),
+                              ("deterministic", bool), ("ok", bool)):
+            err = check_field(v, key, expected)
+            if err:
+                errors.append(f"{label}: {err}")
+        trigger = v.get("trigger")
+        if isinstance(trigger, dict):
+            for key, expected in (("kind", str), ("width", int),
+                                  ("sequence_length", int), ("pattern", str),
+                                  ("insertion_point", int)):
+                err = check_field(trigger, key, expected)
+                if err:
+                    errors.append(f"{label} trigger: {err}")
+        payload = v.get("payload")
+        if isinstance(payload, dict):
+            for key, expected in (("style", str), ("target", str),
+                                  ("param", str)):
+                err = check_field(payload, key, expected)
+                if err:
+                    errors.append(f"{label} payload: {err}")
+        if v.get("detected") is True:
+            detected += 1
+            for key, expected in (("property", str),
+                                  ("witness_confirmed", bool)):
+                err = check_field(v, key, expected)
+                if err:
+                    errors.append(f"{label}: {err}")
+        if v.get("reachable") is True:
+            reachable += 1
+        if v.get("ok") is False and not isinstance(v.get("failure"), str):
+            errors.append(f"{label}: failing variant lacks 'failure'")
+    summary = doc.get("summary")
+    if isinstance(summary, dict):
+        for key, expected in (("reachable", int), ("detected", int),
+                              ("missed", int), ("false_positives", int),
+                              ("harness_failures", int),
+                              ("detection_rate", (int, float))):
+            err = check_field(summary, key, expected)
+            if err:
+                errors.append(f"summary: {err}")
+        rate = summary.get("detection_rate")
+        if isinstance(rate, (int, float)) and not isinstance(rate, bool) \
+                and not 0.0 <= rate <= 1.0:
+            errors.append(f"summary: detection_rate {rate} outside [0, 1]")
+        if summary.get("detected") != detected:
+            errors.append(
+                f"summary: detected {summary.get('detected')} != "
+                f"{detected} detected variants")
+        if summary.get("reachable") != reachable:
+            errors.append(
+                f"summary: reachable {summary.get('reachable')} != "
+                f"{reachable} reachable variants")
+    if isinstance(doc.get("count"), int) and isinstance(variants, list) \
+            and doc["count"] != len(variants):
+        errors.append(f"count {doc['count']} != {len(variants)} variants")
+    timing = doc.get("timing")
+    if timing is not None:
+        if not isinstance(timing, dict):
+            errors.append("'timing' is not an object")
+        else:
+            for key, expected in (("jobs", int),
+                                  ("engine_quantiles", list),
+                                  ("total_seconds", (int, float))):
+                err = check_field(timing, key, expected)
+                if err:
+                    errors.append(f"timing: {err}")
+            for q in timing.get("engine_quantiles", []) \
+                    if isinstance(timing.get("engine_quantiles"), list) \
+                    else []:
+                if not isinstance(q, dict):
+                    errors.append("timing: quantile entry is not an object")
+                    continue
+                for key, expected in (("engine", str), ("samples", int),
+                                      ("p50_seconds", (int, float)),
+                                      ("p90_seconds", (int, float)),
+                                      ("p99_seconds", (int, float)),
+                                      ("total_seconds", (int, float))):
+                    err = check_field(q, key, expected)
+                    if err:
+                        errors.append(f"timing quantile: {err}")
+    return errors
+
+
 def check_file(path):
     errors = []
     try:
@@ -332,6 +448,8 @@ def check_file(path):
         return [f"{path} (profile): {e}" for e in check_profile(doc)]
     if isinstance(doc, dict) and doc.get("schema") == "trojanscout-bench-v1":
         return [f"{path} (bench): {e}" for e in check_bench(doc)]
+    if isinstance(doc, dict) and doc.get("schema") == "trojanscout-corpus-v1":
+        return [f"{path} (corpus): {e}" for e in check_corpus(doc)]
     if isinstance(doc, dict) and "schema" in doc:
         return [f"{path}: unknown schema {doc['schema']!r}"]
 

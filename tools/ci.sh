@@ -24,6 +24,14 @@ run_config() {
   cmake -S "$src" -B "$dir" "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$jobs"
+  if [ "$name" = "release" ]; then
+    # Fast-feedback lane: the sub-second test bulk plus the fuzz unit
+    # tests (ctest LABELS quick/fuzz) fail within seconds, before the
+    # slow whole-catalog sweeps in the full run below get a chance to
+    # burn minutes on a broken tree.
+    echo "=== [$name] ctest quick lane ==="
+    (cd "$dir" && ctest -L 'quick|fuzz' --output-on-failure -j "$jobs")
+  fi
   echo "=== [$name] ctest ==="
   (cd "$dir" && ctest --output-on-failure -j "$jobs")
 }
@@ -52,6 +60,25 @@ if command -v python3 >/dev/null 2>&1; then
   "$rel/bench/bench_parallel_scaling" --only=MC8051-T800 --frames=6 \
       --bench-out="$art/BENCH_parallel_scaling.json" \
       --metrics-out="$art/parallel_scaling.jsonl"
+  "$rel/bench/bench_corpus" --repeats=3 --count=24 \
+      --bench-out="$art/BENCH_corpus.json"
+
+  echo "=== [release] fuzz smoke: mutation corpus differential harness ==="
+  # The seeded sweep re-asserts the harness's three oracles (no clean-design
+  # false positives, every simulator-reachable mutant detected, jobs-
+  # invariant signatures). CI runs a 40-variant corpus; nightly jobs export
+  # TROJANSCOUT_FUZZ_COUNT=200 for the full Section-4 style sweep.
+  fuzz_count="${TROJANSCOUT_FUZZ_COUNT:-40}"
+  "$rel/tools/trojanscout_cli" fuzz --seed=42 --count="$fuzz_count" \
+      --jobs=2 --out="$art/corpus.json" \
+      --signature-out="$art/corpus_sig_jobs2" >"$art/fuzz_jobs2.log" 2>&1
+  "$rel/tools/trojanscout_cli" fuzz --seed=42 --count="$fuzz_count" \
+      --jobs=4 \
+      --signature-out="$art/corpus_sig_jobs4" >"$art/fuzz_jobs4.log" 2>&1
+  if ! cmp -s "$art/corpus_sig_jobs2" "$art/corpus_sig_jobs4"; then
+    echo "FAIL: corpus signature depends on --jobs (determinism oracle)"
+    exit 1
+  fi
 
   echo "=== [release] audit observability artifacts ==="
   "$rel/tools/trojanscout_cli" gen --family=mc8051 --trojan=MC8051-T800 \
@@ -166,6 +193,7 @@ if command -v python3 >/dev/null 2>&1; then
   python3 "$src/tools/check_metrics.py" \
       "$art/BENCH_table1.json" "$art/BENCH_table2.json" \
       "$art/BENCH_table3.json" "$art/BENCH_parallel_scaling.json" \
+      "$art/BENCH_corpus.json" "$art/corpus.json" \
       "$art/table1.jsonl" "$art/table2.jsonl" "$art/table3.jsonl" \
       "$art/parallel_scaling.jsonl" "$art/audit_trace.json" \
       "$art/audit_profile.json" "$art/audit_metrics.jsonl" \
@@ -173,7 +201,7 @@ if command -v python3 >/dev/null 2>&1; then
 
   echo "=== [release] bench regression gate ==="
   python3 "$src/tools/bench_compare.py" --self-test
-  for name in table1 table2 table3 parallel_scaling; do
+  for name in table1 table2 table3 parallel_scaling corpus; do
     python3 "$src/tools/bench_compare.py" \
         "$src/bench/baselines/BENCH_${name}.json" \
         "$art/BENCH_${name}.json"

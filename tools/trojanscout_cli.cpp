@@ -20,6 +20,13 @@
 //                              [--budget S] [--no-scan] [--no-bypass]
 //                              [--pretty]
 //   trojanscout_cli check-cert --cert cert.json --design ip.v --spec ip.spec
+//   trojanscout_cli fuzz  [--seed N] [--count N] [--design FAMILY|all]
+//                         [--engine bmc|atpg] [--jobs N] [--frames-slack N]
+//                         [--frames-cap N] [--budget S] [--max-seq N]
+//                         [--no-clean] [--no-differential] [--cache-dir DIR]
+//                         [--out corpus.json] [--no-timing]
+//                         [--signature-out FILE] [--min-rate R] [--shrink]
+//                         [--inject-failure SUBSTR] [--quiet]
 //   trojanscout_cli serve  --socket /run/ts.sock [--cache-dir DIR]
 //                          [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]
 //   trojanscout_cli submit --socket /run/ts.sock --design ip.v --spec ip.spec
@@ -33,6 +40,13 @@
 // is deterministic — identical for any jobs value. With --cache-dir,
 // per-obligation verdicts persist to a content-addressed store and warm
 // re-audits of unchanged designs skip the engines entirely.
+//
+// `fuzz` sweeps a seeded Trojan mutation corpus over the catalog's clean
+// cores and cross-checks the detector against three oracles (clean designs
+// all-pass, simulator-reachable mutants flagged with replay-confirmed
+// witnesses, cold/warm x jobs determinism), emitting a
+// `trojanscout-corpus-v1` artifact with detection rate and latency
+// quantiles. --shrink minimizes the first failing variant.
 //
 // `serve` runs the same audits as a daemon: newline-delimited JSON jobs
 // arrive over a Unix-domain socket, identical in-flight obligations are
@@ -63,6 +77,8 @@
 #include "core/parallel_detector.hpp"
 #include "core/telemetry_sink.hpp"
 #include "designs/catalog.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/mutation.hpp"
 #include "proof/certificate.hpp"
 #include "properties/monitors.hpp"
 #include "service/client.hpp"
@@ -122,6 +138,15 @@ int usage() {
          "               audit with witness + DRAT evidence bundled\n"
          "  check-cert --cert cert.json --design ip.v --spec ip.spec\n"
          "               re-validate a certificate offline\n"
+         "  fuzz       [--seed N] [--count N] [--design FAMILY|all]\n"
+         "               [--engine bmc|atpg] [--jobs N] [--frames-slack N]\n"
+         "               [--frames-cap N] [--budget S] [--max-seq N]\n"
+         "               [--no-clean] [--no-differential] [--cache-dir DIR]\n"
+         "               [--out corpus.json] [--no-timing]\n"
+         "               [--signature-out FILE] [--min-rate R] [--shrink]\n"
+         "               [--inject-failure SUBSTR] [--quiet]\n"
+         "               differential detection sweep over a seeded\n"
+         "               Trojan mutation corpus\n"
          "  serve      --socket PATH [--cache-dir DIR] [--cache off|ro|rw]\n"
          "               [--cache-max-mb N] [--jobs N]\n"
          "               audit daemon on a Unix socket (NDJSON protocol)\n"
@@ -642,6 +667,113 @@ int cmd_submit(const util::CliParser& cli) {
   return result.trojan_found ? 2 : 0;
 }
 
+int cmd_fuzz(const util::CliParser& cli) {
+  fuzz::CorpusOptions corpus_options;
+  corpus_options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  corpus_options.count = static_cast<std::size_t>(cli.get_int("count", 100));
+  const std::string family = cli.get_string("design", "all");
+  if (family != "all") corpus_options.families = {family};
+  corpus_options.max_sequence_length =
+      static_cast<std::size_t>(cli.get_int("max-seq", 6));
+
+  fuzz::HarnessOptions harness_options;
+  harness_options.engine = cli.get_string("engine", "bmc") == "atpg"
+                               ? core::EngineKind::kAtpg
+                               : core::EngineKind::kBmc;
+  harness_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 2));
+  harness_options.frames_slack = static_cast<std::size_t>(
+      cli.get_int("frames-slack",
+                  static_cast<long long>(harness_options.frames_slack)));
+  harness_options.frames_cap = static_cast<std::size_t>(cli.get_int(
+      "frames-cap", static_cast<long long>(harness_options.frames_cap)));
+  harness_options.budget_seconds = cli.get_double("budget", 30.0);
+  harness_options.differential = !cli.get_bool("no-differential", false);
+  harness_options.check_clean = !cli.get_bool("no-clean", false);
+  harness_options.cache_dir = cli.get_string("cache-dir", "");
+  const std::string inject = cli.get_string("inject-failure", "");
+  if (!inject.empty()) {
+    harness_options.inject_failure = [inject](const fuzz::MutationSpec& s) {
+      return s.name().find(inject) != std::string::npos;
+    };
+  }
+  const bool quiet = cli.get_bool("quiet", false);
+
+  const std::vector<fuzz::MutationSpec> corpus =
+      fuzz::generate_corpus(corpus_options);
+  fuzz::CorpusHarness harness(harness_options);
+  const fuzz::CorpusReport report = harness.run(corpus, corpus_options.seed);
+
+  // Everything on stdout is deterministic (a pure function of seed and
+  // configuration); wall-clock quantiles go to stderr so two runs of the
+  // same sweep stay byte-identical on stdout.
+  if (!quiet) {
+    for (std::size_t i = 0; i < report.variants.size(); ++i) {
+      const fuzz::VariantOutcome& v = report.variants[i];
+      std::cout << "[" << i << "] " << v.spec.name() << " frames=" << v.frames;
+      if (v.reachable) {
+        std::cout << " fires@" << v.fire_frame;
+      } else {
+        std::cout << (v.deep ? " deep" : " unreachable");
+      }
+      if (v.detected) {
+        std::cout << " detected(" << v.finding_property << ")";
+      } else {
+        std::cout << " clean";
+      }
+      std::cout << (v.ok() ? "" : " FAIL: " + v.failure) << "\n";
+    }
+    for (const auto& c : report.clean) {
+      std::cout << "clean " << c.family << ": "
+                << (c.pass ? "pass" : "FAIL " + c.detail) << " ("
+                << c.obligations << " obligations, frames=" << c.frames
+                << (c.scanned ? ", scanned" : "") << ")\n";
+    }
+  }
+  std::cout << report.summary() << "\n";
+  for (const auto& q : report.latency) {
+    std::cerr << "latency[" << q.engine << "]: p50=" << q.p50_seconds
+              << "s p90=" << q.p90_seconds << "s p99=" << q.p99_seconds
+              << "s over " << q.samples << " obligations ("
+              << q.total_seconds << "s engine time)\n";
+  }
+
+  const std::string out = cli.get_string("out", "");
+  if (!out.empty()) {
+    const bool timing = !cli.get_bool("no-timing", false);
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    os << report.to_json(timing).dump_pretty() << "\n";
+    std::cout << "corpus written to " << out
+              << (timing ? "" : " (timing stripped)") << "\n";
+  }
+  const std::string signature_out = cli.get_string("signature-out", "");
+  if (!signature_out.empty()) {
+    std::ofstream os(signature_out);
+    if (!os) throw std::runtime_error("cannot write " + signature_out);
+    os << report.signature();
+    std::cout << "signature written to " << signature_out << "\n";
+  }
+
+  bool failed = report.false_positive_count > 0 || report.failure_count > 0;
+  const double min_rate = cli.get_double("min-rate", 0.95);
+  if (report.detection_rate < min_rate) {
+    std::cout << "detection rate below --min-rate=" << min_rate << "\n";
+    failed = true;
+  }
+
+  if (cli.get_bool("shrink", false) && report.failure_count > 0) {
+    for (const auto& v : report.variants) {
+      if (v.ok()) continue;
+      std::cout << "shrinking failing variant " << v.spec.name() << " ...\n";
+      const fuzz::MutationSpec minimal = harness.shrink(v.spec);
+      std::cout << "minimal repro: " << minimal.name() << "\n"
+                << minimal.to_json().dump_pretty() << "\n";
+      break;
+    }
+  }
+  return failed ? 1 : 0;
+}
+
 int cmd_gen(const util::CliParser& cli) {
   const std::string family = cli.get_string("family", "mc8051");
   const std::string trojan = cli.get_string("trojan", "");
@@ -692,6 +824,7 @@ int main(int argc, char** argv) {
     if (command == "audit") return cmd_audit(cli);
     if (command == "prove") return cmd_prove(cli);
     if (command == "gen") return cmd_gen(cli);
+    if (command == "fuzz") return cmd_fuzz(cli);
     if (command == "certify") return cmd_certify(cli);
     if (command == "check-cert") return cmd_check_cert(cli);
     if (command == "serve") return cmd_serve(cli);
