@@ -1,0 +1,153 @@
+#include "cache/tiered.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+namespace trojanscout::cache {
+
+namespace {
+
+double now_seconds() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+std::optional<std::string> TieredCache::lookup(const std::string& key) {
+  if (options_.l1 != nullptr) {
+    std::optional<std::string> payload = options_.l1->lookup(key);
+    if (payload.has_value()) {
+      TS_COUNTER_ADD("cache.l1_hit", 1);
+      return payload;
+    }
+  }
+  if (options_.l2 != nullptr) {
+    std::optional<std::string> payload = options_.l2->lookup(key);
+    if (payload.has_value()) {
+      TS_COUNTER_ADD("cache.l2_hit", 1);
+      if (options_.l1 != nullptr) {
+        options_.l1->store(key, *payload);
+        TS_COUNTER_ADD("cache.l2_promote", 1);
+      }
+      return payload;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TieredCache::claim_path(const std::string& key) const {
+  return options_.l2->dir() + "/" + VerdictCache::entry_filename(key) +
+         ".claim";
+}
+
+bool TieredCache::try_claim(const std::string& key) {
+  const std::string path = claim_path(key);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  // The pid is diagnostic only; staleness is judged by file age.
+  char text[32];
+  const int n = std::snprintf(text, sizeof(text), "%ld\n",
+                              static_cast<long>(::getpid()));
+  if (n > 0) {
+    const ssize_t written = ::write(fd, text, static_cast<std::size_t>(n));
+    (void)written;
+  }
+  ::close(fd);
+  return true;
+}
+
+std::optional<double> TieredCache::claim_age_seconds(
+    const std::string& key) const {
+  struct stat st {};
+  if (::stat(claim_path(key).c_str(), &st) != 0) return std::nullopt;
+  const double mtime = static_cast<double>(st.st_mtim.tv_sec) +
+                       static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+  return now_seconds() - mtime;
+}
+
+TieredCache::Claim TieredCache::acquire(const std::string& key,
+                                        std::string& payload) {
+  if (options_.l2 == nullptr ||
+      options_.l2->mode() != CacheMode::kReadWrite) {
+    return Claim::kNone;
+  }
+  const double deadline = now_seconds() + options_.claim_wait_seconds;
+  for (;;) {
+    if (try_claim(key)) {
+      // Double-check after winning: between our caller's lookup miss and
+      // this claim, the previous owner may have stored its verdict and
+      // released — store happens strictly before release, so a vacated
+      // claim guarantees the entry is visible now. Without this re-read,
+      // every late claimer would silently duplicate the compute.
+      std::optional<std::string> entry = options_.l2->lookup(key);
+      if (entry.has_value()) {
+        release(key);
+        payload = std::move(*entry);
+        TS_COUNTER_ADD("cache.l2_claim_resolved", 1);
+        if (options_.l1 != nullptr) options_.l1->store(key, payload);
+        return Claim::kResolved;
+      }
+      TS_COUNTER_ADD("cache.l2_claim_owner", 1);
+      return Claim::kOwner;
+    }
+    // Someone else holds the claim: poll for their published entry.
+    std::optional<std::string> entry = options_.l2->lookup(key);
+    if (entry.has_value()) {
+      payload = std::move(*entry);
+      TS_COUNTER_ADD("cache.l2_claim_resolved", 1);
+      if (options_.l1 != nullptr) options_.l1->store(key, payload);
+      return Claim::kResolved;
+    }
+    const std::optional<double> age = claim_age_seconds(key);
+    if (!age.has_value()) continue;  // claim vanished: re-race immediately
+    if (*age > options_.claim_stale_seconds) {
+      // The owner died without publishing. Steal the claim; the unlink +
+      // O_EXCL re-create race is arbitrated by the filesystem again.
+      TS_LOG_WARN("cache: stealing stale L2 claim for %s (%.1fs old)",
+                  key.c_str(), *age);
+      TS_COUNTER_ADD("cache.l2_claim_stale", 1);
+      ::unlink(claim_path(key).c_str());
+      continue;
+    }
+    if (now_seconds() > deadline) {
+      // Owner alive but slower than we are willing to wait: duplicate the
+      // work rather than stall the job forever.
+      TS_COUNTER_ADD("cache.l2_claim_timeout", 1);
+      return Claim::kOwner;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.poll_interval_seconds));
+  }
+}
+
+void TieredCache::store(const std::string& key, const std::string& payload) {
+  if (options_.l1 != nullptr) options_.l1->store(key, payload);
+  if (options_.l2 != nullptr) {
+    options_.l2->store(key, payload);
+    TS_COUNTER_ADD("cache.l2_store", 1);
+  }
+}
+
+void TieredCache::release(const std::string& key) {
+  if (options_.l2 == nullptr) return;
+  ::unlink(claim_path(key).c_str());
+}
+
+void TieredCache::invalidate(const std::string& key) {
+  if (options_.l1 != nullptr) options_.l1->invalidate(key);
+  if (options_.l2 != nullptr) options_.l2->invalidate(key);
+}
+
+}  // namespace trojanscout::cache

@@ -1,0 +1,90 @@
+// Two-tier verdict cache for the audit fleet.
+//
+// L1 is a worker-private VerdictCache (fast, hot, per-process LRU); L2 is
+// a VerdictCache on a directory shared by every worker of a fleet. Lookups
+// go L1 → L2, and an L2 hit is promoted into L1 so the shard that owns a
+// key answers from private storage next time. Stores write through both
+// tiers. Either tier may be absent: with only L1 this degenerates to the
+// single-daemon cache, with only L2 every worker reads the shared store
+// directly.
+//
+// The claim protocol generalizes the daemon's in-process claim-first
+// dedupe across worker *processes*: before computing a missing key, a
+// worker atomically creates `<entry>.claim` in the L2 directory
+// (open O_CREAT|O_EXCL — the filesystem arbitrates the race). Exactly one
+// worker wins and computes; the others poll for the published entry and
+// adopt it, so each obligation runs an engine at most once fleet-wide.
+// Two failure modes are handled explicitly:
+//   * the owner dies without publishing — claims older than
+//     claim_stale_seconds are stolen (unlinked and re-raced);
+//   * the owner is merely slow — waiters give up after claim_wait_seconds
+//     and compute their own copy (duplicated work, never a wrong answer).
+//
+// Observability: every path bumps a `cache.*` telemetry counter
+// (l1_hit, l2_hit, l2_promote, l2_claim_owner, l2_claim_resolved,
+// l2_claim_stale, l2_claim_timeout), which is how the fleet tests assert
+// the exactly-once property.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cache/verdict_cache.hpp"
+
+namespace trojanscout::cache {
+
+class TieredCache {
+ public:
+  struct Options {
+    VerdictCache* l1 = nullptr;  ///< worker-private tier (not owned)
+    VerdictCache* l2 = nullptr;  ///< fleet-shared tier (not owned)
+    /// How long a waiter polls for another worker's claimed computation
+    /// before giving up and computing its own copy.
+    double claim_wait_seconds = 300.0;
+    /// Claims older than this belong to a dead owner and are stolen.
+    double claim_stale_seconds = 300.0;
+    double poll_interval_seconds = 0.002;
+  };
+
+  explicit TieredCache(Options options) : options_(options) {}
+
+  [[nodiscard]] bool has_l2() const { return options_.l2 != nullptr; }
+  [[nodiscard]] VerdictCache* l1() const { return options_.l1; }
+  [[nodiscard]] VerdictCache* l2() const { return options_.l2; }
+
+  /// L1 → L2 lookup; an L2 hit is stored into L1 (promotion).
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Outcome of the fleet-wide claim race for a missing key.
+  enum class Claim {
+    kOwner,     ///< caller must compute, then store() and release()
+    kResolved,  ///< another worker published while we waited; payload set
+    kNone,      ///< no L2 tier — caller computes (store() still fills L1)
+  };
+
+  /// Claim-first compute gate. Only call after lookup() missed. On
+  /// kResolved, `payload` carries the entry another worker published.
+  Claim acquire(const std::string& key, std::string& payload);
+
+  /// Write-through store into both tiers.
+  void store(const std::string& key, const std::string& payload);
+
+  /// Drops the claim file; owner-only, after store(). Safe to call when
+  /// no L2 is configured.
+  void release(const std::string& key);
+
+  /// Schema-level corruption reported by the codec: drop from both tiers.
+  void invalidate(const std::string& key);
+
+ private:
+  [[nodiscard]] std::string claim_path(const std::string& key) const;
+  /// True when this process created the claim file.
+  bool try_claim(const std::string& key);
+  /// Age of an existing claim file in seconds; nullopt when absent.
+  [[nodiscard]] std::optional<double> claim_age_seconds(
+      const std::string& key) const;
+
+  Options options_;
+};
+
+}  // namespace trojanscout::cache

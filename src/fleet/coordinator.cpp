@@ -1,0 +1,483 @@
+#include "fleet/coordinator.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "cache/verdict_codec.hpp"
+#include "designs/design.hpp"
+#include "proof/json.hpp"
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+namespace trojanscout::fleet {
+
+namespace {
+
+using proof::Json;
+using service::AuditJob;
+using service::LineServer;
+
+int source_rank(const std::string& source) {
+  if (source == "cache") return 0;
+  if (source == "shared") return 2;
+  return 1;  // computed
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(Options options)
+    : options_(std::move(options)),
+      server_(
+          LineServer::Options{options_.endpoint,
+                              options_.read_timeout_seconds,
+                              /*max_line_bytes=*/1 << 20,
+                              /*backlog=*/64},
+          [this](const std::string& line, const LineServer::Sender& send) {
+            return handle_line(line, send);
+          }) {}
+
+FleetCoordinator::~FleetCoordinator() { stop(); }
+
+void FleetCoordinator::start() {
+  if (options_.workers.empty()) {
+    throw std::runtime_error("fleet: no worker endpoints configured");
+  }
+  workers_.clear();
+  for (const std::string& text : options_.workers) {
+    service::Endpoint endpoint;
+    std::string error;
+    if (!service::parse_endpoint(text, endpoint, &error)) {
+      throw std::runtime_error("fleet: bad worker endpoint '" + text +
+                               "': " + error);
+    }
+    auto worker = std::make_unique<Worker>();
+    worker->name = endpoint.to_string();
+    worker->endpoint = endpoint;
+    if (ring_.contains(worker->name)) {
+      throw std::runtime_error("fleet: duplicate worker endpoint " +
+                               worker->name);
+    }
+    ring_.add(worker->name);
+    workers_.push_back(std::move(worker));
+  }
+  server_.start();
+  if (options_.health_interval_seconds > 0) {
+    health_thread_ = std::thread([this] { health_loop(); });
+  }
+  TS_LOG_INFO("fleet: coordinating %zu workers on %s", workers_.size(),
+              bound_endpoint().c_str());
+}
+
+void FleetCoordinator::wait() { server_.wait(); }
+
+void FleetCoordinator::stop() {
+  server_.stop();
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_stop_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+LineServer::Disposition FleetCoordinator::handle_line(
+    const std::string& line, const LineServer::Sender& send) {
+  service::Request request;
+  std::string error;
+  if (!service::parse_request(line, request, &error)) {
+    TS_COUNTER_ADD("service.bad_request", 1);
+    if (!send(service::error_response_line("", error, "bad_request"))) {
+      return LineServer::Disposition::kClose;
+    }
+    return LineServer::Disposition::kKeep;
+  }
+  if (request.op == service::Request::Op::kPing) {
+    Json j = Json::object();
+    j.set("type", "pong");
+    if (!send(j.dump())) return LineServer::Disposition::kClose;
+  } else if (request.op == service::Request::Op::kStats) {
+    Json j = Json::object();
+    j.set("type", "stats");
+    j.set("endpoint", bound_endpoint());
+    j.set("role", "coordinator");
+    j.set("jobs_completed", jobs_completed_.load(std::memory_order_relaxed));
+    j.set("retry_after_sent",
+          retry_after_sent_.load(std::memory_order_relaxed));
+    j.set("reshards", reshards_.load(std::memory_order_relaxed));
+    j.set("bad_requests", server_.bad_requests());
+    Json workers = Json::array();
+    {
+      std::lock_guard<std::mutex> lock(ring_mutex_);
+      for (const auto& worker : workers_) {
+        Json w = Json::object();
+        w.set("endpoint", worker->name);
+        w.set("alive", worker->alive);
+        w.set("outstanding", worker->outstanding);
+        workers.push_back(std::move(w));
+      }
+    }
+    j.set("workers", std::move(workers));
+    if (!send(j.dump())) return LineServer::Disposition::kClose;
+  } else if (request.op == service::Request::Op::kShutdown) {
+    Json j = Json::object();
+    j.set("type", "bye");
+    send(j.dump());
+    TS_LOG_INFO("fleet: shutdown requested");
+    return LineServer::Disposition::kShutdown;
+  } else {
+    handle_audit(send, request.job);
+  }
+  return LineServer::Disposition::kKeep;
+}
+
+void FleetCoordinator::handle_audit(const LineServer::Sender& send,
+                                    const AuditJob& job) {
+  designs::Design design;
+  const core::DetectorOptions detector_options = job.detector_options();
+  try {
+    design = service::load_job_design(job);
+  } catch (const std::exception& e) {
+    send(service::error_response_line(job.id, e.what()));
+    return;
+  }
+
+  const core::TrojanDetector merger(design, detector_options);
+  const std::vector<core::Obligation> obligations =
+      merger.enumerate_obligations();
+  const cache::ObligationKeyer keyer(design, detector_options,
+                                     /*fail_fast=*/false);
+  std::vector<std::string> keys;
+  keys.reserve(obligations.size());
+  for (const core::Obligation& obligation : obligations) {
+    keys.push_back(keyer.key(obligation));
+  }
+
+  std::vector<std::size_t> requested;
+  if (job.subset.empty()) {
+    requested.resize(obligations.size());
+    for (std::size_t i = 0; i < requested.size(); ++i) requested[i] = i;
+  } else {
+    for (const std::size_t index : job.subset) {
+      if (index >= obligations.size()) {
+        send(service::error_response_line(
+            job.id, "subset index " + std::to_string(index) +
+                        " out of range (job has " +
+                        std::to_string(obligations.size()) + " obligations)"));
+        return;
+      }
+      requested.push_back(index);
+    }
+  }
+
+  std::vector<ObSlot> slots(obligations.size());
+  std::vector<std::size_t> pending = requested;
+  bool accepted_sent = false;
+  while (!pending.empty()) {
+    // Shard the pending indices over the live ring. Membership and
+    // outstanding counts are read under the ring lock; dispatch itself
+    // runs unlocked.
+    std::map<Worker*, std::vector<std::size_t>> groups;
+    {
+      std::lock_guard<std::mutex> lock(ring_mutex_);
+      if (ring_.empty()) {
+        send(service::error_response_line(
+            job.id, "no live workers in the fleet", "no_workers"));
+        return;
+      }
+      std::map<std::string, Worker*> by_name;
+      for (const auto& worker : workers_) by_name[worker->name] = worker.get();
+      for (const std::size_t index : pending) {
+        groups[by_name.at(ring_.node_for(keys[index]))].push_back(index);
+      }
+      if (!accepted_sent) {
+        // Admission control: refuse (never queue silently, never drop) a
+        // job that would overrun any worker's obligation queue.
+        for (const auto& [worker, group] : groups) {
+          if (worker->outstanding + group.size() > options_.queue_capacity) {
+            retry_after_sent_.fetch_add(1, std::memory_order_relaxed);
+            TS_COUNTER_ADD("fleet.retry_after", 1);
+            TS_LOG_WARN(
+                "fleet: refusing job %s: worker %s at %zu/%zu outstanding "
+                "(+%zu requested)",
+                job.id.c_str(), worker->name.c_str(), worker->outstanding,
+                options_.queue_capacity, group.size());
+            send(service::retry_after_line(job.id, options_.retry_after_ms));
+            return;
+          }
+        }
+      }
+      for (const auto& [worker, group] : groups) {
+        worker->outstanding += group.size();
+      }
+    }
+    if (!accepted_sent) {
+      Json j = Json::object();
+      j.set("type", "accepted");
+      j.set("id", job.id);
+      j.set("design", job.design_path);
+      j.set("obligations", requested.size());
+      if (!send(j.dump())) {
+        std::lock_guard<std::mutex> lock(ring_mutex_);
+        for (const auto& [worker, group] : groups) {
+          worker->outstanding -= group.size();
+        }
+        return;
+      }
+      accepted_sent = true;
+    }
+
+    struct GroupOutcome {
+      Worker* worker;
+      std::vector<std::size_t> indices;
+      GroupStatus status = GroupStatus::kDead;
+      std::string error;
+    };
+    std::vector<GroupOutcome> outcomes;
+    outcomes.reserve(groups.size());
+    for (auto& [worker, group] : groups) {
+      GroupOutcome outcome;
+      outcome.worker = worker;
+      outcome.indices = group;
+      outcomes.push_back(std::move(outcome));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(outcomes.size());
+    for (GroupOutcome& outcome : outcomes) {
+      threads.emplace_back([this, &outcome, &job, &slots] {
+        outcome.status = dispatch_group(*outcome.worker, job, outcome.indices,
+                                        slots, outcome.error);
+        std::lock_guard<std::mutex> lock(ring_mutex_);
+        outcome.worker->outstanding -= outcome.indices.size();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+
+    pending.clear();
+    for (const GroupOutcome& outcome : outcomes) {
+      if (outcome.status == GroupStatus::kOk) continue;
+      if (outcome.status == GroupStatus::kError) {
+        // A structured worker error (bad design path, out-of-range subset)
+        // would fail identically on every worker — abort, don't re-shard.
+        send(service::error_response_line(job.id, outcome.error));
+        return;
+      }
+      mark_dead(outcome.worker->name);
+      for (const std::size_t index : outcome.indices) {
+        if (!slots[index].ready) pending.push_back(index);
+      }
+    }
+    if (!pending.empty()) {
+      std::sort(pending.begin(), pending.end());
+      reshards_.fetch_add(1, std::memory_order_relaxed);
+      TS_COUNTER_ADD("fleet.reshard", 1);
+      TS_LOG_WARN("fleet: re-sharding %zu obligations of job %s",
+                  pending.size(), job.id.c_str());
+    }
+  }
+
+  // Merge in enumeration order — the invariant DetectionReport::signature
+  // depends on — and stream per-obligation lines like a single daemon.
+  core::DetectionReport report;
+  report.trust_bound_frames = detector_options.engine.max_frames;
+  std::uint64_t counts[3] = {0, 0, 0};
+  bool client_alive = accepted_sent;
+  for (const std::size_t index : requested) {
+    const ObSlot& slot = slots[index];
+    const core::Obligation& obligation = obligations[index];
+    counts[source_rank(slot.source)]++;
+    merger.merge_obligation(report, obligation, slot.result);
+    if (client_alive) {
+      Json j = Json::object();
+      j.set("type", "obligation");
+      j.set("id", job.id);
+      j.set("index", index);
+      j.set("property", obligation.property_name());
+      j.set("status", slot.result.status);
+      j.set("violated", slot.result.violated);
+      j.set("bound_reached", slot.result.bound_reached);
+      j.set("frames_completed", slot.result.frames_completed);
+      j.set("source", slot.source);
+      client_alive = send(j.dump());
+    }
+  }
+
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!client_alive) return;
+  Json j = Json::object();
+  j.set("type", "report");
+  j.set("id", job.id);
+  j.set("trojan_found", report.trojan_found);
+  j.set("trust_bound_frames", report.trust_bound_frames);
+  j.set("summary", report.summary());
+  j.set("signature", report.signature());
+  j.set("cache_hits", counts[0]);
+  j.set("shared", counts[2]);
+  j.set("computed", counts[1]);
+  send(j.dump());
+}
+
+FleetCoordinator::GroupStatus FleetCoordinator::dispatch_group(
+    const Worker& worker, const AuditJob& base,
+    const std::vector<std::size_t>& group, std::vector<ObSlot>& slots,
+    std::string& error) {
+  int fd = -1;
+  try {
+    fd = service::connect_with_retry(worker.endpoint,
+                                     options_.worker_connect);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return GroupStatus::kDead;
+  }
+  service::set_recv_timeout(fd, options_.worker_timeout_seconds);
+
+  AuditJob shard = base;
+  shard.subset = group;
+  shard.wire_verdicts = true;
+  if (!service::send_frame(fd, service::audit_request_line(shard))) {
+    ::close(fd);
+    error = "send failed";
+    return GroupStatus::kDead;
+  }
+
+  std::string buffer;
+  std::string line;
+  bool got_report = false;
+  while (!got_report) {
+    const service::ReadLineStatus status =
+        service::read_frame(fd, buffer, line);
+    if (status != service::ReadLineStatus::kLine) {
+      ::close(fd);
+      error = status == service::ReadLineStatus::kTimeout
+                  ? "worker read timeout"
+                  : "worker closed the connection";
+      return GroupStatus::kDead;
+    }
+    Json j;
+    std::string parse_error;
+    if (!Json::parse(line, j, &parse_error) || !j.is_object()) {
+      ::close(fd);
+      error = "unparseable worker response: " + parse_error;
+      return GroupStatus::kDead;
+    }
+    const Json* type = j.find("type");
+    const std::string kind =
+        type != nullptr && type->is_string() ? type->as_string() : "";
+    if (kind == "accepted") continue;
+    if (kind == "error") {
+      const Json* message = j.find("message");
+      error = message != nullptr && message->is_string()
+                  ? message->as_string()
+                  : "worker error";
+      ::close(fd);
+      return GroupStatus::kError;
+    }
+    if (kind == "obligation") {
+      const Json* index_field = j.find("index");
+      const Json* verdict = j.find("verdict");
+      if (index_field == nullptr || !index_field->is_int() ||
+          index_field->as_int() < 0 ||
+          static_cast<std::size_t>(index_field->as_int()) >= slots.size() ||
+          verdict == nullptr || !verdict->is_object()) {
+        ::close(fd);
+        error = "malformed obligation line from worker";
+        return GroupStatus::kDead;
+      }
+      ObSlot& slot = slots[static_cast<std::size_t>(index_field->as_int())];
+      std::string codec_error;
+      if (!cache::verdict_from_json(verdict->dump(), slot.result, nullptr,
+                                    &codec_error)) {
+        ::close(fd);
+        error = "bad wire verdict: " + codec_error;
+        return GroupStatus::kDead;
+      }
+      const Json* source = j.find("source");
+      slot.source = source != nullptr && source->is_string()
+                        ? source->as_string()
+                        : "computed";
+      slot.ready = true;
+      continue;
+    }
+    if (kind == "report") got_report = true;
+  }
+  ::close(fd);
+  for (const std::size_t index : group) {
+    if (!slots[index].ready) {
+      error = "worker report omitted obligations";
+      return GroupStatus::kDead;
+    }
+  }
+  return GroupStatus::kOk;
+}
+
+void FleetCoordinator::mark_dead(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  for (const auto& worker : workers_) {
+    if (worker->name != name) continue;
+    if (!worker->alive) return;
+    worker->alive = false;
+    ring_.remove(name);
+    TS_COUNTER_ADD("fleet.worker_dead", 1);
+    TS_LOG_WARN("fleet: worker %s marked dead (%zu remain)", name.c_str(),
+                ring_.node_count());
+    return;
+  }
+}
+
+bool FleetCoordinator::ping_worker(const service::Endpoint& endpoint) const {
+  std::string error;
+  const int fd = service::connect_endpoint(endpoint, &error);
+  if (fd < 0) return false;
+  service::set_recv_timeout(fd, 1.0);
+  bool ok = false;
+  if (service::send_frame(fd, service::control_request_line("ping"))) {
+    std::string buffer;
+    std::string line;
+    if (service::read_frame(fd, buffer, line) ==
+        service::ReadLineStatus::kLine) {
+      Json j;
+      std::string parse_error;
+      if (Json::parse(line, j, &parse_error) && j.is_object()) {
+        const Json* type = j.find("type");
+        ok = type != nullptr && type->is_string() &&
+             type->as_string() == "pong";
+      }
+    }
+  }
+  ::close(fd);
+  return ok;
+}
+
+void FleetCoordinator::health_loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.health_interval_seconds);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(health_mutex_);
+      health_cv_.wait_for(lock, interval, [this] { return health_stop_; });
+      if (health_stop_) return;
+    }
+    for (const auto& worker : workers_) {
+      const bool ok = ping_worker(worker->endpoint);
+      if (!ok) {
+        mark_dead(worker->name);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(ring_mutex_);
+      if (!worker->alive) {
+        worker->alive = true;
+        ring_.add(worker->name);
+        TS_COUNTER_ADD("fleet.worker_revived", 1);
+        TS_LOG_INFO("fleet: worker %s revived (%zu live)",
+                    worker->name.c_str(), ring_.node_count());
+      }
+    }
+  }
+}
+
+}  // namespace trojanscout::fleet

@@ -1,0 +1,64 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trojanscout::fleet {
+
+std::uint64_t ShardRing::hash(const std::string& text) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void ShardRing::add(const std::string& node) {
+  if (contains(node)) return;
+  nodes_.push_back(node);
+  rebuild();
+}
+
+void ShardRing::remove(const std::string& node) {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) return;
+  nodes_.erase(it);
+  rebuild();
+}
+
+bool ShardRing::contains(const std::string& node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+void ShardRing::rebuild() {
+  points_.clear();
+  points_.reserve(nodes_.size() * vnodes_);
+  for (std::size_t node_index = 0; node_index < nodes_.size(); ++node_index) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.push_back(
+          Point{hash(nodes_[node_index] + "#" + std::to_string(v)),
+                node_index});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position < b.position;
+            });
+}
+
+const std::string& ShardRing::node_for(const std::string& key) const {
+  if (points_.empty()) {
+    throw std::logic_error("ShardRing::node_for on an empty ring");
+  }
+  const std::uint64_t position = hash(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), position,
+                             [](const Point& p, std::uint64_t pos) {
+                               return p.position < pos;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return nodes_[it->node_index];
+}
+
+}  // namespace trojanscout::fleet

@@ -1,0 +1,57 @@
+// Consistent-hash ring for sharding obligations across fleet workers.
+//
+// Nodes (worker endpoint names) are placed on a 64-bit ring at `vnodes`
+// pseudo-random points each (FNV-1a over "name#i"); a key (the 128-bit
+// ObligationKeyer digest) maps to the first node point at or after its own
+// hash, wrapping at the top. Virtual nodes keep the load split close to
+// uniform for small fleets, and consistent hashing keeps it *stable*:
+// removing a dead worker re-homes only the keys that lived on its points,
+// so the surviving workers keep their L1 cache locality across a re-shard.
+//
+// The ring itself is unsynchronized; FleetCoordinator guards it with its
+// own mutex (reads and membership changes both happen under that lock).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trojanscout::fleet {
+
+class ShardRing {
+ public:
+  explicit ShardRing(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  /// Adds `node` at vnodes points. Adding a present node is a no-op.
+  void add(const std::string& node);
+
+  /// Removes every point of `node`. Removing an absent node is a no-op.
+  void remove(const std::string& node);
+
+  [[nodiscard]] bool contains(const std::string& node) const;
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<std::string>& nodes() const {
+    return nodes_;
+  }
+
+  /// Owner of `key`. Must not be called on an empty ring.
+  [[nodiscard]] const std::string& node_for(const std::string& key) const;
+
+  /// The hash both sides of the ring use (exposed for tests).
+  static std::uint64_t hash(const std::string& text);
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::size_t node_index;  // into nodes_
+  };
+
+  void rebuild();
+
+  std::size_t vnodes_;
+  std::vector<std::string> nodes_;   // insertion-ordered member list
+  std::vector<Point> points_;        // sorted by position
+};
+
+}  // namespace trojanscout::fleet

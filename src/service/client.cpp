@@ -1,31 +1,23 @@
 #include "service/client.hpp"
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cstring>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 namespace trojanscout::service {
 
 using proof::Json;
 
-Client::Client(const std::string& socket_path) {
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("cannot create socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd_);
-    throw std::runtime_error("socket path too long: " + socket_path);
+Client::Client(const std::string& endpoint, const ConnectRetry& retry) {
+  Endpoint parsed;
+  std::string error;
+  if (!parse_endpoint(endpoint, parsed, &error)) {
+    throw std::runtime_error("bad endpoint '" + endpoint + "': " + error);
   }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    throw std::runtime_error("cannot connect to " + socket_path +
-                             " (is the daemon running?)");
-  }
+  fd_ = connect_with_retry(parsed, retry);
 }
 
 Client::~Client() {
@@ -94,6 +86,15 @@ SubmitResult submit_audit(
                          : "daemon error";
       return result;
     }
+    if (type->as_string() == "retry-after") {
+      const Json* delay = response.find("retry_after_ms");
+      result.retry_after_ms =
+          delay != nullptr && delay->is_int() && delay->as_int() > 0
+              ? static_cast<std::uint64_t>(delay->as_int())
+              : 1;
+      result.error = "fleet overloaded (retry-after)";
+      return result;
+    }
     if (type->as_string() == "accepted") {
       const Json* n = response.find("obligations");
       if (n != nullptr && n->is_int()) {
@@ -125,6 +126,27 @@ SubmitResult submit_audit(
   }
   result.error = "daemon closed the connection before the report";
   return result;
+}
+
+SubmitResult submit_audit_with_retry(
+    const std::string& endpoint, const AuditJob& job,
+    const ConnectRetry& retry, int max_retries,
+    const std::function<void(const proof::Json&)>& on_response,
+    const std::function<void(std::uint64_t delay_ms)>& on_retry) {
+  SubmitResult result;
+  for (int attempt = 0;; ++attempt) {
+    Client client(endpoint, retry);
+    result = submit_audit(client, job, on_response);
+    if (result.ok || result.retry_after_ms == 0 || attempt >= max_retries) {
+      return result;
+    }
+    // Linear escalation of the server's hint: the fleet told us how long
+    // its queues need; repeated refusals mean we are still too eager.
+    const std::uint64_t delay_ms =
+        result.retry_after_ms * static_cast<std::uint64_t>(attempt + 1);
+    if (on_retry) on_retry(delay_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
 }
 
 }  // namespace trojanscout::service

@@ -1,19 +1,26 @@
-// Minimal blocking client for the audit daemon's Unix-socket protocol,
-// shared by the `submit` subcommand and the service tests.
+// Minimal blocking client for the audit-tier NDJSON protocol (daemon or
+// fleet coordinator, Unix or TCP), shared by the `submit` subcommand, the
+// throughput bench, and the service/fleet tests.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "proof/json.hpp"
 #include "service/protocol.hpp"
+#include "service/transport.hpp"
 
 namespace trojanscout::service {
 
 class Client {
  public:
-  /// Connects to a daemon's socket. Throws std::runtime_error on failure.
-  explicit Client(const std::string& socket_path);
+  /// Connects to an endpoint ("unix:/path", bare path, "tcp:host:port"),
+  /// retrying per `retry` (default: one attempt). Throws
+  /// std::runtime_error on a malformed endpoint or after the last failed
+  /// attempt.
+  explicit Client(const std::string& endpoint,
+                  const ConnectRetry& retry = ConnectRetry{});
   ~Client();
 
   Client(const Client&) = delete;
@@ -44,6 +51,9 @@ struct SubmitResult {
   std::uint64_t shared = 0;
   std::uint64_t computed = 0;
   std::size_t obligations = 0;
+  /// Set (> 0) when the fleet refused the job with {"type":"retry-after"};
+  /// ok stays false and `error` names the refusal.
+  std::uint64_t retry_after_ms = 0;
 };
 
 /// Submits one audit job and consumes its response stream. `on_response`
@@ -52,5 +62,15 @@ struct SubmitResult {
 SubmitResult submit_audit(Client& client, const AuditJob& job,
                           const std::function<void(const proof::Json&)>&
                               on_response = nullptr);
+
+/// Overload-aware submit: honors retry-after refusals by sleeping the
+/// server's hint (scaled by the refusal count) and reconnecting, up to
+/// `max_retries` resubmissions. `on_retry` (optional) observes each
+/// backoff. Connection establishment uses `retry` each time.
+SubmitResult submit_audit_with_retry(
+    const std::string& endpoint, const AuditJob& job,
+    const ConnectRetry& retry, int max_retries,
+    const std::function<void(const proof::Json&)>& on_response = nullptr,
+    const std::function<void(std::uint64_t delay_ms)>& on_retry = nullptr);
 
 }  // namespace trojanscout::service

@@ -1,60 +1,21 @@
 #include "service/daemon.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cstring>
-#include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "cache/verdict_codec.hpp"
 #include "designs/design.hpp"
 #include "proof/json.hpp"
-#include "specdsl/specdsl.hpp"
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
-#include "verilog/reader.hpp"
 
 namespace trojanscout::service {
 
 namespace {
 
 using proof::Json;
-
-/// Reads up to the next '\n' (consumed, not returned). False on EOF with
-/// nothing buffered.
-bool read_line(int fd, std::string& buffer, std::string& line) {
-  for (;;) {
-    const std::size_t eol = buffer.find('\n');
-    if (eol != std::string::npos) {
-      line = buffer.substr(0, eol);
-      buffer.erase(0, eol + 1);
-      return true;
-    }
-    char chunk[4096];
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (!buffer.empty()) {  // final unterminated line
-        line = std::move(buffer);
-        buffer.clear();
-        return true;
-      }
-      return false;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-  }
-}
-
-Json error_response(const std::string& id, const std::string& message) {
-  Json j = Json::object();
-  j.set("type", "error");
-  j.set("id", id);
-  j.set("message", message);
-  return j;
-}
 
 const char* source_name(int source) {
   switch (source) {
@@ -67,160 +28,97 @@ const char* source_name(int source) {
 
 }  // namespace
 
-AuditDaemon::AuditDaemon(Options options) : options_(std::move(options)) {}
+AuditDaemon::AuditDaemon(Options options)
+    : options_(std::move(options)),
+      server_(
+          LineServer::Options{options_.endpoint,
+                              options_.read_timeout_seconds,
+                              /*max_line_bytes=*/1 << 20,
+                              /*backlog=*/64},
+          [this](const std::string& line, const LineServer::Sender& send) {
+            return handle_line(line, send);
+          }),
+      tier_(cache::TieredCache::Options{
+          options_.cache, options_.l2, options_.claim_wait_seconds,
+          options_.claim_stale_seconds, /*poll_interval_seconds=*/0.002}) {}
 
 AuditDaemon::~AuditDaemon() { stop(); }
 
 void AuditDaemon::start() {
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("cannot create socket");
-
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("socket path too long: " + options_.socket_path);
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("cannot bind " + options_.socket_path);
-  }
-
   pool_ = std::make_unique<util::ThreadPool>(options_.jobs);
-  running_.store(true, std::memory_order_release);
-  stopping_.store(false, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  try {
+    server_.start();
+  } catch (...) {
+    pool_.reset();
+    throw;
+  }
   TS_LOG_INFO("service: listening on %s (%zu engine workers)",
-              options_.socket_path.c_str(), pool_->thread_count());
+              bound_endpoint().c_str(), pool_->thread_count());
 }
 
-void AuditDaemon::wait() {
-  std::unique_lock<std::mutex> lock(shutdown_mutex_);
-  shutdown_cv_.wait(lock, [this] {
-    return stopping_.load(std::memory_order_acquire);
-  });
-}
+void AuditDaemon::wait() { server_.wait(); }
 
 void AuditDaemon::stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stopping_.store(true, std::memory_order_release);
-  shutdown_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Wake connection threads blocked between jobs in read(); a thread in
-  // the middle of a job finishes it first (its sends just start failing).
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const auto& conn : connections_) {
-      std::lock_guard<std::mutex> conn_lock(conn->mutex);
-      if (!conn->closed) ::shutdown(conn->fd, SHUT_RDWR);
-    }
-    threads.swap(connection_threads_);
-    connections_.clear();
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  ::unlink(options_.socket_path.c_str());
+  server_.stop();
   pool_.reset();
 }
 
-void AuditDaemon::accept_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections_.push_back(conn);
-    connection_threads_.emplace_back([this, conn] { serve_connection(conn); });
-  }
-}
-
-bool AuditDaemon::send_line(int fd, const std::string& line) {
-  std::string out = line;
-  out += '\n';
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n =
-        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // client went away; keep computing, stop talking
+LineServer::Disposition AuditDaemon::handle_line(
+    const std::string& line, const LineServer::Sender& send) {
+  Request request;
+  std::string error;
+  if (!parse_request(line, request, &error)) {
+    TS_COUNTER_ADD("service.bad_request", 1);
+    if (!send(error_response_line("", error, "bad_request"))) {
+      return LineServer::Disposition::kClose;
     }
-    sent += static_cast<std::size_t>(n);
+    return LineServer::Disposition::kKeep;
   }
-  return true;
-}
-
-void AuditDaemon::serve_connection(const std::shared_ptr<Connection>& conn) {
-  const int fd = conn->fd;
-  std::string buffer;
-  std::string line;
-  while (read_line(fd, buffer, line)) {
-    if (line.empty()) continue;
-    Request request;
-    std::string error;
-    if (!parse_request(line, request, &error)) {
-      if (!send_line(fd, error_response("", error).dump())) break;
-      continue;
-    }
-    if (request.op == Request::Op::kPing) {
-      Json j = Json::object();
-      j.set("type", "pong");
-      if (!send_line(fd, j.dump())) break;
-    } else if (request.op == Request::Op::kStats) {
-      Json j = Json::object();
-      j.set("type", "stats");
-      j.set("jobs_completed", jobs_completed_.load(std::memory_order_relaxed));
-      j.set("shared_obligations",
-            shared_hits_.load(std::memory_order_relaxed));
-      if (options_.cache != nullptr) {
-        const cache::CacheStats stats = options_.cache->stats();
-        j.set("cache_mode", cache::cache_mode_name(options_.cache->mode()));
-        j.set("cache_hits", stats.hits);
-        j.set("cache_misses", stats.misses);
-        j.set("cache_stores", stats.stores);
-        j.set("cache_evictions", stats.evictions);
-        j.set("cache_corrupt_skipped", stats.corrupt_skipped);
-        j.set("cache_entries",
-              static_cast<std::uint64_t>(options_.cache->entry_count()));
-        j.set("cache_bytes", options_.cache->total_bytes());
-      } else {
-        j.set("cache_mode", "off");
-      }
-      if (!send_line(fd, j.dump())) break;
-    } else if (request.op == Request::Op::kShutdown) {
-      Json j = Json::object();
-      j.set("type", "bye");
-      send_line(fd, j.dump());
-      TS_LOG_INFO("service: shutdown requested");
-      stopping_.store(true, std::memory_order_release);
-      shutdown_cv_.notify_all();
-      break;
+  if (request.op == Request::Op::kPing) {
+    Json j = Json::object();
+    j.set("type", "pong");
+    if (!send(j.dump())) return LineServer::Disposition::kClose;
+  } else if (request.op == Request::Op::kStats) {
+    Json j = Json::object();
+    j.set("type", "stats");
+    j.set("endpoint", bound_endpoint());
+    j.set("jobs_completed", jobs_completed_.load(std::memory_order_relaxed));
+    j.set("shared_obligations", shared_hits_.load(std::memory_order_relaxed));
+    j.set("bad_requests", server_.bad_requests());
+    if (options_.cache != nullptr) {
+      const cache::CacheStats stats = options_.cache->stats();
+      j.set("cache_mode", cache::cache_mode_name(options_.cache->mode()));
+      j.set("cache_hits", stats.hits);
+      j.set("cache_misses", stats.misses);
+      j.set("cache_stores", stats.stores);
+      j.set("cache_evictions", stats.evictions);
+      j.set("cache_corrupt_skipped", stats.corrupt_skipped);
+      j.set("cache_entries",
+            static_cast<std::uint64_t>(options_.cache->entry_count()));
+      j.set("cache_bytes", options_.cache->total_bytes());
     } else {
-      handle_audit(fd, request.job);
+      j.set("cache_mode", "off");
     }
+    if (options_.l2 != nullptr) {
+      const cache::CacheStats stats = options_.l2->stats();
+      j.set("l2_dir", options_.l2->dir());
+      j.set("l2_hits", stats.hits);
+      j.set("l2_misses", stats.misses);
+      j.set("l2_stores", stats.stores);
+      j.set("l2_entries",
+            static_cast<std::uint64_t>(options_.l2->entry_count()));
+    }
+    if (!send(j.dump())) return LineServer::Disposition::kClose;
+  } else if (request.op == Request::Op::kShutdown) {
+    Json j = Json::object();
+    j.set("type", "bye");
+    send(j.dump());
+    TS_LOG_INFO("service: shutdown requested");
+    return LineServer::Disposition::kShutdown;
+  } else {
+    handle_audit(send, request.job);
   }
-  std::lock_guard<std::mutex> lock(conn->mutex);
-  ::close(fd);
-  conn->closed = true;
+  return LineServer::Disposition::kKeep;
 }
 
 std::shared_ptr<AuditDaemon::Execution> AuditDaemon::claim(
@@ -239,10 +137,11 @@ std::shared_ptr<AuditDaemon::Execution> AuditDaemon::claim(
 
 void AuditDaemon::publish(const std::string& key,
                           const std::shared_ptr<Execution>& exec,
-                          core::CheckResult result) {
+                          core::CheckResult result, int source) {
   {
     std::lock_guard<std::mutex> lock(exec->mutex);
     exec->result = std::move(result);
+    exec->source = source;
     exec->done = true;
   }
   exec->cv.notify_all();
@@ -250,51 +149,56 @@ void AuditDaemon::publish(const std::string& key,
   inflight_.erase(key);
 }
 
-void AuditDaemon::handle_audit(int fd, const AuditJob& job) {
+void AuditDaemon::handle_audit(const LineServer::Sender& send,
+                               const AuditJob& job) {
   // Job-lifetime state shared with pool tasks; tasks may briefly outlive
   // an aborted job (client hung up), so everything is shared_ptr-owned.
   auto design = std::make_shared<designs::Design>();
   const core::DetectorOptions detector_options = job.detector_options();
   try {
-    design->name = job.design_path;
-    std::ifstream in(job.design_path);
-    if (!in) throw std::runtime_error("cannot open " + job.design_path);
-    design->nl = verilog::read_verilog(in);
-    design->nl.validate();
-    design->spec = specdsl::load_spec_file(design->nl, job.spec_path);
-    if (design->spec.registers.empty()) {
-      throw std::runtime_error("spec file declares no registers");
-    }
-    for (const auto& reg_spec : design->spec.registers) {
-      design->critical_registers.push_back(reg_spec.reg);
-    }
+    *design = load_job_design(job);
   } catch (const std::exception& e) {
-    send_line(fd, error_response(job.id, e.what()).dump());
+    send(error_response_line(job.id, e.what()));
     return;
   }
 
   const core::TrojanDetector merger(*design, detector_options);
   const std::vector<core::Obligation> obligations =
       merger.enumerate_obligations();
+
+  // The fleet coordinator shards a job by sending each worker the subset
+  // of obligation indices whose keys hash to that worker's ring segment.
+  std::vector<std::size_t> indices;
+  if (job.subset.empty()) {
+    indices.resize(obligations.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  } else {
+    for (const std::size_t index : job.subset) {
+      if (index >= obligations.size()) {
+        send(error_response_line(
+            job.id, "subset index " + std::to_string(index) +
+                        " out of range (job has " +
+                        std::to_string(obligations.size()) + " obligations)"));
+        return;
+      }
+      indices.push_back(index);
+    }
+  }
+
   auto worker =
       std::make_shared<core::TrojanDetector>(*design, detector_options);
   // Keep `design` alive as long as any task holds `worker` (the detector
   // stores a reference, not a copy).
   const cache::ObligationKeyer keyer(*design, detector_options,
                                      /*fail_fast=*/false);
-  std::shared_ptr<cache::AuditVerdictStore> store;
-  if (options_.cache != nullptr) {
-    store = std::make_shared<cache::AuditVerdictStore>(
-        *options_.cache, *design, detector_options, /*fail_fast=*/false);
-  }
 
   {
     Json j = Json::object();
     j.set("type", "accepted");
     j.set("id", job.id);
     j.set("design", job.design_path);
-    j.set("obligations", obligations.size());
-    if (!send_line(fd, j.dump())) return;
+    j.set("obligations", indices.size());
+    if (!send(j.dump())) return;
   }
 
   // The engines copy the netlist per run; materialize the shared fanout
@@ -308,15 +212,19 @@ void AuditDaemon::handle_audit(int fd, const AuditJob& job) {
     core::CheckResult result;
     std::shared_ptr<Execution> exec;
   };
-  std::vector<Slot> slots(obligations.size());
+  std::vector<Slot> slots(indices.size());
 
   // Claim before consulting the cache: only the claim owner looks up and
   // (on a miss) computes. Since tasks store to the cache *before* they
   // publish-and-release the claim, any later claimer's lookup hits — each
   // obligation runs an engine at most once across all concurrent jobs.
-  for (std::size_t i = 0; i < obligations.size(); ++i) {
-    Slot& slot = slots[i];
-    const std::string key = keyer.key(obligations[i]);
+  // The same discipline repeats one level up: the pool task races for the
+  // fleet-wide L2 claim before running an engine, so an obligation also
+  // computes at most once across worker *processes* sharing the L2 dir.
+  for (std::size_t slot_index = 0; slot_index < indices.size(); ++slot_index) {
+    Slot& slot = slots[slot_index];
+    const core::Obligation& obligation = obligations[indices[slot_index]];
+    const std::string key = keyer.key(obligation);
     bool created = false;
     slot.exec = claim(key, created);
     if (!created) {
@@ -324,18 +232,45 @@ void AuditDaemon::handle_audit(int fd, const AuditJob& job) {
       shared_hits_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (store != nullptr && store->lookup(obligations[i], slot.result)) {
-      slot.source = kCache;
-      slot.ready = true;
-      publish(key, slot.exec, slot.result);  // feed concurrent sharers
-      continue;
+    std::optional<std::string> payload = tier_.lookup(key);
+    if (payload.has_value()) {
+      core::CheckResult parsed;
+      std::string parse_error;
+      if (cache::verdict_from_json(*payload, parsed, nullptr, &parse_error)) {
+        slot.source = kCache;
+        slot.ready = true;
+        slot.result = parsed;
+        publish(key, slot.exec, std::move(parsed), kCache);
+        continue;
+      }
+      TS_LOG_WARN("service: rejecting cache entry %s: %s", key.c_str(),
+                  parse_error.c_str());
+      tier_.invalidate(key);
     }
     slot.source = kComputed;
-    pool_->submit([this, worker, design, store, key,
-                   obligation = obligations[i], exec = slot.exec] {
+    pool_->submit([this, worker, design, key, obligation,
+                   exec = slot.exec] {
+      // Fleet-wide claim race: exactly one worker process computes a
+      // missing key; the rest adopt the published entry as "shared".
+      std::string resolved;
+      cache::TieredCache::Claim l2_claim = tier_.acquire(key, resolved);
+      if (l2_claim == cache::TieredCache::Claim::kResolved) {
+        core::CheckResult parsed;
+        std::string parse_error;
+        if (cache::verdict_from_json(resolved, parsed, nullptr,
+                                     &parse_error)) {
+          publish(key, exec, std::move(parsed), kShared);
+          return;
+        }
+        tier_.invalidate(key);  // corrupt publication: fall back to computing
+      }
       core::CheckResult result = worker->run_obligation(obligation);
-      if (store != nullptr) store->store(obligation, result);
-      publish(key, exec, std::move(result));
+      if (!result.cancelled) {
+        tier_.store(key,
+                    cache::verdict_to_json(obligation, result, /*cert_ref=*/""));
+      }
+      if (l2_claim == cache::TieredCache::Claim::kOwner) tier_.release(key);
+      publish(key, exec, std::move(result), kComputed);
       (void)design;  // owns the netlist `worker` references
     });
   }
@@ -344,27 +279,45 @@ void AuditDaemon::handle_audit(int fd, const AuditJob& job) {
   report.trust_bound_frames = detector_options.engine.max_frames;
   std::uint64_t counts[3] = {0, 0, 0};
   bool client_alive = true;
-  for (std::size_t i = 0; i < obligations.size(); ++i) {
-    Slot& slot = slots[i];
+  for (std::size_t slot_index = 0; slot_index < indices.size(); ++slot_index) {
+    Slot& slot = slots[slot_index];
+    const core::Obligation& obligation = obligations[indices[slot_index]];
     if (!slot.ready) {
+      const bool in_process_share = slot.source == kShared;
       std::unique_lock<std::mutex> lock(slot.exec->mutex);
       slot.exec->cv.wait(lock, [&] { return slot.exec->done; });
       slot.result = slot.exec->result;
+      // A creator's slot adopts where its execution actually got the
+      // verdict (engine, or another fleet worker via the L2 claim); an
+      // in-process sharer stays "shared" regardless.
+      if (!in_process_share) slot.source = slot.exec->source;
       slot.ready = true;
     }
     counts[slot.source]++;
-    merger.merge_obligation(report, obligations[i], slot.result);
+    merger.merge_obligation(report, obligation, slot.result);
     if (client_alive) {
       Json j = Json::object();
       j.set("type", "obligation");
       j.set("id", job.id);
-      j.set("property", obligations[i].property_name());
+      j.set("index", indices[slot_index]);
+      j.set("property", obligation.property_name());
       j.set("status", slot.result.status);
       j.set("violated", slot.result.violated);
       j.set("bound_reached", slot.result.bound_reached);
       j.set("frames_completed", slot.result.frames_completed);
       j.set("source", source_name(slot.source));
-      client_alive = send_line(fd, j.dump());
+      if (job.wire_verdicts) {
+        // The cache codec is the wire codec: the coordinator reconstructs
+        // the exact CheckResult (witness bits included) that a warm cache
+        // hit would restore, so the merged fleet report is byte-identical.
+        Json verdict;
+        std::string parse_error;
+        if (Json::parse(cache::verdict_to_json(obligation, slot.result, ""),
+                        verdict, &parse_error)) {
+          j.set("verdict", std::move(verdict));
+        }
+      }
+      client_alive = send(j.dump());
     }
   }
 
@@ -380,7 +333,7 @@ void AuditDaemon::handle_audit(int fd, const AuditJob& job) {
   j.set("cache_hits", counts[kCache]);
   j.set("shared", counts[kShared]);
   j.set("computed", counts[kComputed]);
-  send_line(fd, j.dump());
+  send(j.dump());
 }
 
 }  // namespace trojanscout::service

@@ -1,40 +1,48 @@
-// Single-machine audit daemon: `trojanscout_cli serve`.
+// Audit daemon: `trojanscout_cli serve` — one worker of the audit tier.
 //
-// Accepts connections on a Unix-domain socket and executes audit jobs on
-// one shared work-stealing thread pool, so a batch submitted over many
-// connections saturates the machine exactly like one big parallel audit.
-// Three layers keep repeated work off the engines:
+// Accepts connections on a Unix-domain or TCP socket (service::LineServer
+// owns the transport, framing, and request-robustness layer) and executes
+// audit jobs on one shared work-stealing thread pool, so a batch submitted
+// over many connections saturates the machine exactly like one big
+// parallel audit. Four layers keep repeated work off the engines:
 //
-//   1. the persistent verdict cache (optional, shared with the CLI's
-//      --cache-dir) answers obligations solved in any previous run;
-//   2. an in-flight table dedupes identical obligations across concurrent
-//      jobs — the second job waits for the first's engine run instead of
-//      re-solving (both report the verdict, tagged "shared");
-//   3. everything else is computed once and fed back to the cache.
+//   1. the worker-private L1 verdict cache (optional, shared with the
+//      CLI's --cache-dir) answers obligations solved in any previous run;
+//   2. the fleet-shared L2 cache (optional, --l2-dir) answers obligations
+//      solved by *any* worker of the fleet, promoting hits into L1;
+//   3. an in-flight table dedupes identical obligations across concurrent
+//      jobs in this process, and the L2 claim protocol
+//      (cache::TieredCache) extends that across worker processes — the
+//      second claimer waits for the first's engine run instead of
+//      re-solving (reported as "shared");
+//   4. everything else is computed once and fed back through both tiers.
 //
 // Per job the daemon enumerates Algorithm 1's obligations with the same
 // TrojanDetector a direct audit uses and merges results in enumeration
 // order, so the streamed final report carries a DetectionReport signature
-// byte-identical to `trojanscout_cli audit` with the same flags.
+// byte-identical to `trojanscout_cli audit` with the same flags. A job
+// carrying a "subset" (the fleet coordinator's shard) executes only those
+// indices and can return full wire verdicts for coordinator-side merging.
 //
-// Threading model: one accept thread, one thread per connection (jobs on a
-// connection run sequentially; concurrency comes from multiple
-// connections), engine runs on the shared pool. Connection threads wait on
-// executions but never run on the pool, so a jobs=1 pool cannot deadlock.
+// Threading model: LineServer runs one accept thread and one thread per
+// connection (jobs on a connection run sequentially; concurrency comes
+// from multiple connections), engine runs on the shared pool. Connection
+// threads wait on executions but never run on the pool, so a jobs=1 pool
+// cannot deadlock.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "cache/tiered.hpp"
 #include "cache/verdict_cache.hpp"
 #include "core/detector.hpp"
+#include "service/line_server.hpp"
 #include "service/protocol.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,11 +51,20 @@ namespace trojanscout::service {
 class AuditDaemon {
  public:
   struct Options {
-    std::string socket_path;
+    /// Endpoint string: "unix:/path", a bare socket path, or
+    /// "tcp:host:port" (port 0 = ephemeral; see bound_endpoint()).
+    std::string endpoint;
     /// Engine worker threads in the shared pool; 0 = hardware threads.
     std::size_t jobs = 0;
-    /// Optional persistent verdict cache; null = in-flight dedupe only.
+    /// Optional worker-private L1 verdict cache.
     cache::VerdictCache* cache = nullptr;
+    /// Optional fleet-shared L2 verdict cache (claim-first dedupe).
+    cache::VerdictCache* l2 = nullptr;
+    /// Per-connection receive timeout; 0 disables.
+    double read_timeout_seconds = 0;
+    /// Claim-protocol tunables (see cache::TieredCache::Options).
+    double claim_wait_seconds = 300.0;
+    double claim_stale_seconds = 300.0;
   };
 
   explicit AuditDaemon(Options options);
@@ -57,7 +74,7 @@ class AuditDaemon {
   AuditDaemon& operator=(const AuditDaemon&) = delete;
 
   /// Binds the socket and spawns the accept thread. Throws
-  /// std::runtime_error when the socket cannot be bound.
+  /// std::runtime_error when the endpoint cannot be bound.
   void start();
 
   /// Blocks until a client sends {"op":"shutdown"} (or stop() is called
@@ -65,14 +82,17 @@ class AuditDaemon {
   void wait();
 
   /// Stops accepting, joins every connection thread (in-flight jobs finish
-  /// first), and removes the socket file. Idempotent.
+  /// first), and removes a Unix socket file. Idempotent.
   void stop();
 
-  [[nodiscard]] bool running() const {
-    return running_.load(std::memory_order_acquire);
-  }
+  [[nodiscard]] bool running() const { return server_.running(); }
   [[nodiscard]] std::uint64_t jobs_completed() const {
     return jobs_completed_.load(std::memory_order_relaxed);
+  }
+  /// Resolved listen endpoint (carries the kernel-assigned port for
+  /// tcp:...:0). Valid after start().
+  [[nodiscard]] std::string bound_endpoint() const {
+    return server_.bound_endpoint().to_string();
   }
 
  private:
@@ -81,47 +101,30 @@ class AuditDaemon {
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
+    int source = 1;  // Source enum value of where the result came from
     core::CheckResult result;
   };
 
-  /// Per-connection socket state: stop() shuts the socket down (waking a
-  /// blocked read) while the owning thread is the only one that closes it;
-  /// the mutex keeps shutdown from racing a close-and-fd-reuse.
-  struct Connection {
-    std::mutex mutex;
-    int fd = -1;
-    bool closed = false;
-  };
-
-  void accept_loop();
-  void serve_connection(const std::shared_ptr<Connection>& conn);
-  void handle_audit(int fd, const AuditJob& job);
-  bool send_line(int fd, const std::string& line);
+  LineServer::Disposition handle_line(const std::string& line,
+                                      const LineServer::Sender& send);
+  void handle_audit(const LineServer::Sender& send, const AuditJob& job);
 
   /// Returns the execution registered under `key`, creating it (and
   /// setting `created`) when this caller is the one that must compute it.
   std::shared_ptr<Execution> claim(const std::string& key, bool& created);
   void publish(const std::string& key, const std::shared_ptr<Execution>& exec,
-               core::CheckResult result);
+               core::CheckResult result, int source);
 
   Options options_;
-  int listen_fd_ = -1;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
+  LineServer server_;
+  cache::TieredCache tier_;
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> shared_hits_{0};
 
   std::unique_ptr<util::ThreadPool> pool_;
-  std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<std::shared_ptr<Connection>> connections_;
 
   std::mutex inflight_mutex_;
   std::map<std::string, std::shared_ptr<Execution>> inflight_;
-
-  std::mutex shutdown_mutex_;
-  std::condition_variable shutdown_cv_;
 };
 
 }  // namespace trojanscout::service

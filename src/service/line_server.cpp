@@ -1,0 +1,177 @@
+#include "service/line_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "proof/json.hpp"
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+namespace trojanscout::service {
+
+namespace {
+
+std::string rejection_line(const char* code, const std::string& message) {
+  proof::Json j = proof::Json::object();
+  j.set("type", "error");
+  j.set("code", code);
+  j.set("message", message);
+  return j.dump();
+}
+
+}  // namespace
+
+LineServer::LineServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+LineServer::~LineServer() { stop(); }
+
+void LineServer::start() {
+  Endpoint endpoint;
+  std::string error;
+  if (!parse_endpoint(options_.endpoint, endpoint, &error)) {
+    throw std::runtime_error(error);
+  }
+  listener_.listen(endpoint, options_.backlog);
+  running_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void LineServer::wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] {
+    return stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void LineServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  shutdown_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake connection threads blocked between requests in read(); a thread
+  // in the middle of a request finishes it first (its sends just start
+  // failing).
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mutex);
+      if (!conn->closed) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    threads.swap(connection_threads_);
+    connections_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  listener_.close();
+}
+
+void LineServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listener_.fd();
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping
+    const int fd = listener_.accept_fd();
+    if (fd < 0) continue;
+    if (options_.read_timeout_seconds > 0) {
+      set_recv_timeout(fd, options_.read_timeout_seconds);
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(conn);
+    connection_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+}
+
+bool LineServer::reject_line(int fd, const char* code,
+                             const std::string& message) {
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  TS_COUNTER_ADD("service.bad_request", 1);
+  return send_frame(fd, rejection_line(code, message));
+}
+
+void LineServer::serve_connection(const std::shared_ptr<Connection>& conn) {
+  const int fd = conn->fd;
+  const Sender sender = [fd](const std::string& line) {
+    return send_frame(fd, line);
+  };
+  std::string buffer;
+  std::string line;
+  bool discarding = false;  // inside an oversized line, dropping to '\n'
+  bool open = true;
+  while (open) {
+    // Enforce the line cap on the carry-over buffer *before* blocking for
+    // more input: a client streaming an unbounded line must be rejected
+    // while it streams, not after it exhausts memory.
+    const std::size_t eol = buffer.find('\n');
+    if (eol == std::string::npos && buffer.size() > options_.max_line_bytes) {
+      if (!discarding) {
+        discarding = true;
+        if (!reject_line(fd, "line_too_long",
+                         "request line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes")) {
+          break;
+        }
+      }
+      buffer.clear();  // drop the oversized prefix, keep scanning for '\n'
+    }
+    switch (read_frame(fd, buffer, line)) {
+      case ReadLineStatus::kEof:
+        open = false;
+        continue;
+      case ReadLineStatus::kTimeout:
+        send_frame(fd, rejection_line("idle_timeout",
+                                      "connection idle past the read "
+                                      "timeout; closing"));
+        open = false;
+        continue;
+      case ReadLineStatus::kLine:
+        break;
+    }
+    if (discarding) {  // this line is the tail of the oversized one
+      discarding = false;
+      continue;
+    }
+    if (line.size() > options_.max_line_bytes) {
+      if (!reject_line(fd, "line_too_long",
+                       "request line exceeds " +
+                           std::to_string(options_.max_line_bytes) +
+                           " bytes")) {
+        break;
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    if (!is_valid_utf8(line)) {
+      if (!reject_line(fd, "bad_utf8",
+                       "request line is not well-formed UTF-8")) {
+        break;
+      }
+      continue;
+    }
+    const Disposition disposition = handler_(line, sender);
+    if (disposition == Disposition::kClose) {
+      open = false;
+    } else if (disposition == Disposition::kShutdown) {
+      stopping_.store(true, std::memory_order_release);
+      shutdown_cv_.notify_all();
+      open = false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  ::close(fd);
+  conn->closed = true;
+}
+
+}  // namespace trojanscout::service

@@ -1,0 +1,127 @@
+// Generic NDJSON line server over the service transport.
+//
+// Owns everything protocol-independent about serving newline-delimited
+// requests: the listening socket (Unix or TCP, via service::Endpoint), the
+// accept thread, one thread per connection, per-connection receive
+// timeouts, and the robustness layer that keeps a hostile or buggy client
+// from wedging a connection:
+//
+//   * request lines longer than max_line_bytes are answered with a
+//     structured {"type":"error","code":"line_too_long"} response, the
+//     oversized input is discarded up to the next newline, and the
+//     connection stays usable;
+//   * lines that are not well-formed UTF-8 are answered with
+//     code "bad_utf8" the same way (they would otherwise reach the JSON
+//     parser as garbage);
+//   * an idle connection that exceeds the receive timeout is told
+//     ("idle_timeout") and closed cleanly — never abandoned mid-write.
+//
+// Every rejected line bumps the `service.bad_request` telemetry counter.
+// The AuditDaemon and the fleet coordinator are both handlers plugged into
+// this class; they only see complete, size-capped, UTF-8-clean lines.
+//
+// Threading model (inherited by every server built on this): one accept
+// thread, one thread per connection; stop() shuts every connection socket
+// down (waking blocked reads) and joins all threads. A handler runs on the
+// connection's thread; its responses go out through the Sender it is given.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/transport.hpp"
+
+namespace trojanscout::service {
+
+class LineServer {
+ public:
+  struct Options {
+    /// Endpoint string ("unix:/path", bare path, or "tcp:host:port").
+    std::string endpoint;
+    /// Per-connection receive timeout; 0 disables (connections may idle
+    /// forever, the pre-fleet behavior).
+    double read_timeout_seconds = 0;
+    /// Longest request line accepted before the connection is switched to
+    /// discard-until-newline and answered with a structured error.
+    std::size_t max_line_bytes = 1 << 20;
+    int backlog = 64;
+  };
+
+  /// Sends one response line on the handler's connection; false when the
+  /// client went away (the handler should stop streaming).
+  using Sender = std::function<bool(const std::string&)>;
+
+  /// What to do with the connection after handling a line.
+  enum class Disposition { kKeep, kClose, kShutdown };
+
+  /// Called once per complete, validated request line.
+  using Handler =
+      std::function<Disposition(const std::string& line, const Sender& send)>;
+
+  LineServer(Options options, Handler handler);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds and spawns the accept thread. Throws std::runtime_error when
+  /// the endpoint is malformed or cannot be bound.
+  void start();
+
+  /// Blocks until a handler returns kShutdown or stop() is called.
+  void wait();
+
+  /// Stops accepting, wakes and joins every connection thread (a thread
+  /// mid-request finishes it first), closes the listener. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Resolved endpoint after start() — for tcp:...:0 this carries the
+  /// kernel-assigned port.
+  [[nodiscard]] const Endpoint& bound_endpoint() const {
+    return listener_.bound_endpoint();
+  }
+  [[nodiscard]] std::uint64_t bad_requests() const {
+    return bad_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// stop() shuts the socket down (waking a blocked read) while the owning
+  /// thread is the only one that closes it; the mutex keeps shutdown from
+  /// racing a close-and-fd-reuse.
+  struct Connection {
+    std::mutex mutex;
+    int fd = -1;
+    bool closed = false;
+  };
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  bool reject_line(int fd, const char* code, const std::string& message);
+
+  Options options_;
+  Handler handler_;
+  Listener listener_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> bad_requests_{0};
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+};
+
+}  // namespace trojanscout::service

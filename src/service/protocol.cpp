@@ -1,10 +1,32 @@
 #include "service/protocol.hpp"
 
+#include <fstream>
+#include <stdexcept>
+
 #include "proof/json.hpp"
+#include "specdsl/specdsl.hpp"
+#include "verilog/reader.hpp"
 
 namespace trojanscout::service {
 
 using proof::Json;
+
+designs::Design load_job_design(const AuditJob& job) {
+  designs::Design design;
+  design.name = job.design_path;
+  std::ifstream in(job.design_path);
+  if (!in) throw std::runtime_error("cannot open " + job.design_path);
+  design.nl = verilog::read_verilog(in);
+  design.nl.validate();
+  design.spec = specdsl::load_spec_file(design.nl, job.spec_path);
+  if (design.spec.registers.empty()) {
+    throw std::runtime_error("spec file declares no registers");
+  }
+  for (const auto& reg_spec : design.spec.registers) {
+    design.critical_registers.push_back(reg_spec.reg);
+  }
+  return design;
+}
 
 core::DetectorOptions AuditJob::detector_options() const {
   core::DetectorOptions options;
@@ -79,6 +101,23 @@ bool parse_request(const std::string& line, Request& out, std::string* error) {
       if (!f->is_bool()) return fail("bad no_bypass");
       job.check_bypass = !f->as_bool();
     }
+    f = j.find("subset");
+    if (f != nullptr) {
+      if (!f->is_array()) return fail("bad subset");
+      for (const Json& idx : f->items()) {
+        if (!idx.is_int() || idx.as_int() < 0) return fail("bad subset index");
+        const auto value = static_cast<std::size_t>(idx.as_int());
+        if (!job.subset.empty() && value <= job.subset.back()) {
+          return fail("subset must be sorted and unique");
+        }
+        job.subset.push_back(value);
+      }
+    }
+    f = j.find("wire_verdicts");
+    if (f != nullptr) {
+      if (!f->is_bool()) return fail("bad wire_verdicts");
+      job.wire_verdicts = f->as_bool();
+    }
   } else {
     return fail("unknown op '" + op->as_string() + "'");
   }
@@ -97,12 +136,40 @@ std::string audit_request_line(const AuditJob& job) {
   j.set("budget", job.budget);
   j.set("no_scan", !job.scan_pseudo_critical);
   j.set("no_bypass", !job.check_bypass);
+  if (!job.subset.empty()) {
+    Json subset = Json::array();
+    for (const std::size_t index : job.subset) {
+      subset.push_back(static_cast<std::int64_t>(index));
+    }
+    j.set("subset", std::move(subset));
+  }
+  if (job.wire_verdicts) j.set("wire_verdicts", true);
   return j.dump();
 }
 
 std::string control_request_line(const std::string& op) {
   Json j = Json::object();
   j.set("op", op);
+  return j.dump();
+}
+
+std::string error_response_line(const std::string& id,
+                                const std::string& message,
+                                const std::string& code) {
+  Json j = Json::object();
+  j.set("type", "error");
+  j.set("id", id);
+  if (!code.empty()) j.set("code", code);
+  j.set("message", message);
+  return j.dump();
+}
+
+std::string retry_after_line(const std::string& id,
+                             std::uint64_t retry_after_ms) {
+  Json j = Json::object();
+  j.set("type", "retry-after");
+  j.set("id", id);
+  j.set("retry_after_ms", retry_after_ms);
   return j.dump();
 }
 

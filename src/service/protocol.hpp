@@ -1,10 +1,11 @@
-// Wire protocol of the audit daemon: newline-delimited JSON over a
-// Unix-domain stream socket.
+// Wire protocol of the audit service: newline-delimited JSON over a
+// stream socket (Unix-domain or TCP — see service/transport.hpp).
 //
 // Requests — one JSON object per line, dispatched on "op":
 //   {"op":"audit","id":"job-1","design":"ip.v","spec":"ip.spec",
 //    "engine":"bmc","frames":128,"budget":60.0,
-//    "no_scan":false,"no_bypass":false}
+//    "no_scan":false,"no_bypass":false,
+//    "subset":[0,3,7],"wire_verdicts":true}     (last two: fleet-internal)
 //   {"op":"ping"}        liveness probe
 //   {"op":"stats"}       cache + service counters
 //   {"op":"shutdown"}    finish in-flight jobs, then exit the accept loop
@@ -12,25 +13,39 @@
 // Responses — streamed back on the same connection, one object per line,
 // dispatched on "type":
 //   {"type":"accepted","id":...,"design":...,"obligations":N}
-//   {"type":"obligation","id":...,"property":...,"status":...,
+//   {"type":"obligation","id":...,"index":i,"property":...,"status":...,
 //    "violated":...,"bound_reached":...,"frames_completed":...,
-//    "source":"cache"|"computed"|"shared"}      (enumeration order)
+//    "source":"cache"|"computed"|"shared"[,"verdict":{...}]}
+//                                               (enumeration order)
 //   {"type":"report","id":...,"trojan_found":...,"trust_bound_frames":...,
 //    "summary":...,"signature":...,"cache_hits":N,"shared":N,"computed":N}
+//   {"type":"retry-after","id":...,"retry_after_ms":N}   (fleet overload)
 //   {"type":"pong"} / {"type":"stats",...} / {"type":"bye"}
-//   {"type":"error","id":...,"message":...}
+//   {"type":"error","id":...,"code":...,"message":...}
 //
-// "source" says where the verdict came from: the persistent cache, a fresh
-// engine run, or an identical obligation already in flight for another job
-// (the daemon dedupes those — both jobs get the one result). The report's
-// "signature" is DetectionReport::signature() verbatim, byte-identical to
-// what a direct `trojanscout_cli audit` of the same design produces.
+// "source" says where the verdict came from: the verdict cache (either
+// tier), a fresh engine run, or an identical obligation already in flight
+// (in-process dedupe, or an L2 claim another fleet worker resolved). The
+// report's "signature" is DetectionReport::signature() verbatim,
+// byte-identical to what a direct `trojanscout_cli audit` of the same
+// design produces — also when the obligations were sharded across a fleet.
+//
+// Fleet extensions: "subset" restricts a job to the named indices of the
+// canonical enumerate_obligations() order (how the coordinator shards one
+// audit across workers), and "wire_verdicts" asks the worker to embed the
+// full cache-codec verdict JSON in each obligation response so the
+// coordinator can merge CheckResults without re-running anything.
+// "retry-after" is the coordinator's admission-control answer when every
+// worker queue is full: the client must back off and resubmit — overload
+// is always an explicit response, never a silent drop.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/detector.hpp"
+#include "designs/design.hpp"
 
 namespace trojanscout::service {
 
@@ -46,10 +61,23 @@ struct AuditJob {
   double budget = 60.0;
   bool scan_pseudo_critical = true;
   bool check_bypass = true;
+  /// Empty = the whole job. Otherwise the sorted obligation indices (into
+  /// enumerate_obligations() order) this request covers — the fleet
+  /// coordinator shards a job into per-worker subsets.
+  std::vector<std::size_t> subset;
+  /// Embed the full verdict payload (cache codec JSON) in each obligation
+  /// response line, so the receiver can reconstruct CheckResults.
+  bool wire_verdicts = false;
 
   /// The DetectorOptions an equivalent direct audit would use.
   [[nodiscard]] core::DetectorOptions detector_options() const;
 };
+
+/// Loads the job's design + spec files exactly like the audit subcommand
+/// (shared by the worker daemon and the fleet coordinator, which must
+/// enumerate the same obligations in the same order). Throws
+/// std::runtime_error with a client-presentable message.
+designs::Design load_job_design(const AuditJob& job);
 
 struct Request {
   enum class Op { kAudit, kPing, kStats, kShutdown };
@@ -65,5 +93,13 @@ bool parse_request(const std::string& line, Request& out, std::string* error);
 std::string audit_request_line(const AuditJob& job);
 /// Serializes a control request ("ping" | "stats" | "shutdown").
 std::string control_request_line(const std::string& op);
+
+/// {"type":"error",...} with an optional machine-readable code.
+std::string error_response_line(const std::string& id,
+                                const std::string& message,
+                                const std::string& code = "");
+/// {"type":"retry-after",...} — the admission-control overload answer.
+std::string retry_after_line(const std::string& id,
+                             std::uint64_t retry_after_ms);
 
 }  // namespace trojanscout::service

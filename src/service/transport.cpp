@@ -1,0 +1,294 @@
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+namespace trojanscout::service {
+
+namespace {
+
+bool parse_port(const std::string& text, std::uint16_t& out) {
+  if (text.empty() || text.size() > 5) return false;
+  unsigned long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (value > 65535) return false;
+  out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+int open_unix(const std::string& path, sockaddr_un& addr, std::string* error) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "cannot create socket";
+    return -1;
+  }
+  addr = {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  return fd;
+}
+
+int open_tcp(const Endpoint& endpoint, sockaddr_in& addr, std::string* error) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address '" + endpoint.host + "'";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "cannot create socket";
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool parse_endpoint(const std::string& text, Endpoint& out,
+                    std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (text.empty()) return fail("empty endpoint");
+  Endpoint endpoint;
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail("tcp endpoint must be tcp:host:port (got '" + text + "')");
+    }
+    endpoint.kind = Endpoint::Kind::kTcp;
+    endpoint.host = rest.substr(0, colon);
+    if (!parse_port(rest.substr(colon + 1), endpoint.port)) {
+      return fail("bad port in '" + text + "'");
+    }
+  } else {
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = text.rfind("unix:", 0) == 0 ? text.substr(5) : text;
+    if (endpoint.path.empty()) return fail("empty unix socket path");
+  }
+  out = std::move(endpoint);
+  return true;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::listen(const Endpoint& endpoint, int backlog) {
+  std::string error;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    fd_ = open_unix(endpoint.path, addr, &error);
+    if (fd_ < 0) throw std::runtime_error(error);
+    ::unlink(endpoint.path.c_str());
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd_, backlog) != 0) {
+      close();
+      throw std::runtime_error("cannot bind " + endpoint.to_string());
+    }
+    bound_ = endpoint;
+    return;
+  }
+  sockaddr_in addr{};
+  fd_ = open_tcp(endpoint, addr, &error);
+  if (fd_ < 0) throw std::runtime_error(error);
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, backlog) != 0) {
+    close();
+    throw std::runtime_error("cannot bind " + endpoint.to_string());
+  }
+  bound_ = endpoint;
+  // Port 0 asked the kernel to pick; report what it chose.
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    bound_.port = ntohs(actual.sin_port);
+  }
+}
+
+int Listener::accept_fd() const {
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  if (bound_.kind == Endpoint::Kind::kUnix && !bound_.path.empty()) {
+    ::unlink(bound_.path.c_str());
+  }
+}
+
+int connect_endpoint(const Endpoint& endpoint, std::string* error) {
+  int fd = -1;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    fd = open_unix(endpoint.path, addr, error);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      if (error != nullptr) {
+        *error = "cannot connect to " + endpoint.to_string() +
+                 " (is the daemon running?)";
+      }
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  fd = open_tcp(endpoint, addr, error);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    if (error != nullptr) {
+      *error = "cannot connect to " + endpoint.to_string() +
+               " (is the daemon running?)";
+    }
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int connect_with_retry(const Endpoint& endpoint, const ConnectRetry& retry) {
+  // Seeded per call from the clock + address: connection jitter wants
+  // decorrelation across processes, not reproducibility.
+  std::mt19937 rng(static_cast<std::uint32_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      reinterpret_cast<std::uintptr_t>(&endpoint)));
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  std::string error = "no connection attempts made";
+  double delay_ms = retry.base_delay_ms;
+  const int attempts = retry.attempts < 1 ? 1 : retry.attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          delay_ms * jitter(rng)));
+      delay_ms = std::min(delay_ms * 2, retry.max_delay_ms);
+    }
+    const int fd = connect_endpoint(endpoint, &error);
+    if (fd >= 0) return fd;
+  }
+  throw std::runtime_error(error + " after " + std::to_string(attempts) +
+                           " attempt(s)");
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+ReadLineStatus read_frame(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t eol = buffer.find('\n');
+    if (eol != std::string::npos) {
+      line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      return ReadLineStatus::kLine;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return ReadLineStatus::kTimeout;
+      }
+      if (!buffer.empty()) {  // final unterminated line
+        line = std::move(buffer);
+        buffer.clear();
+        return ReadLineStatus::kLine;
+      }
+      return ReadLineStatus::kEof;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool send_frame(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; keep computing, stop talking
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool is_valid_utf8(const std::string& text) {
+  const auto* p = reinterpret_cast<const unsigned char*>(text.data());
+  const auto* end = p + text.size();
+  while (p < end) {
+    const unsigned char c = *p;
+    if (c < 0x80) {
+      ++p;
+      continue;
+    }
+    std::size_t len = 0;
+    std::uint32_t code = 0;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      code = c & 0x1F;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      code = c & 0x0F;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      code = c & 0x07;
+    } else {
+      return false;  // stray continuation byte or 0xFE/0xFF
+    }
+    if (static_cast<std::size_t>(end - p) < len) return false;
+    for (std::size_t i = 1; i < len; ++i) {
+      if ((p[i] & 0xC0) != 0x80) return false;
+      code = (code << 6) | (p[i] & 0x3F);
+    }
+    if (len == 2 && code < 0x80) return false;        // overlong
+    if (len == 3 && code < 0x800) return false;       // overlong
+    if (len == 4 && code < 0x10000) return false;     // overlong
+    if (code >= 0xD800 && code <= 0xDFFF) return false;  // surrogate
+    if (code > 0x10FFFF) return false;
+    p += len;
+  }
+  return true;
+}
+
+}  // namespace trojanscout::service

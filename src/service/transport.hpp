@@ -1,0 +1,102 @@
+// Transport abstraction for the audit service: one NDJSON protocol, two
+// socket families.
+//
+// An Endpoint names where a daemon listens or a client connects:
+//   "unix:/run/ts.sock"   AF_UNIX stream socket (also accepted bare:
+//                         any string without a scheme prefix is a path)
+//   "tcp:host:port"       AF_INET stream socket; port 0 asks the kernel
+//                         for an ephemeral port, and Listener reports the
+//                         actually-bound endpoint so tests and the fleet
+//                         coordinator can attach without port races.
+//
+// The free functions below are the shared plumbing of every server and
+// client in src/service and src/fleet: endpoint parsing, listen/accept,
+// connect (with bounded exponential-backoff retry + jitter for clients
+// racing a daemon that is still starting), receive timeouts, line framing,
+// and UTF-8 validation for protocol robustness checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace trojanscout::service {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem path of the socket
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  /// Canonical text form ("unix:/path" or "tcp:host:port").
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses an endpoint string. False (with `error`) on a malformed spec;
+/// a string without a "unix:"/"tcp:" prefix parses as a Unix socket path.
+bool parse_endpoint(const std::string& text, Endpoint& out,
+                    std::string* error);
+
+/// Listening socket over either family. For tcp:...:0 the kernel-assigned
+/// port is visible through bound_endpoint() after listen() succeeds.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds + listens. Throws std::runtime_error on failure. For Unix
+  /// endpoints a stale socket file is unlinked first.
+  void listen(const Endpoint& endpoint, int backlog = 64);
+
+  /// Accepts one connection; -1 on error (caller re-checks its stop flag).
+  [[nodiscard]] int accept_fd() const;
+
+  /// Closes the listening socket and (Unix) unlinks the socket file.
+  void close();
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const Endpoint& bound_endpoint() const { return bound_; }
+
+ private:
+  int fd_ = -1;
+  Endpoint bound_;
+};
+
+/// Connects to an endpoint. Returns the fd, or -1 with `error` filled.
+int connect_endpoint(const Endpoint& endpoint, std::string* error);
+
+/// Client-side connect with bounded retry: attempt, then back off
+/// exponentially from `base_delay_ms` (doubling, capped at `max_delay_ms`)
+/// with uniform jitter in [0.5, 1.5) of the delay, so a herd of clients
+/// racing one daemon's startup does not reconnect in lockstep. Throws
+/// std::runtime_error after `attempts` failures.
+struct ConnectRetry {
+  int attempts = 1;           // 1 = fail immediately (the old behavior)
+  double base_delay_ms = 50;
+  double max_delay_ms = 1000;
+};
+int connect_with_retry(const Endpoint& endpoint, const ConnectRetry& retry);
+
+/// Sets SO_RCVTIMEO; seconds <= 0 clears the timeout.
+void set_recv_timeout(int fd, double seconds);
+
+/// Result of one framed read: a line, idle timeout (SO_RCVTIMEO expired
+/// with nothing buffered), or EOF/error.
+enum class ReadLineStatus { kLine, kTimeout, kEof };
+
+/// Reads up to the next '\n' (consumed, not returned) using `buffer` as
+/// carry-over between calls. A final unterminated line before EOF is
+/// returned as a line.
+ReadLineStatus read_frame(int fd, std::string& buffer, std::string& line);
+
+/// Appends '\n' and sends the whole line; false when the peer went away.
+bool send_frame(int fd, const std::string& line);
+
+/// Strict UTF-8 well-formedness check (rejects overlongs, surrogates,
+/// and code points beyond U+10FFFF) — malformed request lines are answered
+/// with a structured error instead of reaching the JSON parser.
+bool is_valid_utf8(const std::string& text);
+
+}  // namespace trojanscout::service

@@ -1,0 +1,362 @@
+// Fleet coordinator tests: in-process worker daemons on ephemeral TCP
+// ports behind a FleetCoordinator must produce DetectionReport signatures
+// byte-identical to a direct single-process audit (cold and warm), survive
+// a worker death by re-sharding onto the survivors, refuse overload with a
+// structured retry-after (and the retrying client must back off), and —
+// via the shared L2 store's claim protocol — compute each obligation at
+// most once across worker processes even under concurrent duplicate
+// submissions.
+//
+// Everything that can block on socket I/O runs under run_leg() (condition
+// variable + hard timeout), mirroring test_service.cpp: a wedged fleet
+// fails in seconds with a diagnostic instead of hanging CI.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/verdict_cache.hpp"
+#include "cache/verdict_codec.hpp"
+#include "core/parallel_detector.hpp"
+#include "designs/catalog.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/shard.hpp"
+#include "proof/json.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/registry.hpp"
+#include "verilog/writer.hpp"
+
+namespace trojanscout::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+using service::AuditDaemon;
+using service::AuditJob;
+using service::Client;
+using service::SubmitResult;
+using service::submit_audit;
+
+constexpr std::chrono::seconds kLegTimeout{120};
+
+void run_leg(const char* what, const std::function<void()>& body) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::thread worker([&] {
+    body();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  if (!cv.wait_for(lock, kLegTimeout, [&] { return done; })) {
+    std::cerr << "FATAL: test leg '" << what << "' still blocked after "
+              << kLegTimeout.count() << "s — fleet deadlock\n";
+    std::_Exit(2);
+  }
+  lock.unlock();
+  worker.join();
+}
+
+constexpr const char* kMc8051Spec =
+    "register sp\n"
+    "  way \"Reset\"     : reset == 1 -> const 0x07\n"
+    "  way \"LCALL\"     : phase == 1 && opcode == 0x12 -> add 1\n"
+    "  way \"RET\"       : phase == 1 && opcode == 0x22 -> sub 1\n"
+    "  way \"MOV SP,#d\" : phase == 1 && opcode == 0x75 -> code_operand\n";
+
+/// One in-process worker daemon: private L1, optional shared L2, ephemeral
+/// TCP port.
+struct WorkerHarness {
+  WorkerHarness(const std::string& l1_dir, cache::VerdictCache* l2) {
+    l1 = std::make_unique<cache::VerdictCache>(cache::VerdictCache::Options{
+        l1_dir, cache::CacheMode::kReadWrite, /*max_bytes=*/0});
+    AuditDaemon::Options options;
+    options.endpoint = "tcp:127.0.0.1:0";
+    options.jobs = 2;
+    options.cache = l1.get();
+    options.l2 = l2;
+    daemon = std::make_unique<AuditDaemon>(options);
+    daemon->start();
+    endpoint = daemon->bound_endpoint();
+  }
+
+  std::unique_ptr<cache::VerdictCache> l1;
+  std::unique_ptr<AuditDaemon> daemon;
+  std::string endpoint;
+};
+
+/// Temp work area plus the direct-audit signature the fleet must match.
+struct FleetFixture {
+  FleetFixture() {
+    char tmpl[] = "/tmp/ts_fleet_test_XXXXXX";
+    dir = ::mkdtemp(tmpl);
+    design_path = dir + "/mc8051.v";
+    spec_path = dir + "/mc8051_sp.spec";
+    const designs::Design design = designs::build_clean("mc8051");
+    std::ofstream vs(design_path);
+    verilog::write_verilog(vs, design.nl, design.name);
+    std::ofstream ss(spec_path);
+    ss << kMc8051Spec;
+  }
+  ~FleetFixture() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  AuditJob job(std::size_t frames = 6) const {
+    AuditJob j;
+    j.id = "fleet-job";
+    j.design_path = design_path;
+    j.spec_path = spec_path;
+    j.frames = frames;
+    return j;
+  }
+
+  std::string direct_signature(const AuditJob& j) const {
+    designs::Design design = service::load_job_design(j);
+    core::ParallelDetectorOptions options;
+    options.detector = j.detector_options();
+    options.jobs = 2;
+    return core::ParallelDetector(design, options).run().signature();
+  }
+
+  /// Spawns `count` workers (worker i's L1 under dir/l1-i), sharing `l2`.
+  std::vector<std::unique_ptr<WorkerHarness>> spawn_workers(
+      std::size_t count, cache::VerdictCache* l2 = nullptr) {
+    std::vector<std::unique_ptr<WorkerHarness>> workers;
+    for (std::size_t i = 0; i < count; ++i) {
+      workers.push_back(std::make_unique<WorkerHarness>(
+          dir + "/l1-" + std::to_string(i), l2));
+    }
+    return workers;
+  }
+
+  FleetCoordinator::Options coordinator_options(
+      const std::vector<std::unique_ptr<WorkerHarness>>& workers) const {
+    FleetCoordinator::Options options;
+    options.endpoint = "tcp:127.0.0.1:0";
+    for (const auto& worker : workers) {
+      options.workers.push_back(worker->endpoint);
+    }
+    // Tests drive failure detection through the dispatch path; the health
+    // prober would only add scheduling noise.
+    options.health_interval_seconds = 0;
+    options.worker_connect.attempts = 2;
+    options.worker_connect.base_delay_ms = 10;
+    return options;
+  }
+
+  std::string dir;
+  std::string design_path;
+  std::string spec_path;
+};
+
+TEST(FleetCoordinator, ThreeWorkerFleetMatchesDirectAuditColdAndWarm) {
+  FleetFixture fx;
+  cache::VerdictCache l2({fx.dir + "/l2", cache::CacheMode::kReadWrite,
+                          /*max_bytes=*/0});
+  auto workers = fx.spawn_workers(3, &l2);
+  FleetCoordinator coordinator(fx.coordinator_options(workers));
+  coordinator.start();
+
+  const AuditJob job = fx.job();
+  SubmitResult cold;
+  SubmitResult warm;
+  std::size_t obligation_lines = 0;
+  run_leg("cold fleet submit", [&] {
+    Client client(coordinator.bound_endpoint());
+    cold = submit_audit(client, job,
+                        [&obligation_lines](const proof::Json& r) {
+                          const proof::Json* type = r.find("type");
+                          if (type != nullptr && type->is_string() &&
+                              type->as_string() == "obligation") {
+                            obligation_lines++;
+                          }
+                        });
+  });
+  run_leg("warm fleet submit", [&] {
+    Client client(coordinator.bound_endpoint());
+    warm = submit_audit(client, job);
+  });
+  coordinator.stop();
+  for (auto& worker : workers) worker->daemon->stop();
+
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_TRUE(warm.ok) << warm.error;
+  const std::string expected = fx.direct_signature(job);
+  EXPECT_EQ(cold.signature, expected)
+      << "sharded cold audit must merge to the direct-audit report";
+  EXPECT_EQ(warm.signature, expected);
+  EXPECT_GT(cold.obligations, 0u);
+  EXPECT_EQ(obligation_lines, cold.obligations)
+      << "the coordinator must stream one line per obligation";
+  EXPECT_EQ(cold.computed, cold.obligations);
+  EXPECT_EQ(warm.cache_hits, warm.obligations)
+      << "warm resubmit must be answered entirely from worker caches";
+  EXPECT_EQ(warm.computed, 0u);
+  EXPECT_EQ(coordinator.jobs_completed(), 2u);
+  EXPECT_EQ(coordinator.reshards(), 0u);
+}
+
+TEST(FleetCoordinator, WorkerDeathIsReShardedOntoSurvivors) {
+  FleetFixture fx;
+  auto workers = fx.spawn_workers(2);
+  const AuditJob job = fx.job();
+
+  // Find which worker the ring assigns obligation 0 and kill exactly that
+  // one, so the re-shard path is exercised deterministically.
+  const designs::Design design = service::load_job_design(job);
+  const cache::ObligationKeyer keyer(design, job.detector_options(),
+                                     /*fail_fast=*/false);
+  core::TrojanDetector detector(design, job.detector_options());
+  const std::string key0 = keyer.key(detector.enumerate_obligations().at(0));
+  ShardRing ring;
+  ring.add(workers[0]->endpoint);
+  ring.add(workers[1]->endpoint);
+  const std::size_t victim = ring.node_for(key0) == workers[0]->endpoint
+                                 ? 0
+                                 : 1;
+  workers[victim]->daemon->stop();
+
+  FleetCoordinator coordinator(fx.coordinator_options(workers));
+  coordinator.start();
+  SubmitResult result;
+  run_leg("submit with a dead worker", [&] {
+    Client client(coordinator.bound_endpoint());
+    result = submit_audit(client, job);
+  });
+  coordinator.stop();
+  for (auto& worker : workers) worker->daemon->stop();
+
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.signature, fx.direct_signature(job))
+      << "the job must complete on the survivor with an identical report";
+  EXPECT_GE(coordinator.reshards(), 1u)
+      << "the dead worker owned obligation 0, so a re-shard must happen";
+}
+
+TEST(FleetCoordinator, OverloadIsRefusedWithRetryAfterAndClientBacksOff) {
+  FleetFixture fx;
+  auto workers = fx.spawn_workers(1);
+  const AuditJob job = fx.job();
+
+  FleetCoordinator::Options options = fx.coordinator_options(workers);
+  // Any shard of this job (several obligations, one worker) exceeds a
+  // one-obligation queue, so admission control must refuse deterministically.
+  options.queue_capacity = 1;
+  options.retry_after_ms = 5;
+  FleetCoordinator coordinator(options);
+  coordinator.start();
+
+  SubmitResult refused;
+  std::size_t backoffs = 0;
+  run_leg("overloaded submits", [&] {
+    {
+      Client client(coordinator.bound_endpoint());
+      refused = submit_audit(client, job);
+    }
+    // The retrying client must observe the hint, back off, and eventually
+    // surface the refusal instead of dropping the job silently.
+    const SubmitResult after_retries = service::submit_audit_with_retry(
+        coordinator.bound_endpoint(), job, service::ConnectRetry{},
+        /*max_retries=*/2, nullptr,
+        [&backoffs](std::uint64_t delay_ms) {
+          EXPECT_GE(delay_ms, 5u);
+          backoffs++;
+        });
+    EXPECT_FALSE(after_retries.ok);
+    EXPECT_GT(after_retries.retry_after_ms, 0u);
+  });
+  coordinator.stop();
+
+  EXPECT_FALSE(refused.ok);
+  EXPECT_GT(refused.retry_after_ms, 0u) << refused.error;
+  EXPECT_EQ(backoffs, 2u);
+  EXPECT_EQ(coordinator.retry_after_sent(), 4u)
+      << "one direct refusal + three refused attempts of the retry loop";
+
+  // The same worker behind an adequately-sized queue completes the job.
+  FleetCoordinator::Options roomy = fx.coordinator_options(workers);
+  roomy.queue_capacity = 64;
+  FleetCoordinator ok_coordinator(roomy);
+  ok_coordinator.start();
+  SubmitResult result;
+  run_leg("same job under a roomy queue", [&] {
+    Client client(ok_coordinator.bound_endpoint());
+    result = submit_audit(client, job);
+  });
+  ok_coordinator.stop();
+  for (auto& worker : workers) worker->daemon->stop();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.signature, fx.direct_signature(job));
+}
+
+TEST(FleetCoordinator, SharedL2ComputesEachObligationOnceAcrossWorkers) {
+  FleetFixture fx;
+  cache::VerdictCache l2({fx.dir + "/l2", cache::CacheMode::kReadWrite,
+                          /*max_bytes=*/0});
+  auto workers = fx.spawn_workers(2, &l2);
+  const AuditJob job = fx.job();
+
+  telemetry::Registry& registry = telemetry::Registry::global();
+  registry.set_enabled(true);
+  const auto counter_of = [&registry](const std::string& name) {
+    for (const auto& counter : registry.snapshot().counters) {
+      if (counter.name == name) return counter.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t owners_before = counter_of("cache.l2_claim_owner");
+
+  // Identical jobs race on both workers at once: the L2 claim protocol
+  // must arbitrate so every obligation runs an engine on exactly one
+  // worker; the other adopts the published verdict (shared or cache).
+  std::vector<SubmitResult> results(2);
+  run_leg("concurrent duplicate submissions", [&] {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 2; ++i) {
+      threads.emplace_back([&, i] {
+        Client client(workers[static_cast<std::size_t>(i)]->endpoint);
+        results[static_cast<std::size_t>(i)] = submit_audit(client, job);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  });
+  for (auto& worker : workers) worker->daemon->stop();
+
+  const std::uint64_t owners_after = counter_of("cache.l2_claim_owner");
+  registry.set_enabled(false);
+
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  ASSERT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_EQ(results[0].signature, results[1].signature);
+  EXPECT_EQ(results[0].signature, fx.direct_signature(job));
+  const std::uint64_t obligations = results[0].obligations;
+  EXPECT_EQ(results[0].computed + results[1].computed, obligations)
+      << "fleet-wide claim dedupe must compute each obligation exactly once";
+  EXPECT_EQ(results[0].cache_hits + results[0].shared + results[1].cache_hits +
+                results[1].shared,
+            obligations);
+  EXPECT_EQ(owners_after - owners_before, obligations)
+      << "every key must be claimed by exactly one owner";
+}
+
+}  // namespace
+}  // namespace trojanscout::fleet

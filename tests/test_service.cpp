@@ -134,7 +134,7 @@ struct ServiceFixture {
 TEST(AuditDaemon, SubmittedJobMatchesDirectAuditSignature) {
   ServiceFixture fx;
   AuditDaemon::Options options;
-  options.socket_path = fx.socket_path;
+  options.endpoint = fx.socket_path;
   options.jobs = 2;
   AuditDaemon daemon(options);
   daemon.start();
@@ -171,7 +171,7 @@ TEST(AuditDaemon, WarmResubmitIsServedEntirelyFromTheCache) {
   cache::VerdictCache cache({fx.dir + "/cache", cache::CacheMode::kReadWrite,
                              /*max_bytes=*/0});
   AuditDaemon::Options options;
-  options.socket_path = fx.socket_path;
+  options.endpoint = fx.socket_path;
   options.jobs = 2;
   options.cache = &cache;
   AuditDaemon daemon(options);
@@ -206,7 +206,7 @@ TEST(AuditDaemon, WarmResubmitIsServedEntirelyFromTheCache) {
 TEST(AuditDaemon, AnswersPingAndStatsAndErrorsKeepTheConnectionUsable) {
   ServiceFixture fx;
   AuditDaemon::Options options;
-  options.socket_path = fx.socket_path;
+  options.endpoint = fx.socket_path;
   options.jobs = 1;
   AuditDaemon daemon(options);
   daemon.start();
@@ -249,10 +249,72 @@ TEST(AuditDaemon, AnswersPingAndStatsAndErrorsKeepTheConnectionUsable) {
   daemon.stop();
 }
 
+TEST(AuditDaemon, TcpEndpointWithEphemeralPortServesJobs) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.endpoint = "tcp:127.0.0.1:0";
+  options.jobs = 2;
+  AuditDaemon daemon(options);
+  daemon.start();
+  // The kernel-assigned port must be visible so clients can attach.
+  const std::string endpoint = daemon.bound_endpoint();
+  EXPECT_EQ(endpoint.rfind("tcp:127.0.0.1:", 0), 0u) << endpoint;
+  EXPECT_NE(endpoint, "tcp:127.0.0.1:0");
+
+  const AuditJob job = fx.job();
+  SubmitResult result;
+  run_leg("tcp submit", [&] {
+    Client client(endpoint);
+    result = submit_audit(client, job);
+  });
+  daemon.stop();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.signature, fx.direct_signature(job));
+}
+
+TEST(AuditDaemon, RejectsOversizedAndNonUtf8LinesWithoutClosing) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.endpoint = fx.socket_path;
+  options.jobs = 1;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  run_leg("robustness conversation", [&] {
+    Client client(fx.socket_path);
+    proof::Json response;
+
+    // A line past the 1 MiB cap is answered with a structured error and
+    // discarded; the connection must stay usable.
+    client.send_line(std::string((1 << 20) + 64, 'x'));
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "error");
+    EXPECT_EQ(response.find("code")->as_string(), "line_too_long");
+
+    // Invalid UTF-8 never reaches the JSON parser.
+    client.send_line("{\"op\": \"ping\xFF\xFE\"}");
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "error");
+    EXPECT_EQ(response.find("code")->as_string(), "bad_utf8");
+
+    client.send_line(control_request_line("stats"));
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "stats");
+    ASSERT_NE(response.find("bad_requests"), nullptr);
+    EXPECT_GE(response.find("bad_requests")->as_int(), 2);
+
+    // The same connection still serves a real job afterwards.
+    const SubmitResult result = submit_audit(client, fx.job());
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.signature, fx.direct_signature(fx.job()));
+  });
+  daemon.stop();
+}
+
 TEST(AuditDaemon, ClientShutdownOpStopsTheDaemon) {
   ServiceFixture fx;
   AuditDaemon::Options options;
-  options.socket_path = fx.socket_path;
+  options.endpoint = fx.socket_path;
   options.jobs = 1;
   AuditDaemon daemon(options);
   daemon.start();
@@ -275,7 +337,7 @@ TEST(AuditDaemon, ClientShutdownOpStopsTheDaemon) {
 TEST(AuditDaemon, StopWakesAnIdleConnection) {
   ServiceFixture fx;
   AuditDaemon::Options options;
-  options.socket_path = fx.socket_path;
+  options.endpoint = fx.socket_path;
   options.jobs = 1;
   AuditDaemon daemon(options);
   daemon.start();
@@ -290,7 +352,7 @@ TEST(AuditDaemon, ConcurrentConnectionsAllMatchTheDirectSignature) {
   cache::VerdictCache cache({fx.dir + "/cache", cache::CacheMode::kReadWrite,
                              /*max_bytes=*/0});
   AuditDaemon::Options options;
-  options.socket_path = fx.socket_path;
+  options.endpoint = fx.socket_path;
   options.jobs = 2;
   options.cache = &cache;
   AuditDaemon daemon(options);

@@ -307,6 +307,16 @@ def check_bench(doc):
                 errors.append(f"case {case.get('name', '?')}: {err}")
         if isinstance(case.get("runs"), int) and case["runs"] < 1:
             errors.append(f"case {case.get('name', '?')}: runs < 1")
+    # The service-throughput bench must always emit its full case set —
+    # a silently missing phase (e.g. every warm submit failed) would
+    # otherwise slip past the bench_compare gate as "no regression".
+    if doc.get("bench") == "service_throughput":
+        required = {"cold/audit", "warm/p50", "warm/p99", "warm/mean",
+                    "mixed/p50", "mixed/p99", "mixed/mean"}
+        names = {case.get("name") for case in doc.get("cases", [])
+                 if isinstance(case, dict)}
+        for missing in sorted(required - names):
+            errors.append(f"service_throughput: case '{missing}' missing")
     return errors
 
 

@@ -62,6 +62,9 @@ if command -v python3 >/dev/null 2>&1; then
       --metrics-out="$art/parallel_scaling.jsonl"
   "$rel/bench/bench_corpus" --repeats=3 --count=24 \
       --bench-out="$art/BENCH_corpus.json"
+  (cd "$src" && "$rel/bench/bench_service_throughput" --repeats=3 \
+      --clients=4 --per-client=4 --frames=6 \
+      --bench-out="$art/BENCH_service_throughput.json")
 
   echo "=== [release] fuzz smoke: mutation corpus differential harness ==="
   # The seeded sweep re-asserts the harness's three oracles (no clean-design
@@ -126,13 +129,12 @@ if command -v python3 >/dev/null 2>&1; then
   "$rel/tools/trojanscout_cli" serve --socket="$sock" \
       --cache-dir="$art/vcache" >"$art/serve.log" 2>&1 &
   serve_pid=$!
-  for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
-  if ! [ -S "$sock" ]; then
-    echo "FAIL: daemon socket never appeared"
-    exit 1
-  fi
+  # No socket-polling loop: the submit client owns connection establishment
+  # (bounded retries with exponential backoff + jitter) and fails cleanly
+  # if the daemon never comes up.
   status=0
   "$rel/tools/trojanscout_cli" submit --socket="$sock" \
+      --connect-retries=50 --connect-delay-ms=50 \
       --design="$art/ip.v" --spec="$src/specs/mc8051_sp.spec" --frames=8 \
       --signature-out="$art/sig_daemon_cold" \
       >"$art/submit_cold.log" 2>&1 || status=$?
@@ -189,11 +191,62 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   fi
 
+  echo "=== [release] fleet smoke (TCP coordinator + 2 spawned workers) ==="
+  # serve-fleet forks two worker daemons on ephemeral TCP ports sharing an
+  # L2 verdict store, shards the job across them by obligation key, and
+  # must merge to the exact direct-audit signature; a warm resubmit must
+  # be answered entirely from the worker caches.
+  ep_file="$art/fleet.endpoint"
+  "$rel/tools/trojanscout_cli" serve-fleet --socket=tcp:127.0.0.1:0 \
+      --spawn=2 --l2-dir="$art/fleet-l2" --run-dir="$art/fleet-run" \
+      --port-file="$ep_file" >"$art/fleet.log" 2>&1 &
+  fleet_pid=$!
+  # The coordinator picks an ephemeral port, so the endpoint string has to
+  # be read back; the file appears only once it is listening.
+  for _ in $(seq 150); do [ -s "$ep_file" ] && break; sleep 0.1; done
+  if ! [ -s "$ep_file" ]; then
+    echo "FAIL: fleet coordinator never published its endpoint"
+    exit 1
+  fi
+  fleet_ep="$(cat "$ep_file")"
+  status=0
+  "$rel/tools/trojanscout_cli" submit --socket="$fleet_ep" \
+      --connect-retries=50 --connect-delay-ms=50 --overload-retries=3 \
+      --design="$art/ip.v" --spec="$src/specs/mc8051_sp.spec" --frames=8 \
+      --signature-out="$art/sig_fleet_cold" \
+      >"$art/fleet_cold.log" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: fleet submit expected exit 2 (trojan found), got $status"
+    exit 1
+  fi
+  status=0
+  "$rel/tools/trojanscout_cli" submit --socket="$fleet_ep" \
+      --overload-retries=3 \
+      --design="$art/ip.v" --spec="$src/specs/mc8051_sp.spec" --frames=8 \
+      --signature-out="$art/sig_fleet_warm" \
+      >"$art/fleet_warm.log" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: warm fleet submit expected exit 2, got $status"
+    exit 1
+  fi
+  if ! cmp -s "$art/sig_fleet_cold" "$art/sig_direct" \
+      || ! cmp -s "$art/sig_fleet_warm" "$art/sig_direct"; then
+    echo "FAIL: fleet signatures differ from the direct audit"
+    exit 1
+  fi
+  if ! grep -q ", 0 computed" "$art/fleet_warm.log"; then
+    echo "FAIL: warm fleet submit performed engine runs (expected all-cache)"
+    exit 1
+  fi
+  kill -TERM "$fleet_pid" 2>/dev/null || true
+  wait "$fleet_pid" 2>/dev/null || true
+
   echo "=== [release] artifact schema validation ==="
   python3 "$src/tools/check_metrics.py" \
       "$art/BENCH_table1.json" "$art/BENCH_table2.json" \
       "$art/BENCH_table3.json" "$art/BENCH_parallel_scaling.json" \
-      "$art/BENCH_corpus.json" "$art/corpus.json" \
+      "$art/BENCH_corpus.json" "$art/BENCH_service_throughput.json" \
+      "$art/corpus.json" \
       "$art/table1.jsonl" "$art/table2.jsonl" "$art/table3.jsonl" \
       "$art/parallel_scaling.jsonl" "$art/audit_trace.json" \
       "$art/audit_profile.json" "$art/audit_metrics.jsonl" \
@@ -201,7 +254,8 @@ if command -v python3 >/dev/null 2>&1; then
 
   echo "=== [release] bench regression gate ==="
   python3 "$src/tools/bench_compare.py" --self-test
-  for name in table1 table2 table3 parallel_scaling corpus; do
+  for name in table1 table2 table3 parallel_scaling corpus \
+      service_throughput; do
     python3 "$src/tools/bench_compare.py" \
         "$src/bench/baselines/BENCH_${name}.json" \
         "$art/BENCH_${name}.json"

@@ -27,11 +27,20 @@
 //                         [--out corpus.json] [--no-timing]
 //                         [--signature-out FILE] [--min-rate R] [--shrink]
 //                         [--inject-failure SUBSTR] [--quiet]
-//   trojanscout_cli serve  --socket /run/ts.sock [--cache-dir DIR]
+//   trojanscout_cli serve  --socket ENDPOINT [--cache-dir DIR]
 //                          [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]
-//   trojanscout_cli submit --socket /run/ts.sock --design ip.v --spec ip.spec
+//                          [--l2-dir DIR] [--l2-max-mb N] [--read-timeout S]
+//                          [--port-file FILE]
+//   trojanscout_cli serve-fleet --socket ENDPOINT
+//                          (--workers EP1,EP2,... | --spawn N)
+//                          [--l2-dir DIR] [--l2-max-mb N] [--queue-cap N]
+//                          [--retry-after-ms N] [--worker-jobs N]
+//                          [--run-dir DIR] [--port-file FILE]
+//                          [--health-interval S] [--worker-timeout S]
+//   trojanscout_cli submit --socket ENDPOINT --design ip.v --spec ip.spec
 //                          [--engine bmc|atpg] [--frames N] [--budget S]
 //                          [--no-scan] [--no-bypass] [--id NAME]
+//                          [--connect-retries N] [--overload-retries N]
 //                          [--signature-out FILE] [--quiet]
 //
 // `audit` runs the paper's full Algorithm 1 over every register with a spec
@@ -49,10 +58,21 @@
 // quantiles. --shrink minimizes the first failing variant.
 //
 // `serve` runs the same audits as a daemon: newline-delimited JSON jobs
-// arrive over a Unix-domain socket, identical in-flight obligations are
-// deduped across concurrent jobs, and every reported DetectionReport
-// signature is byte-identical to a direct `audit` with the same flags.
-// `submit` is the matching client.
+// arrive over a Unix-domain or TCP socket (ENDPOINT is "unix:/path", a
+// bare path, or "tcp:host:port"; port 0 picks an ephemeral port reported
+// via --port-file), identical in-flight obligations are deduped across
+// concurrent jobs, and every reported DetectionReport signature is
+// byte-identical to a direct `audit` with the same flags. --l2-dir points
+// several daemons at one shared verdict store with claim-based
+// fleet-wide dedupe. `submit` is the matching client.
+//
+// `serve-fleet` runs the shard coordinator: it speaks the same protocol
+// as `serve` but fans each job's obligations out to worker daemons by
+// consistent hash of the verdict-cache key, re-shards on worker death,
+// and refuses jobs that would overrun a worker queue with a retry-after
+// response. --spawn N forks N `serve` workers on ephemeral TCP ports
+// (sharing --l2-dir) and tears them down on exit; --workers attaches to
+// externally managed daemons.
 //
 // `certify` is `audit` with evidence: every violated property carries its
 // witness, every BMC-clean frame carries a binary-DRAT proof, bundled into
@@ -63,11 +83,20 @@
 //
 // Exit codes: 0 = clean / generated / certificate valid, 2 = Trojan found,
 // 1 = usage / error / certificate rejected.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "bmc/bmc.hpp"
 #include "cache/verdict_cache.hpp"
@@ -81,9 +110,11 @@
 #include "fuzz/mutation.hpp"
 #include "proof/certificate.hpp"
 #include "properties/monitors.hpp"
+#include "fleet/coordinator.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "service/transport.hpp"
 #include "sim/vcd.hpp"
 #include "specdsl/specdsl.hpp"
 #include "telemetry/profile.hpp"
@@ -147,14 +178,25 @@ int usage() {
          "               [--inject-failure SUBSTR] [--quiet]\n"
          "               differential detection sweep over a seeded\n"
          "               Trojan mutation corpus\n"
-         "  serve      --socket PATH [--cache-dir DIR] [--cache off|ro|rw]\n"
-         "               [--cache-max-mb N] [--jobs N]\n"
-         "               audit daemon on a Unix socket (NDJSON protocol)\n"
-         "  submit     --socket PATH --design ip.v --spec ip.spec\n"
+         "  serve      --socket ENDPOINT [--cache-dir DIR]\n"
+         "               [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]\n"
+         "               [--l2-dir DIR] [--l2-max-mb N] [--read-timeout S]\n"
+         "               [--port-file FILE]\n"
+         "               audit daemon (NDJSON over unix:/path or\n"
+         "               tcp:host:port; port 0 = ephemeral)\n"
+         "  serve-fleet --socket ENDPOINT\n"
+         "               (--workers EP1,EP2,... | --spawn N)\n"
+         "               [--l2-dir DIR] [--l2-max-mb N] [--queue-cap N]\n"
+         "               [--retry-after-ms N] [--worker-jobs N]\n"
+         "               [--run-dir DIR] [--port-file FILE]\n"
+         "               [--health-interval S] [--worker-timeout S]\n"
+         "               shard coordinator over N worker daemons\n"
+         "  submit     --socket ENDPOINT --design ip.v --spec ip.spec\n"
          "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
          "               [--no-scan] [--no-bypass] [--id NAME]\n"
+         "               [--connect-retries N] [--overload-retries N]\n"
          "               [--signature-out FILE] [--quiet]\n"
-         "               send one audit job to a running daemon\n"
+         "               send one audit job to a daemon or fleet\n"
          "\n"
          "  --version  print the build's git revision\n"
          "\n"
@@ -569,7 +611,33 @@ int cmd_check_cert(const util::CliParser& cli) {
   return result.ok ? 0 : 1;
 }
 
+/// Opens the fleet-shared L2 store named by --l2-dir (always read-write;
+/// claim files need write access); null when the flag is absent.
+std::unique_ptr<cache::VerdictCache> open_l2(const util::CliParser& cli) {
+  const std::string dir = cli.get_string("l2-dir", "");
+  if (dir.empty()) return nullptr;
+  cache::VerdictCache::Options options;
+  options.dir = dir;
+  options.mode = cache::CacheMode::kReadWrite;
+  const long max_mb = cli.get_int("l2-max-mb", 512);
+  options.max_bytes = max_mb <= 0
+                          ? 0
+                          : static_cast<std::uint64_t>(max_mb) * 1024 * 1024;
+  return std::make_unique<cache::VerdictCache>(std::move(options));
+}
+
+/// Publishes the resolved listen endpoint (ephemeral TCP ports become
+/// concrete here) for whoever launched us — tests, ci.sh, serve-fleet.
+void write_endpoint_file(const std::string& path,
+                         const std::string& endpoint) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << endpoint << "\n";
+}
+
 service::AuditDaemon* g_daemon = nullptr;
+fleet::FleetCoordinator* g_coordinator = nullptr;
 
 void handle_stop_signal(int) {
   // stop() joins threads, which is not async-signal-safe in general, but
@@ -577,18 +645,22 @@ void handle_stop_signal(int) {
   // is shutdown() first, so in practice this terminates promptly; the
   // alternative (a self-pipe) buys little for a CLI tool.
   if (g_daemon != nullptr) g_daemon->stop();
+  if (g_coordinator != nullptr) g_coordinator->stop();
 }
 
 int cmd_serve(const util::CliParser& cli) {
-  const std::string socket_path = cli.get_string("socket", "");
-  if (socket_path.empty()) throw std::runtime_error("--socket is required");
+  const std::string endpoint = cli.get_string("socket", "");
+  if (endpoint.empty()) throw std::runtime_error("--socket is required");
 
   const std::unique_ptr<cache::VerdictCache> verdict_cache = open_cache(cli);
+  const std::unique_ptr<cache::VerdictCache> l2_cache = open_l2(cli);
 
   service::AuditDaemon::Options options;
-  options.socket_path = socket_path;
+  options.endpoint = endpoint;
   options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   options.cache = verdict_cache.get();
+  options.l2 = l2_cache.get();
+  options.read_timeout_seconds = cli.get_double("read-timeout", 0.0);
 
   service::AuditDaemon daemon(options);
   daemon.start();
@@ -596,11 +668,14 @@ int cmd_serve(const util::CliParser& cli) {
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
 
-  std::cout << "audit daemon listening on " << socket_path;
+  write_endpoint_file(cli.get_string("port-file", ""),
+                      daemon.bound_endpoint());
+  std::cout << "audit daemon listening on " << daemon.bound_endpoint();
   if (verdict_cache != nullptr) {
     std::cout << " (cache " << cache_mode_name(verdict_cache->mode()) << " "
               << verdict_cache->dir() << ")";
   }
+  if (l2_cache != nullptr) std::cout << " (l2 " << l2_cache->dir() << ")";
   std::cout << "\n" << std::flush;
 
   daemon.wait();
@@ -613,9 +688,157 @@ int cmd_serve(const util::CliParser& cli) {
   return 0;
 }
 
+/// Path of the running binary, captured in main() for --spawn re-exec.
+std::string g_self_exe;
+
+struct SpawnedWorker {
+  pid_t pid = -1;
+  std::string endpoint_file;
+};
+
+/// Forks one `serve` worker on an ephemeral TCP port; the child publishes
+/// its resolved endpoint through `endpoint_file`.
+SpawnedWorker spawn_worker(const util::CliParser& cli,
+                           const std::string& run_dir, std::size_t index) {
+  SpawnedWorker worker;
+  worker.endpoint_file =
+      run_dir + "/worker" + std::to_string(index) + ".endpoint";
+  std::vector<std::string> args = {
+      g_self_exe,    "serve",
+      "--socket",    "tcp:127.0.0.1:0",
+      "--port-file", worker.endpoint_file,
+      "--cache-dir", run_dir + "/l1-" + std::to_string(index),
+      "--jobs",      std::to_string(cli.get_int("worker-jobs", 0)),
+  };
+  const std::string l2_dir = cli.get_string("l2-dir", "");
+  if (!l2_dir.empty()) {
+    args.push_back("--l2-dir");
+    args.push_back(l2_dir);
+    args.push_back("--l2-max-mb");
+    args.push_back(std::to_string(cli.get_int("l2-max-mb", 512)));
+  }
+  worker.pid = ::fork();
+  if (worker.pid < 0) throw std::runtime_error("fork failed");
+  if (worker.pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return worker;
+}
+
+/// Waits for a spawned worker to publish its endpoint (or die trying).
+std::string await_worker_endpoint(const SpawnedWorker& worker) {
+  for (int i = 0; i < 500; ++i) {  // 10 s at 20 ms
+    std::ifstream in(worker.endpoint_file);
+    std::string endpoint;
+    if (in && std::getline(in, endpoint) && !endpoint.empty()) {
+      return endpoint;
+    }
+    int status = 0;
+    if (::waitpid(worker.pid, &status, WNOHANG) == worker.pid) {
+      throw std::runtime_error("spawned worker exited before listening");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  throw std::runtime_error("spawned worker never published " +
+                           worker.endpoint_file);
+}
+
+int cmd_serve_fleet(const util::CliParser& cli) {
+  const std::string endpoint = cli.get_string("socket", "");
+  if (endpoint.empty()) throw std::runtime_error("--socket is required");
+
+  fleet::FleetCoordinator::Options options;
+  options.endpoint = endpoint;
+  options.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-cap", 64));
+  options.retry_after_ms =
+      static_cast<std::uint64_t>(cli.get_int("retry-after-ms", 200));
+  options.read_timeout_seconds = cli.get_double("read-timeout", 0.0);
+  options.worker_timeout_seconds = cli.get_double("worker-timeout", 600.0);
+  options.health_interval_seconds = cli.get_double("health-interval", 2.0);
+
+  const std::string workers_flag = cli.get_string("workers", "");
+  const long spawn_count = cli.get_int("spawn", 0);
+  if (workers_flag.empty() == (spawn_count <= 0)) {
+    throw std::runtime_error(
+        "serve-fleet needs exactly one of --workers or --spawn");
+  }
+
+  std::vector<SpawnedWorker> spawned;
+  std::string run_dir = cli.get_string("run-dir", "");
+  if (spawn_count > 0) {
+    if (run_dir.empty()) {
+      char tmpl[] = "/tmp/ts_fleet_XXXXXX";
+      if (::mkdtemp(tmpl) == nullptr) {
+        throw std::runtime_error("mkdtemp failed");
+      }
+      run_dir = tmpl;
+    }
+    for (long i = 0; i < spawn_count; ++i) {
+      spawned.push_back(
+          spawn_worker(cli, run_dir, static_cast<std::size_t>(i)));
+    }
+    for (const SpawnedWorker& worker : spawned) {
+      options.workers.push_back(await_worker_endpoint(worker));
+    }
+  } else {
+    std::istringstream in(workers_flag);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      if (!item.empty()) options.workers.push_back(item);
+    }
+  }
+
+  int exit_code = 0;
+  {
+    fleet::FleetCoordinator coordinator(options);
+    try {
+      coordinator.start();
+      g_coordinator = &coordinator;
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+
+      write_endpoint_file(cli.get_string("port-file", ""),
+                          coordinator.bound_endpoint());
+      std::cout << "fleet coordinator on " << coordinator.bound_endpoint()
+                << " over " << options.workers.size() << " worker(s):";
+      for (const std::string& worker : options.workers) {
+        std::cout << " " << worker;
+      }
+      std::cout << "\n" << std::flush;
+
+      coordinator.wait();
+      coordinator.stop();
+      g_coordinator = nullptr;
+      std::cout << "coordinator stopped after "
+                << coordinator.jobs_completed() << " job(s), "
+                << coordinator.retry_after_sent() << " refused, "
+                << coordinator.reshards() << " re-shard(s)\n";
+    } catch (...) {
+      g_coordinator = nullptr;
+      for (const SpawnedWorker& worker : spawned) {
+        ::kill(worker.pid, SIGTERM);
+        ::waitpid(worker.pid, nullptr, 0);
+      }
+      throw;
+    }
+  }
+  for (const SpawnedWorker& worker : spawned) {
+    ::kill(worker.pid, SIGTERM);
+    ::waitpid(worker.pid, nullptr, 0);
+  }
+  return exit_code;
+}
+
 int cmd_submit(const util::CliParser& cli) {
-  const std::string socket_path = cli.get_string("socket", "");
-  if (socket_path.empty()) throw std::runtime_error("--socket is required");
+  const std::string endpoint = cli.get_string("socket", "");
+  if (endpoint.empty()) throw std::runtime_error("--socket is required");
 
   service::AuditJob job;
   job.id = cli.get_string("id", "job");
@@ -632,9 +855,14 @@ int cmd_submit(const util::CliParser& cli) {
   job.check_bypass = !cli.get_bool("no-bypass", false);
 
   const bool quiet = cli.get_bool("quiet", false);
-  service::Client client(socket_path);
-  const service::SubmitResult result = service::submit_audit(
-      client, job, [quiet](const proof::Json& response) {
+  service::ConnectRetry retry;
+  retry.attempts = static_cast<int>(cli.get_int("connect-retries", 1));
+  retry.base_delay_ms = cli.get_double("connect-delay-ms", 50.0);
+  const int overload_retries =
+      static_cast<int>(cli.get_int("overload-retries", 0));
+  const service::SubmitResult result = service::submit_audit_with_retry(
+      endpoint, job, retry, overload_retries,
+      [quiet](const proof::Json& response) {
         if (quiet) return;
         const proof::Json* type = response.find("type");
         if (type == nullptr || !type->is_string() ||
@@ -647,6 +875,10 @@ int cmd_submit(const util::CliParser& cli) {
         };
         std::cout << str("property") << ": " << str("status") << " ["
                   << str("source") << "]\n";
+      },
+      [quiet](std::uint64_t delay_ms) {
+        if (quiet) return;
+        std::cerr << "fleet busy; retrying in " << delay_ms << " ms\n";
       });
 
   if (!result.ok) {
@@ -817,6 +1049,7 @@ int main(int argc, char** argv) {
     std::cout << "trojanscout " << TROJANSCOUT_GIT_REV << "\n";
     return 0;
   }
+  g_self_exe = argv[0];
   const util::CliParser cli(argc - 1, argv + 1);
   try {
     if (command == "info") return cmd_info(cli);
@@ -828,6 +1061,7 @@ int main(int argc, char** argv) {
     if (command == "certify") return cmd_certify(cli);
     if (command == "check-cert") return cmd_check_cert(cli);
     if (command == "serve") return cmd_serve(cli);
+    if (command == "serve-fleet") return cmd_serve_fleet(cli);
     if (command == "submit") return cmd_submit(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
