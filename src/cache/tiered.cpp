@@ -9,6 +9,7 @@
 #include <ctime>
 #include <thread>
 
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 
@@ -118,6 +119,7 @@ TieredCache::Claim TieredCache::acquire(const std::string& key,
       TS_LOG_WARN("cache: stealing stale L2 claim for %s (%.1fs old)",
                   key.c_str(), *age);
       TS_COUNTER_ADD("cache.l2_claim_stale", 1);
+      telemetry::emit_event("claim_steal", {{"key", key}, {"age_s", *age}});
       ::unlink(claim_path(key).c_str());
       continue;
     }

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/events.hpp"
 #include "util/logging.hpp"
 
 namespace fs = std::filesystem;
@@ -193,6 +194,8 @@ void VerdictCache::rebuild_index_locked() {
     std::string payload;
     if (!read_file(de.path().string(), text) || !verify_entry(text, payload)) {
       stats_.corrupt_skipped++;
+      telemetry::emit_event("cache_corrupt_skip",
+                            {{"key", key}, {"dir", options_.dir}});
       if (options_.mode == CacheMode::kReadWrite) {
         fs::remove(de.path(), ec);
       }
@@ -228,7 +231,11 @@ void VerdictCache::drop_entry_locked(const std::string& key,
     total_bytes_ -= it->second.bytes;
     entries_.erase(it);
   }
-  if (count_corrupt) stats_.corrupt_skipped++;
+  if (count_corrupt) {
+    stats_.corrupt_skipped++;
+    telemetry::emit_event("cache_corrupt_skip",
+                          {{"key", key}, {"dir", options_.dir}});
+  }
   if (options_.mode == CacheMode::kReadWrite) {
     std::error_code ec;
     fs::remove(entry_path(key), ec);

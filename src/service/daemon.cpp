@@ -1,5 +1,9 @@
 #include "service/daemon.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -8,7 +12,9 @@
 #include "cache/verdict_codec.hpp"
 #include "designs/design.hpp"
 #include "proof/json.hpp"
+#include "service/telemetry_wire.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/logging.hpp"
 
 namespace trojanscout::service {
@@ -25,6 +31,59 @@ const char* source_name(int source) {
   }
   return "?";
 }
+
+// Process-wide refcounted lease on a global TraceRecorder, held for the
+// duration of each traced job (one carrying a "trace_id"). The engines
+// record through telemetry::Span's process-global recorder pointer, so a
+// worker can only capture their spans by installing one — but a long-lived
+// daemon must not accumulate events forever, so the recorder is live (and
+// its buffer cleared) only while traced jobs are in flight. Concurrent
+// traced jobs share the lease; their events are separated afterwards by
+// per-job reachability filtering from each job's root span ids. If some
+// other recorder is already installed globally (in-process tests, future
+// `serve --trace-out`), the lease adopts it and leaves ownership alone.
+std::mutex g_lease_mutex;
+int g_lease_count = 0;
+bool g_lease_external = false;
+telemetry::TraceRecorder* g_lease_recorder = nullptr;  // kept alive forever:
+// a Span captured the pointer at construction and may end after release
+
+class TraceLease {
+ public:
+  TraceLease() {
+    std::lock_guard<std::mutex> lock(g_lease_mutex);
+    if (g_lease_count++ == 0) {
+      g_lease_external = telemetry::TraceRecorder::global() != nullptr;
+      if (!g_lease_external) {
+        if (g_lease_recorder == nullptr) {
+          g_lease_recorder = new telemetry::TraceRecorder();
+        } else {
+          g_lease_recorder->clear();
+        }
+        telemetry::TraceRecorder::set_global(g_lease_recorder);
+      }
+    }
+    recorder_ = telemetry::TraceRecorder::global();
+  }
+
+  ~TraceLease() {
+    std::lock_guard<std::mutex> lock(g_lease_mutex);
+    if (--g_lease_count == 0 && !g_lease_external) {
+      telemetry::TraceRecorder::set_global(nullptr);
+      g_lease_recorder->clear();
+    }
+  }
+
+  TraceLease(const TraceLease&) = delete;
+  TraceLease& operator=(const TraceLease&) = delete;
+
+  [[nodiscard]] telemetry::TraceRecorder* recorder() const {
+    return recorder_;
+  }
+
+ private:
+  telemetry::TraceRecorder* recorder_ = nullptr;
+};
 
 }  // namespace
 
@@ -52,6 +111,11 @@ void AuditDaemon::start() {
     pool_.reset();
     throw;
   }
+  started_at_ = std::chrono::steady_clock::now();
+  // A service's counters must be live regardless of the TROJANSCOUT_TELEMETRY
+  // env var: the stats reply ships the full registry snapshot, and the fleet
+  // coordinator merges it per worker.
+  telemetry::Registry::global().set_enabled(true);
   TS_LOG_INFO("service: listening on %s (%zu engine workers)",
               bound_endpoint().c_str(), pool_->thread_count());
 }
@@ -68,7 +132,7 @@ LineServer::Disposition AuditDaemon::handle_line(
   Request request;
   std::string error;
   if (!parse_request(line, request, &error)) {
-    TS_COUNTER_ADD("service.bad_request", 1);
+    server_.note_bad_request();
     if (!send(error_response_line("", error, "bad_request"))) {
       return LineServer::Disposition::kClose;
     }
@@ -82,6 +146,11 @@ LineServer::Disposition AuditDaemon::handle_line(
     Json j = Json::object();
     j.set("type", "stats");
     j.set("endpoint", bound_endpoint());
+    j.set("pid", static_cast<std::int64_t>(::getpid()));
+    j.set("uptime_s",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at_)
+              .count());
     j.set("jobs_completed", jobs_completed_.load(std::memory_order_relaxed));
     j.set("shared_obligations", shared_hits_.load(std::memory_order_relaxed));
     j.set("bad_requests", server_.bad_requests());
@@ -108,6 +177,11 @@ LineServer::Disposition AuditDaemon::handle_line(
       j.set("l2_entries",
             static_cast<std::uint64_t>(options_.l2->entry_count()));
     }
+    // The full registry snapshot rides along so the fleet coordinator can
+    // merge per-worker telemetry exactly (counters summed, histogram
+    // buckets added) instead of hand-picking a few atomics.
+    j.set("telemetry",
+          snapshot_to_json(telemetry::Registry::global().snapshot()));
     if (!send(j.dump())) return LineServer::Disposition::kClose;
   } else if (request.op == Request::Op::kShutdown) {
     Json j = Json::object();
@@ -192,12 +266,31 @@ void AuditDaemon::handle_audit(const LineServer::Sender& send,
   const cache::ObligationKeyer keyer(*design, detector_options,
                                      /*fail_fast=*/false);
 
+  // A job carrying a trace id records its obligations under the leased
+  // recorder and ships the span rows back on the report line; the merge
+  // loop below only releases the lease after every span has closed.
+  const bool tracing = !job.trace_id.empty();
+  std::optional<TraceLease> lease;
+  if (tracing) lease.emplace();
+  telemetry::TraceRecorder* recorder = tracing ? lease->recorder() : nullptr;
+  // Coordinator-side parent span per slot (parent_spans aligns with the
+  // subset, which is exactly `indices` when present).
+  const auto parent_of = [&job](std::size_t slot_index) -> std::uint64_t {
+    return slot_index < job.parent_spans.size() ? job.parent_spans[slot_index]
+                                                : 0;
+  };
+
   {
     Json j = Json::object();
     j.set("type", "accepted");
     j.set("id", job.id);
     j.set("design", job.design_path);
     j.set("obligations", indices.size());
+    if (recorder != nullptr) {
+      // Our recorder clock "now", read between the coordinator's send and
+      // receive — the clock-offset handshake it rebases our ts_us with.
+      j.set("trace_now_us", recorder->now_us());
+    }
     if (!send(j.dump())) return;
   }
 
@@ -209,6 +302,7 @@ void AuditDaemon::handle_audit(const LineServer::Sender& send,
   struct Slot {
     int source = kComputed;
     bool ready = false;
+    std::uint64_t root_id = 0;  // this job's root span for the obligation
     core::CheckResult result;
     std::shared_ptr<Execution> exec;
   };
@@ -237,6 +331,12 @@ void AuditDaemon::handle_audit(const LineServer::Sender& send,
       core::CheckResult parsed;
       std::string parse_error;
       if (cache::verdict_from_json(*payload, parsed, nullptr, &parse_error)) {
+        std::optional<telemetry::Span> span;
+        if (tracing) {
+          span.emplace("obligation:" + obligation.property_name(),
+                       parent_of(slot_index));
+          slot.root_id = span->id();
+        }
         slot.source = kCache;
         slot.ready = true;
         slot.result = parsed;
@@ -248,29 +348,52 @@ void AuditDaemon::handle_audit(const LineServer::Sender& send,
       tier_.invalidate(key);
     }
     slot.source = kComputed;
-    pool_->submit([this, worker, design, key, obligation,
-                   exec = slot.exec] {
-      // Fleet-wide claim race: exactly one worker process computes a
-      // missing key; the rest adopt the published entry as "shared".
-      std::string resolved;
-      cache::TieredCache::Claim l2_claim = tier_.acquire(key, resolved);
-      if (l2_claim == cache::TieredCache::Claim::kResolved) {
-        core::CheckResult parsed;
-        std::string parse_error;
-        if (cache::verdict_from_json(resolved, parsed, nullptr,
-                                     &parse_error)) {
-          publish(key, exec, std::move(parsed), kShared);
-          return;
+    pool_->submit([this, worker, design, key, obligation, exec = slot.exec,
+                   tracing, parent = parent_of(slot_index)] {
+      core::CheckResult result;
+      int source = kComputed;
+      {
+        // The span closes before publish(): the job thread may snapshot
+        // the recorder for the report as soon as every slot is done, and
+        // the end event must already be recorded by then.
+        std::optional<telemetry::Span> span;
+        if (tracing) {
+          span.emplace("obligation:" + obligation.property_name(), parent);
+          if (span->id() != 0) {
+            std::lock_guard<std::mutex> lock(exec->mutex);
+            exec->span_id = span->id();
+          }
         }
-        tier_.invalidate(key);  // corrupt publication: fall back to computing
+        // Fleet-wide claim race: exactly one worker process computes a
+        // missing key; the rest adopt the published entry as "shared".
+        std::string resolved;
+        cache::TieredCache::Claim l2_claim = tier_.acquire(key, resolved);
+        bool adopted = false;
+        if (l2_claim == cache::TieredCache::Claim::kResolved) {
+          core::CheckResult parsed;
+          std::string parse_error;
+          if (cache::verdict_from_json(resolved, parsed, nullptr,
+                                       &parse_error)) {
+            result = std::move(parsed);
+            source = kShared;
+            adopted = true;
+          } else {
+            // corrupt publication: fall back to computing
+            tier_.invalidate(key);
+          }
+        }
+        if (!adopted) {
+          result = worker->run_obligation(obligation);
+          if (!result.cancelled) {
+            tier_.store(key, cache::verdict_to_json(obligation, result,
+                                                    /*cert_ref=*/""));
+          }
+          if (l2_claim == cache::TieredCache::Claim::kOwner) {
+            tier_.release(key);
+          }
+        }
       }
-      core::CheckResult result = worker->run_obligation(obligation);
-      if (!result.cancelled) {
-        tier_.store(key,
-                    cache::verdict_to_json(obligation, result, /*cert_ref=*/""));
-      }
-      if (l2_claim == cache::TieredCache::Claim::kOwner) tier_.release(key);
-      publish(key, exec, std::move(result), kComputed);
+      publish(key, exec, std::move(result), source);
       (void)design;  // owns the netlist `worker` references
     });
   }
@@ -284,13 +407,28 @@ void AuditDaemon::handle_audit(const LineServer::Sender& send,
     const core::Obligation& obligation = obligations[indices[slot_index]];
     if (!slot.ready) {
       const bool in_process_share = slot.source == kShared;
+      // An in-process sharer's obligation is recorded elsewhere (under the
+      // creator job's root), so it roots a span of its own covering the
+      // wait — its trace shows where the time went, the creator's shows
+      // the engine work. Declared before the lock so the end event is
+      // recorded (destructor order) after the wait completes but before
+      // this job streams or snapshots anything.
+      std::optional<telemetry::Span> wait_span;
+      if (tracing && in_process_share) {
+        wait_span.emplace("obligation:" + obligation.property_name(),
+                          parent_of(slot_index));
+        slot.root_id = wait_span->id();
+      }
       std::unique_lock<std::mutex> lock(slot.exec->mutex);
       slot.exec->cv.wait(lock, [&] { return slot.exec->done; });
       slot.result = slot.exec->result;
       // A creator's slot adopts where its execution actually got the
       // verdict (engine, or another fleet worker via the L2 claim); an
       // in-process sharer stays "shared" regardless.
-      if (!in_process_share) slot.source = slot.exec->source;
+      if (!in_process_share) {
+        slot.source = slot.exec->source;
+        slot.root_id = slot.exec->span_id;
+      }
       slot.ready = true;
     }
     counts[slot.source]++;
@@ -333,6 +471,19 @@ void AuditDaemon::handle_audit(const LineServer::Sender& send,
   j.set("cache_hits", counts[kCache]);
   j.set("shared", counts[kShared]);
   j.set("computed", counts[kComputed]);
+  if (recorder != nullptr) {
+    // Ship this job's span records (and only this job's: reachability from
+    // its root ids separates concurrent jobs sharing the recorder) for
+    // coordinator-side stitching.
+    std::vector<std::uint64_t> roots;
+    roots.reserve(slots.size());
+    for (const Slot& slot : slots) {
+      if (slot.root_id != 0) roots.push_back(slot.root_id);
+    }
+    j.set("trace_id", job.trace_id);
+    j.set("spans",
+          trace_events_to_json(filter_reachable(recorder->events(), roots)));
+  }
   send(j.dump());
 }
 

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <condition_variable>
 #include <map>
@@ -102,6 +103,10 @@ class AuditDaemon {
     std::condition_variable cv;
     bool done = false;
     int source = 1;  // Source enum value of where the result came from
+    /// Root span id of the obligation's work when tracing (0 otherwise);
+    /// written by the computing task under `mutex`, read by its creator
+    /// job for per-job reachability filtering.
+    std::uint64_t span_id = 0;
     core::CheckResult result;
   };
 
@@ -120,6 +125,7 @@ class AuditDaemon {
   cache::TieredCache tier_;
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> shared_hits_{0};
+  std::chrono::steady_clock::time_point started_at_{};
 
   std::unique_ptr<util::ThreadPool> pool_;
 

@@ -93,10 +93,14 @@ void LineServer::accept_loop() {
   }
 }
 
-bool LineServer::reject_line(int fd, const char* code,
-                             const std::string& message) {
+void LineServer::note_bad_request() {
   bad_requests_.fetch_add(1, std::memory_order_relaxed);
   TS_COUNTER_ADD("service.bad_request", 1);
+}
+
+bool LineServer::reject_line(int fd, const char* code,
+                             const std::string& message) {
+  note_bad_request();
   return send_frame(fd, rejection_line(code, message));
 }
 

@@ -94,6 +94,13 @@ class LineServer {
     return bad_requests_.load(std::memory_order_relaxed);
   }
 
+  /// The single source of truth for bad-request accounting: bumps both the
+  /// bad_requests() atomic (the `stats` reply) and the
+  /// `service.bad_request` telemetry counter. reject_line() routes through
+  /// here; handlers call it for protocol-level rejections (unparseable
+  /// JSON, malformed jobs) so the two tallies can never diverge.
+  void note_bad_request();
+
  private:
   /// stop() shuts the socket down (waking a blocked read) while the owning
   /// thread is the only one that closes it; the mutex keeps shutdown from

@@ -118,6 +118,24 @@ bool parse_request(const std::string& line, Request& out, std::string* error) {
       if (!f->is_bool()) return fail("bad wire_verdicts");
       job.wire_verdicts = f->as_bool();
     }
+    f = j.find("trace_id");
+    if (f != nullptr) {
+      if (!f->is_string()) return fail("bad trace_id");
+      job.trace_id = f->as_string();
+    }
+    f = j.find("parent_spans");
+    if (f != nullptr) {
+      if (!f->is_array()) return fail("bad parent_spans");
+      for (const Json& span : f->items()) {
+        if (!span.is_int() || span.as_int() < 0) {
+          return fail("bad parent_spans entry");
+        }
+        job.parent_spans.push_back(static_cast<std::uint64_t>(span.as_int()));
+      }
+      if (job.parent_spans.size() != job.subset.size()) {
+        return fail("parent_spans must match subset length");
+      }
+    }
   } else {
     return fail("unknown op '" + op->as_string() + "'");
   }
@@ -144,6 +162,14 @@ std::string audit_request_line(const AuditJob& job) {
     j.set("subset", std::move(subset));
   }
   if (job.wire_verdicts) j.set("wire_verdicts", true);
+  if (!job.trace_id.empty()) {
+    j.set("trace_id", job.trace_id);
+    Json parents = Json::array();
+    for (const std::uint64_t span : job.parent_spans) {
+      parents.push_back(static_cast<std::int64_t>(span));
+    }
+    j.set("parent_spans", std::move(parents));
+  }
   return j.dump();
 }
 

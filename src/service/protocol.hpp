@@ -38,6 +38,16 @@
 // "retry-after" is the coordinator's admission-control answer when every
 // worker queue is full: the client must back off and resubmit — overload
 // is always an explicit response, never a silent drop.
+//
+// Trace stitching (fleet-internal): "trace_id" names the distributed
+// trace a job belongs to and "parent_spans" (one uint64 per subset entry,
+// same order) carries the coordinator-side span id each obligation should
+// parent under. A worker running under a TraceRecorder then roots one
+// span per obligation at the given parent, answers "accepted" with
+// "trace_now_us" (its recorder clock, for the clock-offset handshake) and
+// ships the job's span records back as "spans" rows on the report line —
+// the coordinator remaps ids/tids and rebases timestamps into one
+// Perfetto-loadable trace (`serve-fleet --trace-out`).
 #pragma once
 
 #include <cstdint>
@@ -68,6 +78,13 @@ struct AuditJob {
   /// Embed the full verdict payload (cache codec JSON) in each obligation
   /// response line, so the receiver can reconstruct CheckResults.
   bool wire_verdicts = false;
+  /// Distributed-trace id this job belongs to (fleet-internal; empty = not
+  /// part of a stitched trace). When set, a tracing worker ships its span
+  /// records back on the report line.
+  std::string trace_id;
+  /// Coordinator-side parent span id per subset entry (same order as
+  /// `subset`; must match its length). 0 = root.
+  std::vector<std::uint64_t> parent_spans;
 
   /// The DetectorOptions an equivalent direct audit would use.
   [[nodiscard]] core::DetectorOptions detector_options() const;

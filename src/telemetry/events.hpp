@@ -1,0 +1,87 @@
+// Structured event log: the `--events-out` JSONL sink of the audit daemon
+// and the fleet coordinator.
+//
+// Where the Registry answers "how much" and the TraceRecorder answers
+// "when", the event log answers "what happened": discrete operational
+// facts — a worker died and was evicted from the ring, a batch of
+// obligations was re-sharded, a job was refused with retry-after, a stale
+// L2 claim file was stolen, a corrupt cache entry was skipped — each as
+// one self-describing JSON line, so PR 7's failure handling is a
+// machine-checkable artifact instead of unstructured log text.
+//
+// Format (`trojanscout-events-v1`): the first line is a header record
+// carrying the schema name; every record has "type" first, a strictly
+// increasing "seq" (monotonic per sink — the total order of what this
+// process observed), and a wall-clock "ts_ms". tools/check_metrics.py
+// validates the stream.
+//
+// Emitters deep in the stack (the cache layers) call the free function
+// emit_event(), which forwards to the process-global sink installed with
+// set_global() and is a no-op when none is — exactly the TraceRecorder
+// pattern, so library code never depends on where the log goes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace trojanscout::telemetry {
+
+class EventLog {
+ public:
+  /// One key/value of an event record. The value is pre-rendered to its
+  /// JSON text so emit() is a single formatting pass under the lock.
+  struct Field {
+    Field(std::string_view key, std::string_view value);
+    Field(std::string_view key, const char* value);
+    Field(std::string_view key, std::uint64_t value);
+    Field(std::string_view key, std::int64_t value);
+    Field(std::string_view key, int value);
+    Field(std::string_view key, double value);
+    Field(std::string_view key, bool value);
+
+    std::string key;
+    std::string json;  // rendered JSON value (quoted/escaped for strings)
+  };
+
+  /// Opens (truncating) the sink and writes the schema header record
+  /// (seq 0). Check ok() — a bad path records nothing but never throws.
+  explicit EventLog(const std::string& path);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends one record and flushes (the log must survive the crash it is
+  /// describing). Returns the record's seq. Thread-safe.
+  std::uint64_t emit(std::string_view type,
+                     std::initializer_list<Field> fields);
+
+  /// Records written so far, header included.
+  [[nodiscard]] std::uint64_t record_count() const;
+
+  /// The installed sink, or nullptr when event logging is off.
+  static EventLog* global();
+  /// Installs (or removes, with nullptr) the process-global sink. The
+  /// caller owns the sink and must keep it alive while installed.
+  static void set_global(EventLog* log);
+
+ private:
+  std::string path_;
+  bool ok_ = false;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Emits on the global sink; no-op (one relaxed load) when none installed.
+void emit_event(std::string_view type,
+                std::initializer_list<EventLog::Field> fields);
+
+}  // namespace trojanscout::telemetry

@@ -102,6 +102,11 @@ std::vector<TraceEvent> TraceRecorder::events() const {
   return events_;
 }
 
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
 std::string TraceRecorder::to_chrome_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"traceEvents\":[";

@@ -67,6 +67,12 @@ class TraceRecorder {
   /// subsequences are chronological; the interleaving across threads is not.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
+  /// Drops all recorded events (ids keep advancing — they are process
+  /// global). Lets a long-lived recorder bound its memory between jobs;
+  /// a Span still live across a clear() leaves an unmatched end event,
+  /// which per-job reachability filtering discards.
+  void clear();
+
   /// The full {"traceEvents":[...]} document (Chrome trace_event JSON
   /// array format — loadable in Perfetto and chrome://tracing).
   [[nodiscard]] std::string to_chrome_json() const;

@@ -37,6 +37,8 @@
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "service/telemetry_wire.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 #include "verilog/writer.hpp"
 
@@ -356,6 +358,290 @@ TEST(FleetCoordinator, SharedL2ComputesEachObligationOnceAcrossWorkers) {
             obligations);
   EXPECT_EQ(owners_after - owners_before, obligations)
       << "every key must be claimed by exactly one owner";
+}
+
+/// Reads a whole file; empty string doubles as "missing" for the asserts.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FleetCoordinator, TraceStitchingYieldsOneValidTraceWithParity) {
+  FleetFixture fx;
+  auto workers = fx.spawn_workers(2);
+  FleetCoordinator::Options options = fx.coordinator_options(workers);
+  options.trace_out = fx.dir + "/fleet_trace.json";
+  // All taps on at once: stitched trace + event log + registry — none may
+  // perturb the merged report.
+  telemetry::EventLog events(fx.dir + "/events.jsonl");
+  ASSERT_TRUE(events.ok());
+  telemetry::EventLog::set_global(&events);
+  FleetCoordinator coordinator(options);
+  coordinator.start();
+
+  const AuditJob job = fx.job();
+  SubmitResult cold;
+  SubmitResult warm;
+  std::string trace_id;
+  bool report_had_tail = false;
+  run_leg("cold traced submit", [&] {
+    Client client(coordinator.bound_endpoint());
+    cold = submit_audit(client, job, [&](const proof::Json& r) {
+      const proof::Json* type = r.find("type");
+      if (type == nullptr || !type->is_string() ||
+          type->as_string() != "report") {
+        return;
+      }
+      const proof::Json* id = r.find("trace_id");
+      if (id != nullptr && id->is_string()) trace_id = id->as_string();
+      const proof::Json* tail = r.find("slowest");
+      report_had_tail = tail != nullptr && tail->is_array();
+    });
+  });
+  run_leg("warm traced submit", [&] {
+    Client client(coordinator.bound_endpoint());
+    warm = submit_audit(client, job);
+  });
+  coordinator.stop();
+  for (auto& worker : workers) worker->daemon->stop();
+  telemetry::EventLog::set_global(nullptr);
+
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_TRUE(warm.ok) << warm.error;
+  const std::string expected = fx.direct_signature(job);
+  EXPECT_EQ(cold.signature, expected)
+      << "tracing must not perturb the merged report";
+  EXPECT_EQ(warm.signature, expected);
+  EXPECT_EQ(trace_id.rfind("fleet-", 0), 0u) << "trace_id: " << trace_id;
+  EXPECT_TRUE(report_had_tail)
+      << "a traced fleet report must carry the slowest-obligations table";
+
+  // One Chrome trace for the whole run: every worker span renumbered into
+  // the coordinator's id/tid/clock namespace. The invariants mirror
+  // tools/check_metrics.py check_trace.
+  proof::Json trace;
+  std::string error;
+  ASSERT_TRUE(proof::Json::parse(slurp(options.trace_out), trace, &error))
+      << error;
+  const proof::Json* trace_events = trace.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+
+  std::vector<std::uint64_t> begun;
+  std::map<std::int64_t, std::int64_t> last_ts;  // tid -> ts (file order)
+  std::size_t job_spans = 0;
+  std::size_t shard_spans = 0;
+  std::size_t obligation_spans = 0;
+  std::size_t stitched_tids = 0;
+  for (const proof::Json& event : trace_events->items()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string& ph = event.find("ph")->as_string();
+    const std::string& name = event.find("name")->as_string();
+    const std::int64_t tid = event.find("tid")->as_int();
+    const std::int64_t ts = event.find("ts")->as_int();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, ts)
+          << "timestamps must stay monotone per tid after clock rebasing "
+          << "(tid " << tid << ", span " << name << ")";
+    }
+    last_ts[tid] = ts;
+    if (ph != "B") continue;
+    begun.push_back(static_cast<std::uint64_t>(
+        event.find("args")->find("span_id")->as_int()));
+    if (name.rfind("fleet:job:", 0) == 0) job_spans++;
+    if (name.rfind("fleet:shard:", 0) == 0) shard_spans++;
+    if (name.rfind("obligation:", 0) == 0) obligation_spans++;
+    if (tid >= 1000) stitched_tids++;
+  }
+  EXPECT_EQ(job_spans, 2u) << "one fleet:job span per traced job";
+  EXPECT_GE(shard_spans, 2u);
+  EXPECT_GE(obligation_spans, 2u)
+      << "worker obligation spans must survive the stitch";
+  EXPECT_GT(stitched_tids, 0u)
+      << "stitched worker events must land on namespaced tids";
+  const std::set<std::uint64_t> begun_set(begun.begin(), begun.end());
+  EXPECT_EQ(begun_set.size(), begun.size()) << "span ids must be unique";
+  for (const proof::Json& event : trace_events->items()) {
+    const proof::Json* args = event.find("args");
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph == "B") {
+      const auto parent =
+          static_cast<std::uint64_t>(args->find("parent_id")->as_int());
+      EXPECT_TRUE(parent == 0 || begun_set.count(parent) != 0)
+          << "parent " << parent << " of span "
+          << event.find("name")->as_string() << " never begun";
+    } else {
+      const auto span =
+          static_cast<std::uint64_t>(args->find("span_id")->as_int());
+      EXPECT_TRUE(begun_set.count(span) != 0)
+          << "end of span " << span << " never begun";
+    }
+  }
+}
+
+TEST(FleetCoordinator, WorkerDeathEmitsEvictionAndReshardEvents) {
+  FleetFixture fx;
+  auto workers = fx.spawn_workers(2);
+  const AuditJob job = fx.job();
+
+  // Kill the worker that owns obligation 0 (as in the re-shard test), so
+  // the event log must record its death, the eviction, and the re-shard.
+  const designs::Design design = service::load_job_design(job);
+  const cache::ObligationKeyer keyer(design, job.detector_options(),
+                                     /*fail_fast=*/false);
+  core::TrojanDetector detector(design, job.detector_options());
+  const std::string key0 = keyer.key(detector.enumerate_obligations().at(0));
+  ShardRing ring;
+  ring.add(workers[0]->endpoint);
+  ring.add(workers[1]->endpoint);
+  const std::size_t victim =
+      ring.node_for(key0) == workers[0]->endpoint ? 0 : 1;
+  workers[victim]->daemon->stop();
+
+  telemetry::EventLog events(fx.dir + "/events.jsonl");
+  ASSERT_TRUE(events.ok());
+  telemetry::EventLog::set_global(&events);
+  FleetCoordinator coordinator(fx.coordinator_options(workers));
+  coordinator.start();
+  SubmitResult result;
+  run_leg("submit with a dead worker", [&] {
+    Client client(coordinator.bound_endpoint());
+    result = submit_audit(client, job);
+  });
+  coordinator.stop();
+  for (auto& worker : workers) worker->daemon->stop();
+  telemetry::EventLog::set_global(nullptr);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  std::istringstream in(slurp(events.path()));
+  std::string line;
+  std::uint64_t expected_seq = 0;
+  std::size_t lineno = 0;
+  std::map<std::string, std::size_t> seen;
+  std::string evicted_endpoint;
+  while (std::getline(in, line)) {
+    lineno++;
+    proof::Json record;
+    std::string error;
+    ASSERT_TRUE(proof::Json::parse(line, record, &error))
+        << "line " << lineno << ": " << error;
+    ASSERT_TRUE(record.is_object());
+    ASSERT_FALSE(record.entries().empty());
+    EXPECT_EQ(record.entries().front().first, "type")
+        << "line " << lineno << ": 'type' must be the first field";
+    const std::string& type = record.find("type")->as_string();
+    EXPECT_EQ((lineno == 1), (type == "header"))
+        << "the schema header must be exactly the first record";
+    // The sink is one mutex-serialized append stream: seq is the total
+    // order of everything this process observed, with no gaps.
+    ASSERT_NE(record.find("seq"), nullptr) << "line " << lineno;
+    EXPECT_EQ(static_cast<std::uint64_t>(record.find("seq")->as_int()),
+              expected_seq)
+        << "line " << lineno;
+    expected_seq++;
+    seen[type]++;
+    if (type == "header") {
+      EXPECT_EQ(record.find("schema")->as_string(), "trojanscout-events-v1");
+    }
+    if (type == "worker_evicted") {
+      evicted_endpoint = record.find("endpoint")->as_string();
+      EXPECT_EQ(record.find("live")->as_int(), 1);
+    }
+  }
+  EXPECT_EQ(events.record_count(), expected_seq);
+  EXPECT_EQ(seen["worker_up"], 2u);
+  EXPECT_GE(seen["worker_down"], 1u);
+  EXPECT_GE(seen["worker_evicted"], 1u);
+  EXPECT_GE(seen["reshard"], 1u)
+      << "the dead worker owned obligation 0, so a re-shard must be logged";
+  EXPECT_EQ(evicted_endpoint, workers[victim]->endpoint);
+}
+
+TEST(FleetCoordinator, StatsReplyMergesWorkerTelemetryExactly) {
+  FleetFixture fx;
+  auto workers = fx.spawn_workers(2);
+  FleetCoordinator coordinator(fx.coordinator_options(workers));
+  coordinator.start();
+
+  // One real job first, so the worker registries hold non-trivial
+  // counters and engine-timer histograms.
+  const AuditJob job = fx.job();
+  SubmitResult result;
+  proof::Json reply;
+  run_leg("submit then stats", [&] {
+    {
+      Client client(coordinator.bound_endpoint());
+      result = submit_audit(client, job);
+    }
+    Client client(coordinator.bound_endpoint());
+    client.send_line(service::control_request_line("stats"));
+    ASSERT_TRUE(client.read_response(reply));
+  });
+  coordinator.stop();
+  for (auto& worker : workers) worker->daemon->stop();
+  ASSERT_TRUE(result.ok) << result.error;
+
+  ASSERT_NE(reply.find("type"), nullptr);
+  EXPECT_EQ(reply.find("type")->as_string(), "stats");
+  EXPECT_EQ(reply.find("role")->as_string(), "coordinator");
+  EXPECT_EQ(reply.find("pid")->as_int(),
+            static_cast<std::int64_t>(::getpid()));
+  EXPECT_GE(reply.find("uptime_s")->as_double(), 0.0);
+  ASSERT_NE(reply.find("slowest"), nullptr);
+  EXPECT_TRUE(reply.find("slowest")->is_array());
+
+  const proof::Json* worker_rows = reply.find("workers");
+  ASSERT_NE(worker_rows, nullptr);
+  ASSERT_EQ(worker_rows->items().size(), 2u);
+  telemetry::Registry::Snapshot expected;
+  std::string error;
+  for (const proof::Json& row : worker_rows->items()) {
+    EXPECT_TRUE(row.find("alive")->as_bool());
+    ASSERT_NE(row.find("pid"), nullptr);
+    ASSERT_NE(row.find("uptime_s"), nullptr);
+    ASSERT_NE(row.find("jobs_completed"), nullptr);
+    const proof::Json* snapshot_json = row.find("telemetry");
+    ASSERT_NE(snapshot_json, nullptr)
+        << "each live worker must report its registry snapshot";
+    telemetry::Registry::Snapshot snapshot;
+    ASSERT_TRUE(service::snapshot_from_json(*snapshot_json, snapshot, &error))
+        << error;
+    service::merge_snapshot(expected, snapshot);
+  }
+  telemetry::Registry::Snapshot merged;
+  ASSERT_NE(reply.find("telemetry"), nullptr);
+  ASSERT_TRUE(
+      service::snapshot_from_json(*reply.find("telemetry"), merged, &error))
+      << error;
+
+  // The coordinator's merge must be the exact sum of what it reported per
+  // worker — counters by name, histogram counts and buckets element-wise.
+  ASSERT_EQ(merged.counters.size(), expected.counters.size());
+  bool any_counter = false;
+  for (std::size_t i = 0; i < merged.counters.size(); ++i) {
+    EXPECT_EQ(merged.counters[i].name, expected.counters[i].name);
+    EXPECT_EQ(merged.counters[i].value, expected.counters[i].value)
+        << merged.counters[i].name;
+    any_counter = any_counter || merged.counters[i].value > 0;
+  }
+  EXPECT_TRUE(any_counter) << "the audit job must have left counters";
+  ASSERT_EQ(merged.histograms.size(), expected.histograms.size());
+  for (std::size_t i = 0; i < merged.histograms.size(); ++i) {
+    EXPECT_EQ(merged.histograms[i].name, expected.histograms[i].name);
+    EXPECT_EQ(merged.histograms[i].count, expected.histograms[i].count)
+        << merged.histograms[i].name;
+    EXPECT_EQ(merged.histograms[i].buckets, expected.histograms[i].buckets)
+        << merged.histograms[i].name;
+  }
+
+  const proof::Json* own = reply.find("coordinator_telemetry");
+  ASSERT_NE(own, nullptr);
+  telemetry::Registry::Snapshot coordinator_snapshot;
+  EXPECT_TRUE(service::snapshot_from_json(*own, coordinator_snapshot, &error))
+      << error;
 }
 
 }  // namespace

@@ -32,7 +32,9 @@
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "service/telemetry_wire.hpp"
 #include "specdsl/specdsl.hpp"
+#include "telemetry/registry.hpp"
 #include "verilog/reader.hpp"
 #include "verilog/writer.hpp"
 
@@ -309,6 +311,200 @@ TEST(AuditDaemon, RejectsOversizedAndNonUtf8LinesWithoutClosing) {
     EXPECT_EQ(result.signature, fx.direct_signature(fx.job()));
   });
   daemon.stop();
+}
+
+TEST(AuditDaemon, TcpRejectsBadLinesAndCountsThemOnce) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.endpoint = "tcp:127.0.0.1:0";
+  options.jobs = 1;
+  AuditDaemon daemon(options);
+  daemon.start();  // also enables the global telemetry registry
+
+  telemetry::Registry& registry = telemetry::Registry::global();
+  const auto counter_of = [&registry](const char* name) {
+    for (const auto& counter : registry.snapshot().counters) {
+      if (counter.name == name) return counter.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t rejected_before = counter_of("service.bad_request");
+
+  run_leg("tcp robustness conversation", [&] {
+    Client client(daemon.bound_endpoint());
+    proof::Json response;
+
+    // Oversized and non-UTF8 lines must draw the same structured errors
+    // over TCP as over a Unix socket (the framing layer is shared, but a
+    // TCP read can split the oversized line across many segments).
+    client.send_line(std::string((1 << 20) + 64, 'x'));
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "error");
+    EXPECT_EQ(response.find("code")->as_string(), "line_too_long");
+
+    client.send_line("{\"op\": \"ping\xFF\xFE\"}");
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "error");
+    EXPECT_EQ(response.find("code")->as_string(), "bad_utf8");
+
+    // The stats reply identifies the process and carries a full registry
+    // snapshot; its bad_requests tally and the service.bad_request counter
+    // share one accounting path, so they must agree exactly.
+    client.send_line(control_request_line("stats"));
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.find("type")->as_string(), "stats");
+    ASSERT_NE(response.find("pid"), nullptr);
+    EXPECT_EQ(response.find("pid")->as_int(),
+              static_cast<std::int64_t>(::getpid()));
+    ASSERT_NE(response.find("uptime_s"), nullptr);
+    EXPECT_GE(response.find("uptime_s")->as_double(), 0.0);
+    ASSERT_NE(response.find("bad_requests"), nullptr);
+    EXPECT_EQ(response.find("bad_requests")->as_int(), 2);
+    const proof::Json* snapshot = response.find("telemetry");
+    ASSERT_NE(snapshot, nullptr);
+    telemetry::Registry::Snapshot parsed;
+    std::string error;
+    ASSERT_TRUE(snapshot_from_json(*snapshot, parsed, &error)) << error;
+
+    // The connection survived both rejections.
+    const SubmitResult result = submit_audit(client, fx.job());
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.signature, fx.direct_signature(fx.job()));
+  });
+  const std::uint64_t rejected_after = counter_of("service.bad_request");
+  EXPECT_EQ(rejected_after - rejected_before, 2u)
+      << "each rejected line bumps service.bad_request exactly once";
+  daemon.stop();
+}
+
+/// Upper bucket edge (µs) of the q-quantile sample: the log2 histogram
+/// cannot say more precisely than "which bucket", which is exactly what
+/// the merge must preserve.
+std::uint64_t quantile_bucket_us(
+    const telemetry::Registry::HistogramValue& hist, double q) {
+  if (hist.count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(hist.count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+    seen += hist.buckets[b];
+    if (seen > rank) return std::uint64_t{1} << b;
+  }
+  return std::uint64_t{1} << (hist.buckets.size() - 1);
+}
+
+TEST(TelemetryWire, SnapshotRoundTripsThroughJsonText) {
+  telemetry::Registry::Snapshot snapshot;
+  snapshot.counters = {{"cache.hits", 7}, {"fleet.jobs", 0}};
+  telemetry::Registry::HistogramValue hist;
+  hist.name = "engine.solve";
+  hist.count = 3;
+  hist.sum_seconds = 0.75;
+  hist.min_seconds = 0.001;
+  hist.max_seconds = 0.5;
+  hist.buckets[10] = 2;
+  hist.buckets[19] = 1;
+  snapshot.histograms = {hist};
+
+  // Full wire cycle: object → text → object, as between two processes.
+  proof::Json parsed;
+  std::string error;
+  ASSERT_TRUE(
+      proof::Json::parse(snapshot_to_json(snapshot).dump(), parsed, &error))
+      << error;
+  telemetry::Registry::Snapshot back;
+  ASSERT_TRUE(snapshot_from_json(parsed, back, &error)) << error;
+
+  ASSERT_EQ(back.counters.size(), 2u);
+  EXPECT_EQ(back.counters[0].name, "cache.hits");
+  EXPECT_EQ(back.counters[0].value, 7u);
+  EXPECT_EQ(back.counters[1].name, "fleet.jobs");
+  EXPECT_EQ(back.counters[1].value, 0u);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].name, "engine.solve");
+  EXPECT_EQ(back.histograms[0].count, 3u);
+  EXPECT_DOUBLE_EQ(back.histograms[0].sum_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(back.histograms[0].min_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(back.histograms[0].max_seconds, 0.5);
+  EXPECT_EQ(back.histograms[0].buckets, hist.buckets);
+
+  // Malformed documents are rejected, not half-parsed.
+  proof::Json bad;
+  ASSERT_TRUE(proof::Json::parse(
+      R"({"counters": {}, "histograms": {"h": {"count": 1, "sum_s": 0.1,
+          "min_s": 0.1, "max_s": 0.1, "buckets": [1, 2, 3]}}})",
+      bad, &error))
+      << error;
+  telemetry::Registry::Snapshot rejected;
+  EXPECT_FALSE(snapshot_from_json(bad, rejected, &error))
+      << "a 3-bucket histogram must not pass for a 40-bucket one";
+}
+
+TEST(TelemetryWire, MergedQuantilesEqualQuantilesOfBucketWiseSum) {
+  using Histogram = telemetry::Registry::HistogramValue;
+  // Adversarial shapes: one worker's mass entirely sub-microsecond, one a
+  // sparse spike at the top bucket, one bimodal, one empty. Any
+  // approximate merge (sampling, dropping sparse tails, re-bucketing)
+  // breaks the tail quantiles here.
+  Histogram low;
+  low.name = "engine.solve";
+  low.count = 1000;
+  low.sum_seconds = 0.001;
+  low.min_seconds = 1e-7;
+  low.max_seconds = 9e-7;
+  low.buckets[0] = 1000;
+  Histogram spike;
+  spike.name = "engine.solve";
+  spike.count = 5;
+  spike.sum_seconds = 5000.0;
+  spike.min_seconds = 900.0;
+  spike.max_seconds = 1100.0;
+  spike.buckets[30] = 5;
+  Histogram bimodal;
+  bimodal.name = "engine.solve";
+  bimodal.count = 60;
+  bimodal.sum_seconds = 2.0;
+  bimodal.min_seconds = 5e-6;
+  bimodal.max_seconds = 0.08;
+  bimodal.buckets[3] = 30;
+  bimodal.buckets[17] = 30;
+  Histogram empty;
+  empty.name = "engine.solve";
+
+  telemetry::Registry::Snapshot merged;
+  for (const Histogram& hist : {low, spike, bimodal, empty}) {
+    telemetry::Registry::Snapshot worker;
+    worker.histograms = {hist};
+    merge_snapshot(merged, worker);
+  }
+
+  Histogram expected;
+  expected.name = "engine.solve";
+  for (const Histogram& hist : {low, spike, bimodal, empty}) {
+    expected.count += hist.count;
+    expected.sum_seconds += hist.sum_seconds;
+    for (std::size_t b = 0; b < expected.buckets.size(); ++b) {
+      expected.buckets[b] += hist.buckets[b];
+    }
+  }
+
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const Histogram& got = merged.histograms[0];
+  EXPECT_EQ(got.count, expected.count);
+  EXPECT_EQ(got.buckets, expected.buckets)
+      << "the merge must be the exact bucket-wise sum";
+  EXPECT_DOUBLE_EQ(got.sum_seconds, expected.sum_seconds);
+  EXPECT_DOUBLE_EQ(got.min_seconds, 1e-7) << "min of populated histograms";
+  EXPECT_DOUBLE_EQ(got.max_seconds, 1100.0) << "max of populated histograms";
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(quantile_bucket_us(got, q), quantile_bucket_us(expected, q))
+        << "quantile q=" << q;
+  }
+  // Spot-check against hand-computed ranks: 1000 of 1065 samples are
+  // sub-µs, so the median is bucket 0; the 99.9th percentile is the
+  // 5-sample spike at bucket 30.
+  EXPECT_EQ(quantile_bucket_us(got, 0.5), 1u);
+  EXPECT_EQ(quantile_bucket_us(got, 0.999), std::uint64_t{1} << 30);
 }
 
 TEST(AuditDaemon, ClientShutdownOpStopsTheDaemon) {

@@ -6,8 +6,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "core/telemetry_sink.hpp"
 #include "designs/mc8051.hpp"
 #include "proof/json.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/span.hpp"
@@ -262,6 +266,112 @@ TEST(Span, TimestampsAreMonotonicPerThread) {
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_LE(events[i - 1].ts, events[i].ts);
   }
+}
+
+// ---- event log -----------------------------------------------------------
+
+std::vector<proof::Json> read_event_records(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<proof::Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    proof::Json record;
+    std::string error;
+    EXPECT_TRUE(proof::Json::parse(line, record, &error))
+        << "line " << records.size() + 1 << ": " << error;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(EventLog, ConcurrentEmitsKeepSeqContiguousWithHeaderFirst) {
+  const std::string path = ::testing::TempDir() + "events_concurrent.jsonl";
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50;
+  {
+    EventLog log(path);
+    ASSERT_TRUE(log.ok());
+    std::vector<std::thread> emitters;
+    for (std::uint64_t t = 0; t < kThreads; ++t) {
+      emitters.emplace_back([&log, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          log.emit("reshard", {{"job", "job-" + std::to_string(t)},
+                               {"obligations", i}});
+        }
+      });
+    }
+    for (auto& e : emitters) e.join();
+    EXPECT_EQ(log.record_count(), kThreads * kPerThread + 1);
+  }
+
+  const auto records = read_event_records(path);
+  ASSERT_EQ(records.size(), kThreads * kPerThread + 1);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const proof::Json& record = records[i];
+    ASSERT_TRUE(record.is_object()) << "line " << i + 1;
+    ASSERT_FALSE(record.entries().empty());
+    // "type" leads every record so a human tailing the file can read it.
+    EXPECT_EQ(record.entries().front().first, "type") << "line " << i + 1;
+    ASSERT_NE(record.find("seq"), nullptr) << "line " << i + 1;
+    ASSERT_NE(record.find("ts_ms"), nullptr) << "line " << i + 1;
+    // seq is the total order of the sink: contiguous from 0, even under
+    // concurrent emitters, because assignment and append share one lock.
+    EXPECT_EQ(static_cast<std::uint64_t>(record.find("seq")->as_int()), i);
+    if (i == 0) {
+      EXPECT_EQ(record.find("type")->as_string(), "header");
+      EXPECT_EQ(record.find("schema")->as_string(), "trojanscout-events-v1");
+      ASSERT_NE(record.find("pid"), nullptr);
+    } else {
+      EXPECT_EQ(record.find("type")->as_string(), "reshard");
+    }
+  }
+}
+
+TEST(EventLog, FieldValuesEscapeAndRoundTripThroughJson) {
+  const std::string path = ::testing::TempDir() + "events_escape.jsonl";
+  const std::string hostile = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  {
+    EventLog log(path);
+    ASSERT_TRUE(log.ok());
+    log.emit("worker_down", {{"endpoint", hostile},
+                             {"reason", "read \"failed\""},
+                             {"age_s", 1.5},
+                             {"live", std::uint64_t{2}},
+                             {"evicted", true}});
+  }
+  const auto records = read_event_records(path);
+  ASSERT_EQ(records.size(), 2u);
+  const proof::Json& record = records[1];
+  EXPECT_EQ(record.find("endpoint")->as_string(), hostile);
+  EXPECT_EQ(record.find("reason")->as_string(), "read \"failed\"");
+  EXPECT_DOUBLE_EQ(record.find("age_s")->as_double(), 1.5);
+  EXPECT_EQ(record.find("live")->as_int(), 2);
+  EXPECT_TRUE(record.find("evicted")->as_bool());
+}
+
+TEST(EventLog, GlobalSinkIsOptionalAndBadPathsFailSoftly) {
+  ASSERT_EQ(EventLog::global(), nullptr);
+  emit_event("worker_up", {{"endpoint", "nobody:0"}});  // no sink: no-op
+
+  EventLog bad("/nonexistent-dir-for-events/x.jsonl");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.record_count(), 0u);
+  bad.emit("worker_up", {{"endpoint", "e"}});  // recorded nowhere, no throw
+  EXPECT_EQ(bad.record_count(), 0u);
+
+  const std::string path = ::testing::TempDir() + "events_global.jsonl";
+  {
+    EventLog log(path);
+    ASSERT_TRUE(log.ok());
+    EventLog::set_global(&log);
+    EXPECT_EQ(EventLog::global(), &log);
+    emit_event("worker_up", {{"endpoint", "tcp:127.0.0.1:1"}});
+    // The destructor uninstalls itself so a dangling global is impossible.
+  }
+  EXPECT_EQ(EventLog::global(), nullptr);
+  const auto records = read_event_records(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].find("type")->as_string(), "worker_up");
 }
 
 // ---- run reports ---------------------------------------------------------

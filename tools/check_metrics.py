@@ -8,6 +8,13 @@ The file kind is auto-detected from its shape:
   * "schema": "trojanscout-profile-v1"    -> --profile-out phase profile;
   * "schema": "trojanscout-bench-v1"      -> --bench-out history artifact;
   * "schema": "trojanscout-corpus-v1"     -> fuzz --out mutation corpus;
+  * a JSON object with "type": "stats"    -> daemon / fleet stats reply
+    (submit --stats --json output; against a coordinator, the merged
+    telemetry must equal the exact sum of the per-worker snapshots);
+  * first line "type": "header" carrying
+    "schema": "trojanscout-events-v1"     -> --events-out structured event
+    log (known event types, required per-type fields, strictly
+    increasing seq from 0);
   * anything else                         -> --metrics-out JSON lines,
     where every line must be a standalone JSON object with a "type" field
     validated against the schemas below (emitters: core/telemetry_sink.cpp,
@@ -17,10 +24,12 @@ CI runs this over every artifact a quick audit + bench run produces, so a
 schema drift between the C++ emitters and this file fails the build.
 
 Usage: check_metrics.py FILE [FILE...]
+       check_metrics.py --self-test
 Exit codes: 0 = all files valid, 1 = violation (details on stderr).
 """
 
 import json
+import math
 import sys
 
 # type -> {field: python type(s)}. int covers both signed and unsigned
@@ -167,6 +176,251 @@ def check_line(lineno, line):
                 errors.append(
                     f"line {lineno} (counters): metric '{key}' is not "
                     f"numeric")
+    return errors
+
+
+# --events-out structured event log (telemetry/events.cpp): event type ->
+# required fields. Emitters may add fields; these must be present and typed.
+EVENTS_SCHEMA_NAME = "trojanscout-events-v1"
+EVENT_SCHEMAS = {
+    "header": {"schema": str, "pid": int},
+    "worker_up": {"endpoint": str},
+    "worker_down": {"endpoint": str, "reason": str},
+    "worker_evicted": {"endpoint": str, "live": int},
+    "worker_rejoined": {"endpoint": str, "live": int},
+    "reshard": {"job": str, "obligations": int},
+    "retry_after": {"job": str, "worker": str, "outstanding": int,
+                    "requested": int, "retry_after_ms": int},
+    "claim_steal": {"key": str, "age_s": (int, float)},
+    "cache_corrupt_skip": {"key": str, "dir": str},
+}
+
+# telemetry::Registry::kHistogramBuckets (log2-microsecond buckets).
+HISTOGRAM_BUCKETS = 40
+
+
+def is_events_stream(text):
+    """True when the first line is a trojanscout-events-v1 header record."""
+    lines = text.splitlines()
+    if not lines:
+        return False
+    try:
+        record = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return False
+    return isinstance(record, dict) and record.get("type") == "header" \
+        and record.get("schema") == EVENTS_SCHEMA_NAME
+
+
+def check_events(text):
+    """--events-out JSONL stream (telemetry/events.cpp)."""
+    errors = []
+    # The sink serializes every record under one mutex and numbers it from
+    # 0, so seq must be contiguous — a gap means a record was lost between
+    # emit() and the file.
+    expected_seq = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: invalid JSON: {e}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        rtype = record.get("type")
+        if rtype not in EVENT_SCHEMAS:
+            errors.append(f"line {lineno}: unknown event type {rtype!r}")
+            continue
+        if next(iter(record)) != "type":
+            errors.append(f"line {lineno}: 'type' is not the first field")
+        if (lineno == 1) != (rtype == "header"):
+            errors.append(f"line {lineno}: header record must be exactly "
+                          f"the first line")
+        for key, expected in (("seq", int), ("ts_ms", int)):
+            err = check_field(record, key, expected)
+            if err:
+                errors.append(f"line {lineno} ({rtype}): {err}")
+        seq = record.get("seq")
+        if seq != expected_seq:
+            errors.append(f"line {lineno}: seq {seq!r} != expected "
+                          f"{expected_seq}")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            expected_seq = seq + 1  # resync so one gap reports one error
+        else:
+            expected_seq += 1
+        for key, expected in EVENT_SCHEMAS[rtype].items():
+            err = check_field(record, key, expected)
+            if err:
+                errors.append(f"line {lineno} ({rtype}): {err}")
+        if rtype == "header" and record.get("schema") != EVENTS_SCHEMA_NAME:
+            errors.append(f"line {lineno}: unknown events schema "
+                          f"{record.get('schema')!r}")
+    return errors
+
+
+def check_snapshot(snapshot, label):
+    """One telemetry::Registry snapshot (service/telemetry_wire.cpp)."""
+    errors = []
+    if not isinstance(snapshot, dict):
+        return [f"{label}: snapshot is not an object"]
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{label}: 'counters' is not an object")
+    else:
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                errors.append(f"{label}: counter '{name}' is not an integer")
+    histograms = snapshot.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append(f"{label}: 'histograms' is not an object")
+        return errors
+    for name, hist in histograms.items():
+        hlabel = f"{label} histogram '{name}'"
+        if not isinstance(hist, dict):
+            errors.append(f"{hlabel}: not an object")
+            continue
+        for key, expected in (("count", int), ("sum_s", (int, float)),
+                              ("min_s", (int, float)),
+                              ("max_s", (int, float)), ("buckets", list)):
+            err = check_field(hist, key, expected)
+            if err:
+                errors.append(f"{hlabel}: {err}")
+        buckets = hist.get("buckets")
+        if isinstance(buckets, list):
+            if len(buckets) != HISTOGRAM_BUCKETS:
+                errors.append(f"{hlabel}: {len(buckets)} buckets != "
+                              f"{HISTOGRAM_BUCKETS}")
+            if any(isinstance(b, bool) or not isinstance(b, int)
+                   for b in buckets):
+                errors.append(f"{hlabel}: non-integer bucket")
+    return errors
+
+
+def check_merged_telemetry(merged, worker_snapshots):
+    """The coordinator's merged snapshot must be the exact sum of the
+    per-worker snapshots it reports alongside: counters summed by name,
+    histogram counts and buckets added element-wise (src/service/
+    telemetry_wire.cpp merge_snapshot)."""
+    errors = []
+    want_counters = {}
+    want_hist = {}
+    for snapshot in worker_snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            want_counters[name] = want_counters.get(name, 0) + value
+        for name, hist in snapshot.get("histograms", {}).items():
+            if hist.get("count", 0) == 0:
+                continue  # merge_snapshot skips empty histograms
+            agg = want_hist.setdefault(
+                name, {"count": 0, "sum_s": 0.0,
+                       "buckets": [0] * HISTOGRAM_BUCKETS})
+            agg["count"] += hist["count"]
+            agg["sum_s"] += hist["sum_s"]
+            agg["buckets"] = [a + b for a, b
+                              in zip(agg["buckets"], hist["buckets"])]
+    got_counters = merged.get("counters", {})
+    for name, want in sorted(want_counters.items()):
+        if got_counters.get(name) != want:
+            errors.append(f"merged counter '{name}' = "
+                          f"{got_counters.get(name)!r}, workers sum to "
+                          f"{want}")
+    for name in sorted(set(got_counters) - set(want_counters)):
+        if got_counters[name] != 0:
+            errors.append(f"merged counter '{name}' has no worker source")
+    got_hist = merged.get("histograms", {})
+    for name in sorted(set(want_hist) | set(got_hist)):
+        want = want_hist.get(name)
+        got = got_hist.get(name)
+        if want is None:
+            if got.get("count", 0) != 0:
+                errors.append(f"merged histogram '{name}' has no worker "
+                              f"source")
+            continue
+        if got is None:
+            errors.append(f"merged telemetry lacks histogram '{name}'")
+            continue
+        if got.get("count") != want["count"]:
+            errors.append(f"merged histogram '{name}' count "
+                          f"{got.get('count')!r} != workers sum "
+                          f"{want['count']}")
+        if got.get("buckets") != want["buckets"]:
+            errors.append(f"merged histogram '{name}' buckets are not the "
+                          f"element-wise sum of the workers' buckets")
+        # sum_s crossed a %.17g round-trip once more than the addends did.
+        if not math.isclose(got.get("sum_s", 0.0), want["sum_s"],
+                            rel_tol=1e-9, abs_tol=1e-9):
+            errors.append(f"merged histogram '{name}' sum_s "
+                          f"{got.get('sum_s')!r} != workers sum "
+                          f"{want['sum_s']!r}")
+    return errors
+
+
+def check_slowest(slowest, label):
+    """Tail-attribution table rows (fleet stats reply / report line)."""
+    errors = []
+    if not isinstance(slowest, list):
+        return [f"{label}: not a list"]
+    previous = None
+    for i, row in enumerate(slowest):
+        rlabel = f"{label}[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{rlabel}: not an object")
+            continue
+        for key, expected in (("property", str), ("worker", str),
+                              ("total_us", int), ("phases", dict)):
+            err = check_field(row, key, expected)
+            if err:
+                errors.append(f"{rlabel}: {err}")
+        for name, us in row.get("phases", {}).items() \
+                if isinstance(row.get("phases"), dict) else []:
+            if isinstance(us, bool) or not isinstance(us, int):
+                errors.append(f"{rlabel}: phase '{name}' is not an integer")
+        total = row.get("total_us")
+        if isinstance(total, int) and not isinstance(total, bool):
+            if previous is not None and total > previous:
+                errors.append(f"{rlabel}: total_us {total} out of "
+                              f"descending order (previous {previous})")
+            previous = total
+    return errors
+
+
+def check_stats(doc):
+    """A daemon or fleet stats reply (submit --stats --json output)."""
+    errors = []
+    for key, expected in (("endpoint", str), ("pid", int),
+                          ("uptime_s", (int, float)),
+                          ("jobs_completed", int), ("bad_requests", int)):
+        err = check_field(doc, key, expected)
+        if err:
+            errors.append(err)
+    if "telemetry" in doc:
+        errors.extend(check_snapshot(doc["telemetry"], "telemetry"))
+    if "coordinator_telemetry" in doc:
+        errors.extend(check_snapshot(doc["coordinator_telemetry"],
+                                     "coordinator_telemetry"))
+    if "slowest" in doc:
+        errors.extend(check_slowest(doc["slowest"], "slowest"))
+    workers = doc.get("workers")
+    if workers is None:
+        return errors  # single-daemon reply: no fan-out to cross-check
+    if not isinstance(workers, list):
+        return errors + ["'workers' is not a list"]
+    snapshots = []
+    for i, worker in enumerate(workers):
+        label = f"worker {i}"
+        if not isinstance(worker, dict):
+            errors.append(f"{label}: not an object")
+            continue
+        for key, expected in (("endpoint", str), ("alive", bool),
+                              ("outstanding", int)):
+            err = check_field(worker, key, expected)
+            if err:
+                errors.append(f"{label}: {err}")
+        if "telemetry" in worker:
+            errors.extend(check_snapshot(worker["telemetry"], label))
+            snapshots.append(worker["telemetry"])
+    if not errors and isinstance(doc.get("telemetry"), dict):
+        errors.extend(check_merged_telemetry(doc["telemetry"], snapshots))
     return errors
 
 
@@ -435,18 +689,18 @@ def check_corpus(doc):
     return errors
 
 
-def check_file(path):
+def check_text(path, text):
     errors = []
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            text = f.read()
-    except OSError as e:
-        return [f"{path}: {e}"]
     if not text.strip():
         return [f"{path}: empty file"]
 
-    # Single-document artifacts (trace / profile / bench) parse as one JSON
-    # object; --metrics-out files are one object per line.
+    # An events stream identifies itself on its first line (the whole file
+    # never parses as one document, so this must precede the checks below).
+    if is_events_stream(text):
+        return [f"{path} (events): {e}" for e in check_events(text)]
+
+    # Single-document artifacts (trace / profile / bench / stats) parse as
+    # one JSON object; --metrics-out files are one object per line.
     doc = None
     try:
         doc = json.loads(text)
@@ -462,13 +716,156 @@ def check_file(path):
         return [f"{path} (corpus): {e}" for e in check_corpus(doc)]
     if isinstance(doc, dict) and "schema" in doc:
         return [f"{path}: unknown schema {doc['schema']!r}"]
+    if isinstance(doc, dict) and doc.get("type") == "stats":
+        return [f"{path} (stats): {e}" for e in check_stats(doc)]
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         errors.extend(f"{path}: {e}" for e in check_line(lineno, line))
     return errors
 
 
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"{path}: {e}"]
+    return check_text(path, text)
+
+
+def _self_test_samples():
+    """(name, text, should_pass) fixtures exercising every validator."""
+    def jsonl(*records):
+        return "".join(json.dumps(r) + "\n" for r in records)
+
+    def hist(count, sum_s, buckets):
+        full = [0] * HISTOGRAM_BUCKETS
+        for index, value in buckets.items():
+            full[index] = value
+        return {"count": count, "sum_s": sum_s, "min_s": 0.001,
+                "max_s": 0.25, "buckets": full}
+
+    header = {"type": "header", "seq": 0, "ts_ms": 1, "schema":
+              EVENTS_SCHEMA_NAME, "pid": 42}
+    good_events = jsonl(
+        header,
+        {"type": "worker_up", "seq": 1, "ts_ms": 2, "endpoint": "tcp:w0"},
+        {"type": "retry_after", "seq": 2, "ts_ms": 3, "job": "j", "worker":
+         "tcp:w0", "outstanding": 60, "requested": 10, "retry_after_ms": 200},
+        {"type": "worker_down", "seq": 3, "ts_ms": 4, "endpoint": "tcp:w0",
+         "reason": "health ping failed"},
+        {"type": "worker_evicted", "seq": 4, "ts_ms": 4, "endpoint":
+         "tcp:w0", "live": 1},
+        {"type": "reshard", "seq": 5, "ts_ms": 5, "job": "j",
+         "obligations": 7},
+        {"type": "claim_steal", "seq": 6, "ts_ms": 6, "key": "k",
+         "age_s": 31.5},
+        {"type": "cache_corrupt_skip", "seq": 7, "ts_ms": 7, "key": "k",
+         "dir": "/tmp/l2"},
+        {"type": "worker_rejoined", "seq": 8, "ts_ms": 9, "endpoint":
+         "tcp:w0", "live": 2})
+    gap_events = jsonl(
+        header,
+        {"type": "worker_up", "seq": 2, "ts_ms": 2, "endpoint": "tcp:w0"})
+    unknown_events = jsonl(
+        header,
+        {"type": "meltdown", "seq": 1, "ts_ms": 2})
+    misfield_events = jsonl(
+        header,
+        {"type": "worker_down", "seq": 1, "ts_ms": 2, "endpoint": "tcp:w0"})
+
+    w0 = {"counters": {"fleet.jobs": 3, "cache.hits": 5},
+          "histograms": {"engine.solve": hist(4, 0.5, {10: 3, 12: 1})}}
+    w1 = {"counters": {"fleet.jobs": 2},
+          "histograms": {"engine.solve": hist(1, 0.25, {11: 1}),
+                         "cache.read": hist(0, 0.0, {})}}
+    merged = {"counters": {"cache.hits": 5, "fleet.jobs": 5},
+              "histograms": {"engine.solve":
+                             hist(5, 0.75, {10: 3, 11: 1, 12: 1})}}
+    stats = {
+        "type": "stats", "endpoint": "tcp:127.0.0.1:7", "role":
+        "coordinator", "pid": 42, "uptime_s": 1.5, "jobs_completed": 5,
+        "retry_after_sent": 0, "reshards": 1, "bad_requests": 0,
+        "workers": [
+            {"endpoint": "tcp:w0", "alive": True, "outstanding": 0,
+             "pid": 43, "uptime_s": 1.0, "jobs_completed": 3,
+             "bad_requests": 0, "telemetry": w0},
+            {"endpoint": "tcp:w1", "alive": True, "outstanding": 0,
+             "pid": 44, "uptime_s": 1.0, "jobs_completed": 2,
+             "bad_requests": 0, "telemetry": w1}],
+        "telemetry": merged,
+        "coordinator_telemetry": {"counters": {"fleet.retry_after": 0},
+                                  "histograms": {}},
+        "slowest": [
+            {"property": "p0", "worker": "tcp:w0", "total_us": 900,
+             "phases": {"solve": 700, "encode": 200}},
+            {"property": "p1", "worker": "tcp:w1", "total_us": 400,
+             "phases": {"solve": 400}}],
+    }
+    bad_counter = json.loads(json.dumps(stats))
+    bad_counter["telemetry"]["counters"]["fleet.jobs"] = 6
+    bad_buckets = json.loads(json.dumps(stats))
+    bad_buckets["telemetry"]["histograms"]["engine.solve"]["buckets"][13] = 1
+    short_buckets = json.loads(json.dumps(stats))
+    short_buckets["workers"][0]["telemetry"]["histograms"]["engine.solve"][
+        "buckets"].pop()
+    unsorted_tail = json.loads(json.dumps(stats))
+    unsorted_tail["slowest"].reverse()
+
+    trace = {"traceEvents": [
+        {"name": "fleet:job:fleet-1", "ph": "B", "ts": 0, "pid": 1,
+         "tid": 1, "args": {"span_id": 1, "parent_id": 0}},
+        {"name": "obligation:p0", "ph": "B", "ts": 5, "pid": 1, "tid": 1000,
+         "args": {"span_id": 2, "parent_id": 1}},
+        {"name": "obligation:p0", "ph": "E", "ts": 9, "pid": 1, "tid": 1000,
+         "args": {"span_id": 2}},
+        {"name": "fleet:job:fleet-1", "ph": "E", "ts": 10, "pid": 1,
+         "tid": 1, "args": {"span_id": 1}}]}
+    bad_trace = json.loads(json.dumps(trace))
+    bad_trace["traceEvents"][2]["ts"] = 3  # backwards on tid 1000
+
+    return [
+        ("events/good", good_events, True),
+        ("events/seq-gap", gap_events, False),
+        ("events/unknown-type", unknown_events, False),
+        ("events/missing-field", misfield_events, False),
+        ("stats/good", json.dumps(stats), True),
+        ("stats/merged-counter-drift", json.dumps(bad_counter), False),
+        ("stats/merged-bucket-drift", json.dumps(bad_buckets), False),
+        ("stats/short-buckets", json.dumps(short_buckets), False),
+        ("stats/tail-unsorted", json.dumps(unsorted_tail), False),
+        ("trace/good", json.dumps(trace), True),
+        ("trace/backwards-ts", json.dumps(bad_trace), False),
+        ("unknown-schema", json.dumps({"schema": "trojanscout-bogus-v9"}),
+         False),
+    ]
+
+
+def self_test():
+    """Runs the embedded fixtures through check_text; the validator must
+    accept every good sample and reject every bad one."""
+    failures = []
+    for name, text, should_pass in _self_test_samples():
+        errors = check_text(name, text)
+        if should_pass and errors:
+            failures.append(f"{name}: expected clean, got: " +
+                            "; ".join(errors))
+        if not should_pass and not errors:
+            failures.append(f"{name}: expected a violation, got none")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"check_metrics --self-test: FAILED ({len(failures)})",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics --self-test: OK "
+          f"({len(_self_test_samples())} fixtures)")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 1

@@ -199,6 +199,8 @@ if command -v python3 >/dev/null 2>&1; then
   ep_file="$art/fleet.endpoint"
   "$rel/tools/trojanscout_cli" serve-fleet --socket=tcp:127.0.0.1:0 \
       --spawn=2 --l2-dir="$art/fleet-l2" --run-dir="$art/fleet-run" \
+      --trace-out="$art/fleet_trace.json" \
+      --events-out="$art/fleet_events.jsonl" \
       --port-file="$ep_file" >"$art/fleet.log" 2>&1 &
   fleet_pid=$!
   # The coordinator picks an ephemeral port, so the endpoint string has to
@@ -238,10 +240,25 @@ if command -v python3 >/dev/null 2>&1; then
     echo "FAIL: warm fleet submit performed engine runs (expected all-cache)"
     exit 1
   fi
+  # Merged-telemetry stats reply: per-worker snapshots + their exact sum,
+  # archived and schema-validated (the validator recomputes the merge).
+  "$rel/tools/trojanscout_cli" submit --socket="$fleet_ep" --stats --json \
+      >"$art/fleet_stats.json"
+  "$rel/tools/trojanscout_cli" submit --socket="$fleet_ep" --stats \
+      >"$art/fleet_stats.txt"
   kill -TERM "$fleet_pid" 2>/dev/null || true
   wait "$fleet_pid" 2>/dev/null || true
+  # The stitched trace is finalized at coordinator stop(); both new fleet
+  # artifacts must exist before validation below.
+  for f in fleet_trace.json fleet_events.jsonl fleet_stats.json; do
+    if ! [ -s "$art/$f" ]; then
+      echo "FAIL: fleet smoke did not produce $f"
+      exit 1
+    fi
+  done
 
   echo "=== [release] artifact schema validation ==="
+  python3 "$src/tools/check_metrics.py" --self-test
   python3 "$src/tools/check_metrics.py" \
       "$art/BENCH_table1.json" "$art/BENCH_table2.json" \
       "$art/BENCH_table3.json" "$art/BENCH_parallel_scaling.json" \
@@ -250,7 +267,9 @@ if command -v python3 >/dev/null 2>&1; then
       "$art/table1.jsonl" "$art/table2.jsonl" "$art/table3.jsonl" \
       "$art/parallel_scaling.jsonl" "$art/audit_trace.json" \
       "$art/audit_profile.json" "$art/audit_metrics.jsonl" \
-      "$art/audit_cached_metrics.jsonl"
+      "$art/audit_cached_metrics.jsonl" \
+      "$art/fleet_trace.json" "$art/fleet_events.jsonl" \
+      "$art/fleet_stats.json" "$art"/fleet-run/worker*.events.jsonl
 
   echo "=== [release] bench regression gate ==="
   python3 "$src/tools/bench_compare.py" --self-test

@@ -30,18 +30,20 @@
 //   trojanscout_cli serve  --socket ENDPOINT [--cache-dir DIR]
 //                          [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]
 //                          [--l2-dir DIR] [--l2-max-mb N] [--read-timeout S]
-//                          [--port-file FILE]
+//                          [--port-file FILE] [--events-out e.jsonl]
 //   trojanscout_cli serve-fleet --socket ENDPOINT
 //                          (--workers EP1,EP2,... | --spawn N)
 //                          [--l2-dir DIR] [--l2-max-mb N] [--queue-cap N]
 //                          [--retry-after-ms N] [--worker-jobs N]
 //                          [--run-dir DIR] [--port-file FILE]
 //                          [--health-interval S] [--worker-timeout S]
+//                          [--trace-out t.json] [--events-out e.jsonl]
 //   trojanscout_cli submit --socket ENDPOINT --design ip.v --spec ip.spec
 //                          [--engine bmc|atpg] [--frames N] [--budget S]
 //                          [--no-scan] [--no-bypass] [--id NAME]
 //                          [--connect-retries N] [--overload-retries N]
 //                          [--signature-out FILE] [--quiet]
+//   trojanscout_cli submit --socket ENDPOINT --stats [--json]
 //
 // `audit` runs the paper's full Algorithm 1 over every register with a spec
 // block, scheduling the independent property checks across --jobs worker
@@ -73,6 +75,17 @@
 // response. --spawn N forks N `serve` workers on ephemeral TCP ports
 // (sharing --l2-dir) and tears them down on exit; --workers attaches to
 // externally managed daemons.
+//
+// Observability plane: --trace-out on serve-fleet stitches the workers'
+// span records into one Perfetto-loadable Chrome trace (ids, tids and
+// clocks rebased into the coordinator's namespace); --events-out on
+// serve/serve-fleet appends a `trojanscout-events-v1` JSONL stream of
+// operational events (worker eviction, re-shards, retry-after refusals,
+// claim steals, corrupt-entry skips) — with --spawn, each worker also
+// gets its own workerN.events.jsonl under the run dir. `submit --stats`
+// queries a daemon or coordinator; against a coordinator the reply merges
+// every worker's telemetry registry exactly (counters summed, histogram
+// buckets added) and carries the slowest-obligations table.
 //
 // `certify` is `audit` with evidence: every violated property carries its
 // witness, every BMC-clean frame carries a binary-DRAT proof, bundled into
@@ -117,6 +130,7 @@
 #include "service/transport.hpp"
 #include "sim/vcd.hpp"
 #include "specdsl/specdsl.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/profile.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/registry.hpp"
@@ -125,6 +139,7 @@
 #include "util/cli.hpp"
 #include "util/resource.hpp"
 #include "util/stopwatch.hpp"
+#include "util/table.hpp"
 #include "verilog/reader.hpp"
 #include "verilog/writer.hpp"
 
@@ -181,7 +196,7 @@ int usage() {
          "  serve      --socket ENDPOINT [--cache-dir DIR]\n"
          "               [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]\n"
          "               [--l2-dir DIR] [--l2-max-mb N] [--read-timeout S]\n"
-         "               [--port-file FILE]\n"
+         "               [--port-file FILE] [--events-out e.jsonl]\n"
          "               audit daemon (NDJSON over unix:/path or\n"
          "               tcp:host:port; port 0 = ephemeral)\n"
          "  serve-fleet --socket ENDPOINT\n"
@@ -190,6 +205,7 @@ int usage() {
          "               [--retry-after-ms N] [--worker-jobs N]\n"
          "               [--run-dir DIR] [--port-file FILE]\n"
          "               [--health-interval S] [--worker-timeout S]\n"
+         "               [--trace-out t.json] [--events-out e.jsonl]\n"
          "               shard coordinator over N worker daemons\n"
          "  submit     --socket ENDPOINT --design ip.v --spec ip.spec\n"
          "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
@@ -197,6 +213,9 @@ int usage() {
          "               [--connect-retries N] [--overload-retries N]\n"
          "               [--signature-out FILE] [--quiet]\n"
          "               send one audit job to a daemon or fleet\n"
+         "  submit     --socket ENDPOINT --stats [--json]\n"
+         "               query daemon/fleet stats (merged telemetry,\n"
+         "               per-worker breakdown, slowest obligations)\n"
          "\n"
          "  --version  print the build's git revision\n"
          "\n"
@@ -648,10 +667,24 @@ void handle_stop_signal(int) {
   if (g_coordinator != nullptr) g_coordinator->stop();
 }
 
+/// Opens the --events-out sink and installs it as the process-global
+/// telemetry::EventLog; the returned handle owns it (and uninstalls on
+/// destruction). Null when the flag is absent.
+std::unique_ptr<telemetry::EventLog> open_event_log(
+    const util::CliParser& cli) {
+  const std::string path = cli.get_string("events-out", "");
+  if (path.empty()) return nullptr;
+  auto log = std::make_unique<telemetry::EventLog>(path);
+  if (!log->ok()) throw std::runtime_error("cannot write " + path);
+  telemetry::EventLog::set_global(log.get());
+  return log;
+}
+
 int cmd_serve(const util::CliParser& cli) {
   const std::string endpoint = cli.get_string("socket", "");
   if (endpoint.empty()) throw std::runtime_error("--socket is required");
 
+  const std::unique_ptr<telemetry::EventLog> event_log = open_event_log(cli);
   const std::unique_ptr<cache::VerdictCache> verdict_cache = open_cache(cli);
   const std::unique_ptr<cache::VerdictCache> l2_cache = open_l2(cli);
 
@@ -717,6 +750,14 @@ SpawnedWorker spawn_worker(const util::CliParser& cli,
     args.push_back("--l2-max-mb");
     args.push_back(std::to_string(cli.get_int("l2-max-mb", 512)));
   }
+  if (!cli.get_string("events-out", "").empty()) {
+    // The coordinator's event log covers fleet-level events; each spawned
+    // worker gets its own sink for what only it observes (claim steals,
+    // corrupt cache entries).
+    args.push_back("--events-out");
+    args.push_back(run_dir + "/worker" + std::to_string(index) +
+                   ".events.jsonl");
+  }
   worker.pid = ::fork();
   if (worker.pid < 0) throw std::runtime_error("fork failed");
   if (worker.pid == 0) {
@@ -753,8 +794,11 @@ int cmd_serve_fleet(const util::CliParser& cli) {
   const std::string endpoint = cli.get_string("socket", "");
   if (endpoint.empty()) throw std::runtime_error("--socket is required");
 
+  const std::unique_ptr<telemetry::EventLog> event_log = open_event_log(cli);
+
   fleet::FleetCoordinator::Options options;
   options.endpoint = endpoint;
+  options.trace_out = cli.get_string("trace-out", "");
   options.queue_capacity =
       static_cast<std::size_t>(cli.get_int("queue-cap", 64));
   options.retry_after_ms =
@@ -836,9 +880,145 @@ int cmd_serve_fleet(const util::CliParser& cli) {
   return exit_code;
 }
 
+/// Renders one JSON scalar for a table cell.
+std::string cell_json(const proof::Json& value) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "yes" : "no";
+  if (value.is_int()) return std::to_string(value.as_int());
+  if (value.is_number()) return util::cell_double(value.as_double(), 3);
+  return value.dump();
+}
+
+/// Prints the "slowest" tail-attribution rows (from a stats reply or a
+/// fleet report) as an aligned table; no-op when absent or empty.
+void print_slowest_table(const proof::Json& slowest) {
+  if (!slowest.is_array() || slowest.items().empty()) return;
+  util::Table table({"property", "worker", "total_us", "phases"});
+  for (const proof::Json& row : slowest.items()) {
+    if (!row.is_object()) continue;
+    const auto str = [&row](const char* key) -> std::string {
+      const proof::Json* f = row.find(key);
+      return f != nullptr ? cell_json(*f) : "";
+    };
+    std::string phases;
+    const proof::Json* phase_obj = row.find("phases");
+    if (phase_obj != nullptr && phase_obj->is_object()) {
+      for (const auto& [name, us] : phase_obj->entries()) {
+        if (!phases.empty()) phases += " ";
+        phases += name + "=" + cell_json(us);
+      }
+    }
+    table.add_row({str("property"), str("worker"), str("total_us"), phases});
+  }
+  std::cout << "slowest obligations:\n";
+  table.print(std::cout);
+}
+
+/// Prints one telemetry Registry snapshot (counters + timer histograms).
+void print_telemetry(const std::string& title, const proof::Json& snapshot) {
+  if (!snapshot.is_object()) return;
+  const proof::Json* counters = snapshot.find("counters");
+  if (counters != nullptr && counters->is_object() && counters->size() > 0) {
+    util::Table table({"counter", "value"});
+    for (const auto& [name, value] : counters->entries()) {
+      table.add_row({name, cell_json(value)});
+    }
+    std::cout << title << " counters:\n";
+    table.print(std::cout);
+  }
+  const proof::Json* histograms = snapshot.find("histograms");
+  if (histograms != nullptr && histograms->is_object() &&
+      histograms->size() > 0) {
+    util::Table table({"timer", "count", "sum_s", "min_s", "max_s"});
+    for (const auto& [name, h] : histograms->entries()) {
+      if (!h.is_object()) continue;
+      const auto str = [&h](const char* key) -> std::string {
+        const proof::Json* f = h.find(key);
+        return f != nullptr ? cell_json(*f) : "";
+      };
+      table.add_row(
+          {name, str("count"), str("sum_s"), str("min_s"), str("max_s")});
+    }
+    std::cout << title << " timers:\n";
+    table.print(std::cout);
+  }
+}
+
+/// Pretty-prints a stats reply: scalar fields, per-worker breakdown,
+/// merged + own telemetry, and the slowest-obligations table.
+void print_stats(const proof::Json& stats) {
+  util::Table fields({"field", "value"});
+  for (const auto& [key, value] : stats.entries()) {
+    if (value.is_object() || value.is_array()) continue;
+    if (key == "type") continue;
+    fields.add_row({key, cell_json(value)});
+  }
+  fields.print(std::cout);
+
+  const proof::Json* workers = stats.find("workers");
+  if (workers != nullptr && workers->is_array() &&
+      !workers->items().empty()) {
+    util::Table table({"worker", "alive", "outstanding", "pid", "uptime_s",
+                       "jobs_completed", "bad_requests"});
+    for (const proof::Json& w : workers->items()) {
+      if (!w.is_object()) continue;
+      const auto str = [&w](const char* key) -> std::string {
+        const proof::Json* f = w.find(key);
+        return f != nullptr ? cell_json(*f) : "";
+      };
+      table.add_row({str("endpoint"), str("alive"), str("outstanding"),
+                     str("pid"), str("uptime_s"), str("jobs_completed"),
+                     str("bad_requests")});
+    }
+    std::cout << "workers:\n";
+    table.print(std::cout);
+  }
+
+  const proof::Json* merged = stats.find("telemetry");
+  if (merged != nullptr) {
+    print_telemetry(workers != nullptr ? "merged worker" : "telemetry",
+                    *merged);
+  }
+  const proof::Json* own = stats.find("coordinator_telemetry");
+  if (own != nullptr) print_telemetry("coordinator", *own);
+
+  const proof::Json* slowest = stats.find("slowest");
+  if (slowest != nullptr) print_slowest_table(*slowest);
+}
+
+/// `submit --stats`: one stats round-trip, printed as tables or raw JSON.
+int cmd_submit_stats(const util::CliParser& cli, const std::string& endpoint,
+                     const service::ConnectRetry& retry) {
+  service::Client client(endpoint, retry);
+  client.send_line(service::control_request_line("stats"));
+  proof::Json response;
+  if (!client.read_response(response)) {
+    std::cerr << "error: connection closed before a stats reply\n";
+    return 1;
+  }
+  const proof::Json* type = response.find("type");
+  if (type == nullptr || !type->is_string() || type->as_string() != "stats") {
+    std::cerr << "error: unexpected reply: " << response.dump() << "\n";
+    return 1;
+  }
+  if (cli.get_bool("json", false)) {
+    std::cout << response.dump_pretty() << "\n";
+  } else {
+    print_stats(response);
+  }
+  return 0;
+}
+
 int cmd_submit(const util::CliParser& cli) {
   const std::string endpoint = cli.get_string("socket", "");
   if (endpoint.empty()) throw std::runtime_error("--socket is required");
+
+  service::ConnectRetry submit_retry;
+  submit_retry.attempts = static_cast<int>(cli.get_int("connect-retries", 1));
+  submit_retry.base_delay_ms = cli.get_double("connect-delay-ms", 50.0);
+  if (cli.get_bool("stats", false)) {
+    return cmd_submit_stats(cli, endpoint, submit_retry);
+  }
 
   service::AuditJob job;
   job.id = cli.get_string("id", "job");
@@ -855,20 +1035,22 @@ int cmd_submit(const util::CliParser& cli) {
   job.check_bypass = !cli.get_bool("no-bypass", false);
 
   const bool quiet = cli.get_bool("quiet", false);
-  service::ConnectRetry retry;
-  retry.attempts = static_cast<int>(cli.get_int("connect-retries", 1));
-  retry.base_delay_ms = cli.get_double("connect-delay-ms", 50.0);
   const int overload_retries =
       static_cast<int>(cli.get_int("overload-retries", 0));
+  // Fleet reports carry a "slowest" tail-attribution table; captured here
+  // from the response stream and printed after the summary.
+  auto slowest = std::make_shared<proof::Json>();
   const service::SubmitResult result = service::submit_audit_with_retry(
-      endpoint, job, retry, overload_retries,
-      [quiet](const proof::Json& response) {
-        if (quiet) return;
+      endpoint, job, submit_retry, overload_retries,
+      [quiet, slowest](const proof::Json& response) {
         const proof::Json* type = response.find("type");
-        if (type == nullptr || !type->is_string() ||
-            type->as_string() != "obligation") {
+        if (type == nullptr || !type->is_string()) return;
+        if (type->as_string() == "report") {
+          const proof::Json* tail = response.find("slowest");
+          if (tail != nullptr) *slowest = *tail;
           return;
         }
+        if (quiet || type->as_string() != "obligation") return;
         const auto str = [&response](const char* key) -> std::string {
           const proof::Json* f = response.find(key);
           return f != nullptr && f->is_string() ? f->as_string() : "";
@@ -889,6 +1071,7 @@ int cmd_submit(const util::CliParser& cli) {
             << "served: " << result.cache_hits << " from cache, "
             << result.shared << " shared in-flight, " << result.computed
             << " computed\n";
+  if (!quiet) print_slowest_table(*slowest);
   const std::string signature_out = cli.get_string("signature-out", "");
   if (!signature_out.empty()) {
     std::ofstream os(signature_out);
