@@ -94,7 +94,21 @@ class Engine {
                                         std::memory_order_relaxed);
       }
       telemetry::Span frame_span("atpg:frame");
+      const std::uint64_t decisions_before = decisions_;
+      const std::uint64_t backtracks_before = backtracks_;
+      const std::uint64_t implications_before = implications_;
+      const double frame_started = timer.elapsed_seconds();
       const FrameSearch outcome = search_frame(target, timer);
+      {
+        telemetry::FlightWindow w;
+        w.frame = target;
+        w.decisions = decisions_ - decisions_before;
+        w.backtracks = backtracks_ - backtracks_before;
+        w.implications = implications_ - implications_before;
+        w.wall_us = static_cast<std::uint64_t>(
+            (timer.elapsed_seconds() - frame_started) * 1e6);
+        result.flight.push_back(w);
+      }
       TS_COUNTER_ADD("atpg.frames", 1);
       if (outcome == FrameSearch::kFound) {
         result.status = AtpgStatus::kViolated;

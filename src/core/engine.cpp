@@ -36,6 +36,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     result.counters.sat = r.sat_stats;
     result.counters.cnf_vars = r.vars;
     result.counters.frame_clauses = std::move(r.frame_clauses);
+    result.counters.flight = std::move(r.flight);
   } else {
     telemetry::Span span("engine:atpg");
     atpg::AtpgOptions ao;
@@ -61,6 +62,7 @@ CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
     result.counters.atpg_implications = r.implications;
     result.counters.atpg_frames_proven_clean = r.frames_proven_clean;
     result.counters.atpg_frames_aborted = r.frames_aborted;
+    result.counters.flight = std::move(r.flight);
   }
   return result;
 }

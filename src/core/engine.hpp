@@ -14,6 +14,7 @@
 #include "bmc/bmc.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/witness.hpp"
+#include "telemetry/flight.hpp"
 
 namespace trojanscout::core {
 
@@ -53,7 +54,10 @@ struct EngineOptions {
 /// Deterministic per-run work counters, copied off whichever back end ran.
 /// Everything here is a function of (netlist, property, options) only —
 /// never of wall-clock time or machine load — so the telemetry sink can
-/// assert byte-identical reports across --jobs settings.
+/// assert byte-identical reports across --jobs settings. One carve-out:
+/// `flight` carries per-frame wall_us samples (timing), so it is excluded
+/// from both the cached-verdict codec and the run report — it exists for
+/// live inspection (`audit --flight-out`) only.
 struct EngineCounters {
   // BMC back end (zero for ATPG runs).
   sat::SolverStats sat;
@@ -65,6 +69,9 @@ struct EngineCounters {
   std::uint64_t atpg_implications = 0;
   std::size_t atpg_frames_proven_clean = 0;
   std::size_t atpg_frames_aborted = 0;
+  /// Flight recorder: one window of counter deltas + frame wall time per
+  /// engine frame, in frame order (see telemetry/flight.hpp).
+  std::vector<telemetry::FlightWindow> flight;
 };
 
 /// Engine-agnostic outcome of checking one bad signal.

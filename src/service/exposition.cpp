@@ -1,0 +1,265 @@
+#include "service/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace trojanscout::service {
+
+namespace {
+
+constexpr const char* kPrefix = "trojanscout_";
+
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_labels(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += name;
+    out += "=\"";
+    out += escape_label(value);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Upper bound of registry bucket b in seconds (bucket b spans
+/// [2^(b-1), 2^b) µs; bucket 0 is < 1 µs).
+double bucket_le_seconds(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b)) / 1e6;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    out += std::isalnum(static_cast<unsigned char>(c)) || c == '_' ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const telemetry::Registry::Snapshot& snapshot,
+                               const std::vector<ExtraCounter>& extra_counters,
+                               const std::vector<GaugeSample>& gauges) {
+  // Families render in sorted-name order: merge the registry counters
+  // (already sorted) with the extra ones through one sorted map.
+  std::map<std::string, std::uint64_t> counters;
+  for (const auto& c : snapshot.counters) {
+    counters[kPrefix + prometheus_name(c.name) + "_total"] += c.value;
+  }
+  for (const auto& c : extra_counters) {
+    counters[kPrefix + prometheus_name(c.name) + "_total"] += c.value;
+  }
+
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [family, value] : counters) {
+    out += "# TYPE " + family + " counter\n";
+    out += family + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    // Gauge families may repeat (one sample per worker label set); emit
+    // the TYPE line only at the first sample of a family.
+    if (out.find("# TYPE " + g.name + " gauge\n") == std::string::npos) {
+      out += "# TYPE " + g.name + " gauge\n";
+    }
+    out += g.name;
+    append_labels(out, g.labels);
+    out += " " + format_double(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string family = kPrefix + prometheus_name(h.name) + "_seconds";
+    out += "# TYPE " + family + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out += family + "_bucket{le=\"" + format_double(bucket_le_seconds(b)) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += family + "_sum " + format_double(h.sum_seconds) + "\n";
+    out += family + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct Sample {
+  std::string family;  // name with histogram suffix stripped
+  std::string name;    // full sample name as written
+  double le = std::numeric_limits<double>::quiet_NaN();  // bucket bound
+  bool has_le = false;
+  double value = 0.0;
+};
+
+bool parse_sample_line(const std::string& line, Sample& out,
+                       std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = "exposition: " + message + ": " + line;
+    return false;
+  };
+  std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos || name_end == 0) {
+    return fail("malformed sample");
+  }
+  out.name = line.substr(0, name_end);
+  std::size_t value_start = name_end;
+  if (line[name_end] == '{') {
+    const std::size_t close = line.find('}', name_end);
+    if (close == std::string::npos) return fail("unterminated label set");
+    const std::string labels = line.substr(name_end + 1, close - name_end - 1);
+    // Only `le` matters for validation; other labels pass through.
+    const std::size_t le_pos = labels.find("le=\"");
+    if (le_pos != std::string::npos) {
+      const std::size_t le_end = labels.find('"', le_pos + 4);
+      if (le_end == std::string::npos) return fail("unterminated le label");
+      const std::string le_text = labels.substr(le_pos + 4, le_end - le_pos - 4);
+      out.has_le = true;
+      out.le = le_text == "+Inf"
+                   ? std::numeric_limits<double>::infinity()
+                   : std::strtod(le_text.c_str(), nullptr);
+    }
+    value_start = close + 1;
+  }
+  while (value_start < line.size() && line[value_start] == ' ') value_start++;
+  if (value_start >= line.size()) return fail("missing value");
+  char* end = nullptr;
+  out.value = std::strtod(line.c_str() + value_start, &end);
+  if (end == line.c_str() + value_start) return fail("bad value");
+  return true;
+}
+
+}  // namespace
+
+bool parse_prometheus_text(const std::string& text, ParsedExposition& out,
+                           std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = "exposition: " + message;
+    return false;
+  };
+  out = ParsedExposition();
+  std::map<std::string, std::string> types;  // family -> counter|gauge|histogram
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash, kind, family, type;
+      header >> hash >> kind;
+      if (kind == "TYPE") {
+        header >> family >> type;
+        if (family.empty() || type.empty()) return fail("malformed TYPE line");
+        if (types.count(family) != 0) {
+          return fail("duplicate TYPE for " + family);
+        }
+        types[family] = type;
+      }
+      continue;  // HELP and comments pass through
+    }
+    Sample sample;
+    if (!parse_sample_line(line, sample, error)) return false;
+
+    // Resolve the family: histogram samples use suffixed names.
+    std::string family = sample.name;
+    std::string suffix;
+    for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+      const std::string c = candidate;
+      if (family.size() > c.size() &&
+          family.compare(family.size() - c.size(), c.size(), c) == 0) {
+        const std::string base = family.substr(0, family.size() - c.size());
+        if (types.count(base) != 0 && types[base] == "histogram") {
+          family = base;
+          suffix = c;
+          break;
+        }
+      }
+    }
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      return fail("sample before its # TYPE line: " + sample.name);
+    }
+    const std::string& type = type_it->second;
+    if (type == "counter") {
+      if (sample.value < 0) return fail("negative counter " + sample.name);
+      out.counters[family] = static_cast<std::uint64_t>(sample.value);
+    } else if (type == "gauge") {
+      if (out.gauges.count(family) == 0) out.gauges[family] = sample.value;
+    } else if (type == "histogram") {
+      ParsedExposition::Histogram& hist = out.histograms[family];
+      if (suffix == "_bucket") {
+        if (!sample.has_le) return fail("bucket without le: " + sample.name);
+        if (sample.value < 0) return fail("negative bucket " + sample.name);
+        hist.buckets.emplace_back(sample.le,
+                                  static_cast<std::uint64_t>(sample.value));
+      } else if (suffix == "_sum") {
+        hist.sum_seconds = sample.value;
+      } else if (suffix == "_count") {
+        hist.count = static_cast<std::uint64_t>(sample.value);
+      } else {
+        return fail("histogram family with bare sample: " + sample.name);
+      }
+    } else {
+      return fail("unsupported type '" + type + "' for " + family);
+    }
+  }
+
+  // Histogram invariants: le strictly increasing, counts cumulative
+  // (monotone non-decreasing), closed by a +Inf bucket equal to _count.
+  for (const auto& [family, hist] : out.histograms) {
+    if (hist.buckets.empty()) return fail(family + " has no buckets");
+    double prev_le = -std::numeric_limits<double>::infinity();
+    std::uint64_t prev_count = 0;
+    for (const auto& [le, cumulative] : hist.buckets) {
+      if (!(le > prev_le)) return fail(family + " le bounds not increasing");
+      if (cumulative < prev_count) {
+        return fail(family + " buckets not cumulative");
+      }
+      prev_le = le;
+      prev_count = cumulative;
+    }
+    if (!std::isinf(hist.buckets.back().first)) {
+      return fail(family + " missing +Inf bucket");
+    }
+    if (hist.buckets.back().second != hist.count) {
+      return fail(family + " +Inf bucket disagrees with _count");
+    }
+  }
+  return true;
+}
+
+}  // namespace trojanscout::service

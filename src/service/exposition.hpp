@@ -1,0 +1,74 @@
+// Prometheus text exposition (format 0.0.4) for the `metrics` protocol
+// verb: renders a telemetry::Registry snapshot — plus service-level extra
+// counters and gauges — as the plain-text family/sample format any
+// scraper understands, and parses it back for validation.
+//
+// Mapping:
+//   * counter `cache.hit`      → `trojanscout_cache_hit_total`
+//   * histogram `bmc:solve`    → `trojanscout_bmc_solve_seconds` with
+//     cumulative `_bucket{le="..."}` samples whose upper bounds are the
+//     registry's log2-µs bucket edges (2^b µs, in seconds), `_sum`,
+//     `_count`, and a closing `le="+Inf"` bucket equal to `_count`
+//   * gauges (queue depth, in-flight, worker liveness, uptime) are
+//     supplied by the caller, optionally labelled (e.g. per worker)
+//
+// Every family is preceded by its `# TYPE` line; families appear in
+// sorted-name order so two identical snapshots render byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace trojanscout::service {
+
+/// `raw` with every character outside [a-zA-Z0-9_] replaced by '_', and a
+/// leading digit guarded — the metric-name sanitizer used by the mapping
+/// above (prefix/suffix are added by the renderer).
+std::string prometheus_name(const std::string& raw);
+
+/// One gauge sample. Labels are (name, value) pairs rendered in order.
+struct GaugeSample {
+  std::string name;  // full family name, e.g. "trojanscout_queue_depth"
+  double value = 0.0;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Extra cumulative counters that live outside the registry (daemon
+/// atomics like jobs_completed). `name` is the raw metric name; it goes
+/// through the same sanitize/prefix/suffix mapping as registry counters.
+struct ExtraCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Renders one exposition document (ends with a trailing newline).
+std::string to_prometheus_text(const telemetry::Registry::Snapshot& snapshot,
+                               const std::vector<ExtraCounter>& extra_counters,
+                               const std::vector<GaugeSample>& gauges);
+
+/// Parsed-back exposition, keyed by full family name. Bucket lists keep
+/// exposition order as (le_seconds, cumulative_count); the +Inf bucket is
+/// carried with le = infinity.
+struct ParsedExposition {
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;  // first sample of each gauge family
+  std::map<std::string, Histogram> histograms;
+};
+
+/// Parses Prometheus text exposition. Enforces the invariants the
+/// renderer guarantees (TYPE before samples, cumulative buckets, +Inf
+/// bucket equal to _count); false (with `error`) on violation.
+bool parse_prometheus_text(const std::string& text, ParsedExposition& out,
+                           std::string* error);
+
+}  // namespace trojanscout::service

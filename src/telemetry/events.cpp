@@ -70,14 +70,13 @@ EventLog::Field::Field(std::string_view field_key, double value)
 EventLog::Field::Field(std::string_view field_key, bool value)
     : key(field_key), json(value ? "true" : "false") {}
 
-EventLog::EventLog(const std::string& path) : path_(path) {
+EventLog::EventLog(const std::string& path, std::uint64_t max_bytes)
+    : path_(path), max_bytes_(max_bytes) {
   out_.open(path, std::ios::out | std::ios::trunc);
   ok_ = out_.good();
   if (!ok_) return;
-  // Header record: carries the schema name so validators can identify the
-  // stream from its first line, and anchors seq 0.
-  emit("header", {{"schema", "trojanscout-events-v1"},
-                  {"pid", static_cast<std::int64_t>(::getpid())}});
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_header();
 }
 
 EventLog::~EventLog() {
@@ -90,6 +89,33 @@ std::uint64_t EventLog::emit(std::string_view type,
                              std::initializer_list<Field> fields) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!ok_) return 0;  // failed sink: record nothing, advance nothing
+  if (max_bytes_ > 0 && bytes_written_ >= max_bytes_) {
+    // Size-based rotation: the finished generation moves to `<path>.1`
+    // (replacing the previous one) and a fresh stream restarts — header
+    // first, seq from 0 — so each generation is a self-describing,
+    // independently valid `trojanscout-events-v1` stream.
+    out_.close();
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+    out_.open(path_, std::ios::out | std::ios::trunc);
+    ok_ = out_.good();
+    bytes_written_ = 0;
+    next_seq_ = 0;
+    rotations_++;
+    if (!ok_) return 0;
+    write_header();
+  }
+  return write_record(type, fields);
+}
+
+void EventLog::write_header() {
+  // Header record: carries the schema name so validators can identify the
+  // stream from its first line, and anchors seq 0.
+  write_record("header", {{"schema", "trojanscout-events-v1"},
+                          {"pid", static_cast<std::int64_t>(::getpid())}});
+}
+
+std::uint64_t EventLog::write_record(std::string_view type,
+                                     std::initializer_list<Field> fields) {
   const std::uint64_t seq = next_seq_++;
   std::string line;
   line.reserve(128);
@@ -108,12 +134,18 @@ std::uint64_t EventLog::emit(std::string_view type,
   line += "}\n";
   out_ << line;
   out_.flush();
+  bytes_written_ += line.size();
   return seq;
 }
 
 std::uint64_t EventLog::record_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return next_seq_;
+}
+
+std::uint64_t EventLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rotations_;
 }
 
 EventLog* EventLog::global() {

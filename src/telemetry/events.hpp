@@ -49,7 +49,11 @@ class EventLog {
 
   /// Opens (truncating) the sink and writes the schema header record
   /// (seq 0). Check ok() — a bad path records nothing but never throws.
-  explicit EventLog(const std::string& path);
+  /// With `max_bytes` > 0 the sink rotates before growing past that size:
+  /// the current file is renamed to `<path>.1` (replacing any previous
+  /// rotation) and a fresh file restarts at seq 0 with a new header — a
+  /// week-long daemon holds at most two generations on disk.
+  explicit EventLog(const std::string& path, std::uint64_t max_bytes = 0);
   ~EventLog();
 
   EventLog(const EventLog&) = delete;
@@ -63,8 +67,11 @@ class EventLog {
   std::uint64_t emit(std::string_view type,
                      std::initializer_list<Field> fields);
 
-  /// Records written so far, header included.
+  /// Records written so far to the *current* generation, header included.
   [[nodiscard]] std::uint64_t record_count() const;
+
+  /// Size-based rotations performed so far.
+  [[nodiscard]] std::uint64_t rotations() const;
 
   /// The installed sink, or nullptr when event logging is off.
   static EventLog* global();
@@ -73,11 +80,19 @@ class EventLog {
   static void set_global(EventLog* log);
 
  private:
+  /// Renders and writes one record; assumes mutex_ is held and ok_.
+  std::uint64_t write_record(std::string_view type,
+                             std::initializer_list<Field> fields);
+  void write_header();
+
   std::string path_;
+  std::uint64_t max_bytes_ = 0;
   bool ok_ = false;
   mutable std::mutex mutex_;
   std::ofstream out_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t rotations_ = 0;
 };
 
 /// Emits on the global sink; no-op (one relaxed load) when none installed.

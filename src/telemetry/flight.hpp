@@ -1,0 +1,35 @@
+// Per-solve flight recorder: one window per engine frame, sampled as the
+// frame closes. Where the Registry answers "how much work, total" and the
+// time series "how fast, lately", the flight series answers "where inside
+// *this* solve did the work go" — the windowed conflict/restart/decision/
+// backtrack curve that distinguishes a frame that got hard from a solve
+// that was slow all along (`audit --flight-out`).
+#pragma once
+
+#include <cstdint>
+
+namespace trojanscout::telemetry {
+
+/// One engine frame's work deltas. `decisions` is meaningful for both
+/// back ends; propagations/conflicts/restarts are SAT-solver (BMC)
+/// counters, backtracks/implications are ATPG search counters — each
+/// back end leaves the other's fields zero.
+struct FlightWindow {
+  std::uint64_t frame = 0;
+  std::uint64_t decisions = 0;
+  // BMC (SAT) deltas; zero for ATPG frames.
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  // ATPG deltas; zero for BMC frames.
+  std::uint64_t backtracks = 0;
+  std::uint64_t implications = 0;
+  /// Frame wall time in microseconds. TIMING CARVE-OUT: unlike every
+  /// other per-run counter this depends on machine load, so the flight
+  /// series is observational only — excluded from the cached-verdict
+  /// codec and the run report, which must stay byte-identical across
+  /// --jobs settings and cache temperature.
+  std::uint64_t wall_us = 0;
+};
+
+}  // namespace trojanscout::telemetry

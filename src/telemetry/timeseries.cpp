@@ -1,0 +1,183 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "telemetry/profile.hpp"
+
+namespace trojanscout::telemetry {
+
+namespace {
+
+/// Bucket-delta histogram reconstructed for one window, shaped so the
+/// shared histogram_quantile estimator applies. min/max are the edges of
+/// the populated delta buckets (the registry's exact min/max describe the
+/// whole run, not this window).
+Registry::HistogramValue window_histogram(
+    const Registry::HistogramValue& now, const Registry::HistogramValue* prev) {
+  Registry::HistogramValue delta;
+  delta.name = now.name;
+  delta.count = now.count - (prev != nullptr ? prev->count : 0);
+  delta.sum_seconds = now.sum_seconds - (prev != nullptr ? prev->sum_seconds : 0.0);
+  if (delta.sum_seconds < 0.0) delta.sum_seconds = 0.0;
+  bool first_seen = false;
+  for (std::size_t b = 0; b < delta.buckets.size(); ++b) {
+    const std::uint64_t before = prev != nullptr ? prev->buckets[b] : 0;
+    delta.buckets[b] = now.buckets[b] - before;
+    if (delta.buckets[b] == 0) continue;
+    const double lo_us = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi_us = std::ldexp(1.0, static_cast<int>(b));
+    if (!first_seen) {
+      delta.min_seconds = lo_us / 1e6;
+      first_seen = true;
+    }
+    delta.max_seconds = hi_us / 1e6;
+  }
+  return delta;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      published_(std::make_shared<const std::vector<Window>>()) {}
+
+void TimeSeries::record(const Registry::Snapshot& snapshot, std::uint64_t t_ms,
+                        std::uint64_t steady_us) {
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  last_ms_.store(t_ms, std::memory_order_relaxed);
+  last_steady_us_.store(steady_us, std::memory_order_relaxed);
+  if (!has_prev_) {
+    prev_ = snapshot;
+    prev_steady_us_ = steady_us;
+    has_prev_ = true;
+    return;
+  }
+
+  Window window;
+  window.seq = next_seq_++;
+  window.t_ms = t_ms;
+  window.span_seconds =
+      steady_us > prev_steady_us_
+          ? static_cast<double>(steady_us - prev_steady_us_) / 1e6
+          : 0.0;
+
+  // Both snapshot vectors are sorted by name; walk them in lockstep. A
+  // counter absent from the baseline (first touched this window) counts
+  // from zero. Counters can only appear, never vanish — the registry
+  // interns names for its lifetime.
+  std::size_t pi = 0;
+  for (const auto& c : snapshot.counters) {
+    while (pi < prev_.counters.size() && prev_.counters[pi].name < c.name) pi++;
+    const std::uint64_t before =
+        pi < prev_.counters.size() && prev_.counters[pi].name == c.name
+            ? prev_.counters[pi].value
+            : 0;
+    if (c.value <= before) continue;  // idle counter: no window entry
+    CounterWindow cw;
+    cw.name = c.name;
+    cw.delta = c.value - before;
+    cw.rate_per_s = window.span_seconds > 0.0
+                        ? static_cast<double>(cw.delta) / window.span_seconds
+                        : 0.0;
+    window.counters.push_back(std::move(cw));
+  }
+  pi = 0;
+  for (const auto& h : snapshot.histograms) {
+    while (pi < prev_.histograms.size() && prev_.histograms[pi].name < h.name) {
+      pi++;
+    }
+    const Registry::HistogramValue* before =
+        pi < prev_.histograms.size() && prev_.histograms[pi].name == h.name
+            ? &prev_.histograms[pi]
+            : nullptr;
+    const Registry::HistogramValue delta = window_histogram(h, before);
+    if (delta.count == 0) continue;
+    HistogramWindow hw;
+    hw.name = h.name;
+    hw.count = delta.count;
+    hw.sum_seconds = delta.sum_seconds;
+    hw.p50_seconds = histogram_quantile(delta, 0.5);
+    hw.p90_seconds = histogram_quantile(delta, 0.9);
+    hw.p99_seconds = histogram_quantile(delta, 0.99);
+    window.histograms.push_back(std::move(hw));
+  }
+
+  auto current = std::atomic_load_explicit(&published_, std::memory_order_acquire);
+  auto next = std::make_shared<std::vector<Window>>();
+  next->reserve(std::min(current->size() + 1, capacity_));
+  const std::size_t drop =
+      current->size() + 1 > capacity_ ? current->size() + 1 - capacity_ : 0;
+  next->insert(next->end(), current->begin() + static_cast<std::ptrdiff_t>(drop),
+               current->end());
+  next->push_back(std::move(window));
+  std::atomic_store_explicit(
+      &published_,
+      std::shared_ptr<const std::vector<Window>>(std::move(next)),
+      std::memory_order_release);
+
+  prev_ = snapshot;
+  prev_steady_us_ = steady_us;
+}
+
+std::shared_ptr<const std::vector<TimeSeries::Window>> TimeSeries::windows()
+    const {
+  return std::atomic_load_explicit(&published_, std::memory_order_acquire);
+}
+
+Sampler::Sampler(TimeSeries& series, Registry& registry, double interval_ms)
+    : series_(series),
+      registry_(registry),
+      interval_ms_(interval_ms > 0.0 ? interval_ms : 0.0) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (interval_ms_ <= 0.0 || thread_.joinable()) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t Sampler::last_sample_age_us() const {
+  const std::uint64_t last = series_.last_sample_steady_us();
+  if (last == 0) return 0;
+  const auto now = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  const auto now_us = static_cast<std::uint64_t>(now);
+  return now_us > last ? now_us - last : 0;
+}
+
+void Sampler::run() {
+  const auto sample = [this] {
+    const std::uint64_t t_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    const std::uint64_t steady_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    series_.record(registry_.snapshot(), t_ms, steady_us);
+  };
+  sample();  // baseline: the first real window closes one interval later
+  const auto interval = std::chrono::duration<double, std::milli>(interval_ms_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    lock.unlock();
+    sample();
+    lock.lock();
+  }
+}
+
+}  // namespace trojanscout::telemetry

@@ -1,0 +1,137 @@
+// Continuous-monitoring time series: a bounded ring of per-window metric
+// deltas derived from consecutive Registry snapshots.
+//
+// The Registry answers "how much since the process started"; a daemon
+// meant to serve traffic for days also needs "how fast right now" and
+// "how fast five minutes ago". A background Sampler thread snapshots the
+// registry every --sample-interval-ms and folds each pair of consecutive
+// snapshots into one Window: counters become deltas + rates over the
+// window, histograms become per-window sample counts with p50/p90/p99
+// estimated from the log2-µs bucket deltas. The ring keeps the newest
+// `capacity` windows, so memory is bounded no matter how long the daemon
+// lives (default 120 windows ≈ 2 minutes of history at 1 Hz).
+//
+// Concurrency: single writer (the sampler thread), lock-free readers.
+// record() builds a fresh immutable window vector and publishes it through
+// one atomic shared_ptr store; windows() is one atomic load. Readers never
+// block the sampler and the sampler never blocks a stats/metrics reply —
+// the copy cost stays O(capacity) per sample, trivial at sampling rates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace trojanscout::telemetry {
+
+class TimeSeries {
+ public:
+  /// One counter's movement over a window. Only counters that moved are
+  /// recorded — an idle daemon's windows stay near-empty.
+  struct CounterWindow {
+    std::string name;
+    std::uint64_t delta = 0;
+    double rate_per_s = 0.0;  // delta / span_seconds (0 when span unknown)
+  };
+
+  /// One histogram's samples recorded during a window, with tail
+  /// quantiles estimated from the window's log2-µs bucket deltas (same
+  /// estimator as telemetry::histogram_quantile).
+  struct HistogramWindow {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p90_seconds = 0.0;
+    double p99_seconds = 0.0;
+  };
+
+  struct Window {
+    std::uint64_t seq = 0;        // strictly increasing window ordinal
+    std::uint64_t t_ms = 0;       // wall clock at the closing sample
+    double span_seconds = 0.0;    // distance to the previous sample
+    std::vector<CounterWindow> counters;      // sorted by name, moved only
+    std::vector<HistogramWindow> histograms;  // sorted by name, moved only
+  };
+
+  explicit TimeSeries(std::size_t capacity = 120);
+
+  /// Writer side (one thread). The first call only establishes the delta
+  /// baseline and produces no window; every later call appends the window
+  /// between the previous snapshot and this one. `t_ms` is wall clock,
+  /// `steady_us` a monotonic clock (spans and staleness use the monotonic
+  /// one; wall time is display-only).
+  void record(const Registry::Snapshot& snapshot, std::uint64_t t_ms,
+              std::uint64_t steady_us);
+
+  /// Reader side, lock-free: the newest windows, oldest first. The
+  /// returned vector is immutable — record() publishes a fresh one.
+  [[nodiscard]] std::shared_ptr<const std::vector<Window>> windows() const;
+
+  /// Total record() calls (baseline sample included).
+  [[nodiscard]] std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  /// Monotonic timestamp of the newest sample; 0 before the first.
+  [[nodiscard]] std::uint64_t last_sample_steady_us() const {
+    return last_steady_us_.load(std::memory_order_relaxed);
+  }
+  /// Wall-clock of the newest sample; 0 before the first.
+  [[nodiscard]] std::uint64_t last_sample_ms() const {
+    return last_ms_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  // Writer-private delta baseline.
+  Registry::Snapshot prev_;
+  bool has_prev_ = false;
+  std::uint64_t prev_steady_us_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> last_steady_us_{0};
+  std::atomic<std::uint64_t> last_ms_{0};
+  std::shared_ptr<const std::vector<Window>> published_;  // atomic access
+};
+
+/// Background sampler feeding a TimeSeries from a Registry: one thread,
+/// one snapshot per interval (plus an immediate baseline at start()).
+class Sampler {
+ public:
+  Sampler(TimeSeries& series, Registry& registry, double interval_ms);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void start();
+  /// Stops and joins the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] double interval_ms() const { return interval_ms_; }
+  /// Microseconds since the newest sample on the sampler's monotonic
+  /// clock; a value far above interval_ms means the sampler is stalled.
+  [[nodiscard]] std::uint64_t last_sample_age_us() const;
+
+ private:
+  void run();
+
+  TimeSeries& series_;
+  Registry& registry_;
+  double interval_ms_;
+  std::thread thread_;
+  bool stop_ = false;  // guarded by mutex_
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace trojanscout::telemetry

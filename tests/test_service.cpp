@@ -25,12 +25,15 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "cache/verdict_cache.hpp"
 #include "core/parallel_detector.hpp"
 #include "designs/catalog.hpp"
 #include "proof/json.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
+#include "service/exposition.hpp"
 #include "service/protocol.hpp"
 #include "service/telemetry_wire.hpp"
 #include "specdsl/specdsl.hpp"
@@ -583,6 +586,209 @@ TEST(AuditDaemon, ConcurrentConnectionsAllMatchTheDirectSignature) {
   EXPECT_EQ(computed, obligations)
       << "in-flight dedupe must compute each obligation exactly once";
   EXPECT_EQ(daemon.jobs_completed(), static_cast<std::uint64_t>(kClients));
+}
+
+// ---- Prometheus exposition (the `metrics` verb's wire format) ------------
+
+TEST(Exposition, RenderedDocumentParsesBackExactly) {
+  telemetry::Registry registry;
+  registry.set_enabled(true);
+  registry.add(registry.counter("cache.hit"), 42);
+  const telemetry::MetricId solve = registry.histogram("solve");
+  registry.record_seconds(solve, 0.001);
+  registry.record_seconds(solve, 0.004);
+
+  const std::vector<ExtraCounter> extra = {{"service.jobs_completed", 7}};
+  const std::vector<GaugeSample> gauges = {
+      {"trojanscout_worker_up", 1.0, {{"worker", "w0"}}},
+      {"trojanscout_worker_up", 0.0, {{"worker", "w1"}}},
+      {"trojanscout_queue_depth", 3.0, {}},
+  };
+  const std::string text =
+      to_prometheus_text(registry.snapshot(), extra, gauges);
+
+  ParsedExposition parsed;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus_text(text, parsed, &error)) << error;
+
+  // Counters go through the sanitize/prefix/suffix mapping.
+  EXPECT_EQ(parsed.counters.at("trojanscout_cache_hit_total"), 42u);
+  EXPECT_EQ(parsed.counters.at("trojanscout_service_jobs_completed_total"),
+            7u);
+
+  // The parser keeps the first sample of a labelled gauge family and the
+  // family only carries one TYPE line for both workers.
+  EXPECT_EQ(parsed.gauges.at("trojanscout_worker_up"), 1.0);
+  EXPECT_EQ(parsed.gauges.at("trojanscout_queue_depth"), 3.0);
+
+  const auto& hist = parsed.histograms.at("trojanscout_solve_seconds");
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_NEAR(hist.sum_seconds, 0.005, 1e-9);
+  ASSERT_FALSE(hist.buckets.empty());
+  // Bucket bounds are strictly increasing and counts cumulative; the
+  // closing bucket is +Inf and equals _count.
+  for (std::size_t i = 1; i < hist.buckets.size(); ++i) {
+    EXPECT_LT(hist.buckets[i - 1].first, hist.buckets[i].first);
+    EXPECT_LE(hist.buckets[i - 1].second, hist.buckets[i].second);
+  }
+  EXPECT_TRUE(std::isinf(hist.buckets.back().first));
+  EXPECT_EQ(hist.buckets.back().second, hist.count);
+
+  // Determinism: the identical snapshot renders byte-identically.
+  EXPECT_EQ(text, to_prometheus_text(registry.snapshot(), extra, gauges));
+}
+
+TEST(Exposition, ParserRejectsMalformedDocuments) {
+  const auto rejects = [](const std::string& text) {
+    ParsedExposition parsed;
+    std::string error;
+    const bool ok = parse_prometheus_text(text, parsed, &error);
+    EXPECT_FALSE(ok) << "accepted:\n" << text;
+    if (!ok) EXPECT_FALSE(error.empty());
+    return !ok;
+  };
+
+  // Sample before its TYPE line.
+  EXPECT_TRUE(rejects("trojanscout_x_total 1\n"));
+  // Duplicate TYPE for the same family.
+  EXPECT_TRUE(
+      rejects("# TYPE trojanscout_x_total counter\n"
+              "trojanscout_x_total 1\n"
+              "# TYPE trojanscout_x_total counter\n"
+              "trojanscout_x_total 2\n"));
+  // Histogram buckets must be cumulative.
+  EXPECT_TRUE(
+      rejects("# TYPE trojanscout_h_seconds histogram\n"
+              "trojanscout_h_seconds_bucket{le=\"0.001\"} 5\n"
+              "trojanscout_h_seconds_bucket{le=\"0.002\"} 3\n"
+              "trojanscout_h_seconds_bucket{le=\"+Inf\"} 5\n"
+              "trojanscout_h_seconds_sum 0.01\n"
+              "trojanscout_h_seconds_count 5\n"));
+  // The +Inf bucket must equal _count.
+  EXPECT_TRUE(
+      rejects("# TYPE trojanscout_h_seconds histogram\n"
+              "trojanscout_h_seconds_bucket{le=\"0.001\"} 4\n"
+              "trojanscout_h_seconds_bucket{le=\"+Inf\"} 4\n"
+              "trojanscout_h_seconds_sum 0.01\n"
+              "trojanscout_h_seconds_count 5\n"));
+}
+
+TEST(TelemetryWire, MergeSnapshotEdgeCases) {
+  telemetry::Registry empty_a;
+  telemetry::Registry empty_b;
+  empty_a.set_enabled(true);
+  empty_b.set_enabled(true);
+
+  // empty + empty stays empty.
+  telemetry::Registry::Snapshot into = empty_a.snapshot();
+  merge_snapshot(into, empty_b.snapshot());
+  EXPECT_TRUE(into.counters.empty());
+  EXPECT_TRUE(into.histograms.empty());
+
+  // Merging into an empty snapshot copies the source exactly.
+  telemetry::Registry source;
+  source.set_enabled(true);
+  source.add(source.counter("x"), 3);
+  source.record_seconds(source.histogram("h"), 0.002);
+  merge_snapshot(into, source.snapshot());
+  ASSERT_EQ(into.counters.size(), 1u);
+  EXPECT_EQ(into.counters[0].name, "x");
+  EXPECT_EQ(into.counters[0].value, 3u);
+  ASSERT_EQ(into.histograms.size(), 1u);
+  EXPECT_EQ(into.histograms[0].count, 1u);
+
+  // Disjoint names interleave sorted; shared names sum.
+  telemetry::Registry other;
+  other.set_enabled(true);
+  other.add(other.counter("w"), 1);
+  other.add(other.counter("x"), 2);
+  other.record_seconds(other.histogram("h"), 0.008);
+  merge_snapshot(into, other.snapshot());
+  ASSERT_EQ(into.counters.size(), 2u);
+  EXPECT_EQ(into.counters[0].name, "w");
+  EXPECT_EQ(into.counters[0].value, 1u);
+  EXPECT_EQ(into.counters[1].name, "x");
+  EXPECT_EQ(into.counters[1].value, 5u);
+  ASSERT_EQ(into.histograms.size(), 1u);
+  EXPECT_EQ(into.histograms[0].count, 2u);
+  EXPECT_NEAR(into.histograms[0].sum_seconds, 0.010, 1e-9);
+  EXPECT_NEAR(into.histograms[0].min_seconds, 0.002, 1e-9);
+  EXPECT_NEAR(into.histograms[0].max_seconds, 0.008, 1e-9);
+}
+
+TEST(AuditDaemon, MetricsVerbRendersExpositionConsistentWithStats) {
+  ServiceFixture fx;
+  AuditDaemon::Options options;
+  options.endpoint = fx.socket_path;
+  options.jobs = 2;
+  options.sample_interval_ms = 25;
+  AuditDaemon daemon(options);
+  daemon.start();
+
+  proof::Json stats;
+  proof::Json metrics;
+  run_leg("submit + stats + metrics conversation", [&] {
+    Client client(fx.socket_path);
+    const SubmitResult result = submit_audit(client, fx.job());
+    ASSERT_TRUE(result.ok) << result.error;
+
+    client.send_line(control_request_line("stats"));
+    ASSERT_TRUE(client.read_response(stats));
+    client.send_line(control_request_line("metrics"));
+    ASSERT_TRUE(client.read_response(metrics));
+  });
+  daemon.stop();
+
+  ASSERT_EQ(stats.find("type")->as_string(), "stats");
+  ASSERT_EQ(metrics.find("type")->as_string(), "metrics");
+  EXPECT_EQ(metrics.find("content_type")->as_string(),
+            "text/plain; version=0.0.4");
+
+  ParsedExposition parsed;
+  std::string error;
+  ASSERT_NE(metrics.find("body"), nullptr);
+  ASSERT_TRUE(parse_prometheus_text(metrics.find("body")->as_string(), parsed,
+                                    &error))
+      << error;
+
+  // Daemon-level extra counters agree with the stats reply.
+  const auto jobs = static_cast<std::uint64_t>(
+      stats.find("jobs_completed")->as_int());
+  EXPECT_EQ(jobs, 1u);
+  EXPECT_EQ(parsed.counters.at("trojanscout_service_jobs_completed_total"),
+            jobs);
+
+  // Registry counters agree: both replies read the same (idle) registry.
+  telemetry::Registry::Snapshot snapshot;
+  ASSERT_NE(stats.find("telemetry"), nullptr);
+  ASSERT_TRUE(snapshot_from_json(*stats.find("telemetry"), snapshot, &error))
+      << error;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name != "engine.runs") continue;
+    EXPECT_EQ(parsed.counters.at("trojanscout_engine_runs_total"),
+              counter.value);
+  }
+
+  // Liveness gauges.
+  EXPECT_EQ(parsed.gauges.at("trojanscout_up"), 1.0);
+  EXPECT_GE(parsed.gauges.at("trojanscout_uptime_seconds"), 0.0);
+  // The last obligation's pool task may still be retiring when the job
+  // reply lands, so the depth is 0 or a small residue — never negative.
+  EXPECT_GE(parsed.gauges.at("trojanscout_queue_depth"), 0.0);
+  EXPECT_LE(parsed.gauges.at("trojanscout_queue_depth"), 2.0);
+  EXPECT_GE(parsed.gauges.at("trojanscout_sampler_last_sample_age_seconds"),
+            0.0);
+
+  // The background sampler ran: uptime_ms + sampler block + series array.
+  ASSERT_NE(stats.find("uptime_ms"), nullptr);
+  const proof::Json* sampler = stats.find("sampler");
+  ASSERT_NE(sampler, nullptr);
+  EXPECT_TRUE(sampler->find("enabled")->as_bool());
+  EXPECT_EQ(sampler->find("interval_ms")->as_double(), 25.0);
+  EXPECT_GE(sampler->find("samples")->as_int(), 1);
+  const proof::Json* series = stats.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_TRUE(series->is_array());
 }
 
 }  // namespace

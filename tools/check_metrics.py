@@ -8,9 +8,16 @@ The file kind is auto-detected from its shape:
   * "schema": "trojanscout-profile-v1"    -> --profile-out phase profile;
   * "schema": "trojanscout-bench-v1"      -> --bench-out history artifact;
   * "schema": "trojanscout-corpus-v1"     -> fuzz --out mutation corpus;
+  * "schema": "trojanscout-flight-v1"     -> audit --flight-out per-frame
+    search-counter windows;
+  * first line starting with "# TYPE"     -> Prometheus text exposition
+    (submit --metrics output: TYPE before samples, counter families end
+    in _total, histogram buckets strictly increasing / cumulative with
+    the +Inf bucket equal to _count);
   * a JSON object with "type": "stats"    -> daemon / fleet stats reply
     (submit --stats --json output; against a coordinator, the merged
-    telemetry must equal the exact sum of the per-worker snapshots);
+    telemetry must equal the exact sum of the per-worker snapshots, and
+    the sampler/series/slo blocks must be well-formed);
   * first line "type": "header" carrying
     "schema": "trojanscout-events-v1"     -> --events-out structured event
     log (known event types, required per-type fields, strictly
@@ -24,7 +31,15 @@ CI runs this over every artifact a quick audit + bench run produces, so a
 schema drift between the C++ emitters and this file fails the build.
 
 Usage: check_metrics.py FILE [FILE...]
+       check_metrics.py --diff-exposition BEFORE AFTER
        check_metrics.py --self-test
+
+--diff-exposition validates two scrapes of the same target taken in that
+order: every counter and histogram count present in BEFORE must still be
+present in AFTER with a value >= BEFORE's — cumulative families never go
+backwards over a daemon's lifetime, so a shrinking counter means the
+scrape hit a restarted or different process.
+
 Exit codes: 0 = all files valid, 1 = violation (details on stderr).
 """
 
@@ -193,6 +208,11 @@ EVENT_SCHEMAS = {
                     "requested": int, "retry_after_ms": int},
     "claim_steal": {"key": str, "age_s": (int, float)},
     "cache_corrupt_skip": {"key": str, "dir": str},
+    # SLO deadline breach (fleet/coordinator.cpp): scope "job" carries the
+    # whole-job overrun, scope "obligation" additionally names the worker
+    # and property that blew the per-obligation budget.
+    "slo_breach": {"job": str, "scope": str, "elapsed_ms": (int, float),
+                   "slo_ms": (int, float)},
 }
 
 # telemetry::Registry::kHistogramBuckets (log2-microsecond buckets).
@@ -253,6 +273,16 @@ def check_events(text):
             err = check_field(record, key, expected)
             if err:
                 errors.append(f"line {lineno} ({rtype}): {err}")
+        if rtype == "slo_breach":
+            scope = record.get("scope")
+            if scope not in ("job", "obligation"):
+                errors.append(f"line {lineno} (slo_breach): scope "
+                              f"{scope!r} is not 'job' or 'obligation'")
+            if scope == "obligation":
+                for key, expected in (("worker", str), ("property", str)):
+                    err = check_field(record, key, expected)
+                    if err:
+                        errors.append(f"line {lineno} (slo_breach): {err}")
         if rtype == "header" and record.get("schema") != EVENTS_SCHEMA_NAME:
             errors.append(f"line {lineno}: unknown events schema "
                           f"{record.get('schema')!r}")
@@ -355,6 +385,58 @@ def check_merged_telemetry(merged, worker_snapshots):
     return errors
 
 
+def check_series(series, label):
+    """The "series" block of a stats reply: sampled windows, oldest first
+    (service/telemetry_wire.cpp series_to_json)."""
+    errors = []
+    if not isinstance(series, list):
+        return [f"{label}: not a list"]
+    previous_seq = None
+    for i, window in enumerate(series):
+        wlabel = f"{label}[{i}]"
+        if not isinstance(window, dict):
+            errors.append(f"{wlabel}: not an object")
+            continue
+        for key, expected in (("seq", int), ("t_ms", int),
+                              ("span_s", (int, float)), ("counters", dict),
+                              ("histograms", dict)):
+            err = check_field(window, key, expected)
+            if err:
+                errors.append(f"{wlabel}: {err}")
+        seq = window.get("seq")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            if previous_seq is not None and seq != previous_seq + 1:
+                errors.append(f"{wlabel}: seq {seq} does not follow "
+                              f"{previous_seq}")
+            previous_seq = seq
+        for name, entry in window.get("counters", {}).items() \
+                if isinstance(window.get("counters"), dict) else []:
+            if not isinstance(entry, dict):
+                errors.append(f"{wlabel}: counter '{name}' is not an object")
+                continue
+            for key in ("delta", "rate_per_s"):
+                err = check_field(entry, key, (int, float))
+                if err:
+                    errors.append(f"{wlabel} counter '{name}': {err}")
+        for name, entry in window.get("histograms", {}).items() \
+                if isinstance(window.get("histograms"), dict) else []:
+            if not isinstance(entry, dict):
+                errors.append(f"{wlabel}: histogram '{name}' is not an "
+                              f"object")
+                continue
+            for key in ("count", "sum_s", "p50_s", "p90_s", "p99_s"):
+                err = check_field(entry, key, (int, float))
+                if err:
+                    errors.append(f"{wlabel} histogram '{name}': {err}")
+            quantiles = [entry.get(k) for k in ("p50_s", "p90_s", "p99_s")]
+            if all(isinstance(q, (int, float)) and not isinstance(q, bool)
+                   for q in quantiles) and not (
+                       quantiles[0] <= quantiles[1] <= quantiles[2]):
+                errors.append(f"{wlabel} histogram '{name}': quantiles "
+                              f"{quantiles} are not monotone")
+    return errors
+
+
 def check_slowest(slowest, label):
     """Tail-attribution table rows (fleet stats reply / report line)."""
     errors = []
@@ -400,6 +482,35 @@ def check_stats(doc):
                                      "coordinator_telemetry"))
     if "slowest" in doc:
         errors.extend(check_slowest(doc["slowest"], "slowest"))
+    if "uptime_ms" in doc:
+        err = check_field(doc, "uptime_ms", int)
+        if err:
+            errors.append(err)
+    sampler = doc.get("sampler")
+    if sampler is not None:
+        if not isinstance(sampler, dict):
+            errors.append("'sampler' is not an object")
+        else:
+            for key, expected in (("enabled", bool),
+                                  ("interval_ms", (int, float)),
+                                  ("samples", int), ("last_age_ms", int)):
+                err = check_field(sampler, key, expected)
+                if err:
+                    errors.append(f"sampler: {err}")
+    if "series" in doc:
+        errors.extend(check_series(doc["series"], "series"))
+    slo = doc.get("slo")
+    if slo is not None:
+        if not isinstance(slo, dict):
+            errors.append("'slo' is not an object")
+        else:
+            for key, expected in (("job_ms", (int, float)),
+                                  ("obligation_ms", (int, float)),
+                                  ("job_breaches", int),
+                                  ("obligation_breaches", int)):
+                err = check_field(slo, key, expected)
+                if err:
+                    errors.append(f"slo: {err}")
     workers = doc.get("workers")
     if workers is None:
         return errors  # single-daemon reply: no fan-out to cross-check
@@ -416,11 +527,226 @@ def check_stats(doc):
             err = check_field(worker, key, expected)
             if err:
                 errors.append(f"{label}: {err}")
+        if "responding" in worker:
+            err = check_field(worker, "responding", bool)
+            if err:
+                errors.append(f"{label}: {err}")
+            if worker["responding"] is False and "telemetry" in worker:
+                errors.append(f"{label}: unresponsive worker still carries "
+                              f"a telemetry snapshot")
         if "telemetry" in worker:
             errors.extend(check_snapshot(worker["telemetry"], label))
             snapshots.append(worker["telemetry"])
     if not errors and isinstance(doc.get("telemetry"), dict):
         errors.extend(check_merged_telemetry(doc["telemetry"], snapshots))
+    return errors
+
+
+def is_exposition(text):
+    """True when the first non-empty line is a Prometheus # TYPE comment."""
+    for line in text.splitlines():
+        if line.strip():
+            return line.startswith("# TYPE ")
+    return False
+
+
+def parse_exposition(text):
+    """Parses Prometheus text exposition (format 0.0.4) enforcing the
+    invariants the C++ renderer guarantees (service/exposition.cpp).
+    Returns (families, errors); families maps family name ->
+    {"type": ..., "samples": [(full_name, labels_str, value), ...]}."""
+    errors = []
+    families = {}
+    sample_owner = {}  # metric base name -> family name
+
+    def family_of(name):
+        if name in sample_owner:
+            return sample_owner[name]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in sample_owner:
+                owner = sample_owner[name[:-len(suffix)]]
+                if families[owner]["type"] == "histogram":
+                    return owner
+        return None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE comment")
+                continue
+            name, ftype = parts[2], parts[3]
+            if ftype not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: unknown family type "
+                              f"{ftype!r}")
+                continue
+            if name in families:
+                errors.append(f"line {lineno}: duplicate TYPE for "
+                              f"'{name}'")
+                continue
+            if ftype == "counter" and not name.endswith("_total"):
+                errors.append(f"line {lineno}: counter family '{name}' "
+                              f"does not end in _total")
+            families[name] = {"type": ftype, "samples": []}
+            sample_owner[name] = name
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal noise
+        # Sample line: name[{labels}] value
+        body = line.strip()
+        brace = body.find("{")
+        if brace >= 0:
+            close = body.rfind("}")
+            if close < brace:
+                errors.append(f"line {lineno}: unbalanced labels")
+                continue
+            name = body[:brace]
+            labels = body[brace + 1:close]
+            rest = body[close + 1:].split()
+        else:
+            fields = body.split()
+            if len(fields) < 2:
+                errors.append(f"line {lineno}: sample lacks a value")
+                continue
+            name, labels, rest = fields[0], "", fields[1:]
+        if not rest:
+            errors.append(f"line {lineno}: sample lacks a value")
+            continue
+        try:
+            value = float(rest[0])
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {rest[0]!r}")
+            continue
+        owner = family_of(name)
+        if owner is None:
+            errors.append(f"line {lineno}: sample '{name}' precedes its "
+                          f"TYPE comment")
+            continue
+        families[owner]["samples"].append((name, labels, value))
+
+    # Histogram shape: strictly increasing le, cumulative counts, a +Inf
+    # bucket equal to _count, and both _sum and _count present.
+    for name, family in families.items():
+        if not family["samples"]:
+            errors.append(f"family '{name}' declared but never sampled")
+        if family["type"] == "counter":
+            for sample_name, _, value in family["samples"]:
+                if value < 0:
+                    errors.append(f"counter '{sample_name}' is negative")
+        if family["type"] != "histogram":
+            continue
+        buckets = []
+        count = None
+        has_sum = False
+        for sample_name, labels, value in family["samples"]:
+            if sample_name == name + "_bucket":
+                le = None
+                for part in labels.split(","):
+                    if part.startswith("le="):
+                        raw = part[3:].strip('"')
+                        le = math.inf if raw == "+Inf" else float(raw)
+                if le is None:
+                    errors.append(f"histogram '{name}': bucket without le")
+                    continue
+                buckets.append((le, value))
+            elif sample_name == name + "_count":
+                count = value
+            elif sample_name == name + "_sum":
+                has_sum = True
+        if count is None or not has_sum:
+            errors.append(f"histogram '{name}': missing _count or _sum")
+        for i in range(1, len(buckets)):
+            if buckets[i][0] <= buckets[i - 1][0]:
+                errors.append(f"histogram '{name}': le bounds not strictly "
+                              f"increasing")
+                break
+            if buckets[i][1] < buckets[i - 1][1]:
+                errors.append(f"histogram '{name}': bucket counts not "
+                              f"cumulative")
+                break
+        if not buckets or not math.isinf(buckets[-1][0]):
+            errors.append(f"histogram '{name}': missing +Inf bucket")
+        elif count is not None and buckets[-1][1] != count:
+            errors.append(f"histogram '{name}': +Inf bucket "
+                          f"{buckets[-1][1]} != _count {count}")
+    return families, errors
+
+
+def check_exposition(text):
+    return parse_exposition(text)[1]
+
+
+def diff_expositions(before_text, after_text):
+    """Cumulative families from two scrapes of one live process, taken in
+    that order: every counter / histogram count in BEFORE must be present
+    and >= in AFTER."""
+    before, errors_a = parse_exposition(before_text)
+    after, errors_b = parse_exposition(after_text)
+    errors = [f"before: {e}" for e in errors_a]
+    errors += [f"after: {e}" for e in errors_b]
+    if errors:
+        return errors
+
+    def cumulative_samples(families):
+        out = {}
+        for name, family in families.items():
+            if family["type"] == "counter":
+                for sample_name, labels, value in family["samples"]:
+                    out[f"{sample_name}{{{labels}}}"] = value
+            elif family["type"] == "histogram":
+                for sample_name, labels, value in family["samples"]:
+                    if sample_name == name + "_count":
+                        out[f"{sample_name}{{{labels}}}"] = value
+        return out
+
+    want = cumulative_samples(before)
+    got = cumulative_samples(after)
+    for key, old in sorted(want.items()):
+        if key not in got:
+            errors.append(f"'{key}' present before, missing after")
+        elif got[key] < old:
+            errors.append(f"'{key}' went backwards: {old} -> {got[key]} "
+                          f"(scrape hit a restarted process?)")
+    return errors
+
+
+def check_flight(doc):
+    """audit --flight-out per-frame search-counter windows."""
+    errors = []
+    for key, expected in (("design", str), ("engine", str), ("runs", list)):
+        err = check_field(doc, key, expected)
+        if err:
+            errors.append(err)
+    for run in doc.get("runs", []) if isinstance(doc.get("runs"), list) \
+            else []:
+        if not isinstance(run, dict):
+            errors.append("run entry is not an object")
+            continue
+        label = f"run '{run.get('property', '?')}'"
+        for key, expected in (("property", str), ("status", str),
+                              ("windows", list)):
+            err = check_field(run, key, expected)
+            if err:
+                errors.append(f"{label}: {err}")
+        previous_frame = None
+        for i, window in enumerate(run.get("windows", [])) \
+                if isinstance(run.get("windows"), list) else []:
+            if not isinstance(window, dict):
+                errors.append(f"{label} window {i}: not an object")
+                continue
+            for key in ("frame", "decisions", "propagations", "conflicts",
+                        "restarts", "backtracks", "implications", "wall_us"):
+                err = check_field(window, key, int)
+                if err:
+                    errors.append(f"{label} window {i}: {err}")
+            frame = window.get("frame")
+            if isinstance(frame, int) and not isinstance(frame, bool):
+                if previous_frame is not None and frame <= previous_frame:
+                    errors.append(f"{label} window {i}: frame {frame} not "
+                                  f"increasing (previous {previous_frame})")
+                previous_frame = frame
     return errors
 
 
@@ -566,7 +892,8 @@ def check_bench(doc):
     # otherwise slip past the bench_compare gate as "no regression".
     if doc.get("bench") == "service_throughput":
         required = {"cold/audit", "warm/p50", "warm/p99", "warm/mean",
-                    "mixed/p50", "mixed/p99", "mixed/mean"}
+                    "mixed/p50", "mixed/p99", "mixed/mean",
+                    "sampler_off/mean", "sampler_on/mean"}
         names = {case.get("name") for case in doc.get("cases", [])
                  if isinstance(case, dict)}
         for missing in sorted(required - names):
@@ -699,6 +1026,11 @@ def check_text(path, text):
     if is_events_stream(text):
         return [f"{path} (events): {e}" for e in check_events(text)]
 
+    # A Prometheus exposition opens with its first family's TYPE comment
+    # and is not JSON at all.
+    if is_exposition(text):
+        return [f"{path} (exposition): {e}" for e in check_exposition(text)]
+
     # Single-document artifacts (trace / profile / bench / stats) parse as
     # one JSON object; --metrics-out files are one object per line.
     doc = None
@@ -714,6 +1046,8 @@ def check_text(path, text):
         return [f"{path} (bench): {e}" for e in check_bench(doc)]
     if isinstance(doc, dict) and doc.get("schema") == "trojanscout-corpus-v1":
         return [f"{path} (corpus): {e}" for e in check_corpus(doc)]
+    if isinstance(doc, dict) and doc.get("schema") == "trojanscout-flight-v1":
+        return [f"{path} (flight): {e}" for e in check_flight(doc)]
     if isinstance(doc, dict) and "schema" in doc:
         return [f"{path}: unknown schema {doc['schema']!r}"]
     if isinstance(doc, dict) and doc.get("type") == "stats":
@@ -763,7 +1097,12 @@ def _self_test_samples():
         {"type": "cache_corrupt_skip", "seq": 7, "ts_ms": 7, "key": "k",
          "dir": "/tmp/l2"},
         {"type": "worker_rejoined", "seq": 8, "ts_ms": 9, "endpoint":
-         "tcp:w0", "live": 2})
+         "tcp:w0", "live": 2},
+        {"type": "slo_breach", "seq": 9, "ts_ms": 10, "job": "j",
+         "scope": "job", "elapsed_ms": 104.5, "slo_ms": 100},
+        {"type": "slo_breach", "seq": 10, "ts_ms": 11, "job": "j",
+         "scope": "obligation", "property": "sp/way0", "worker": "tcp:w0",
+         "elapsed_ms": 55.0, "slo_ms": 50})
     gap_events = jsonl(
         header,
         {"type": "worker_up", "seq": 2, "ts_ms": 2, "endpoint": "tcp:w0"})
@@ -773,6 +1112,11 @@ def _self_test_samples():
     misfield_events = jsonl(
         header,
         {"type": "worker_down", "seq": 1, "ts_ms": 2, "endpoint": "tcp:w0"})
+    # An obligation-scope breach must name the worker that blew the budget.
+    anonymous_breach = jsonl(
+        header,
+        {"type": "slo_breach", "seq": 1, "ts_ms": 2, "job": "j",
+         "scope": "obligation", "elapsed_ms": 55.0, "slo_ms": 50})
 
     w0 = {"counters": {"fleet.jobs": 3, "cache.hits": 5},
           "histograms": {"engine.solve": hist(4, 0.5, {10: 3, 12: 1})}}
@@ -786,13 +1130,26 @@ def _self_test_samples():
         "type": "stats", "endpoint": "tcp:127.0.0.1:7", "role":
         "coordinator", "pid": 42, "uptime_s": 1.5, "jobs_completed": 5,
         "retry_after_sent": 0, "reshards": 1, "bad_requests": 0,
+        "uptime_ms": 1500,
+        "sampler": {"enabled": True, "interval_ms": 1000.0, "samples": 3,
+                    "last_age_ms": 120},
+        "series": [
+            {"seq": 0, "t_ms": 1000, "span_s": 1.0,
+             "counters": {"fleet.jobs": {"delta": 2, "rate_per_s": 2.0}},
+             "histograms": {"engine.solve":
+                            {"count": 3, "sum_s": 0.4, "p50_s": 0.1,
+                             "p90_s": 0.2, "p99_s": 0.25}}},
+            {"seq": 1, "t_ms": 2000, "span_s": 1.0, "counters": {},
+             "histograms": {}}],
+        "slo": {"job_ms": 0, "obligation_ms": 0, "job_breaches": 0,
+                "obligation_breaches": 0},
         "workers": [
-            {"endpoint": "tcp:w0", "alive": True, "outstanding": 0,
-             "pid": 43, "uptime_s": 1.0, "jobs_completed": 3,
-             "bad_requests": 0, "telemetry": w0},
-            {"endpoint": "tcp:w1", "alive": True, "outstanding": 0,
-             "pid": 44, "uptime_s": 1.0, "jobs_completed": 2,
-             "bad_requests": 0, "telemetry": w1}],
+            {"endpoint": "tcp:w0", "alive": True, "responding": True,
+             "outstanding": 0, "pid": 43, "uptime_s": 1.0,
+             "jobs_completed": 3, "bad_requests": 0, "telemetry": w0},
+            {"endpoint": "tcp:w1", "alive": True, "responding": True,
+             "outstanding": 0, "pid": 44, "uptime_s": 1.0,
+             "jobs_completed": 2, "bad_requests": 0, "telemetry": w1}],
         "telemetry": merged,
         "coordinator_telemetry": {"counters": {"fleet.retry_after": 0},
                                   "histograms": {}},
@@ -811,6 +1168,52 @@ def _self_test_samples():
         "buckets"].pop()
     unsorted_tail = json.loads(json.dumps(stats))
     unsorted_tail["slowest"].reverse()
+    gapped_series = json.loads(json.dumps(stats))
+    gapped_series["series"][1]["seq"] = 5
+    ghost_snapshot = json.loads(json.dumps(stats))
+    ghost_snapshot["workers"][1]["responding"] = False
+
+    exposition = (
+        "# TYPE trojanscout_cache_hit_total counter\n"
+        "trojanscout_cache_hit_total 42\n"
+        "# TYPE trojanscout_worker_up gauge\n"
+        "trojanscout_worker_up{worker=\"tcp:w0\"} 1\n"
+        "trojanscout_worker_up{worker=\"tcp:w1\"} 0\n"
+        "# TYPE trojanscout_solve_seconds histogram\n"
+        "trojanscout_solve_seconds_bucket{le=\"0.001024\"} 1\n"
+        "trojanscout_solve_seconds_bucket{le=\"0.004096\"} 2\n"
+        "trojanscout_solve_seconds_bucket{le=\"+Inf\"} 2\n"
+        "trojanscout_solve_seconds_sum 0.005\n"
+        "trojanscout_solve_seconds_count 2\n")
+    orphan_sample = ("# TYPE trojanscout_ok_total counter\n"
+                     "trojanscout_ok_total 1\n"
+                     "trojanscout_orphan_total 42\n")
+    shrinking_buckets = exposition.replace(
+        "le=\"0.004096\"} 2", "le=\"0.004096\"} 0")
+    inf_mismatch = exposition.replace("le=\"+Inf\"} 2", "le=\"+Inf\"} 3")
+    untotaled_counter = exposition.replace(
+        "trojanscout_cache_hit_total", "trojanscout_cache_hit")
+    grown = exposition.replace(
+        "trojanscout_cache_hit_total 42", "trojanscout_cache_hit_total 50")
+    shrunk = exposition.replace(
+        "trojanscout_cache_hit_total 42", "trojanscout_cache_hit_total 7")
+
+    flight = {"schema": "trojanscout-flight-v1", "design": "mc8051",
+              "engine": "BMC", "runs": [
+                  {"property": "sp/way0", "status": "bound_reached",
+                   "windows": [
+                       {"frame": 0, "decisions": 25, "propagations": 178,
+                        "conflicts": 3, "restarts": 0, "backtracks": 0,
+                        "implications": 0, "wall_us": 45},
+                       {"frame": 1, "decisions": 11, "propagations": 96,
+                        "conflicts": 1, "restarts": 0, "backtracks": 0,
+                        "implications": 0, "wall_us": 30}]},
+                  {"property": "sp/way1", "status": "violated",
+                   "windows": []}]}
+    flight_backwards = json.loads(json.dumps(flight))
+    flight_backwards["runs"][0]["windows"][1]["frame"] = 0
+    flight_untimed = json.loads(json.dumps(flight))
+    del flight_untimed["runs"][0]["windows"][0]["wall_us"]
 
     trace = {"traceEvents": [
         {"name": "fleet:job:fleet-1", "ph": "B", "ts": 0, "pid": 1,
@@ -829,15 +1232,29 @@ def _self_test_samples():
         ("events/seq-gap", gap_events, False),
         ("events/unknown-type", unknown_events, False),
         ("events/missing-field", misfield_events, False),
+        ("events/anonymous-slo-breach", anonymous_breach, False),
         ("stats/good", json.dumps(stats), True),
         ("stats/merged-counter-drift", json.dumps(bad_counter), False),
         ("stats/merged-bucket-drift", json.dumps(bad_buckets), False),
         ("stats/short-buckets", json.dumps(short_buckets), False),
         ("stats/tail-unsorted", json.dumps(unsorted_tail), False),
+        ("stats/series-seq-gap", json.dumps(gapped_series), False),
+        ("stats/unresponsive-with-snapshot", json.dumps(ghost_snapshot),
+         False),
+        ("exposition/good", exposition, True),
+        ("exposition/sample-before-type", orphan_sample, False),
+        ("exposition/shrinking-buckets", shrinking_buckets, False),
+        ("exposition/inf-count-mismatch", inf_mismatch, False),
+        ("exposition/counter-without-total", untotaled_counter, False),
+        ("flight/good", json.dumps(flight), True),
+        ("flight/backwards-frame", json.dumps(flight_backwards), False),
+        ("flight/missing-wall-us", json.dumps(flight_untimed), False),
         ("trace/good", json.dumps(trace), True),
         ("trace/backwards-ts", json.dumps(bad_trace), False),
         ("unknown-schema", json.dumps({"schema": "trojanscout-bogus-v9"}),
          False),
+        ("diff/monotone", (exposition, grown), True),
+        ("diff/backwards", (exposition, shrunk), False),
     ]
 
 
@@ -846,7 +1263,10 @@ def self_test():
     accept every good sample and reject every bad one."""
     failures = []
     for name, text, should_pass in _self_test_samples():
-        errors = check_text(name, text)
+        if isinstance(text, tuple):  # (before, after) exposition diff pair
+            errors = diff_expositions(*text)
+        else:
+            errors = check_text(name, text)
         if should_pass and errors:
             failures.append(f"{name}: expected clean, got: " +
                             "; ".join(errors))
@@ -863,9 +1283,33 @@ def self_test():
     return 0
 
 
+def diff_exposition_files(before_path, after_path):
+    errors = []
+    texts = []
+    for path in (before_path, after_path):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                texts.append(f.read())
+        except OSError as e:
+            errors.append(f"{path}: {e}")
+    if not errors:
+        errors = diff_expositions(*texts)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"check_metrics --diff-exposition: FAILED "
+              f"({len(errors)} violations)", file=sys.stderr)
+        return 1
+    print(f"check_metrics --diff-exposition: OK "
+          f"({before_path} -> {after_path})")
+    return 0
+
+
 def main(argv):
     if len(argv) == 2 and argv[1] == "--self-test":
         return self_test()
+    if len(argv) == 4 and argv[1] == "--diff-exposition":
+        return diff_exposition_files(argv[2], argv[3])
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 1

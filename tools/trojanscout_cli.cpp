@@ -10,7 +10,7 @@
 //                         [--frames N] [--budget S] [--no-scan] [--no-bypass]
 //                         [--trace-out trace.json] [--metrics-out run.jsonl]
 //                         [--profile-out profile.json] [--progress[=SECS]]
-//                         [--stall-window SECS]
+//                         [--stall-window SECS] [--flight-out flight.json]
 //   trojanscout_cli prove --design ip.v --spec ip.spec --register cfg
 //                         [--max-k K]
 //   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
@@ -31,6 +31,7 @@
 //                          [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]
 //                          [--l2-dir DIR] [--l2-max-mb N] [--read-timeout S]
 //                          [--port-file FILE] [--events-out e.jsonl]
+//                          [--events-max-mb N] [--sample-interval-ms MS]
 //   trojanscout_cli serve-fleet --socket ENDPOINT
 //                          (--workers EP1,EP2,... | --spawn N)
 //                          [--l2-dir DIR] [--l2-max-mb N] [--queue-cap N]
@@ -38,12 +39,17 @@
 //                          [--run-dir DIR] [--port-file FILE]
 //                          [--health-interval S] [--worker-timeout S]
 //                          [--trace-out t.json] [--events-out e.jsonl]
+//                          [--events-max-mb N] [--sample-interval-ms MS]
+//                          [--slo-ms N] [--slo-obligation-ms N]
 //   trojanscout_cli submit --socket ENDPOINT --design ip.v --spec ip.spec
 //                          [--engine bmc|atpg] [--frames N] [--budget S]
 //                          [--no-scan] [--no-bypass] [--id NAME]
 //                          [--connect-retries N] [--overload-retries N]
 //                          [--signature-out FILE] [--quiet]
 //   trojanscout_cli submit --socket ENDPOINT --stats [--json]
+//   trojanscout_cli submit --socket ENDPOINT --metrics [--out FILE]
+//   trojanscout_cli top    --socket ENDPOINT [--interval-ms MS]
+//                          [--once] [--polls N] [--json]
 //
 // `audit` runs the paper's full Algorithm 1 over every register with a spec
 // block, scheduling the independent property checks across --jobs worker
@@ -81,11 +87,28 @@
 // clocks rebased into the coordinator's namespace); --events-out on
 // serve/serve-fleet appends a `trojanscout-events-v1` JSONL stream of
 // operational events (worker eviction, re-shards, retry-after refusals,
-// claim steals, corrupt-entry skips) — with --spawn, each worker also
-// gets its own workerN.events.jsonl under the run dir. `submit --stats`
-// queries a daemon or coordinator; against a coordinator the reply merges
-// every worker's telemetry registry exactly (counters summed, histogram
-// buckets added) and carries the slowest-obligations table.
+// claim steals, corrupt-entry skips, SLO breaches) — --events-max-mb
+// rotates the stream to FILE.1 when it grows past the cap, and with
+// --spawn, each worker also gets its own workerN.events.jsonl under the
+// run dir. `submit --stats` queries a daemon or coordinator; against a
+// coordinator the reply merges every worker's telemetry registry exactly
+// (counters summed, histogram buckets added) and carries the
+// slowest-obligations table.
+//
+// Continuous monitoring (PR 9): serve and serve-fleet run a background
+// sampler (--sample-interval-ms, 0 disables) that snapshots the counter
+// registry into a bounded in-memory time series — counters become
+// rate-over-window, timers become per-window p50/p90/p99 — carried in
+// every stats reply under "series". `submit --metrics` scrapes the same
+// state as Prometheus text exposition (the coordinator's scrape fans out
+// to every live worker and merges before rendering); `top` polls stats
+// into a live refreshing dashboard (per-worker throughput, cache hit
+// rate, queue depth, sparkline rate history, slowest obligations).
+// --slo-ms / --slo-obligation-ms arm deadline tracking on the
+// coordinator: breaches tick slo.* burn-rate counters and emit
+// `slo_breach` event records. `audit --flight-out` dumps the engines'
+// per-frame flight recorder (solver/search counter deltas + frame wall
+// time) as a `trojanscout-flight-v1` document.
 //
 // `certify` is `audit` with evidence: every violated property carries its
 // witness, every BMC-clean frame carries a binary-DRAT proof, bundled into
@@ -99,13 +122,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -168,7 +194,7 @@ int usage() {
          "               [--cache-max-mb N] [--signature-out FILE]\n"
          "               [--trace-out t.json] [--metrics-out run.jsonl]\n"
          "               [--profile-out p.json] [--progress[=SECS]]\n"
-         "               [--stall-window SECS]\n"
+         "               [--stall-window SECS] [--flight-out f.json]\n"
          "               run Algorithm 1 over every spec'd register\n"
          "  prove      --design ip.v --spec ip.spec --register REG\n"
          "               [--max-k K] [--budget S]\n"
@@ -197,6 +223,7 @@ int usage() {
          "               [--cache off|ro|rw] [--cache-max-mb N] [--jobs N]\n"
          "               [--l2-dir DIR] [--l2-max-mb N] [--read-timeout S]\n"
          "               [--port-file FILE] [--events-out e.jsonl]\n"
+         "               [--events-max-mb N] [--sample-interval-ms MS]\n"
          "               audit daemon (NDJSON over unix:/path or\n"
          "               tcp:host:port; port 0 = ephemeral)\n"
          "  serve-fleet --socket ENDPOINT\n"
@@ -206,6 +233,8 @@ int usage() {
          "               [--run-dir DIR] [--port-file FILE]\n"
          "               [--health-interval S] [--worker-timeout S]\n"
          "               [--trace-out t.json] [--events-out e.jsonl]\n"
+         "               [--events-max-mb N] [--sample-interval-ms MS]\n"
+         "               [--slo-ms N] [--slo-obligation-ms N]\n"
          "               shard coordinator over N worker daemons\n"
          "  submit     --socket ENDPOINT --design ip.v --spec ip.spec\n"
          "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
@@ -216,6 +245,13 @@ int usage() {
          "  submit     --socket ENDPOINT --stats [--json]\n"
          "               query daemon/fleet stats (merged telemetry,\n"
          "               per-worker breakdown, slowest obligations)\n"
+         "  submit     --socket ENDPOINT --metrics [--out FILE]\n"
+         "               scrape Prometheus text exposition (a fleet\n"
+         "               scrape merges every live worker's registry)\n"
+         "  top        --socket ENDPOINT [--interval-ms MS]\n"
+         "               [--once] [--polls N] [--json]\n"
+         "               live dashboard: throughput sparklines, cache\n"
+         "               hit rate, queue depth, per-worker rates\n"
          "\n"
          "  --version  print the build's git revision\n"
          "\n"
@@ -267,6 +303,52 @@ void write_signature(const std::string& path,
   if (!os) throw std::runtime_error("cannot write " + path);
   os << report.signature();
   std::cout << "signature written to " << path << "\n";
+}
+
+/// Serializes every run's flight-recorder windows (--flight-out) as one
+/// `trojanscout-flight-v1` document: per obligation, the engine's
+/// per-frame counter deltas (solver decisions/propagations/conflicts/
+/// restarts for BMC, decisions/backtracks/implications for ATPG) plus the
+/// frame's wall time. wall_us is the documented timing carve-out — it is
+/// observational and never flows into cached verdicts or run reports.
+void write_flight(const std::string& path, const std::string& design_name,
+                  const std::string& engine,
+                  const core::DetectionReport& report) {
+  if (path.empty()) return;
+  proof::Json doc = proof::Json::object();
+  doc.set("schema", "trojanscout-flight-v1");
+  doc.set("design", design_name);
+  doc.set("engine", engine);
+  proof::Json runs = proof::Json::array();
+  std::size_t windows_total = 0;
+  for (const core::PropertyRun& run : report.runs) {
+    proof::Json r = proof::Json::object();
+    r.set("property", run.property);
+    r.set("status", run.check.status);
+    proof::Json windows = proof::Json::array();
+    for (const telemetry::FlightWindow& w : run.check.counters.flight) {
+      proof::Json jw = proof::Json::object();
+      jw.set("frame", w.frame);
+      jw.set("decisions", w.decisions);
+      jw.set("propagations", w.propagations);
+      jw.set("conflicts", w.conflicts);
+      jw.set("restarts", w.restarts);
+      jw.set("backtracks", w.backtracks);
+      jw.set("implications", w.implications);
+      jw.set("wall_us", w.wall_us);
+      windows.push_back(std::move(jw));
+      windows_total++;
+    }
+    r.set("windows", std::move(windows));
+    runs.push_back(std::move(r));
+  }
+  doc.set("runs", std::move(runs));
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << doc.dump_pretty() << "\n";
+  std::cout << "flight record written to " << path << " ("
+            << report.runs.size() << " runs, " << windows_total
+            << " windows)\n";
 }
 
 netlist::Netlist load_design(const util::CliParser& cli) {
@@ -480,6 +562,8 @@ int cmd_audit(const util::CliParser& cli) {
   }
   if (verdict_cache != nullptr) print_cache_summary(*verdict_cache);
   write_signature(cli.get_string("signature-out", ""), report);
+  write_flight(cli.get_string("flight-out", ""), design.name,
+               core::engine_name(options.detector.engine.kind), report);
   std::cout << report.summary() << "\n";
   std::cout << "peak RSS: " << util::peak_rss_summary() << "\n";
   if (!report.trojan_found) return 0;
@@ -669,12 +753,17 @@ void handle_stop_signal(int) {
 
 /// Opens the --events-out sink and installs it as the process-global
 /// telemetry::EventLog; the returned handle owns it (and uninstalls on
-/// destruction). Null when the flag is absent.
+/// destruction). Null when the flag is absent. --events-max-mb caps the
+/// stream: past it the file rotates to FILE.1 and the sequence restarts
+/// (0 = unbounded).
 std::unique_ptr<telemetry::EventLog> open_event_log(
     const util::CliParser& cli) {
   const std::string path = cli.get_string("events-out", "");
   if (path.empty()) return nullptr;
-  auto log = std::make_unique<telemetry::EventLog>(path);
+  const long max_mb = cli.get_int("events-max-mb", 0);
+  const std::uint64_t max_bytes =
+      max_mb <= 0 ? 0 : static_cast<std::uint64_t>(max_mb) * 1024 * 1024;
+  auto log = std::make_unique<telemetry::EventLog>(path, max_bytes);
   if (!log->ok()) throw std::runtime_error("cannot write " + path);
   telemetry::EventLog::set_global(log.get());
   return log;
@@ -694,6 +783,7 @@ int cmd_serve(const util::CliParser& cli) {
   options.cache = verdict_cache.get();
   options.l2 = l2_cache.get();
   options.read_timeout_seconds = cli.get_double("read-timeout", 0.0);
+  options.sample_interval_ms = cli.get_double("sample-interval-ms", 1000.0);
 
   service::AuditDaemon daemon(options);
   daemon.start();
@@ -750,6 +840,10 @@ SpawnedWorker spawn_worker(const util::CliParser& cli,
     args.push_back("--l2-max-mb");
     args.push_back(std::to_string(cli.get_int("l2-max-mb", 512)));
   }
+  // Workers inherit the coordinator's sampling cadence so a fleet scrape
+  // sees every registry windowed on the same clock.
+  args.push_back("--sample-interval-ms");
+  args.push_back(std::to_string(cli.get_double("sample-interval-ms", 1000.0)));
   if (!cli.get_string("events-out", "").empty()) {
     // The coordinator's event log covers fleet-level events; each spawned
     // worker gets its own sink for what only it observes (claim steals,
@@ -757,6 +851,8 @@ SpawnedWorker spawn_worker(const util::CliParser& cli,
     args.push_back("--events-out");
     args.push_back(run_dir + "/worker" + std::to_string(index) +
                    ".events.jsonl");
+    args.push_back("--events-max-mb");
+    args.push_back(std::to_string(cli.get_int("events-max-mb", 0)));
   }
   worker.pid = ::fork();
   if (worker.pid < 0) throw std::runtime_error("fork failed");
@@ -806,6 +902,10 @@ int cmd_serve_fleet(const util::CliParser& cli) {
   options.read_timeout_seconds = cli.get_double("read-timeout", 0.0);
   options.worker_timeout_seconds = cli.get_double("worker-timeout", 600.0);
   options.health_interval_seconds = cli.get_double("health-interval", 2.0);
+  options.sample_interval_ms = cli.get_double("sample-interval-ms", 1000.0);
+  options.slo_job_ms = static_cast<std::uint64_t>(cli.get_int("slo-ms", 0));
+  options.slo_obligation_ms =
+      static_cast<std::uint64_t>(cli.get_int("slo-obligation-ms", 0));
 
   const std::string workers_flag = cli.get_string("workers", "");
   const long spawn_count = cli.get_int("spawn", 0);
@@ -823,6 +923,16 @@ int cmd_serve_fleet(const util::CliParser& cli) {
         throw std::runtime_error("mkdtemp failed");
       }
       run_dir = tmpl;
+    } else {
+      // Workers open their event logs before their caches, so the run dir
+      // must exist before the first fork — create it rather than racing on
+      // the verdict cache's own create_directories.
+      std::error_code ec;
+      std::filesystem::create_directories(run_dir, ec);
+      if (ec) {
+        throw std::runtime_error("cannot create --run-dir " + run_dir + ": " +
+                                 ec.message());
+      }
     }
     for (long i = 0; i < spawn_count; ++i) {
       spawned.push_back(
@@ -1009,6 +1119,43 @@ int cmd_submit_stats(const util::CliParser& cli, const std::string& endpoint,
   return 0;
 }
 
+/// `submit --metrics`: one metrics round-trip. The Prometheus text
+/// exposition is unwrapped from its NDJSON envelope and written raw
+/// (stdout, or --out FILE) — ready for a scraper, promtool, or
+/// check_metrics.py's exposition validator. Against a coordinator the
+/// scrape fans out to every live worker and merges registries first.
+int cmd_submit_metrics(const util::CliParser& cli, const std::string& endpoint,
+                       const service::ConnectRetry& retry) {
+  service::Client client(endpoint, retry);
+  client.send_line(service::control_request_line("metrics"));
+  proof::Json response;
+  if (!client.read_response(response)) {
+    std::cerr << "error: connection closed before a metrics reply\n";
+    return 1;
+  }
+  const proof::Json* type = response.find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->as_string() != "metrics") {
+    std::cerr << "error: unexpected reply: " << response.dump() << "\n";
+    return 1;
+  }
+  const proof::Json* body = response.find("body");
+  if (body == nullptr || !body->is_string()) {
+    std::cerr << "error: metrics reply carries no body\n";
+    return 1;
+  }
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) {
+    std::cout << body->as_string();
+  } else {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    os << body->as_string();
+    std::cout << "exposition written to " << out << "\n";
+  }
+  return 0;
+}
+
 int cmd_submit(const util::CliParser& cli) {
   const std::string endpoint = cli.get_string("socket", "");
   if (endpoint.empty()) throw std::runtime_error("--socket is required");
@@ -1018,6 +1165,9 @@ int cmd_submit(const util::CliParser& cli) {
   submit_retry.base_delay_ms = cli.get_double("connect-delay-ms", 50.0);
   if (cli.get_bool("stats", false)) {
     return cmd_submit_stats(cli, endpoint, submit_retry);
+  }
+  if (cli.get_bool("metrics", false)) {
+    return cmd_submit_metrics(cli, endpoint, submit_retry);
   }
 
   service::AuditJob job;
@@ -1080,6 +1230,240 @@ int cmd_submit(const util::CliParser& cli) {
     std::cout << "signature written to " << signature_out << "\n";
   }
   return result.trojan_found ? 2 : 0;
+}
+
+// ---- top: live monitoring dashboard ---------------------------------------
+
+volatile std::sig_atomic_t g_top_interrupted = 0;
+void handle_top_signal(int) { g_top_interrupted = 1; }
+
+/// Eight-level unicode sparkline of `values`, scaled to their own peak.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* const kBars[8] = {"▁", "▂", "▃",
+                                       "▄", "▅", "▆",
+                                       "▇", "█"};
+  double peak = 0.0;
+  for (const double v : values) peak = std::max(peak, v);
+  std::string out;
+  for (const double v : values) {
+    int level = 0;
+    if (peak > 0.0 && v > 0.0) {
+      level = std::min(7, std::max(0, static_cast<int>(v / peak * 7.0 + 0.5)));
+    }
+    out += kBars[level];
+  }
+  return out;
+}
+
+/// Numeric field of a stats object, 0.0 when absent or non-numeric.
+double num_field(const proof::Json& obj, const char* key) {
+  const proof::Json* f = obj.find(key);
+  return f != nullptr && f->is_number() ? f->as_double() : 0.0;
+}
+
+/// Pulls one counter's per-window rate history (oldest first) out of a
+/// stats reply's "series" array. Windows where the counter did not move
+/// contribute 0 (the series only stores moved counters).
+std::vector<double> series_rates(const proof::Json& stats,
+                                 const std::string& counter) {
+  std::vector<double> rates;
+  const proof::Json* series = stats.find("series");
+  if (series == nullptr || !series->is_array()) return rates;
+  for (const proof::Json& window : series->items()) {
+    double rate = 0.0;
+    const proof::Json* counters = window.find("counters");
+    if (counters != nullptr && counters->is_object()) {
+      const proof::Json* c = counters->find(counter);
+      if (c != nullptr) rate = num_field(*c, "rate_per_s");
+    }
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+/// Poll-to-poll state for derived rates (per-worker jobs/s).
+struct TopState {
+  std::map<std::string, double> prev_worker_jobs;
+  double prev_jobs = -1.0;
+  std::chrono::steady_clock::time_point prev_time;
+  bool have_prev = false;
+};
+
+/// Renders one dashboard frame from a stats reply. The whole frame is
+/// assembled off-screen and written in one shot (less flicker on redraw).
+void render_top(const proof::Json& stats, const std::string& endpoint,
+                TopState& state, bool clear) {
+  const auto now = std::chrono::steady_clock::now();
+  const double dt = state.have_prev
+                        ? std::chrono::duration<double>(now - state.prev_time)
+                              .count()
+                        : 0.0;
+  const double jobs = num_field(stats, "jobs_completed");
+
+  std::ostringstream out;
+  const proof::Json* role = stats.find("role");
+  out << "trojanscout top — " << endpoint;
+  if (role != nullptr && role->is_string()) {
+    out << " (" << role->as_string() << ")";
+  }
+  out << "\n";
+
+  out << "uptime " << util::cell_double(num_field(stats, "uptime_s"), 1)
+      << " s   jobs " << static_cast<std::uint64_t>(jobs);
+  if (dt > 0.0 && state.prev_jobs >= 0.0) {
+    out << " ("
+        << util::cell_double(std::max(0.0, jobs - state.prev_jobs) / dt, 2)
+        << "/s)";
+  }
+
+  // Cache hit rate: prefer the daemon's own VerdictCache counters; a
+  // coordinator reply carries them inside the merged telemetry registry.
+  double hits = num_field(stats, "cache_hits");
+  double misses = num_field(stats, "cache_misses");
+  const proof::Json* tel = stats.find("telemetry");
+  if (hits + misses <= 0.0 && tel != nullptr && tel->is_object()) {
+    const proof::Json* counters = tel->find("counters");
+    if (counters != nullptr && counters->is_object()) {
+      for (const auto& [name, value] : counters->entries()) {
+        if (name == "cache.hit" || name == "cache.l1_hit" ||
+            name == "cache.l2_hit") {
+          hits += value.as_double();
+        } else if (name == "cache.miss") {
+          misses += value.as_double();
+        }
+      }
+    }
+  }
+  if (hits + misses > 0.0) {
+    out << "   cache hit "
+        << util::cell_double(100.0 * hits / (hits + misses), 1) << "%";
+  }
+
+  const proof::Json* workers = stats.find("workers");
+  const bool fleet = workers != nullptr && workers->is_array();
+  if (fleet) {
+    double queue = 0.0;
+    for (const proof::Json& w : workers->items()) {
+      queue += num_field(w, "outstanding");
+    }
+    out << "   queue depth " << static_cast<std::uint64_t>(queue);
+  }
+  const proof::Json* slo = stats.find("slo");
+  if (slo != nullptr && slo->is_object() &&
+      (num_field(*slo, "job_ms") > 0.0 ||
+       num_field(*slo, "obligation_ms") > 0.0)) {
+    out << "   slo breaches "
+        << static_cast<std::uint64_t>(num_field(*slo, "job_breaches"))
+        << " job / "
+        << static_cast<std::uint64_t>(num_field(*slo, "obligation_breaches"))
+        << " obligation";
+  }
+  out << "\n";
+
+  // Sparkline rate history from the sampler's windowed series.
+  const std::string prefix = fleet ? "fleet" : "service";
+  for (const std::string suffix : {".jobs", ".obligations"}) {
+    const std::string counter = prefix + suffix;
+    const std::vector<double> rates = series_rates(stats, counter);
+    if (rates.empty()) continue;
+    out << counter << "/s  " << sparkline(rates) << "  now "
+        << util::cell_double(rates.back(), 2) << "/s\n";
+  }
+
+  if (clear) std::cout << "\x1b[H\x1b[J";
+  std::cout << out.str();
+
+  if (fleet && !workers->items().empty()) {
+    util::Table table({"worker", "alive", "responding", "outstanding",
+                       "jobs", "jobs/s"});
+    for (const proof::Json& w : workers->items()) {
+      if (!w.is_object()) continue;
+      const proof::Json* ep = w.find("endpoint");
+      const std::string name =
+          ep != nullptr && ep->is_string() ? ep->as_string() : "?";
+      const double worker_jobs = num_field(w, "jobs_completed");
+      std::string rate = "-";
+      const auto it = state.prev_worker_jobs.find(name);
+      if (it != state.prev_worker_jobs.end() && dt > 0.0) {
+        rate = util::cell_double(
+            std::max(0.0, worker_jobs - it->second) / dt, 2);
+      }
+      state.prev_worker_jobs[name] = worker_jobs;
+      const auto str = [&w](const char* key) -> std::string {
+        const proof::Json* f = w.find(key);
+        return f != nullptr ? cell_json(*f) : "";
+      };
+      table.add_row({name, str("alive"), str("responding"),
+                     str("outstanding"), str("jobs_completed"), rate});
+    }
+    std::cout << "workers:\n";
+    table.print(std::cout);
+  }
+  const proof::Json* slowest = stats.find("slowest");
+  if (slowest != nullptr) print_slowest_table(*slowest);
+  std::cout.flush();
+
+  state.prev_jobs = jobs;
+  state.prev_time = now;
+  state.have_prev = true;
+}
+
+/// `top`: polls a daemon or coordinator's stats verb into a live
+/// refreshing dashboard. --once (= --polls 1) and --json make it
+/// scriptable: one machine-readable snapshot per poll on stdout.
+int cmd_top(const util::CliParser& cli) {
+  const std::string endpoint = cli.get_string("socket", "");
+  if (endpoint.empty()) throw std::runtime_error("--socket is required");
+  const double interval_ms = cli.get_double("interval-ms", 1000.0);
+  const bool json = cli.get_bool("json", false);
+  long polls = cli.get_int("polls", 0);  // 0 = until SIGINT
+  if (cli.get_bool("once", false)) polls = 1;
+
+  service::ConnectRetry retry;
+  retry.attempts = static_cast<int>(cli.get_int("connect-retries", 1));
+  retry.base_delay_ms = cli.get_double("connect-delay-ms", 50.0);
+
+  std::signal(SIGINT, handle_top_signal);
+  std::signal(SIGTERM, handle_top_signal);
+
+  TopState state;
+  long done = 0;
+  bool first = true;
+  while (g_top_interrupted == 0) {
+    proof::Json stats;
+    {
+      service::Client client(endpoint, retry);
+      client.send_line(service::control_request_line("stats"));
+      if (!client.read_response(stats)) {
+        std::cerr << "error: connection closed before a stats reply\n";
+        return 1;
+      }
+    }
+    const proof::Json* type = stats.find("type");
+    if (type == nullptr || !type->is_string() ||
+        type->as_string() != "stats") {
+      std::cerr << "error: unexpected reply: " << stats.dump() << "\n";
+      return 1;
+    }
+    if (json) {
+      std::cout << stats.dump_pretty() << "\n" << std::flush;
+    } else {
+      // Redraw in place only on a terminal; piped output stays appendable.
+      render_top(stats, endpoint, state,
+                 /*clear=*/!first && ::isatty(STDOUT_FILENO) != 0);
+    }
+    first = false;
+    if (polls > 0 && ++done >= polls) break;
+    // Sleep in short slices so SIGINT lands promptly between polls.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(interval_ms);
+    while (g_top_interrupted == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return 0;
 }
 
 int cmd_fuzz(const util::CliParser& cli) {
@@ -1246,6 +1630,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(cli);
     if (command == "serve-fleet") return cmd_serve_fleet(cli);
     if (command == "submit") return cmd_submit(cli);
+    if (command == "top") return cmd_top(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
