@@ -15,7 +15,11 @@ namespace trojanscout::cache {
 namespace {
 
 constexpr const char* kFormat = "trojanscout-verdict";
-constexpr int kVersion = 1;
+// v2: engine identity + PDR knobs join the key context; payloads carry
+// proven_unbounded, the (possibly null) inductive invariant, engine_used,
+// and the pdr_* counter block. v1 entries fail the version check and are
+// recomputed — a one-time cold start, never a wrong verdict.
+constexpr int kVersion = 2;
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;
@@ -86,6 +90,7 @@ ObligationKeyer::ObligationKeyer(const designs::Design& design,
     stimulus += "|";
   }
   mix(c, "atpg.stimulus", hex16(fnv1a(stimulus, 14695981039346656037ULL)));
+  mix_u64(c, "pdr.generalize", options.engine.pdr_generalize ? 1 : 0);
   mix_u64(c, "fail_fast", fail_fast ? 1 : 0);
 }
 
@@ -106,8 +111,27 @@ std::string verdict_to_json(const core::Obligation& obligation,
   j.set("property", obligation.property_name());
   j.set("violated", result.violated);
   j.set("bound_reached", result.bound_reached);
+  j.set("proven_unbounded", result.proven_unbounded);
   j.set("frames_completed", result.frames_completed);
   j.set("status", result.status);
+  j.set("engine_used", core::engine_flag_name(result.engine_used));
+  if (result.invariant.has_value()) {
+    Json clauses = Json::array();
+    for (const auto& clause : result.invariant->clauses) {
+      Json lits = Json::array();
+      for (const std::int32_t lit : clause) {
+        lits.push_back(static_cast<std::int64_t>(lit));
+      }
+      clauses.push_back(std::move(lits));
+    }
+    j.set("invariant", std::move(clauses));
+  } else {
+    j.set("invariant", nullptr);
+  }
+  // The per-leg portfolio vector is a timing carve-out (like flight
+  // recordings): wall-clock ordering decides which losers got cancelled, so
+  // it is deliberately not persisted — a warm hit reports only the winning
+  // verdict, which IS deterministic.
   if (result.witness.has_value()) {
     Json witness = Json::object();
     witness.set("violation_frame", result.witness->violation_frame);
@@ -141,6 +165,10 @@ std::string verdict_to_json(const core::Obligation& obligation,
   counters.set("atpg_implications", c.atpg_implications);
   counters.set("atpg_frames_proven_clean", c.atpg_frames_proven_clean);
   counters.set("atpg_frames_aborted", c.atpg_frames_aborted);
+  counters.set("pdr_frames", c.pdr_frames);
+  counters.set("pdr_pushed_clauses", c.pdr_pushed_clauses);
+  counters.set("pdr_ctis", c.pdr_ctis);
+  counters.set("pdr_obligations", c.pdr_obligations);
   j.set("counters", std::move(counters));
   // Diagnostics only: what the original solve cost. Never restored.
   j.set("solved_seconds", result.seconds);
@@ -181,6 +209,12 @@ bool verdict_from_json(const std::string& text, core::CheckResult& out,
   if (!get_bool("bound_reached", result.bound_reached)) {
     return fail("bad bound_reached");
   }
+  if (!get_bool("proven_unbounded", result.proven_unbounded)) {
+    return fail("bad proven_unbounded");
+  }
+  if (result.proven_unbounded && (result.violated || !result.bound_reached)) {
+    return fail("proven_unbounded inconsistent with verdict flags");
+  }
   f = j.find("frames_completed");
   if (f == nullptr || !f->is_int() || f->as_int() < 0) {
     return fail("bad frames_completed");
@@ -189,6 +223,33 @@ bool verdict_from_json(const std::string& text, core::CheckResult& out,
   f = j.find("status");
   if (f == nullptr || !f->is_string()) return fail("bad status");
   result.status = f->as_string();
+  f = j.find("engine_used");
+  if (f == nullptr || !f->is_string()) return fail("bad engine_used");
+  {
+    const std::optional<core::EngineKind> kind =
+        core::engine_kind_from_string(f->as_string());
+    if (!kind.has_value()) return fail("bad engine_used");
+    result.engine_used = *kind;
+  }
+  f = j.find("invariant");
+  if (f == nullptr) return fail("missing invariant");
+  if (!f->is_null()) {
+    if (!f->is_array()) return fail("bad invariant");
+    pdr::Invariant invariant;
+    for (const Json& clause : f->items()) {
+      if (!clause.is_array()) return fail("bad invariant clause");
+      std::vector<std::int32_t> lits;
+      for (const Json& lit : clause.items()) {
+        if (!lit.is_int() || lit.as_int() == 0) return fail("bad invariant literal");
+        lits.push_back(static_cast<std::int32_t>(lit.as_int()));
+      }
+      invariant.clauses.push_back(std::move(lits));
+    }
+    result.invariant = std::move(invariant);
+  }
+  if (result.invariant.has_value() && !result.proven_unbounded) {
+    return fail("invariant without unbounded proof");
+  }
 
   f = j.find("witness");
   if (f == nullptr) return fail("missing witness");
@@ -264,6 +325,14 @@ bool verdict_from_json(const std::string& text, core::CheckResult& out,
   c.atpg_frames_proven_clean = static_cast<std::size_t>(u);
   if (!get_u64("atpg_frames_aborted", u)) return fail("bad counters");
   c.atpg_frames_aborted = static_cast<std::size_t>(u);
+  if (!get_u64("pdr_frames", c.pdr_frames)) return fail("bad counters");
+  if (!get_u64("pdr_pushed_clauses", c.pdr_pushed_clauses)) {
+    return fail("bad counters");
+  }
+  if (!get_u64("pdr_ctis", c.pdr_ctis)) return fail("bad counters");
+  if (!get_u64("pdr_obligations", c.pdr_obligations)) {
+    return fail("bad counters");
+  }
 
   const Json* ref = j.find("cert_ref");
   if (ref == nullptr || !ref->is_string()) return fail("bad cert_ref");

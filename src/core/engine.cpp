@@ -1,70 +1,19 @@
 #include "core/engine.hpp"
 
+#include "portfolio/portfolio.hpp"
 #include "telemetry/registry.hpp"
-#include "telemetry/span.hpp"
 #include "telemetry/timer.hpp"
 
 namespace trojanscout::core {
 
-const char* engine_name(EngineKind kind) {
-  return kind == EngineKind::kBmc ? "BMC" : "ATPG";
-}
-
 CheckResult run_engine(const netlist::Netlist& nl, netlist::SignalId bad,
                        const EngineOptions& options) {
-  CheckResult result;
   TS_COUNTER_ADD("engine.runs", 1);
   TS_SCOPED_TIMER("engine.run_seconds");
-  if (options.kind == EngineKind::kBmc) {
-    telemetry::Span span("engine:bmc");
-    bmc::BmcOptions bo;
-    bo.max_frames = options.max_frames;
-    bo.time_limit_seconds = options.time_limit_seconds;
-    bo.solver = options.solver;
-    bo.cancel = options.cancel;
-    bo.proof = options.proof;
-    bo.progress = options.progress;
-    bmc::BmcResult r = bmc::check_bad_signal(nl, bad, bo);
-    result.violated = r.violated();
-    result.bound_reached = r.status == bmc::BmcStatus::kBoundReached;
-    result.witness = std::move(r.witness);
-    result.frames_completed = r.frames_completed;
-    result.seconds = r.seconds;
-    result.memory_bytes = r.memory_bytes;
-    result.cancelled = r.cancelled;
-    result.status = r.cancelled ? "cancelled" : r.status_name();
-    result.counters.sat = r.sat_stats;
-    result.counters.cnf_vars = r.vars;
-    result.counters.frame_clauses = std::move(r.frame_clauses);
-    result.counters.flight = std::move(r.flight);
-  } else {
-    telemetry::Span span("engine:atpg");
-    atpg::AtpgOptions ao;
-    ao.max_frames = options.max_frames;
-    ao.time_limit_seconds = options.time_limit_seconds;
-    ao.backtrack_limit_per_frame = options.atpg_backtrack_limit;
-    ao.use_scoap_guidance = options.atpg_use_scoap;
-    ao.stimulus_sequences = options.atpg_stimulus;
-    ao.random_sequences = options.atpg_random_sequences;
-    ao.cancel = options.cancel;
-    ao.progress = options.progress;
-    atpg::AtpgResult r = atpg::check_bad_signal(nl, bad, ao);
-    result.violated = r.violated();
-    result.bound_reached = r.status == atpg::AtpgStatus::kBoundReached;
-    result.witness = std::move(r.witness);
-    result.frames_completed = r.frames_completed;
-    result.seconds = r.seconds;
-    result.memory_bytes = r.memory_bytes;
-    result.cancelled = r.cancelled;
-    result.status = r.cancelled ? "cancelled" : r.status_name();
-    result.counters.atpg_decisions = r.decisions;
-    result.counters.atpg_backtracks = r.backtracks;
-    result.counters.atpg_implications = r.implications;
-    result.counters.atpg_frames_proven_clean = r.frames_proven_clean;
-    result.counters.atpg_frames_aborted = r.frames_aborted;
-    result.counters.flight = std::move(r.flight);
+  if (options.kind == EngineKind::kPortfolio) {
+    return portfolio::race(nl, bad, options);
   }
-  return result;
+  return portfolio::run_single(nl, bad, options, options.kind);
 }
 
 }  // namespace trojanscout::core

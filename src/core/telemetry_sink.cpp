@@ -45,7 +45,12 @@ void append_detection_report(telemetry::RunReport& report,
         .set("violated", run.check.violated)
         .set("cancelled", run.check.cancelled)
         .set("bound_reached", run.check.bound_reached)
+        .set("proven_unbounded", run.check.proven_unbounded)
+        .set("engine_used", engine_flag_name(run.check.engine_used))
         .set("frames_completed", run.check.frames_completed);
+    if (run.check.invariant.has_value()) {
+      rec.set("invariant_clauses", run.check.invariant->clauses.size());
+    }
 
     const EngineCounters& c = run.check.counters;
     rec.set("sat_decisions", c.sat.decisions)
@@ -61,7 +66,11 @@ void append_detection_report(telemetry::RunReport& report,
         .set("atpg_backtracks", c.atpg_backtracks)
         .set("atpg_implications", c.atpg_implications)
         .set("atpg_frames_proven_clean", c.atpg_frames_proven_clean)
-        .set("atpg_frames_aborted", c.atpg_frames_aborted);
+        .set("atpg_frames_aborted", c.atpg_frames_aborted)
+        .set("pdr_frames", c.pdr_frames)
+        .set("pdr_pushed_clauses", c.pdr_pushed_clauses)
+        .set("pdr_ctis", c.pdr_ctis)
+        .set("pdr_obligations", c.pdr_obligations);
 
     if (run.check.witness) {
       rec.set("witness_frame", run.check.witness->violation_frame);
@@ -69,6 +78,24 @@ void append_detection_report(telemetry::RunReport& report,
     }
     rec.set("seconds", run.check.seconds, /*timing=*/true);
     rec.set("memory_bytes", run.check.memory_bytes, /*timing=*/true);
+
+    // One race summary per portfolio run. The winner is deterministic
+    // (verdict strength + fixed priority); which losers got far enough to
+    // be cancelled is wall-clock ordering, so the per-leg breakdown is
+    // timing-flagged. Cache hits restore only the winning verdict and thus
+    // emit no portfolio record — by design, not an omission.
+    if (!run.check.portfolio.empty()) {
+      auto& race = report.add("portfolio");
+      race.set("design", design_name)
+          .set("property", run.property)
+          .set("winner", engine_flag_name(run.check.engine_used));
+      for (const PortfolioOutcome& outcome : run.check.portfolio) {
+        const std::string prefix = engine_flag_name(outcome.engine);
+        race.set(prefix + ".status", outcome.status, /*timing=*/true);
+        race.set(prefix + ".cancelled", outcome.cancelled, /*timing=*/true);
+        race.set(prefix + ".seconds", outcome.seconds, /*timing=*/true);
+      }
+    }
   }
 
   auto& summary = report.add("summary");

@@ -1,0 +1,55 @@
+// Inductive-invariant payload emitted by the IC3/PDR engine on a proven
+// (unbounded) verdict, and the independent checker that validates it.
+//
+// The invariant is a conjunction of clauses over the design's register
+// (DFF) signals, in DIMACS style: literal +(id+1) means "DFF `id` is 1",
+// -(id+1) means "DFF `id` is 0". Together with the implicit property clause
+// (the monitor's bad signal never fires), a valid invariant certifies
+//   initiation:   Init |= Inv
+//   consecution:  Inv ∧ T |= Inv'
+//   property:     Inv ∧ Bad is UNSAT
+// i.e. no reachable state — at *any* depth — can raise the bad signal.
+// This is the unbounded counterpart of the per-frame DRAT chains in
+// src/proof: `certify` re-checks all three conditions with a fresh SAT
+// solver instead of trusting the engine that produced the invariant.
+//
+// This header is intentionally link-free (core/engine.hpp embeds an
+// Invariant in CheckResult without depending on the ts_pdr library);
+// check_invariant lives in ts_pdr.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::pdr {
+
+/// Conjunction of clauses over DFF signal ids (DIMACS-style literals,
+/// ±(signal_id + 1)). Clause literal order and clause order are part of the
+/// deterministic engine output and survive the verdict-cache round trip.
+struct Invariant {
+  std::vector<std::vector<std::int32_t>> clauses;
+
+  bool operator==(const Invariant&) const = default;
+};
+
+/// Verdict of the independent invariant check.
+struct InvariantCheck {
+  bool ok = false;
+  /// Human-readable reason when !ok ("initiation fails for clause 3", ...).
+  std::string detail;
+};
+
+/// Validates `invariant` against the design and its bad signal with a fresh
+/// SAT solver: initiation (every clause is satisfied by the reset state),
+/// consecution (each clause is implied one step after all of them), and the
+/// property (no state satisfying the invariant can raise `bad` under any
+/// input). Clauses may only mention DFFs inside the sequential cone of
+/// influence of `bad`; anything else fails the check rather than throwing.
+InvariantCheck check_invariant(const netlist::Netlist& nl,
+                               netlist::SignalId bad,
+                               const Invariant& invariant);
+
+}  // namespace trojanscout::pdr

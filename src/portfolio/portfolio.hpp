@@ -1,0 +1,48 @@
+// Engine portfolio: run one back end, or race BMC, ATPG, and PDR
+// concurrently on a single obligation.
+//
+// The race is first-conclusive-verdict-wins with *deterministic* selection:
+// results are ranked by verdict strength (violated > proven-unbounded >
+// bound-reached > anything else) and ties broken by a fixed engine
+// priority (BMC, then ATPG, then PDR) — never by arrival order. An engine
+// that finishes only cancels opponents whose best possible outcome could
+// no longer change that selection:
+//
+//   proven-unbounded  cancels everyone — a sound engine cannot find a
+//                     violation in a design another sound engine proved
+//                     clean at all depths;
+//   violated          cancels lower-priority engines only — a
+//                     higher-priority engine may still produce the witness
+//                     the selection would prefer, and on a violated design
+//                     it terminates at its first witness anyway;
+//   full-bound clean  cancels lower-priority *bounded* engines (they share
+//                     the same bound, so at best they tie and lose the
+//                     priority break) but leaves PDR running — it can still
+//                     upgrade the verdict to an unbounded proof.
+//
+// The winner's CheckResult is reported verbatim (its cancel flag never
+// fired, so it is byte-identical to a standalone run of that engine),
+// which keeps report signatures stable at any --jobs and cache
+// temperature. Loser fates ride the timing-carve-out PortfolioOutcome
+// vector into telemetry only.
+#pragma once
+
+#include "core/engine.hpp"
+#include "netlist/netlist.hpp"
+
+namespace trojanscout::portfolio {
+
+/// Runs exactly one back end (`backend` must not be kPortfolio) and maps
+/// its result onto the engine-agnostic CheckResult. `options.kind` is
+/// ignored in favor of `backend`.
+core::CheckResult run_single(const netlist::Netlist& nl,
+                             netlist::SignalId bad,
+                             const core::EngineOptions& options,
+                             core::EngineKind backend);
+
+/// Races BMC, ATPG, and PDR on one obligation (see file comment for the
+/// selection and cancellation contract).
+core::CheckResult race(const netlist::Netlist& nl, netlist::SignalId bad,
+                       const core::EngineOptions& options);
+
+}  // namespace trojanscout::portfolio

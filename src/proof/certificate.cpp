@@ -180,7 +180,11 @@ Certificate certify(const designs::Design& design,
                     const CertifyOptions& options) {
   TrojanDetector detector(design, options.detector);
   const std::vector<Obligation> obligations = detector.enumerate_obligations();
-  const bool is_bmc = options.detector.engine.kind == EngineKind::kBmc;
+  // BMC emits DRAT; the portfolio forwards the proof stream to its BMC leg,
+  // so the evidence is usable exactly when BMC ends up the winning engine.
+  const bool wants_drat =
+      options.detector.engine.kind == EngineKind::kBmc ||
+      options.detector.engine.kind == EngineKind::kPortfolio;
 
   telemetry::Span certify_span("certify");
   const std::uint64_t certify_id = certify_span.id();
@@ -198,7 +202,7 @@ Certificate certify(const designs::Design& design,
     log.set_record_formula(false);
     core::EngineOptions engine = options.detector.engine;
     engine.cancel = nullptr;  // certificates never race a fail-fast cancel
-    if (is_bmc) engine.proof = &log;
+    if (wants_drat) engine.proof = &log;
     const CheckResult check = detector.run_obligation(obligations[i], engine);
     if (options.store != nullptr) {
       options.store->store(obligations[i], check);
@@ -206,13 +210,18 @@ Certificate certify(const designs::Design& design,
 
     ObligationRecord& record = records[i];
     record.obligation = obligations[i];
+    record.engine_used = check.engine_used;
     record.violated = check.violated;
     record.bound_reached = check.bound_reached;
+    record.proven_unbounded = check.proven_unbounded;
     record.cancelled = check.cancelled;
     record.frames_completed = check.frames_completed;
     record.status = check.status;
     record.witness = check.witness;
-    if (is_bmc) {
+    record.invariant = check.invariant;
+    if (check.engine_used == EngineKind::kBmc) {
+      // A winning BMC run always completed its clean frames, so the mark
+      // count must line up; a cancelled portfolio leg never gets here.
       if (log.marks().size() != check.frames_completed) {
         throw std::runtime_error(
             "certify: UNSAT mark count " + std::to_string(log.marks().size()) +
@@ -220,6 +229,11 @@ Certificate certify(const designs::Design& design,
             " for " + obligations[i].property_name());
       }
       record.drat = DratEvidence{log.drat(), log.marks()};
+    }
+    if (record.proven_unbounded && !record.invariant.has_value()) {
+      throw std::runtime_error(
+          "certify: unbounded proof without an inductive invariant for " +
+          obligations[i].property_name());
     }
   };
 
@@ -249,8 +263,10 @@ Certificate certify(const designs::Design& design,
   report.trust_bound_frames = options.detector.engine.max_frames;
   for (std::size_t i = 0; i < obligations.size(); ++i) {
     CheckResult check;
+    check.engine_used = records[i].engine_used;
     check.violated = records[i].violated;
     check.bound_reached = records[i].bound_reached;
+    check.proven_unbounded = records[i].proven_unbounded;
     check.cancelled = records[i].cancelled;
     check.frames_completed = records[i].frames_completed;
     check.status = records[i].status;
@@ -280,6 +296,7 @@ std::string CertificateCheckResult::summary() const {
   std::string out = ok ? "certificate OK" : "certificate REJECTED";
   out += ": " + std::to_string(witnesses_confirmed) + " witness(es) replayed, " +
          std::to_string(drat_marks_checked) + " UNSAT frame(s) DRAT-checked, " +
+         std::to_string(invariants_checked) + " invariant(s) re-proved, " +
          std::to_string(unchecked_obligations) + " obligation(s) unchecked";
   for (const auto& e : errors) out += "\n  error: " + e;
   return out;
@@ -337,8 +354,9 @@ CertificateCheckResult check_certificate(const Certificate& cert,
   }
   if (!result.errors.empty()) return result;
 
-  // 3. Evidence, per record.
-  const bool is_bmc = cert.engine == EngineKind::kBmc;
+  // 3. Evidence, per record. Requirements follow each record's winning
+  // engine: BMC answers need DRAT chains, PDR unbounded proofs need an
+  // invariant that re-proves, ATPG clean frames are honestly unchecked.
   for (std::size_t i = 0; i < cert.records.size(); ++i) {
     const ObligationRecord& record = cert.records[i];
     const std::string label = record.obligation.property_name();
@@ -346,6 +364,20 @@ CertificateCheckResult check_certificate(const Certificate& cert,
       fail(label + ": cancelled run in a certificate (no evidence exists)");
       continue;
     }
+    if (cert.engine != EngineKind::kPortfolio &&
+        record.engine_used != cert.engine) {
+      fail(label + ": record engine " +
+           core::engine_name(record.engine_used) +
+           " disagrees with the certified configuration " +
+           core::engine_name(cert.engine));
+      continue;
+    }
+    if (record.engine_used == EngineKind::kPortfolio) {
+      fail(label + ": record engine must be a concrete backend, not the "
+           "portfolio itself");
+      continue;
+    }
+    const bool is_bmc = record.engine_used == EngineKind::kBmc;
 
     // The monitor netlist is rebuilt here, independently of the run that
     // produced the certificate — both the witness replay and the CNF
@@ -432,9 +464,30 @@ CertificateCheckResult check_certificate(const Certificate& cert,
         }
         result.drat_marks_checked++;
       }
+    } else if (record.engine_used == EngineKind::kPdr) {
+      if (record.proven_unbounded) {
+        if (!record.invariant.has_value()) {
+          fail(label + ": unbounded proof without an inductive invariant");
+        } else {
+          const pdr::InvariantCheck verdict = pdr::check_invariant(
+              property.nl, property.bad, *record.invariant);
+          if (!verdict.ok) {
+            fail(label + ": invariant re-check failed: " + verdict.detail);
+          } else {
+            result.invariants_checked++;
+          }
+        }
+      } else if (!record.violated) {
+        // A bound-reached PDR run carries no proof object.
+        result.unchecked_obligations++;
+      }
     } else if (!record.violated) {
       // ATPG clean frames: search exhaustion yields no proof object.
       result.unchecked_obligations++;
+    }
+    if (record.proven_unbounded && record.engine_used != EngineKind::kPdr) {
+      fail(label + ": only PDR can claim an unbounded proof, record says " +
+           core::engine_name(record.engine_used));
     }
   }
 
@@ -445,8 +498,10 @@ CertificateCheckResult check_certificate(const Certificate& cert,
   for (std::size_t i = 0; i < cert.records.size(); ++i) {
     const ObligationRecord& record = cert.records[i];
     CheckResult check;
+    check.engine_used = record.engine_used;
     check.violated = record.violated;
     check.bound_reached = record.bound_reached;
+    check.proven_unbounded = record.proven_unbounded;
     check.cancelled = record.cancelled;
     check.frames_completed = record.frames_completed;
     check.status = record.status;
@@ -498,10 +553,12 @@ Json certificate_to_json(const Certificate& cert) {
     r.set("reg", record.obligation.reg);
     r.set("candidate", record.obligation.candidate);
     r.set("property", record.obligation.property_name());
+    r.set("engine", core::engine_name(record.engine_used));
 
     Json outcome = Json::object();
     outcome.set("violated", record.violated);
     outcome.set("bound_reached", record.bound_reached);
+    outcome.set("proven_unbounded", record.proven_unbounded);
     outcome.set("cancelled", record.cancelled);
     outcome.set("frames_completed", record.frames_completed);
     outcome.set("status", record.status);
@@ -539,6 +596,20 @@ Json certificate_to_json(const Certificate& cert) {
       r.set("drat", std::move(drat));
     } else {
       r.set("drat", nullptr);
+    }
+
+    if (record.invariant.has_value()) {
+      Json clauses = Json::array();
+      for (const auto& clause : record.invariant->clauses) {
+        Json lits = Json::array();
+        for (const std::int32_t lit : clause) {
+          lits.push_back(static_cast<std::int64_t>(lit));
+        }
+        clauses.push_back(std::move(lits));
+      }
+      r.set("invariant", std::move(clauses));
+    } else {
+      r.set("invariant", nullptr);
     }
     records.push_back(std::move(r));
   }
@@ -613,6 +684,8 @@ bool certificate_from_json(const Json& json, Certificate& out,
     }
     if (f->as_string() == "BMC") out.engine = EngineKind::kBmc;
     else if (f->as_string() == "ATPG") out.engine = EngineKind::kAtpg;
+    else if (f->as_string() == "PDR") out.engine = EngineKind::kPdr;
+    else if (f->as_string() == "PORTFOLIO") out.engine = EngineKind::kPortfolio;
     else return fail("unknown engine '" + f->as_string() + "'");
     if (!get_field(options, "max_frames", f, error) || !f->is_int()) {
       return fail("bad options.max_frames");
@@ -660,6 +733,13 @@ bool certificate_from_json(const Json& json, Certificate& out,
       return fail("bad record candidate");
     }
     record.obligation.candidate = f->as_string();
+    if (!get_field(r, "engine", f, error) || !f->is_string()) {
+      return fail("bad record engine");
+    }
+    if (f->as_string() == "BMC") record.engine_used = EngineKind::kBmc;
+    else if (f->as_string() == "ATPG") record.engine_used = EngineKind::kAtpg;
+    else if (f->as_string() == "PDR") record.engine_used = EngineKind::kPdr;
+    else return fail("unknown record engine '" + f->as_string() + "'");
 
     if (!get_field(r, "result", f, error) || !f->is_object()) {
       return fail("bad record result");
@@ -675,6 +755,10 @@ bool certificate_from_json(const Json& json, Certificate& out,
         return fail("bad result.bound_reached");
       }
       record.bound_reached = g->as_bool();
+      if (!get_field(outcome, "proven_unbounded", g, error) || !g->is_bool()) {
+        return fail("bad result.proven_unbounded");
+      }
+      record.proven_unbounded = g->as_bool();
       if (!get_field(outcome, "cancelled", g, error) || !g->is_bool()) {
         return fail("bad result.cancelled");
       }
@@ -750,6 +834,24 @@ bool certificate_from_json(const Json& json, Certificate& out,
         evidence.marks.push_back(std::move(mark));
       }
       record.drat = std::move(evidence);
+    }
+
+    if (!get_field(r, "invariant", f, error)) return false;
+    if (!f->is_null()) {
+      if (!f->is_array()) return fail("bad record invariant");
+      pdr::Invariant invariant;
+      for (const Json& clause : f->items()) {
+        if (!clause.is_array()) return fail("bad invariant clause");
+        std::vector<std::int32_t> lits;
+        for (const Json& lit : clause.items()) {
+          if (!lit.is_int() || lit.as_int() == 0) {
+            return fail("bad invariant literal");
+          }
+          lits.push_back(static_cast<std::int32_t>(lit.as_int()));
+        }
+        invariant.clauses.push_back(std::move(lits));
+      }
+      record.invariant = std::move(invariant);
     }
     out.records.push_back(std::move(record));
   }

@@ -17,6 +17,15 @@
 //     into "bad unreachable through frame t".
 //   * ATPG clean frames: no proof object exists (search exhaustion is not
 //     a certificate); these are recorded honestly as unchecked.
+//   * PDR unbounded proofs: the inductive invariant (a clause set over the
+//     monitor cone's state variables). Checked by pdr::check_invariant,
+//     which re-proves initiation, consecution, and property containment
+//     with a fresh SAT solver against the re-instrumented monitor.
+//
+// Under `--engine portfolio` every record carries the backend that won its
+// race (engine_used); evidence requirements follow that per-record engine,
+// so one certificate can mix replayed witnesses, DRAT chains, and
+// inductive invariants.
 //
 // The certificate bundles the design identity (structural hash of the
 // netlist + spec), the detector configuration, all per-obligation records,
@@ -33,6 +42,7 @@
 #include "core/detector.hpp"
 #include "core/verdict_store.hpp"
 #include "designs/design.hpp"
+#include "pdr/invariant.hpp"
 #include "proof/drat.hpp"
 #include "proof/json.hpp"
 
@@ -74,18 +84,27 @@ struct DratEvidence {
 /// wall-clock, no memory), so certificates are byte-stable across runs.
 struct ObligationRecord {
   core::Obligation obligation;
+  /// Backend that produced this verdict. Equal to the certificate-level
+  /// engine for single-engine audits; the winning leg under portfolio.
+  core::EngineKind engine_used = core::EngineKind::kBmc;
   bool violated = false;
   bool bound_reached = false;
+  /// True when PDR closed the property at every depth; the invariant below
+  /// is the evidence and is mandatory for such records.
+  bool proven_unbounded = false;
   bool cancelled = false;
   std::size_t frames_completed = 0;
   std::string status;
-  std::optional<sim::Witness> witness;  // violated runs
-  std::optional<DratEvidence> drat;     // BMC runs (clean-frame proofs)
+  std::optional<sim::Witness> witness;     // violated runs
+  std::optional<DratEvidence> drat;        // BMC runs (clean-frame proofs)
+  std::optional<pdr::Invariant> invariant; // PDR unbounded proofs
 };
 
 struct Certificate {
   static constexpr const char* kFormat = "trojanscout-certificate";
-  static constexpr int kVersion = 1;
+  // v2: per-record engine_used / proven_unbounded / invariant evidence
+  // (the portfolio + IC3 additions). v1 files fail the version check.
+  static constexpr int kVersion = 2;
 
   std::string design_name;
   std::uint64_t design_hash = 0;
@@ -133,6 +152,9 @@ struct CertificateCheckResult {
   std::vector<std::string> errors;
   std::size_t witnesses_confirmed = 0;
   std::size_t drat_marks_checked = 0;
+  /// PDR unbounded proofs whose invariant passed the independent
+  /// initiation/consecution/property re-check.
+  std::size_t invariants_checked = 0;
   /// Obligations whose clean answer has no checkable proof object (ATPG
   /// search exhaustion). Reported, not failed.
   std::size_t unchecked_obligations = 0;

@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "proof/json.hpp"
@@ -79,9 +80,12 @@ bool parse_request(const std::string& line, Request& out, std::string* error) {
     f = j.find("engine");
     if (f != nullptr) {
       if (!f->is_string()) return fail("bad engine");
-      if (f->as_string() == "bmc") job.engine = core::EngineKind::kBmc;
-      else if (f->as_string() == "atpg") job.engine = core::EngineKind::kAtpg;
-      else return fail("unknown engine '" + f->as_string() + "'");
+      const std::optional<core::EngineKind> kind =
+          core::engine_kind_from_string(f->as_string());
+      if (!kind.has_value()) {
+        return fail("unknown engine '" + f->as_string() + "'");
+      }
+      job.engine = *kind;
     }
     f = j.find("frames");
     if (f != nullptr) {
@@ -151,7 +155,7 @@ std::string audit_request_line(const AuditJob& job) {
   j.set("id", job.id);
   j.set("design", job.design_path);
   j.set("spec", job.spec_path);
-  j.set("engine", job.engine == core::EngineKind::kAtpg ? "atpg" : "bmc");
+  j.set("engine", core::engine_flag_name(job.engine));
   j.set("frames", job.frames);
   j.set("budget", job.budget);
   j.set("no_scan", !job.scan_pseudo_critical);

@@ -1,0 +1,340 @@
+// IC3/PDR engine tests: violated designs produce replay-confirmed
+// witnesses, provable designs converge to invariants that pass (and
+// hand-mutated invariants fail) the independent check, and the engine
+// agrees with deep-k BMC across the catalog and a pinned fuzz-corpus
+// slice (PdrCrossCheck.* — the slow lane).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "bmc/bmc.hpp"
+#include "core/detector.hpp"
+#include "designs/catalog.hpp"
+#include "fuzz/mutation.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/wordops.hpp"
+#include "pdr/pdr.hpp"
+#include "sim/witness.hpp"
+
+namespace trojanscout {
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+using netlist::Word;
+
+/// Bad fires when an n-bit counter of go-cycles reaches `target` (the same
+/// design family the BMC/ATPG tests pin depths on).
+struct CounterDut {
+  Netlist nl;
+  SignalId bad;
+  CounterDut(unsigned width, unsigned target) {
+    const SignalId go = nl.add_input_port("go", 1)[0];
+    const Word count = netlist::w_counter(nl, "count", width, go);
+    bad = nl.b_and(netlist::w_eq_const(nl, count, target), go);
+    nl.add_output_port("bad", Word{bad});
+  }
+};
+
+/// Two registers fed by the same input can never diverge; bad claims they
+/// did. The inductive invariant is exactly "a == b".
+struct EqualRegsDut {
+  Netlist nl;
+  SignalId bad;
+  EqualRegsDut() {
+    const SignalId in = nl.add_input_port("in", 1)[0];
+    const SignalId a = nl.add_dff(false);
+    const SignalId b = nl.add_dff(false);
+    nl.connect_dff_input(a, in);
+    nl.connect_dff_input(b, in);
+    nl.add_register("a", Word{a});
+    nl.add_register("b", Word{b});
+    bad = nl.b_xor(a, b);
+    nl.add_output_port("bad", Word{bad});
+  }
+};
+
+/// A latch that can only ever keep its reset value 0 (x' = x AND in);
+/// bad = x is unreachable and the invariant is the single clause ¬x.
+struct StuckZeroDut {
+  Netlist nl;
+  SignalId bad;
+  StuckZeroDut() {
+    const SignalId in = nl.add_input_port("in", 1)[0];
+    const SignalId x = nl.add_dff(false);
+    nl.connect_dff_input(x, nl.b_and(x, in));
+    nl.add_register("x", Word{x});
+    bad = x;
+    nl.add_output_port("bad", Word{bad});
+  }
+};
+
+TEST(Pdr, FindsCounterTargetAndWitnessReplays) {
+  CounterDut dut(4, 5);
+  pdr::PdrOptions options;
+  options.max_frames = 32;
+  const pdr::PdrResult result =
+      pdr::check_bad_signal(dut.nl, dut.bad, options);
+  ASSERT_EQ(result.status, pdr::PdrStatus::kViolated);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_FALSE(result.invariant.has_value());
+  const sim::ReplayVerdict replay =
+      sim::replay_confirms(dut.nl, dut.bad, *result.witness);
+  EXPECT_TRUE(replay.confirmed) << replay.detail;
+  EXPECT_GT(result.counters.ctis, 0u);
+}
+
+TEST(Pdr, ProvesEqualRegistersInvariant) {
+  EqualRegsDut dut;
+  pdr::PdrOptions options;
+  options.max_frames = 64;
+  const pdr::PdrResult result =
+      pdr::check_bad_signal(dut.nl, dut.bad, options);
+  ASSERT_EQ(result.status, pdr::PdrStatus::kProven);
+  EXPECT_EQ(result.status_name(), "proven-unbounded");
+  EXPECT_EQ(result.frames_completed, options.max_frames);
+  ASSERT_TRUE(result.invariant.has_value());
+  EXPECT_FALSE(result.invariant->clauses.empty());
+  const pdr::InvariantCheck check =
+      pdr::check_invariant(dut.nl, dut.bad, *result.invariant);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+TEST(Pdr, ProvesStuckZeroLatch) {
+  StuckZeroDut dut;
+  pdr::PdrOptions options;
+  options.max_frames = 64;
+  const pdr::PdrResult result =
+      pdr::check_bad_signal(dut.nl, dut.bad, options);
+  ASSERT_EQ(result.status, pdr::PdrStatus::kProven);
+  ASSERT_TRUE(result.invariant.has_value());
+  const pdr::InvariantCheck check =
+      pdr::check_invariant(dut.nl, dut.bad, *result.invariant);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+TEST(Pdr, RespectsBound) {
+  CounterDut dut(6, 40);  // violation needs 41 frames
+  pdr::PdrOptions options;
+  options.max_frames = 10;
+  const pdr::PdrResult result =
+      pdr::check_bad_signal(dut.nl, dut.bad, options);
+  EXPECT_EQ(result.status, pdr::PdrStatus::kBoundReached);
+  EXPECT_EQ(result.frames_completed, 10u);
+  EXPECT_FALSE(result.witness.has_value());
+  EXPECT_FALSE(result.invariant.has_value());
+}
+
+TEST(Pdr, ViolationAtFrameZero) {
+  // The reset state itself can raise bad (bad = input).
+  Netlist nl;
+  const SignalId in = nl.add_input_port("in", 1)[0];
+  const SignalId x = nl.add_dff(false);
+  nl.connect_dff_input(x, in);
+  nl.add_register("x", Word{x});
+  const SignalId bad = in;
+  pdr::PdrOptions options;
+  const pdr::PdrResult result = pdr::check_bad_signal(nl, bad, options);
+  ASSERT_EQ(result.status, pdr::PdrStatus::kViolated);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_EQ(result.witness->violation_frame, 0u);
+  EXPECT_TRUE(sim::replay_confirms(nl, bad, *result.witness).confirmed);
+}
+
+TEST(Pdr, CancelFlagStopsTheRun) {
+  CounterDut dut(8, 200);
+  std::atomic<bool> cancel{true};
+  pdr::PdrOptions options;
+  options.max_frames = 4096;
+  options.cancel = &cancel;
+  const pdr::PdrResult result =
+      pdr::check_bad_signal(dut.nl, dut.bad, options);
+  EXPECT_EQ(result.status, pdr::PdrStatus::kResourceOut);
+  EXPECT_TRUE(result.cancelled);
+}
+
+TEST(Pdr, DroppedClauseInvariantRejected) {
+  StuckZeroDut dut;
+  pdr::PdrOptions options;
+  const pdr::PdrResult result =
+      pdr::check_bad_signal(dut.nl, dut.bad, options);
+  ASSERT_EQ(result.status, pdr::PdrStatus::kProven);
+  ASSERT_TRUE(result.invariant.has_value());
+  ASSERT_FALSE(result.invariant->clauses.empty());
+  // Hand-mutate the proof: drop the first clause. The weakened invariant
+  // no longer excludes the bad state and must be rejected.
+  pdr::Invariant mutated = *result.invariant;
+  mutated.clauses.erase(mutated.clauses.begin());
+  const pdr::InvariantCheck check =
+      pdr::check_invariant(dut.nl, dut.bad, mutated);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.detail.empty());
+}
+
+TEST(Pdr, ConsecutionFailureRejected) {
+  // x' = in can become 1, so the clause ¬x is not inductive.
+  Netlist nl;
+  const SignalId in = nl.add_input_port("in", 1)[0];
+  const SignalId x = nl.add_dff(false);
+  nl.connect_dff_input(x, in);
+  nl.add_register("x", Word{x});
+  const SignalId bad = nl.b_and(x, in);
+  pdr::Invariant claim;
+  claim.clauses.push_back({-(static_cast<std::int32_t>(x) + 1)});
+  const pdr::InvariantCheck check = pdr::check_invariant(nl, bad, claim);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.detail.find("consecution"), std::string::npos)
+      << check.detail;
+}
+
+TEST(Pdr, InitiationFailureRejected) {
+  // x resets to 1, so claiming ¬x breaks initiation.
+  Netlist nl;
+  const SignalId in = nl.add_input_port("in", 1)[0];
+  const SignalId x = nl.add_dff(true);
+  nl.connect_dff_input(x, nl.b_and(x, in));
+  nl.add_register("x", Word{x});
+  const SignalId bad = nl.b_and(nl.b_not(x), in);
+  pdr::Invariant claim;
+  claim.clauses.push_back({-(static_cast<std::int32_t>(x) + 1)});
+  const pdr::InvariantCheck check = pdr::check_invariant(nl, bad, claim);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.detail.find("initiation"), std::string::npos)
+      << check.detail;
+}
+
+TEST(Pdr, OutOfConeClauseRejected) {
+  // y never feeds the monitor cone of bad, so clauses over it are invalid
+  // evidence even when trivially true.
+  StuckZeroDut dut;
+  const SignalId y = dut.nl.add_dff(false);
+  dut.nl.connect_dff_input(y, y);
+  dut.nl.add_register("y", Word{y});
+  pdr::Invariant claim;
+  claim.clauses.push_back({-(static_cast<std::int32_t>(y) + 1)});
+  const pdr::InvariantCheck check =
+      pdr::check_invariant(dut.nl, dut.bad, claim);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.detail.find("cone"), std::string::npos) << check.detail;
+}
+
+// ---- slow lane: agreement with deep-k BMC ---------------------------------
+
+struct CrossCheckCase {
+  std::string label;
+  Netlist nl;
+  SignalId bad = netlist::kNullSignal;
+  std::size_t frames = 16;
+};
+
+void expect_agreement(const CrossCheckCase& c) {
+  bmc::BmcOptions bmc_options;
+  bmc_options.max_frames = c.frames;
+  bmc_options.time_limit_seconds = 60.0;
+  const bmc::BmcResult b = bmc::check_bad_signal(c.nl, c.bad, bmc_options);
+
+  pdr::PdrOptions pdr_options;
+  pdr_options.max_frames = c.frames;
+  pdr_options.time_limit_seconds = 60.0;
+  const pdr::PdrResult p = pdr::check_bad_signal(c.nl, c.bad, pdr_options);
+
+  if (b.status == bmc::BmcStatus::kResourceOut ||
+      p.status == pdr::PdrStatus::kResourceOut) {
+    GTEST_LOG_(INFO) << c.label << ": resource-out, agreement not checked";
+    return;
+  }
+  const bool bmc_violated = b.status == bmc::BmcStatus::kViolated;
+  const bool pdr_violated = p.status == pdr::PdrStatus::kViolated;
+  // A violation inside BMC's bound must be visible to PDR (same bound);
+  // PDR's obligation chains may also surface *deeper* counterexamples that
+  // BMC's unrolling cannot reach, so the converse only holds when the PDR
+  // trace fits inside the frames BMC actually cleared.
+  if (bmc_violated) {
+    EXPECT_TRUE(pdr_violated)
+        << c.label << ": BMC violated but PDR says " << p.status_name();
+  }
+  if (pdr_violated) {
+    ASSERT_TRUE(p.witness.has_value()) << c.label;
+    EXPECT_TRUE(sim::replay_confirms(c.nl, c.bad, *p.witness).confirmed)
+        << c.label;
+    if (p.witness->violation_frame < b.frames_completed) {
+      EXPECT_TRUE(bmc_violated)
+          << c.label << ": PDR violation at frame "
+          << p.witness->violation_frame << " inside BMC's "
+          << b.frames_completed << " clean frames";
+    }
+  }
+  if (p.status == pdr::PdrStatus::kProven) {
+    EXPECT_FALSE(bmc_violated) << c.label << ": PDR proved a violated design";
+    ASSERT_TRUE(p.invariant.has_value()) << c.label;
+    EXPECT_TRUE(pdr::check_invariant(c.nl, c.bad, *p.invariant).ok)
+        << c.label;
+  }
+}
+
+std::vector<CrossCheckCase> corruption_cases(const designs::Design& design,
+                                             std::size_t frames) {
+  core::DetectorOptions options;
+  core::TrojanDetector detector(design, options);
+  std::vector<CrossCheckCase> cases;
+  for (const core::Obligation& obligation : detector.enumerate_obligations()) {
+    if (obligation.kind != core::Obligation::Kind::kCorruption) continue;
+    auto instrumented = detector.instrument_obligation(obligation);
+    CrossCheckCase c;
+    c.label = design.name + "/" + obligation.property_name();
+    c.nl = std::move(instrumented.nl);
+    c.bad = instrumented.bad;
+    c.frames = frames;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(PdrCrossCheck, AgreesWithDeepBmcOnCatalog) {
+  designs::CatalogOptions catalog_options;
+  catalog_options.risc_trigger_count = 4;
+  for (const auto& info : designs::trojan_benchmarks(catalog_options)) {
+    const std::size_t frames = info.family == "aes" ? 4 : 16;
+    const designs::Design design = info.build(/*payload_enabled=*/true);
+    for (const auto& c : corruption_cases(design, frames)) {
+      expect_agreement(c);
+    }
+  }
+  for (const std::string family : {"mc8051", "risc", "router"}) {
+    const designs::Design design = designs::build_clean(family);
+    for (const auto& c : corruption_cases(design, 16)) {
+      expect_agreement(c);
+    }
+  }
+}
+
+TEST(PdrCrossCheck, AgreesOnSeed42FuzzCorpusSlice) {
+  fuzz::CorpusOptions corpus_options;
+  corpus_options.seed = 42;
+  corpus_options.count = 10;  // pinned prefix of the PR-6 corpus
+  for (const fuzz::MutationSpec& spec :
+       fuzz::generate_corpus(corpus_options)) {
+    const fuzz::Mutant mutant = fuzz::build_mutant(spec);
+    // Deep-enough bound to cover the known trigger depth, capped like the
+    // fuzz harness caps its own frame budget.
+    const std::size_t frames =
+        std::min<std::size_t>(mutant.fire_depth + 6, 26);
+    core::DetectorOptions options;
+    core::TrojanDetector detector(mutant.design, options);
+    for (const core::Obligation& obligation :
+         detector.enumerate_obligations()) {
+      if (obligation.kind != core::Obligation::Kind::kCorruption) continue;
+      if (obligation.reg != mutant.spec.target) continue;
+      auto instrumented = detector.instrument_obligation(obligation);
+      CrossCheckCase c;
+      c.label = spec.name();
+      c.nl = std::move(instrumented.nl);
+      c.bad = instrumented.bad;
+      c.frames = frames;
+      expect_agreement(c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trojanscout

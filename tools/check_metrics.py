@@ -58,6 +58,8 @@ SCHEMAS = {
         "violated": bool,
         "cancelled": bool,
         "bound_reached": bool,
+        "proven_unbounded": bool,
+        "engine_used": str,
         "frames_completed": int,
         "sat_decisions": int,
         "sat_propagations": int,
@@ -71,8 +73,21 @@ SCHEMAS = {
         "atpg_implications": int,
         "atpg_frames_proven_clean": int,
         "atpg_frames_aborted": int,
+        "pdr_frames": int,
+        "pdr_pushed_clauses": int,
+        "pdr_ctis": int,
+        "pdr_obligations": int,
         "seconds": (int, float),
         "memory_bytes": int,
+    },
+    # One record per --engine portfolio race. The winner is deterministic;
+    # the per-leg breakdown ("bmc.status", "bmc.seconds", ...) is
+    # timing-flagged and therefore absent from timing-stripped reports, so
+    # only the deterministic core is required here.
+    "portfolio": {
+        "design": str,
+        "property": str,
+        "winner": str,
     },
     "summary": {
         "design": str,
@@ -183,6 +198,11 @@ def check_line(lineno, line):
                     f"line {lineno} (obligation): frame_clauses entry "
                     f"{v!r} is not an integer")
                 break
+    if rtype == "portfolio":
+        if record.get("winner") not in ("bmc", "atpg", "pdr"):
+            errors.append(
+                f"line {lineno} (portfolio): winner "
+                f"{record.get('winner')!r} is not a concrete engine")
     if rtype == "counters":
         for key, value in record.items():
             if key == "type":
@@ -1118,6 +1138,37 @@ def _self_test_samples():
         {"type": "slo_breach", "seq": 1, "ts_ms": 2, "job": "j",
          "scope": "obligation", "elapsed_ms": 55.0, "slo_ms": 50})
 
+    obligation = {
+        "type": "obligation", "design": "router", "engine": "PORTFOLIO",
+        "property": "hdr/corruption", "status": "proven-unbounded",
+        "violated": False, "cancelled": False, "bound_reached": True,
+        "proven_unbounded": True, "engine_used": "pdr",
+        "frames_completed": 8, "invariant_clauses": 3, "sat_decisions": 10,
+        "sat_propagations": 90, "sat_conflicts": 2, "sat_restarts": 0,
+        "sat_learned_clauses": 2, "cnf_vars": 64, "frame_clauses": [],
+        "atpg_decisions": 0, "atpg_backtracks": 0, "atpg_implications": 0,
+        "atpg_frames_proven_clean": 0, "atpg_frames_aborted": 0,
+        "pdr_frames": 3, "pdr_pushed_clauses": 4, "pdr_ctis": 5,
+        "pdr_obligations": 6, "seconds": 0.02, "memory_bytes": 4096}
+    race = {
+        "type": "portfolio", "design": "router",
+        "property": "hdr/corruption", "winner": "pdr",
+        "bmc.status": "cancelled", "bmc.cancelled": True,
+        "bmc.seconds": 0.01, "atpg.status": "cancelled",
+        "atpg.cancelled": True, "atpg.seconds": 0.01,
+        "pdr.status": "proven-unbounded", "pdr.cancelled": False,
+        "pdr.seconds": 0.02}
+    good_report = jsonl(
+        obligation, race,
+        {"type": "counters", "portfolio.win.pdr": 1,
+         "portfolio.cancelled.bmc": 1})
+    legacy_obligation = json.loads(json.dumps(obligation))
+    del legacy_obligation["proven_unbounded"]  # pre-portfolio emitter
+    stale_report = jsonl(legacy_obligation)
+    headless_race = json.loads(json.dumps(race))
+    headless_race["winner"] = "portfolio"  # winner must be a concrete leg
+    bad_winner_report = jsonl(headless_race)
+
     w0 = {"counters": {"fleet.jobs": 3, "cache.hits": 5},
           "histograms": {"engine.solve": hist(4, 0.5, {10: 3, 12: 1})}}
     w1 = {"counters": {"fleet.jobs": 2},
@@ -1233,6 +1284,9 @@ def _self_test_samples():
         ("events/unknown-type", unknown_events, False),
         ("events/missing-field", misfield_events, False),
         ("events/anonymous-slo-breach", anonymous_breach, False),
+        ("report/portfolio-good", good_report, True),
+        ("report/missing-proven-unbounded", stale_report, False),
+        ("report/portfolio-bad-winner", bad_winner_report, False),
         ("stats/good", json.dumps(stats), True),
         ("stats/merged-counter-drift", json.dumps(bad_counter), False),
         ("stats/merged-bucket-drift", json.dumps(bad_buckets), False),

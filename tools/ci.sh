@@ -62,6 +62,9 @@ if command -v python3 >/dev/null 2>&1; then
       --metrics-out="$art/parallel_scaling.jsonl"
   "$rel/bench/bench_corpus" --repeats=3 --count=24 \
       --bench-out="$art/BENCH_corpus.json"
+  "$rel/bench/bench_portfolio" --budget=5 --frames=12 --repeats=3 \
+      --bench-out="$art/BENCH_portfolio.json" \
+      --metrics-out="$art/portfolio.jsonl"
   (cd "$src" && "$rel/bench/bench_service_throughput" --repeats=3 \
       --clients=4 --per-client=4 --frames=6 \
       --bench-out="$art/BENCH_service_throughput.json")
@@ -117,6 +120,45 @@ if command -v python3 >/dev/null 2>&1; then
   if grep -q '\[progress\]' "$art/audit_plain.stdout" \
       "$art/audit_plain.stderr"; then
     echo "FAIL: heartbeat output present without --progress"
+    exit 1
+  fi
+
+  echo "=== [release] portfolio smoke (race determinism + unbounded proofs) ==="
+  # The three-engine race on the Trojaned catalog IP must still convict
+  # (exit 2), regardless of which leg wins the race.
+  status=0
+  "$rel/tools/trojanscout_cli" audit --design="$art/ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --engine=portfolio --frames=8 \
+      --jobs=2 >"$art/portfolio_trojan.stdout" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: portfolio audit expected exit 2 (trojan found), got $status"
+    exit 1
+  fi
+  # On the clean IP the PDR leg must win with unbounded proofs, and the
+  # report signature must not depend on --jobs (the race's verdict
+  # selection is deterministic; only wall clock is racy). --no-scan: the
+  # pseudo-critical obligations are expected-violated even on clean
+  # designs and would drown the proven-unbounded signal.
+  "$rel/tools/trojanscout_cli" gen --family=mc8051 --out="$art/clean_ip.v"
+  "$rel/tools/trojanscout_cli" audit --design="$art/clean_ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --engine=portfolio --frames=8 \
+      --no-scan --jobs=1 --signature-out="$art/sig_portfolio_jobs1" \
+      --metrics-out="$art/portfolio_audit_metrics.jsonl" \
+      >"$art/portfolio_clean.stdout" 2>&1
+  "$rel/tools/trojanscout_cli" audit --design="$art/clean_ip.v" \
+      --spec="$src/specs/mc8051_sp.spec" --engine=portfolio --frames=8 \
+      --no-scan --jobs=4 --signature-out="$art/sig_portfolio_jobs4" \
+      >/dev/null 2>&1
+  if ! cmp -s "$art/sig_portfolio_jobs1" "$art/sig_portfolio_jobs4"; then
+    echo "FAIL: portfolio signature depends on --jobs (determinism)"
+    exit 1
+  fi
+  if ! grep -q "proven-unbounded" "$art/portfolio_clean.stdout"; then
+    echo "FAIL: clean portfolio audit produced no proven-unbounded verdict"
+    exit 1
+  fi
+  if ! grep -q "portfolio wins:" "$art/portfolio_clean.stdout"; then
+    echo "FAIL: portfolio audit printed no win tallies"
     exit 1
   fi
 
@@ -294,8 +336,9 @@ if command -v python3 >/dev/null 2>&1; then
       "$art/BENCH_table1.json" "$art/BENCH_table2.json" \
       "$art/BENCH_table3.json" "$art/BENCH_parallel_scaling.json" \
       "$art/BENCH_corpus.json" "$art/BENCH_service_throughput.json" \
-      "$art/corpus.json" \
+      "$art/BENCH_portfolio.json" "$art/corpus.json" \
       "$art/table1.jsonl" "$art/table2.jsonl" "$art/table3.jsonl" \
+      "$art/portfolio.jsonl" "$art/portfolio_audit_metrics.jsonl" \
       "$art/parallel_scaling.jsonl" "$art/audit_trace.json" \
       "$art/audit_profile.json" "$art/audit_metrics.jsonl" \
       "$art/audit_cached_metrics.jsonl" "$art/audit_flight.json" \
@@ -307,7 +350,7 @@ if command -v python3 >/dev/null 2>&1; then
   echo "=== [release] bench regression gate ==="
   python3 "$src/tools/bench_compare.py" --self-test
   for name in table1 table2 table3 parallel_scaling corpus \
-      service_throughput; do
+      service_throughput portfolio; do
     python3 "$src/tools/bench_compare.py" \
         "$src/bench/baselines/BENCH_${name}.json" \
         "$art/BENCH_${name}.json"

@@ -3,10 +3,10 @@
 //
 //   trojanscout_cli info  --design ip.v
 //   trojanscout_cli check --design ip.v --spec ip.spec --register cfg
-//                         [--engine bmc|atpg] [--frames N] [--budget S]
+//                         [--engine ENGINE] [--frames N] [--budget S]
 //                         [--minimize] [--vcd out.vcd]
 //   trojanscout_cli audit --design ip.v --spec ip.spec
-//                         [--jobs N] [--fail-fast] [--engine bmc|atpg]
+//                         [--jobs N] [--fail-fast] [--engine ENGINE]
 //                         [--frames N] [--budget S] [--no-scan] [--no-bypass]
 //                         [--trace-out trace.json] [--metrics-out run.jsonl]
 //                         [--profile-out profile.json] [--progress[=SECS]]
@@ -16,12 +16,12 @@
 //   trojanscout_cli gen   --family mc8051|risc|aes [--trojan NAME]
 //                         [--out design.v]
 //   trojanscout_cli certify    --design ip.v --spec ip.spec --out cert.json
-//                              [--jobs N] [--engine bmc|atpg] [--frames N]
+//                              [--jobs N] [--engine ENGINE] [--frames N]
 //                              [--budget S] [--no-scan] [--no-bypass]
 //                              [--pretty]
 //   trojanscout_cli check-cert --cert cert.json --design ip.v --spec ip.spec
 //   trojanscout_cli fuzz  [--seed N] [--count N] [--design FAMILY|all]
-//                         [--engine bmc|atpg] [--jobs N] [--frames-slack N]
+//                         [--engine ENGINE] [--jobs N] [--frames-slack N]
 //                         [--frames-cap N] [--budget S] [--max-seq N]
 //                         [--no-clean] [--no-differential] [--cache-dir DIR]
 //                         [--out corpus.json] [--no-timing]
@@ -42,7 +42,7 @@
 //                          [--events-max-mb N] [--sample-interval-ms MS]
 //                          [--slo-ms N] [--slo-obligation-ms N]
 //   trojanscout_cli submit --socket ENDPOINT --design ip.v --spec ip.spec
-//                          [--engine bmc|atpg] [--frames N] [--budget S]
+//                          [--engine ENGINE] [--frames N] [--budget S]
 //                          [--no-scan] [--no-bypass] [--id NAME]
 //                          [--connect-retries N] [--overload-retries N]
 //                          [--signature-out FILE] [--quiet]
@@ -184,11 +184,11 @@ int usage() {
          "  info       --design ip.v\n"
          "               print gate/port/register structure\n"
          "  check      --design ip.v --spec ip.spec --register REG\n"
-         "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
+         "               [--engine ENGINE] [--frames N] [--budget S]\n"
          "               [--minimize] [--vcd out.vcd]\n"
          "               check one register's corruption property\n"
          "  audit      --design ip.v --spec ip.spec\n"
-         "               [--jobs N] [--fail-fast] [--engine bmc|atpg]\n"
+         "               [--jobs N] [--fail-fast] [--engine ENGINE]\n"
          "               [--frames N] [--budget S] [--no-scan] [--no-bypass]\n"
          "               [--cache-dir DIR] [--cache off|ro|rw]\n"
          "               [--cache-max-mb N] [--signature-out FILE]\n"
@@ -203,7 +203,7 @@ int usage() {
          "               [--out design.v]\n"
          "               emit a benchmark design as structural Verilog\n"
          "  certify    --design ip.v --spec ip.spec --out cert.json\n"
-         "               [--jobs N] [--engine bmc|atpg] [--frames N]\n"
+         "               [--jobs N] [--engine ENGINE] [--frames N]\n"
          "               [--budget S] [--no-scan] [--no-bypass] [--pretty]\n"
          "               [--cache-dir DIR] [--cache off|ro|rw]\n"
          "               [--cache-max-mb N]\n"
@@ -211,7 +211,7 @@ int usage() {
          "  check-cert --cert cert.json --design ip.v --spec ip.spec\n"
          "               re-validate a certificate offline\n"
          "  fuzz       [--seed N] [--count N] [--design FAMILY|all]\n"
-         "               [--engine bmc|atpg] [--jobs N] [--frames-slack N]\n"
+         "               [--engine ENGINE] [--jobs N] [--frames-slack N]\n"
          "               [--frames-cap N] [--budget S] [--max-seq N]\n"
          "               [--no-clean] [--no-differential] [--cache-dir DIR]\n"
          "               [--out corpus.json] [--no-timing]\n"
@@ -237,7 +237,7 @@ int usage() {
          "               [--slo-ms N] [--slo-obligation-ms N]\n"
          "               shard coordinator over N worker daemons\n"
          "  submit     --socket ENDPOINT --design ip.v --spec ip.spec\n"
-         "               [--engine bmc|atpg] [--frames N] [--budget S]\n"
+         "               [--engine ENGINE] [--frames N] [--budget S]\n"
          "               [--no-scan] [--no-bypass] [--id NAME]\n"
          "               [--connect-retries N] [--overload-retries N]\n"
          "               [--signature-out FILE] [--quiet]\n"
@@ -255,8 +255,31 @@ int usage() {
          "\n"
          "  --version  print the build's git revision\n"
          "\n"
+         "engines (every ENGINE above accepts the same four values):\n"
+         "  bmc        SAT-based bounded model checking; DRAT proofs per\n"
+         "             clean frame (default)\n"
+         "  atpg       sequential justification search with SCOAP guidance;\n"
+         "             fast counterexamples, no clean-frame proofs\n"
+         "  pdr        IC3/PDR: unbounded proofs by inductive invariant, or\n"
+         "             counterexamples at any depth\n"
+         "  portfolio  race bmc, atpg, and pdr concurrently; the strongest\n"
+         "             verdict wins (ties break bmc > atpg > pdr) and the\n"
+         "             losers are cancelled\n"
+         "\n"
          "exit codes: 0 = clean/ok, 2 = Trojan found, 1 = usage/error\n";
   return 1;
+}
+
+/// Shared --engine parser: all twelve subcommands accept the same values.
+core::EngineKind parse_engine_flag(const util::CliParser& cli) {
+  const std::string name = cli.get_string("engine", "bmc");
+  const std::optional<core::EngineKind> kind =
+      core::engine_kind_from_string(name);
+  if (!kind.has_value()) {
+    throw std::runtime_error("unknown --engine '" + name +
+                             "' (expected bmc | atpg | pdr | portfolio)");
+  }
+  return *kind;
 }
 
 /// Opens the verdict cache requested by --cache-dir / --cache /
@@ -396,9 +419,7 @@ int cmd_check(const util::CliParser& cli) {
   design.critical_registers = {reg};
 
   core::DetectorOptions options;
-  options.engine.kind = cli.get_string("engine", "bmc") == "atpg"
-                            ? core::EngineKind::kAtpg
-                            : core::EngineKind::kBmc;
+  options.engine.kind = parse_engine_flag(cli);
   options.engine.max_frames =
       static_cast<std::size_t>(cli.get_int("frames", 128));
   options.engine.time_limit_seconds = cli.get_double("budget", 60.0);
@@ -451,9 +472,7 @@ int cmd_audit(const util::CliParser& cli) {
   }
 
   core::ParallelDetectorOptions options;
-  options.detector.engine.kind = cli.get_string("engine", "bmc") == "atpg"
-                                     ? core::EngineKind::kAtpg
-                                     : core::EngineKind::kBmc;
+  options.detector.engine.kind = parse_engine_flag(cli);
   options.detector.engine.max_frames =
       static_cast<std::size_t>(cli.get_int("frames", 128));
   options.detector.engine.time_limit_seconds = cli.get_double("budget", 60.0);
@@ -560,6 +579,22 @@ int cmd_audit(const util::CliParser& cli) {
               << run.check.frames_completed << " frames, " << run.check.seconds
               << " s)\n";
   }
+  if (options.detector.engine.kind == core::EngineKind::kPortfolio) {
+    std::size_t wins[3] = {0, 0, 0};  // bmc, atpg, pdr
+    std::size_t proven = 0;
+    for (const auto& run : report.runs) {
+      switch (run.check.engine_used) {
+        case core::EngineKind::kBmc: ++wins[0]; break;
+        case core::EngineKind::kAtpg: ++wins[1]; break;
+        case core::EngineKind::kPdr: ++wins[2]; break;
+        case core::EngineKind::kPortfolio: break;
+      }
+      if (run.check.proven_unbounded) ++proven;
+    }
+    std::cout << "portfolio wins: bmc " << wins[0] << ", atpg " << wins[1]
+              << ", pdr " << wins[2] << " (" << proven
+              << " proven unbounded)\n";
+  }
   if (verdict_cache != nullptr) print_cache_summary(*verdict_cache);
   write_signature(cli.get_string("signature-out", ""), report);
   write_flight(cli.get_string("flight-out", ""), design.name,
@@ -634,9 +669,7 @@ int cmd_certify(const util::CliParser& cli) {
   const designs::Design design = load_design_with_spec(cli);
 
   proof::CertifyOptions options;
-  options.detector.engine.kind = cli.get_string("engine", "bmc") == "atpg"
-                                     ? core::EngineKind::kAtpg
-                                     : core::EngineKind::kBmc;
+  options.detector.engine.kind = parse_engine_flag(cli);
   options.detector.engine.max_frames =
       static_cast<std::size_t>(cli.get_int("frames", 128));
   options.detector.engine.time_limit_seconds = cli.get_double("budget", 60.0);
@@ -680,8 +713,17 @@ int cmd_certify(const util::CliParser& cli) {
               << " witnesses, " << marks << " DRAT-proved frames)\n";
   }
   if (verdict_cache != nullptr) print_cache_summary(*verdict_cache);
+  // "clean forever" only when every record carries an unbounded proof;
+  // a single merely-bounded record caps the whole certificate's claim.
+  const bool all_unbounded =
+      !cert.records.empty() &&
+      std::all_of(cert.records.begin(), cert.records.end(),
+                  [](const auto& r) { return r.proven_unbounded; });
   std::cout << (cert.trojan_found
                     ? "TROJAN FOUND (witnesses included in certificate)"
+                : all_unbounded
+                    ? "clean at all depths (inductive invariants included "
+                      "in certificate)"
                     : "clean within the bound (proofs included in certificate)")
             << "\n";
   return cert.trojan_found ? 2 : 0;
@@ -1176,9 +1218,7 @@ int cmd_submit(const util::CliParser& cli) {
   job.spec_path = cli.get_string("spec", "");
   if (job.design_path.empty()) throw std::runtime_error("--design is required");
   if (job.spec_path.empty()) throw std::runtime_error("--spec is required");
-  job.engine = cli.get_string("engine", "bmc") == "atpg"
-                   ? core::EngineKind::kAtpg
-                   : core::EngineKind::kBmc;
+  job.engine = parse_engine_flag(cli);
   job.frames = static_cast<std::size_t>(cli.get_int("frames", 128));
   job.budget = cli.get_double("budget", 60.0);
   job.scan_pseudo_critical = !cli.get_bool("no-scan", false);
@@ -1476,9 +1516,7 @@ int cmd_fuzz(const util::CliParser& cli) {
       static_cast<std::size_t>(cli.get_int("max-seq", 6));
 
   fuzz::HarnessOptions harness_options;
-  harness_options.engine = cli.get_string("engine", "bmc") == "atpg"
-                               ? core::EngineKind::kAtpg
-                               : core::EngineKind::kBmc;
+  harness_options.engine = parse_engine_flag(cli);
   harness_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 2));
   harness_options.frames_slack = static_cast<std::size_t>(
       cli.get_int("frames-slack",
